@@ -1,0 +1,82 @@
+package formext
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// BatchOptions configures ExtractAll.
+type BatchOptions struct {
+	// Extractor options applied to every worker.
+	Options Options
+	// Workers is the number of concurrent extractors (default: GOMAXPROCS).
+	Workers int
+}
+
+// ExtractAll extracts every page concurrently and returns the results in
+// input order. An Extractor is not safe for concurrent use, so each worker
+// gets its own; this is the crawl-scale entry point the paper's
+// integration scenario needs (10^5 sources, Section 1).
+//
+// Individual pages never fail (the pipeline is total); the returned error
+// reports configuration problems only.
+func ExtractAll(pages []string, opt BatchOptions) ([]*Result, error) {
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(pages) {
+		workers = len(pages)
+	}
+	if len(pages) == 0 {
+		return nil, nil
+	}
+	// Validate the configuration once, up front.
+	if _, err := New(opt.Options); err != nil {
+		return nil, err
+	}
+
+	results := make([]*Result, len(pages))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ex, err := New(opt.Options)
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				return
+			}
+			for i := range jobs {
+				res, err := ex.ExtractHTML(pages[i])
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("page %d: %w", i, err)
+					}
+					mu.Unlock()
+					continue
+				}
+				results[i] = res
+			}
+		}()
+	}
+	for i := range pages {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return results, nil
+}

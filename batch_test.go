@@ -1,0 +1,62 @@
+package formext_test
+
+import (
+	"testing"
+
+	"formext"
+
+	"formext/internal/dataset"
+)
+
+func TestExtractAllMatchesSequential(t *testing.T) {
+	srcs := dataset.NewSource()
+	pages := make([]string, len(srcs))
+	for i, s := range srcs {
+		pages[i] = s.HTML
+	}
+	batch, err := formext.ExtractAll(pages, formext.BatchOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != len(pages) {
+		t.Fatalf("results = %d", len(batch))
+	}
+	ex, err := formext.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, page := range pages {
+		seq, err := ex.ExtractHTML(page)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if batch[i] == nil {
+			t.Fatalf("page %d missing from batch", i)
+		}
+		if len(batch[i].Model.Conditions) != len(seq.Model.Conditions) {
+			t.Errorf("page %d: batch %d conditions vs sequential %d",
+				i, len(batch[i].Model.Conditions), len(seq.Model.Conditions))
+		}
+		for j := range seq.Model.Conditions {
+			if batch[i].Model.Conditions[j].Attribute != seq.Model.Conditions[j].Attribute {
+				t.Errorf("page %d condition %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestExtractAllEdgeCases(t *testing.T) {
+	if res, err := formext.ExtractAll(nil, formext.BatchOptions{}); err != nil || res != nil {
+		t.Errorf("empty batch: %v, %v", res, err)
+	}
+	if _, err := formext.ExtractAll([]string{"<p>x"}, formext.BatchOptions{
+		Options: formext.Options{GrammarSource: "terminals text; start Broken;"},
+	}); err == nil {
+		t.Error("invalid grammar must fail the batch")
+	}
+	res, err := formext.ExtractAll([]string{"", "<form>A <input type=text name=a></form>"},
+		formext.BatchOptions{Workers: 8})
+	if err != nil || len(res) != 2 || res[0] == nil || res[1] == nil {
+		t.Errorf("small batch: %v, %v", res, err)
+	}
+}

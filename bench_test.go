@@ -1,0 +1,292 @@
+package formext_test
+
+// One benchmark per evaluation artifact of the paper (see DESIGN.md's
+// per-experiment index): Figure 4(a)/(b), Figure 15(a)-(d), the Section 5.1
+// timing claims, the Section 4.2.1 ambiguity blow-up, and the ablations.
+// `go test -bench=. -benchmem` regenerates every number; cmd/experiments
+// prints the same rows as readable tables.
+
+import (
+	"io"
+	"testing"
+
+	"formext"
+
+	"formext/internal/dataset"
+	"formext/internal/experiments"
+	"formext/internal/grammar"
+	"formext/internal/metrics"
+	"formext/internal/survey"
+)
+
+// ---- E1/E2: Figure 4 ----
+
+func BenchmarkFig4aVocabularyGrowth(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		srcs := dataset.Basic()
+		g := survey.VocabularyGrowth(srcs)
+		b.ReportMetric(float64(g.Distinct[len(g.Distinct)-1]), "patterns")
+	}
+}
+
+func BenchmarkFig4bRankFrequency(b *testing.B) {
+	srcs := dataset.Basic()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ranks := survey.RankFrequencies(srcs, 2)
+		b.ReportMetric(float64(len(ranks)), "ranked-patterns")
+		b.ReportMetric(float64(ranks[0].Total), "top-frequency")
+	}
+}
+
+// ---- E3-E6: Figure 15 ----
+
+// evalDataset runs the full extractor over one dataset inside a benchmark.
+func evalDataset(b *testing.B, name string) experiments.Fig15Row {
+	b.Helper()
+	ex, err := formext.New()
+	if err != nil {
+		b.Fatal(err)
+	}
+	srcs, ok := dataset.ByName(name)
+	if !ok {
+		b.Fatalf("unknown dataset %s", name)
+	}
+	return experiments.EvaluateDataset(ex, name, srcs)
+}
+
+func BenchmarkFig15aPrecisionDistribution(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		row := evalDataset(b, "Random")
+		// The leftmost bucket: % of sources at precision 1.0.
+		b.ReportMetric(row.PrecDist[0], "%src-P1.0")
+	}
+}
+
+func BenchmarkFig15bRecallDistribution(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		row := evalDataset(b, "Random")
+		b.ReportMetric(row.RecDist[0], "%src-R1.0")
+	}
+}
+
+func BenchmarkFig15cAveragePR(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		row := evalDataset(b, "NewDomain")
+		b.ReportMetric(row.Agg.AvgPrecision, "avg-P")
+		b.ReportMetric(row.Agg.AvgRecall, "avg-R")
+	}
+}
+
+func BenchmarkFig15dOverallPR(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		// The headline: Random-dataset overall accuracy (paper: Pa 0.80,
+		// Ra 0.89, accuracy 0.85).
+		row := evalDataset(b, "Random")
+		b.ReportMetric(row.Agg.OverallPrecision, "Pa")
+		b.ReportMetric(row.Agg.OverallRecall, "Ra")
+		b.ReportMetric(row.Agg.Accuracy, "accuracy")
+	}
+}
+
+func BenchmarkFig15dBasic(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		row := evalDataset(b, "Basic")
+		b.ReportMetric(row.Agg.Accuracy, "accuracy")
+	}
+}
+
+func BenchmarkFig15dNewSource(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		row := evalDataset(b, "NewSource")
+		b.ReportMetric(row.Agg.Accuracy, "accuracy")
+	}
+}
+
+func BenchmarkFig15dNewDomain(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		row := evalDataset(b, "NewDomain")
+		b.ReportMetric(row.Agg.Accuracy, "accuracy")
+	}
+}
+
+// ---- E7: Section 5.1 timing ----
+
+func BenchmarkParseSingle25Tokens(b *testing.B) {
+	// Paper: "given a query interface of size about 25 (number of tokens),
+	// parsing takes about 1 second" (2004 hardware).
+	ex, err := formext.New()
+	if err != nil {
+		b.Fatal(err)
+	}
+	toks := ex.Tokenize(dataset.QaaHTML)
+	b.ReportMetric(float64(len(toks)), "tokens")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ex.ExtractTokens(toks); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParse120Interfaces(b *testing.B) {
+	// Paper: "parsing 120 query interfaces with average size 22 takes less
+	// than 100 seconds" (2004 hardware).
+	ex, err := formext.New()
+	if err != nil {
+		b.Fatal(err)
+	}
+	srcs := dataset.Basic()[:120]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, s := range srcs {
+			if _, err := ex.ExtractHTML(s.HTML); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// ---- E8/E9: Section 4.2.1 ambiguity + scheduling ablations ----
+
+func benchAmbiguity(b *testing.B, opt formext.Options, metric string) {
+	ex, err := formext.New(opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := ex.ExtractHTML(dataset.Figure5Fragment)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Stats.TotalCreated), metric)
+	}
+}
+
+func BenchmarkAblationBruteForce(b *testing.B) {
+	// Paper: brute force on the Figure 5 fragment yields 773 instances and
+	// 25 parse trees against 42 instances in the correct tree.
+	benchAmbiguity(b, formext.Options{DisablePreferences: true}, "instances")
+}
+
+func BenchmarkAblationJITPruning(b *testing.B) {
+	benchAmbiguity(b, formext.Options{}, "instances")
+}
+
+func BenchmarkAblationNoSchedule(b *testing.B) {
+	// Late pruning: preferences applied only at the end of parsing, with
+	// rollback erasing the aggregated false instances.
+	benchAmbiguity(b, formext.Options{DisableScheduling: true}, "instances")
+}
+
+// ---- E10: baseline comparison ----
+
+func BenchmarkBaselineComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.RunBaseline(io.Discard)
+		for _, r := range rows {
+			if r.Dataset == "Random" {
+				b.ReportMetric(r.Parser.Accuracy, "parser-accuracy")
+				b.ReportMetric(r.Baseline.Accuracy, "baseline-accuracy")
+			}
+		}
+	}
+}
+
+// ---- E11/E12: Section 7 extensions ----
+
+func BenchmarkRepairTwoPass(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.RunRepair(io.Discard)
+		for _, r := range rows {
+			if r.Dataset == "Basic" {
+				b.ReportMetric(r.Before.Accuracy, "acc-before")
+				b.ReportMetric(r.After.Accuracy, "acc-after")
+			}
+		}
+	}
+}
+
+func BenchmarkGrammarInduction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.RunInduce(io.Discard)
+		for _, r := range rows {
+			if r.Dataset == "Random" {
+				b.ReportMetric(r.Hand.Accuracy, "hand-accuracy")
+				b.ReportMetric(r.Induced.Accuracy, "induced-accuracy")
+			}
+		}
+	}
+}
+
+// ---- component micro-benchmarks ----
+
+func BenchmarkExtractQam(b *testing.B) {
+	ex, err := formext.New()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ex.ExtractHTML(dataset.QamHTML); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTokenizePipeline(b *testing.B) {
+	ex, err := formext.New()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		toks := ex.Tokenize(dataset.QaaHTML)
+		if len(toks) == 0 {
+			b.Fatal("no tokens")
+		}
+	}
+}
+
+func BenchmarkGrammarLoad(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g := grammar.Default()
+		if len(g.Prods) == 0 {
+			b.Fatal("empty grammar")
+		}
+	}
+}
+
+func BenchmarkDatasetGeneration(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		srcs := dataset.Basic()
+		if len(srcs) != 150 {
+			b.Fatal("bad dataset")
+		}
+	}
+}
+
+func BenchmarkMetricsMatch(b *testing.B) {
+	srcs := dataset.NewSource()
+	ex, err := formext.New()
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := ex.ExtractHTML(srcs[0].HTML)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		metrics.Match(srcs[0].Truth, res.Model.Conditions, false)
+	}
+}

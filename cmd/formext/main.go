@@ -1,0 +1,129 @@
+// Command formext extracts the semantic model of an HTML query form: the
+// query conditions [attribute; operators; domain] it supports.
+//
+// Usage:
+//
+//	formext [flags] [file.html]
+//
+// With no file argument, HTML is read from standard input.
+//
+//	-json            emit the semantic model as JSON instead of text
+//	-tokens          also list the tokenized form
+//	-trees           also dump the maximal parse trees
+//	-stats           also print parser statistics
+//	-grammar FILE    parse against a custom 2P grammar (DSL source)
+//	-explain N       explain how token N was interpreted
+//	-print-grammar   print the embedded derived grammar and exit
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"formext"
+)
+
+func main() {
+	var (
+		asJSON       = flag.Bool("json", false, "emit the semantic model as JSON")
+		showTokens   = flag.Bool("tokens", false, "list the tokenized form")
+		showTrees    = flag.Bool("trees", false, "dump the maximal parse trees")
+		showStats    = flag.Bool("stats", false, "print parser statistics")
+		grammarFile  = flag.String("grammar", "", "custom 2P grammar DSL file")
+		printGrammar = flag.Bool("print-grammar", false, "print the embedded derived grammar and exit")
+		explain      = flag.Int("explain", -1, "explain how the given token id was interpreted")
+	)
+	flag.Parse()
+	if err := run(*asJSON, *showTokens, *showTrees, *showStats, *grammarFile, *printGrammar, *explain, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "formext:", err)
+		os.Exit(1)
+	}
+}
+
+func run(asJSON, showTokens, showTrees, showStats bool, grammarFile string, printGrammar bool, explain int, args []string) error {
+	if printGrammar {
+		fmt.Print(formext.DefaultGrammarSource())
+		return nil
+	}
+
+	var opts formext.Options
+	if grammarFile != "" {
+		src, err := os.ReadFile(grammarFile)
+		if err != nil {
+			return err
+		}
+		opts.GrammarSource = string(src)
+	}
+	ex, err := formext.New(opts)
+	if err != nil {
+		return err
+	}
+
+	var src []byte
+	switch len(args) {
+	case 0:
+		if src, err = io.ReadAll(os.Stdin); err != nil {
+			return err
+		}
+	case 1:
+		if src, err = os.ReadFile(args[0]); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("at most one input file")
+	}
+
+	res, err := ex.ExtractHTML(string(src))
+	if err != nil {
+		return err
+	}
+
+	if showTokens {
+		fmt.Println("tokens:")
+		for _, t := range res.Tokens {
+			fmt.Println("  ", t)
+		}
+	}
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res.Model); err != nil {
+			return err
+		}
+	} else {
+		fmt.Printf("conditions (%d):\n", len(res.Model.Conditions))
+		for _, c := range res.Model.Conditions {
+			fmt.Println("  ", c.String())
+			if len(c.Fields) > 0 {
+				fmt.Println("     fields:", c.Fields)
+			}
+		}
+		for _, k := range res.Model.Conflicts {
+			a := res.Model.Conditions[k.Conditions[0]].Attribute
+			b := res.Model.Conditions[k.Conditions[1]].Attribute
+			fmt.Printf("conflict: token %d claimed by %q and %q\n", k.TokenID, a, b)
+		}
+		for _, id := range res.Model.Missing {
+			fmt.Printf("missing element: token %d (%s)\n", id, res.Tokens[id])
+		}
+	}
+	if showTrees {
+		fmt.Printf("maximal parse trees (%d):\n", len(res.Trees))
+		for i, tr := range res.Trees {
+			fmt.Printf("--- tree %d: %s over %d tokens ---\n", i, tr.Sym, tr.Cover.Count())
+			fmt.Print(tr.Dump())
+		}
+	}
+	if explain >= 0 {
+		fmt.Print(res.Explain(explain))
+	}
+	if showStats {
+		s := res.Stats
+		fmt.Printf("stats: %d tokens, %d instances created, %d pruned, %d rolled back, %d alive, %d complete parses, %v\n",
+			s.Tokens, s.TotalCreated, s.Pruned, s.RolledBack, s.Alive, s.CompleteParses, s.Duration)
+	}
+	return nil
+}

@@ -1,0 +1,138 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sample = `<form action="/s"><table>
+<tr><td>Author</td><td><input type="text" name="a" size="30"></td></tr>
+<tr><td>Format</td><td><select name="f"><option>Hard</option><option>Soft</option></select></td></tr>
+</table></form>`
+
+// withFile writes content to a temp file and returns its path.
+func withFile(t *testing.T, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "form.html")
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// capture redirects stdout around fn and returns what it printed.
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		out, _ := io.ReadAll(r)
+		done <- string(out)
+	}()
+	ferr := fn()
+	w.Close()
+	os.Stdout = old
+	return <-done, ferr
+}
+
+func TestRunTextOutput(t *testing.T) {
+	p := withFile(t, sample)
+	out, err := capture(t, func() error {
+		return run(false, false, false, true, "", false, -1, []string{p})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"conditions (2):", "[Author; {}; text]", "stats:"} {
+		if !contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	p := withFile(t, sample)
+	out, err := capture(t, func() error {
+		return run(true, false, false, false, "", false, -1, []string{p})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"conditions"`, `"attribute": "Author"`} {
+		if !contains(out, want) {
+			t.Errorf("JSON missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunTreesTokensExplain(t *testing.T) {
+	p := withFile(t, sample)
+	out, err := capture(t, func() error {
+		return run(false, true, true, false, "", false, 1, []string{p})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"tokens:", "maximal parse trees", "token t1:"} {
+		if !contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunPrintGrammar(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run(false, false, false, false, "", true, -1, nil)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !contains(out, "start QI;") || !contains(out, "pref Q1") {
+		t.Errorf("grammar dump wrong:\n%.200s", out)
+	}
+}
+
+func TestRunCustomGrammar(t *testing.T) {
+	gp := filepath.Join(t.TempDir(), "g.2p")
+	g := `terminals text, textbox; start QI;
+prod QI -> c:TextVal ;
+prod TextVal -> a:Attr v:Val : left(a, v);
+prod Attr -> t:text : attrlike(t);
+prod Val -> b:textbox ;
+tag condition TextVal; tag attribute Attr;`
+	if err := os.WriteFile(gp, []byte(g), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p := withFile(t, `<form>Name <input type=text name=n></form>`)
+	out, err := capture(t, func() error {
+		return run(false, false, false, false, gp, false, -1, []string{p})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !contains(out, "[Name; {}; text]") {
+		t.Errorf("custom grammar output:\n%s", out)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(false, false, false, false, "", false, -1, []string{"a", "b"}); err == nil {
+		t.Error("two files should error")
+	}
+	if err := run(false, false, false, false, "/nonexistent.2p", false, -1, nil); err == nil {
+		t.Error("missing grammar file should error")
+	}
+	if err := run(false, false, false, false, "", false, -1, []string{"/nonexistent.html"}); err == nil {
+		t.Error("missing input file should error")
+	}
+}
+
+func contains(s, sub string) bool { return strings.Contains(s, sub) }

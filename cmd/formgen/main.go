@@ -1,0 +1,73 @@
+// Command formgen renders the synthetic deep-Web datasets to disk: one
+// .html file per source plus a .truth.json with its ground-truth semantic
+// model, so extraction quality can be inspected form by form.
+//
+// Usage:
+//
+//	formgen -dataset basic|newsource|newdomain|random -out DIR
+//	formgen -list
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"formext/internal/dataset"
+)
+
+func main() {
+	var (
+		name = flag.String("dataset", "basic", "dataset preset: basic, newsource, newdomain, random")
+		out  = flag.String("out", "", "output directory (required unless -list)")
+		list = flag.Bool("list", false, "list the dataset presets and exit")
+	)
+	flag.Parse()
+	if err := run(*name, *out, *list); err != nil {
+		fmt.Fprintln(os.Stderr, "formgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(name, out string, list bool) error {
+	if list {
+		for _, n := range dataset.DatasetNames {
+			srcs, _ := dataset.ByName(n)
+			domains := map[string]bool{}
+			conds := 0
+			for _, s := range srcs {
+				domains[s.Domain] = true
+				conds += len(s.Truth)
+			}
+			fmt.Printf("%-10s %4d sources, %2d domains, %4d conditions\n", n, len(srcs), len(domains), conds)
+		}
+		return nil
+	}
+	srcs, ok := dataset.ByName(name)
+	if !ok {
+		return fmt.Errorf("unknown dataset %q (want one of %s)", name, strings.Join(dataset.DatasetNames, ", "))
+	}
+	if out == "" {
+		return fmt.Errorf("-out directory required")
+	}
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
+	}
+	for _, s := range srcs {
+		if err := os.WriteFile(filepath.Join(out, s.ID+".html"), []byte(s.HTML), 0o644); err != nil {
+			return err
+		}
+		truth, err := json.MarshalIndent(s.Truth, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(out, s.ID+".truth.json"), truth, 0o644); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("wrote %d sources to %s\n", len(srcs), out)
+	return nil
+}

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"formext/internal/model"
+)
+
+func TestRunList(t *testing.T) {
+	if err := run("ignored", "", true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWritesDataset(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("newsource", dir, false); err != nil {
+		t.Fatal(err)
+	}
+	htmls, err := filepath.Glob(filepath.Join(dir, "*.html"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(htmls) != 30 {
+		t.Fatalf("wrote %d html files, want 30", len(htmls))
+	}
+	truths, _ := filepath.Glob(filepath.Join(dir, "*.truth.json"))
+	if len(truths) != 30 {
+		t.Fatalf("wrote %d truth files, want 30", len(truths))
+	}
+	// Truth files are valid condition JSON.
+	data, err := os.ReadFile(truths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var conds []model.Condition
+	if err := json.Unmarshal(data, &conds); err != nil {
+		t.Fatal(err)
+	}
+	if len(conds) == 0 || conds[0].Attribute == "" {
+		t.Errorf("truth content = %+v", conds)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("bogus", t.TempDir(), false); err == nil {
+		t.Error("unknown dataset should error")
+	}
+	if err := run("basic", "", false); err == nil {
+		t.Error("missing -out should error")
+	}
+}

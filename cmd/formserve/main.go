@@ -1,0 +1,135 @@
+// Command formserve runs the form extractor as an HTTP service — the shape
+// of the online demo the paper hosted on the MetaQuerier site. POST HTML to
+// /extract and receive the semantic model as JSON; GET / serves a minimal
+// page for pasting a form by hand.
+//
+// Usage:
+//
+//	formserve [-addr :8080]
+//
+// Endpoints:
+//
+//	POST /extract            body: HTML    → JSON semantic model
+//	POST /extract?trees=1    also include rendered parse trees
+//	GET  /grammar            the derived 2P grammar (DSL text)
+//	GET  /                   paste-a-form demo page
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+
+	"formext"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	flag.Parse()
+	h, err := newHandler()
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("formserve listening on %s", *addr)
+	log.Fatal(http.ListenAndServe(*addr, h))
+}
+
+// newHandler builds the service mux. Extraction is stateless per request:
+// each request gets its own extractor, so requests are safe to serve
+// concurrently.
+func newHandler() (http.Handler, error) {
+	// Validate the configuration once at startup.
+	if _, err := formext.New(); err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/extract", handleExtract)
+	mux.HandleFunc("/grammar", handleGrammar)
+	mux.HandleFunc("/", handleIndex)
+	return mux, nil
+}
+
+// extractResponse is the JSON envelope of /extract.
+type extractResponse struct {
+	Model  *formext.SemanticModel `json:"model"`
+	Tokens int                    `json:"tokens"`
+	Stats  struct {
+		InstancesCreated int    `json:"instancesCreated"`
+		CompleteParses   int    `json:"completeParses"`
+		MaximalTrees     int    `json:"maximalTrees"`
+		Duration         string `json:"duration"`
+	} `json:"stats"`
+	Trees []string `json:"trees,omitempty"`
+}
+
+func handleExtract(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST HTML to /extract", http.StatusMethodNotAllowed)
+		return
+	}
+	src, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusRequestEntityTooLarge)
+		return
+	}
+	ex, err := formext.New()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	res, err := ex.ExtractHTML(string(src))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	var resp extractResponse
+	resp.Model = res.Model
+	resp.Tokens = len(res.Tokens)
+	resp.Stats.InstancesCreated = res.Stats.TotalCreated
+	resp.Stats.CompleteParses = res.Stats.CompleteParses
+	resp.Stats.MaximalTrees = len(res.Trees)
+	resp.Stats.Duration = res.Stats.Duration.String()
+	if r.URL.Query().Get("trees") != "" {
+		for _, tr := range res.Trees {
+			resp.Trees = append(resp.Trees, tr.Dump())
+		}
+	}
+	writeJSON(w, resp)
+}
+
+func handleGrammar(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, formext.DefaultGrammarSource())
+}
+
+const indexPage = `<!doctype html><title>formext</title>
+<h2>formext — Web query interface extractor</h2>
+<p>Paste an HTML query form; the semantic model (the query conditions
+[attribute; operators; domain]) comes back as JSON.</p>
+<form method="post" action="/extract">
+<textarea name="_" rows="14" cols="90" onchange="this.form.raw=this.value"></textarea><br>
+<button onclick="event.preventDefault();fetch('/extract',{method:'POST',body:document.querySelector('textarea').value}).then(r=>r.text()).then(t=>document.querySelector('pre').textContent=t)">Extract</button>
+</form>
+<pre></pre>
+<p><a href="/grammar">The derived 2P grammar</a></p>`
+
+func handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprint(w, indexPage)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

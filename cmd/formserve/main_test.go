@@ -1,0 +1,118 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	h, err := newHandler()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(h)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestExtractEndpoint(t *testing.T) {
+	srv := newTestServer(t)
+	form := `<form action="/s"><table>
+	<tr><td>Author</td><td><input type="text" name="a" size="30"></td></tr>
+	<tr><td>Format</td><td><select name="f"><option>Hard</option><option>Soft</option></select></td></tr>
+	</table></form>`
+	resp, err := http.Post(srv.URL+"/extract", "text/html", strings.NewReader(form))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var out extractResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Model.Conditions) != 2 {
+		t.Fatalf("conditions = %+v", out.Model.Conditions)
+	}
+	if out.Model.Conditions[0].Attribute != "Author" {
+		t.Errorf("condition 0 = %+v", out.Model.Conditions[0])
+	}
+	if out.Tokens == 0 || out.Stats.InstancesCreated == 0 {
+		t.Errorf("stats empty: %+v", out.Stats)
+	}
+	if len(out.Trees) != 0 {
+		t.Error("trees included without ?trees=1")
+	}
+}
+
+func TestExtractWithTrees(t *testing.T) {
+	srv := newTestServer(t)
+	resp, err := http.Post(srv.URL+"/extract?trees=1", "text/html",
+		strings.NewReader(`<form>X <input type=text name=x></form>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out extractResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Trees) == 0 || !strings.Contains(out.Trees[0], "QI") {
+		t.Errorf("trees = %v", out.Trees)
+	}
+}
+
+func TestExtractRejectsGet(t *testing.T) {
+	srv := newTestServer(t)
+	resp, err := http.Get(srv.URL + "/extract")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestGrammarEndpoint(t *testing.T) {
+	srv := newTestServer(t)
+	resp, err := http.Get(srv.URL + "/grammar")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "start QI;") {
+		t.Error("grammar endpoint content wrong")
+	}
+}
+
+func TestIndexAndNotFound(t *testing.T) {
+	srv := newTestServer(t)
+	resp, err := http.Get(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("index status = %d", resp.StatusCode)
+	}
+	resp, err = http.Get(srv.URL + "/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("not-found status = %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,191 @@
+// Command formview renders a query form's visual layout as ASCII art —
+// every token drawn at its computed position — with the extracted
+// conditions below, each labelled with the tokens it grouped. It is the
+// debugging view for layout and grouping questions: when a condition comes
+// out wrong, formview shows what the parser saw.
+//
+// Usage:
+//
+//	formview [file.html]       (stdin without an argument)
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"formext"
+	"formext/internal/token"
+)
+
+// cellW and cellH map layout pixels to character cells.
+const (
+	cellW = 8.0
+	cellH = 18.0
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "formview:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	var src []byte
+	var err error
+	switch len(args) {
+	case 0:
+		if src, err = io.ReadAll(os.Stdin); err != nil {
+			return err
+		}
+	case 1:
+		if src, err = os.ReadFile(args[0]); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("at most one input file")
+	}
+
+	ex, err := formext.New()
+	if err != nil {
+		return err
+	}
+	res, err := ex.ExtractHTML(string(src))
+	if err != nil {
+		return err
+	}
+	if len(res.Tokens) == 0 {
+		fmt.Println("(no visible tokens)")
+		return nil
+	}
+
+	// Which condition, if any, owns each token.
+	owner := map[int]int{}
+	for ci, c := range res.Model.Conditions {
+		for _, id := range c.TokenIDs {
+			if _, taken := owner[id]; !taken {
+				owner[id] = ci
+			}
+		}
+	}
+
+	fmt.Print(draw(res.Tokens, owner))
+
+	fmt.Printf("\nconditions (%d):\n", len(res.Model.Conditions))
+	for ci, c := range res.Model.Conditions {
+		fmt.Printf("  [%c] %s\n", condMark(ci), c.String())
+	}
+	for _, id := range res.Model.Missing {
+		fmt.Printf("  [?] missing: %s\n", res.Tokens[id])
+	}
+	for _, k := range res.Model.Conflicts {
+		fmt.Printf("  [!] conflict on token %d between [%c] and [%c]\n",
+			k.TokenID, condMark(k.Conditions[0]), condMark(k.Conditions[1]))
+	}
+	return nil
+}
+
+// condMark letters conditions a, b, c, ...
+func condMark(ci int) byte {
+	if ci < 26 {
+		return byte('a' + ci)
+	}
+	return '+'
+}
+
+// draw paints the tokens onto a character canvas.
+func draw(toks []*token.Token, owner map[int]int) string {
+	maxX, maxY := 0.0, 0.0
+	for _, t := range toks {
+		if t.Pos.X2 > maxX {
+			maxX = t.Pos.X2
+		}
+		if t.Pos.Y2 > maxY {
+			maxY = t.Pos.Y2
+		}
+	}
+	w := int(maxX/cellW) + 2
+	h := int(maxY/cellH) + 1
+	if w > 400 || h > 400 {
+		return "(page too large to draw)\n"
+	}
+	canvas := make([][]byte, h)
+	for i := range canvas {
+		canvas[i] = []byte(strings.Repeat(" ", w))
+	}
+	put := func(row, col int, s string) {
+		if row < 0 || row >= h {
+			return
+		}
+		for i := 0; i < len(s); i++ {
+			if col+i >= 0 && col+i < w {
+				canvas[row][col+i] = s[i]
+			}
+		}
+	}
+	for _, t := range toks {
+		row := int(t.Pos.CenterY() / cellH)
+		col := int(t.Pos.X1 / cellW)
+		width := int(t.Pos.Width()/cellW) + 1
+		mark := " "
+		if ci, ok := owner[t.ID]; ok {
+			mark = string(condMark(ci))
+		}
+		put(row, col, glyph(t, width, mark))
+	}
+	var b strings.Builder
+	for _, line := range canvas {
+		trimmed := strings.TrimRight(string(line), " ")
+		b.WriteString(trimmed)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// glyph renders one token at roughly its on-screen width, tagged with its
+// owning condition's letter.
+func glyph(t *token.Token, width int, mark string) string {
+	clip := func(s string, n int) string {
+		if len(s) > n {
+			if n <= 1 {
+				return s[:n]
+			}
+			return s[:n-1] + "~"
+		}
+		return s
+	}
+	switch t.Type {
+	case token.Text:
+		return clip(t.SVal, width)
+	case token.Link:
+		return clip("_"+t.SVal+"_", width)
+	case token.Textbox, token.Password, token.Textarea, token.FileBox:
+		if width < 4 {
+			width = 4
+		}
+		return "[" + mark + strings.Repeat("_", width-3) + "]"
+	case token.SelectList:
+		label := ""
+		if len(t.Options) > 0 {
+			label = t.Options[0]
+		}
+		if width < 5 {
+			width = 5
+		}
+		return clip("["+mark+label+strings.Repeat(" ", width)+"", width-2) + "v]"
+	case token.RadioButton:
+		return "(" + mark + ")"
+	case token.Checkbox:
+		return "[" + mark + "]"
+	case token.Submit, token.Reset, token.Button:
+		return clip("<"+t.SVal+">", width+2)
+	case token.Image:
+		return clip("{img}", width)
+	case token.Rule:
+		return strings.Repeat("-", width)
+	default:
+		return clip(string(t.Type), width)
+	}
+}

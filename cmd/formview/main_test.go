@@ -1,0 +1,69 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"formext"
+)
+
+func TestDrawSimpleForm(t *testing.T) {
+	ex, err := formext.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ex.ExtractHTML(`<form><table>
+	<tr><td>Author</td><td><input type="text" name="a" size="20"></td></tr>
+	<tr><td>Format</td><td><select name="f"><option>Any</option></select></td></tr>
+	<tr><td colspan=2><input type=submit value="Go"></td></tr>
+	</table></form>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner := map[int]int{}
+	for ci, c := range res.Model.Conditions {
+		for _, id := range c.TokenIDs {
+			owner[id] = ci
+		}
+	}
+	out := draw(res.Tokens, owner)
+	for _, want := range []string{"Author", "Format", "[a", "[b", "<Go>"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("canvas missing %q:\n%s", want, out)
+		}
+	}
+	// The author label must be drawn left of its field on the same line.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "Author") && !strings.Contains(line, "[a") {
+			t.Errorf("author row lost its field: %q", line)
+		}
+	}
+}
+
+func TestDrawEmptyAndHuge(t *testing.T) {
+	if got := draw(nil, nil); got != "\n" && got != "" {
+		// Zero tokens: a trivially empty canvas.
+		t.Logf("empty canvas = %q", got)
+	}
+	ex, _ := formext.New()
+	res, _ := ex.ExtractHTML(`x`)
+	out := draw(res.Tokens, map[int]int{})
+	if !strings.Contains(out, "x") {
+		t.Errorf("canvas = %q", out)
+	}
+}
+
+func TestCondMark(t *testing.T) {
+	if condMark(0) != 'a' || condMark(25) != 'z' || condMark(26) != '+' {
+		t.Error("condMark mapping wrong")
+	}
+}
+
+func TestRunOnFile(t *testing.T) {
+	if err := run([]string{"a", "b"}); err == nil {
+		t.Error("two args should error")
+	}
+	if err := run([]string{"/definitely/not/here.html"}); err == nil {
+		t.Error("missing file should error")
+	}
+}

@@ -1,0 +1,80 @@
+// Airfare: the paper's second running example Qaa (aa.com, Figure 3(b)) —
+// date conditions over month/day/year selects, enumerations, and the
+// merger's error reporting: conflicts (a token claimed by two conditions,
+// Figure 14's passengers/adults case) and missing elements.
+//
+// Run with:
+//
+//	go run ./examples/airfare
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"formext"
+	"formext/internal/dataset"
+)
+
+func main() {
+	ex, err := formext.New()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("== the Qaa interface ==")
+	res, err := ex.ExtractHTML(dataset.QaaHTML)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, c := range res.Model.Conditions {
+		fmt.Println(c.String(), c.Fields)
+	}
+	fmt.Printf("maximal parse trees: %d, complete parses: %d\n",
+		len(res.Trees), res.Stats.CompleteParses)
+
+	// The Figure 14 variation: a shared caption competes with per-field
+	// labels for the same selection lists. The parser cannot decide —
+	// both readings follow the conventions — so the merger keeps both
+	// conditions and reports the conflict for client-side handling.
+	fmt.Println("\n== the Figure 14 conflict ==")
+	conflictPage := `<form><table><tr>
+	<td>Number of passengers</td>
+	<td>Adults <select name="adults"><option>1</option><option>2</option><option>3</option></select></td>
+	<td>Children <select name="children"><option>0</option><option>1</option></select></td>
+	</tr></table></form>`
+	res, err = ex.ExtractHTML(conflictPage)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, c := range res.Model.Conditions {
+		fmt.Println(c.String())
+	}
+	for _, k := range res.Model.Conflicts {
+		fmt.Printf("conflict: token %d claimed by %q and %q\n", k.TokenID,
+			res.Model.Conditions[k.Conditions[0]].Attribute,
+			res.Model.Conditions[k.Conditions[1]].Attribute)
+	}
+
+	// A column-by-column layout is outside the derived grammar's row-based
+	// conventions: no complete parse exists, but the best-effort parser
+	// still produces maximal partial trees whose union recovers most
+	// conditions (Section 5.3).
+	fmt.Println("\n== partial trees on an uncaptured layout ==")
+	columnPage := `<form><table><tr>
+	<td>From<br><input type="text" name="orig" size="16"></td>
+	<td>To<br><br><br><br><input type="text" name="dest" size="16"></td>
+	</tr></table></form>`
+	res, err = ex.ExtractHTML(columnPage)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("complete parses: %d, maximal partial trees: %d\n",
+		res.Stats.CompleteParses, len(res.Trees))
+	for _, c := range res.Model.Conditions {
+		fmt.Println("recovered:", c.String())
+	}
+	for _, id := range res.Model.Missing {
+		fmt.Printf("missing element: token %d (%s)\n", id, res.Tokens[id])
+	}
+}

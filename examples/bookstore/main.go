@@ -1,0 +1,84 @@
+// Bookstore: the paper's running example Qam (amazon.com, Figure 3(a)) —
+// text conditions with radio-button operator groups, hierarchical grouping
+// and semantic-role tagging visible in the parse tree.
+//
+// Run with:
+//
+//	go run ./examples/bookstore
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"formext"
+	"formext/internal/dataset"
+)
+
+func main() {
+	ex, err := formext.New()
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := ex.ExtractHTML(dataset.QamHTML)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("== conditions ==")
+	for _, c := range res.Model.Conditions {
+		fmt.Println(c.String())
+		if len(c.Operators) > 0 {
+			fmt.Println("   operators:", c.Operators)
+		}
+		fmt.Println("   fields:   ", c.Fields)
+	}
+
+	// The author condition is the paper's c_author: selecting the "Exact
+	// name" operator and a value formulates [author = "tom clancy"].
+	for i := range res.Model.Conditions {
+		c := &res.Model.Conditions[i]
+		if c.Attribute != "Author" {
+			continue
+		}
+		q, err := c.Bind("Exact name", "tom clancy")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("\nformulated:", q)
+	}
+
+	// The parse tree shows the grouping (nested subtrees) and tagging
+	// (grammar symbols): the author condition groups 8 elements — a text,
+	// a textbox, three radio buttons and their texts — exactly as
+	// Section 1 describes.
+	fmt.Println("\n== parse tree (first rows) ==")
+	if len(res.Trees) > 0 {
+		dump := res.Trees[0].Dump()
+		// Print the first 40 lines to keep the output readable.
+		printed := 0
+		for _, line := range splitLines(dump) {
+			fmt.Println(line)
+			printed++
+			if printed == 40 {
+				fmt.Println("  ...")
+				break
+			}
+		}
+	}
+}
+
+func splitLines(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}

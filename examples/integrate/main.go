@@ -1,0 +1,114 @@
+// Integrate: the large-scale integration workflow of the paper's
+// introduction — "to model Web databases by their interfaces, to classify
+// or cluster query interfaces, to match query interfaces or to build
+// unified query interfaces" — run end to end on extracted semantic models:
+//
+//  1. a mixed crawl of sources is extracted,
+//  2. sources are clustered by schema similarity (domains re-emerge),
+//  3. two interfaces of one domain are schema-matched,
+//  4. a unified query interface is built per recovered domain, and
+//  5. one query on the unified interface is mediated to every member
+//     source as a native submission.
+//
+// Run with:
+//
+//	go run ./examples/integrate
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"formext"
+	"formext/internal/dataset"
+	"formext/internal/mediate"
+	"formext/internal/model"
+	"formext/internal/unify"
+)
+
+func main() {
+	ex, err := formext.New()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Step 1: extract a mixed crawl (the NewSource dataset: 30 sources
+	// across Books, Airfares, Automobiles, in generation order).
+	srcs := dataset.NewSource()
+	var models []*model.SemanticModel
+	for _, s := range srcs {
+		res, err := ex.ExtractHTML(s.HTML)
+		if err != nil {
+			log.Fatal(err)
+		}
+		models = append(models, res.Model)
+	}
+	fmt.Printf("extracted %d interfaces\n\n", len(models))
+
+	// Step 2: cluster sources by schema similarity.
+	groups := unify.ClusterSources(models, 0.42)
+	fmt.Printf("schema clustering found %d groups:\n", len(groups))
+	for gi, g := range groups {
+		// Report the true domains in each recovered cluster.
+		domains := map[string]int{}
+		for _, i := range g {
+			domains[srcs[i].Domain]++
+		}
+		fmt.Printf("  group %d: %d sources %v\n", gi+1, len(g), domains)
+	}
+	fmt.Println()
+
+	// Step 3: match the schemas of the first two sources of the largest
+	// cluster.
+	big := groups[0]
+	if len(big) >= 2 {
+		a, b := models[big[0]], models[big[1]]
+		fmt.Printf("schema matching %s against %s:\n", srcs[big[0]].ID, srcs[big[1]].ID)
+		for _, m := range unify.MatchSchemas(a, b, 0.5) {
+			fmt.Printf("  %-22s ~ %-22s (%.2f)\n",
+				a.Conditions[m.A].Attribute, b.Conditions[m.B].Attribute, m.Score)
+		}
+		fmt.Println()
+	}
+
+	// Step 4: build a unified interface per recovered domain.
+	for gi, g := range groups {
+		if len(g) < 3 {
+			continue
+		}
+		u := unify.NewUnifier()
+		for _, i := range g {
+			u.Add(models[i])
+		}
+		fmt.Printf("unified interface for group %d (attributes in >= 3 of %d sources):\n", gi+1, len(g))
+		for _, c := range u.Unified(3) {
+			fmt.Println("  ", c.String())
+		}
+		fmt.Println()
+	}
+
+	// Step 5: mediate a unified query to the member sources of the
+	// largest group: one constraint, many native submissions.
+	var members []mediate.Source
+	for _, i := range groups[0] {
+		members = append(members, mediate.Source{ID: srcs[i].ID, Model: models[i]})
+	}
+	med := mediate.New(members, 3)
+	unified := med.Unified()
+	if len(unified) == 0 {
+		log.Fatal("no unified conditions to mediate")
+	}
+	target := &unified[0]
+	k := model.Constraint{Condition: target, Value: "deep web"}
+	if target.Domain.Kind == model.EnumDomain && len(target.Domain.Values) > 0 {
+		k.Value = target.Domain.Values[0]
+	}
+	queries, err := med.Translate([]model.Constraint{k})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("mediating %s to %d member sources:\n", k, len(queries))
+	for _, q := range queries {
+		fmt.Printf("  %-18s ?%s\n", q.SourceID, q.Query.Encode())
+	}
+}

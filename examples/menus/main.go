@@ -1,0 +1,114 @@
+// Menus: the paper's proposed follow-on application (Section 7): "the
+// navigational menus listing available services are often regularly
+// arranged at the top or left hand side of entry pages in E-commerce Web
+// sites. Therefore, we believe, by designing a grammar that captures such
+// structure regularities, we can employ our parsing framework to extract
+// the services available in E-commerce Web sites."
+//
+// This example swaps in a menu grammar — the parser, tokenizer and layout
+// engine are untouched — and extracts the service menus of a synthetic
+// e-commerce entry page from the resulting parse trees.
+//
+// Run with:
+//
+//	go run ./examples/menus
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"formext"
+	"formext/internal/token"
+)
+
+// menuGrammar reads pages as stacks of menus: a menu is a run of links
+// that are either left-adjacent on one row (a top navigation bar) or
+// stacked and left-aligned (a sidebar). Loose text is page decoration.
+const menuGrammar = `
+terminals text, link, textbox, submit, image, rule;
+start Page;
+
+prod Page -> b:Block ;
+prod Page -> p:Page b:Block : above(p, b) || samerow(p, b);
+
+prod Block -> m:Menu ;
+prod Block -> c:Caption ;
+prod Block -> d:Decor ;
+
+prod MenuItem -> l:link ;
+prod Menu -> i:MenuItem ;
+prod M1 Menu -> m:Menu i:MenuItem : left(m, i);
+# Sidebar items are consecutive lines: a tight vertical gap separates a
+# menu's own items from whatever block happens to start below the menu.
+prod M2 Menu -> m:Menu i:MenuItem : above(m, i) && alignedleft(m, i) && vgap(m, i) < 8;
+
+prod Caption -> t:text ;
+prod Decor -> r:rule ;
+prod Decor -> i:image ;
+prod Decor -> b:textbox ;
+prod Decor -> s:submit ;
+
+# Longer menus absorb shorter readings of the same links.
+pref M w:Menu beats l:Menu when overlap(w, l) win subsumes(w, l) && count(w) >= count(l);
+
+tag condition Menu;
+tag decoration Caption Decor;
+`
+
+// page is a typical e-commerce entry page: a horizontal navigation bar, a
+// left-hand service menu, and some body content including a search box.
+const page = `<html><body>
+<div>
+<a href="/books">Books</a> <a href="/music">Music</a> <a href="/dvd">DVD</a>
+<a href="/electronics">Electronics</a> <a href="/toys">Toys</a>
+</div>
+<hr>
+<table><tr>
+<td>
+  <a href="/track">Track your order</a><br>
+  <a href="/returns">Returns center</a><br>
+  <a href="/giftcards">Gift cards</a><br>
+  <a href="/wishlist">Wish list</a>
+</td>
+<td>
+  Welcome to the store. Today only, free shipping on orders over $25.
+  <br><br>
+  Search <input type="text" name="q" size="30"> <input type="submit" value="Go">
+</td>
+</tr></table>
+</body></html>`
+
+func main() {
+	ex, err := formext.New(formext.Options{GrammarSource: menuGrammar})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := ex.ExtractHTML(page)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Menus are condition-role instances; read the links out of the parse
+	// trees directly.
+	menu := 0
+	for _, tree := range res.Trees {
+		tree.Walk(func(in *formext.Instance) bool {
+			if in.Sym != "Menu" {
+				return true
+			}
+			// Outermost menus only.
+			menu++
+			fmt.Printf("menu %d:\n", menu)
+			for _, t := range in.Tokens() {
+				if t.Type == token.Link {
+					fmt.Printf("  %-18s -> %s\n", t.SVal, t.Name)
+				}
+			}
+			return false
+		})
+	}
+	if menu == 0 {
+		log.Fatal("no menus recognized")
+	}
+}

@@ -1,0 +1,76 @@
+// Quickstart: extract the semantic model of a Web query form.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"formext"
+)
+
+// A small bookstore search form.
+const page = `
+<html><body>
+<h3>Find new and used books</h3>
+<form action="/search">
+<table>
+<tr><td>Author</td><td><input type="text" name="author" size="30"></td></tr>
+<tr><td>Title</td><td><input type="text" name="title" size="30"></td></tr>
+<tr><td>Format</td><td><select name="format">
+    <option>Any format</option><option>Hardcover</option><option>Paperback</option>
+</select></td></tr>
+<tr><td>Price</td><td>from <input type="text" name="pmin" size="8">
+                     to <input type="text" name="pmax" size="8"></td></tr>
+<tr><td colspan="2"><input type="submit" value="Search"></td></tr>
+</table>
+</form></body></html>`
+
+func main() {
+	// An Extractor ties the whole pipeline together: HTML parsing, visual
+	// layout, tokenization, best-effort parsing against the embedded
+	// derived 2P grammar, and merging into a semantic model.
+	ex, err := formext.New()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := ex.ExtractHTML(page)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("the form supports %d query conditions:\n", len(res.Model.Conditions))
+	for _, c := range res.Model.Conditions {
+		// Each condition is the paper's three-tuple
+		// [attribute; operators; domain].
+		fmt.Println("  ", c.String())
+	}
+
+	// A condition can be used to formulate a concrete constraint, which
+	// validates the operator and value against the extracted capability.
+	author := res.Model.Conditions[0]
+	k, err := author.Bind("", "tom clancy")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("formulated constraint:", k)
+
+	// And constraints can be submitted: the query builder translates them
+	// into the request the form would send.
+	q := res.NewQuery()
+	if err := q.Apply(k); err != nil {
+		log.Fatal(err)
+	}
+	u, err := q.URL()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("submission:", u)
+
+	fmt.Printf("parsing: %d tokens, %d instances, %v\n",
+		res.Stats.Tokens, res.Stats.TotalCreated, res.Stats.Duration)
+}

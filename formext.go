@@ -1,0 +1,245 @@
+// Package formext extracts the semantic model of Web query interfaces —
+// the query conditions [attribute; operators; domain] an HTML form
+// supports — by best-effort parsing against a hidden-syntax 2P grammar.
+//
+// It is a from-scratch implementation of Zhang, He & Chang, "Understanding
+// Web Query Interfaces: Best-Effort Parsing with Hidden Syntax" (SIGMOD
+// 2004): query interfaces are treated as sentences of a visual language
+// whose non-prescribed grammar is derived from cross-site presentation
+// conventions; understanding a form is parsing it.
+//
+// The pipeline (Figure 2 of the paper) is:
+//
+//	HTML  →  layout engine  →  tokenizer  →  best-effort parser  →  merger
+//	                                          (2P grammar)
+//
+// Basic use:
+//
+//	ex, err := formext.New()
+//	res, err := ex.ExtractHTML(htmlSource)
+//	for _, c := range res.Model.Conditions { fmt.Println(c) }
+package formext
+
+import (
+	"fmt"
+	"strings"
+
+	"formext/internal/core"
+	"formext/internal/geom"
+	"formext/internal/grammar"
+	"formext/internal/htmlparse"
+	"formext/internal/layout"
+	"formext/internal/merger"
+	"formext/internal/model"
+	"formext/internal/submit"
+	"formext/internal/token"
+)
+
+// Re-exported model types, so callers outside this module can name every
+// type that appears in the public API.
+type (
+	// Condition is one query condition [attribute; operators; domain].
+	Condition = model.Condition
+	// Domain describes a condition's allowed values.
+	Domain = model.Domain
+	// DomainKind classifies domains (text, enum, bool, range, date).
+	DomainKind = model.DomainKind
+	// SemanticModel is the extracted capability description of a form.
+	SemanticModel = model.SemanticModel
+	// Conflict reports a token claimed by two conditions.
+	Conflict = model.Conflict
+	// Constraint is a user-formulated instance of a condition.
+	Constraint = model.Constraint
+	// Token is an atomic visual element of the rendered form.
+	Token = token.Token
+	// Grammar is a 2P grammar ⟨Σ, N, s, Pd, Pf⟩.
+	Grammar = grammar.Grammar
+	// Instance is a (partial) parse tree node.
+	Instance = grammar.Instance
+	// Stats reports parsing effort and pruning behaviour.
+	Stats = core.Stats
+	// FormInfo is the submission envelope (action, method, hidden fields).
+	FormInfo = submit.FormInfo
+	// Query accumulates bound constraints for submission.
+	Query = submit.Query
+)
+
+// Domain kind constants, re-exported.
+const (
+	TextDomain  = model.TextDomain
+	EnumDomain  = model.EnumDomain
+	BoolDomain  = model.BoolDomain
+	RangeDomain = model.RangeDomain
+	DateDomain  = model.DateDomain
+)
+
+// Result is everything one extraction produces: the semantic model plus the
+// intermediate artifacts (tokens, maximal parse trees, parser statistics)
+// for clients that want to inspect or post-process them.
+type Result struct {
+	// Model is the extracted semantic model: conditions, conflicts,
+	// missing elements.
+	Model *SemanticModel
+	// Tokens is the tokenized form, in render order.
+	Tokens []*Token
+	// Trees holds the maximal partial parse trees, largest cover first.
+	Trees []*Instance
+	// Stats reports the parser's work.
+	Stats Stats
+	// Form is the submission envelope of the extracted form (zero when
+	// extraction started from tokens rather than HTML).
+	Form FormInfo
+}
+
+// NewQuery starts a submittable query over the extracted form; bind
+// constraints with Query.Apply and render with Query.URL or Query.Encode.
+func (r *Result) NewQuery() *Query { return submit.NewQuery(r.Form) }
+
+// Explain describes how one token was interpreted: the derivation chain
+// from the maximal parse tree's root down to the token, one line per
+// level with the production that built it. Tokens no tree covers are
+// reported as such. The output is a human-readable diagnostic, not a
+// stable format.
+func (r *Result) Explain(tokenID int) string {
+	if tokenID < 0 || tokenID >= len(r.Tokens) {
+		return fmt.Sprintf("token %d out of range [0, %d)", tokenID, len(r.Tokens))
+	}
+	for _, tree := range r.Trees {
+		if !tree.Cover.Has(tokenID) {
+			continue
+		}
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "token %s\n", r.Tokens[tokenID])
+		depth := 0
+		node := tree
+		for node != nil {
+			indent := strings.Repeat("  ", depth)
+			if node.Token != nil {
+				fmt.Fprintf(&sb, "%s%s (terminal)\n", indent, node.Sym)
+				break
+			}
+			fmt.Fprintf(&sb, "%s%s (via %s, covers %d tokens)\n",
+				indent, node.Sym, node.Prod.Name, node.Cover.Count())
+			var next *Instance
+			for _, c := range node.Children {
+				if c.Cover.Has(tokenID) {
+					next = c
+					break
+				}
+			}
+			node = next
+			depth++
+		}
+		return sb.String()
+	}
+	return fmt.Sprintf("token %s is not covered by any parse tree", r.Tokens[tokenID])
+}
+
+// Options configures an Extractor.
+type Options struct {
+	// GrammarSource is 2P-grammar DSL text; empty means the embedded
+	// derived global grammar (grammar.DefaultSource).
+	GrammarSource string
+	// Viewport is the layout width in pixels (default 800).
+	Viewport float64
+	// Thresholds overrides the spatial-relation thresholds; the zero value
+	// means geom.DefaultThresholds.
+	Thresholds geom.Thresholds
+	// DisablePreferences turns off all ambiguity pruning (the brute-force
+	// ablation of Section 4.2.1).
+	DisablePreferences bool
+	// DisableScheduling replaces the 2P schedule with one global fix point
+	// and end-of-parse (late) pruning.
+	DisableScheduling bool
+	// MaxInstances caps instance creation (0 = core.DefaultMaxInstances).
+	MaxInstances int
+}
+
+// Extractor is the form extractor of Figure 2. It is safe to reuse across
+// inputs, but not concurrently; create one per goroutine.
+type Extractor struct {
+	grammar   *grammar.Grammar
+	parser    *core.Parser
+	merger    *merger.Merger
+	layout    *layout.Engine
+	tokenizer *token.Tokenizer
+}
+
+// New builds an extractor. With no options it uses the embedded derived
+// global grammar, an 800px viewport and default thresholds.
+func New(opts ...Options) (*Extractor, error) {
+	var o Options
+	if len(opts) > 1 {
+		return nil, fmt.Errorf("formext: at most one Options value")
+	}
+	if len(opts) == 1 {
+		o = opts[0]
+	}
+	var g *grammar.Grammar
+	var err error
+	if o.GrammarSource == "" {
+		g = grammar.Default()
+	} else if g, err = grammar.ParseDSL(o.GrammarSource); err != nil {
+		return nil, fmt.Errorf("formext: %w", err)
+	}
+	parser, err := core.NewParser(g, core.Options{
+		Thresholds:         o.Thresholds,
+		DisablePreferences: o.DisablePreferences,
+		DisableScheduling:  o.DisableScheduling,
+		MaxInstances:       o.MaxInstances,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("formext: %w", err)
+	}
+	eng := layout.New()
+	if o.Viewport > 0 {
+		eng.Viewport = o.Viewport
+	}
+	return &Extractor{
+		grammar:   g,
+		parser:    parser,
+		merger:    merger.New(g),
+		layout:    eng,
+		tokenizer: token.NewTokenizer(),
+	}, nil
+}
+
+// Grammar returns the grammar the extractor parses against.
+func (e *Extractor) Grammar() *Grammar { return e.grammar }
+
+// ExtractHTML runs the full pipeline on HTML source.
+func (e *Extractor) ExtractHTML(src string) (*Result, error) {
+	doc := htmlparse.Parse(src)
+	boxes := e.layout.Layout(doc)
+	toks := e.tokenizer.Tokenize(boxes)
+	res, err := e.ExtractTokens(toks)
+	if err != nil {
+		return nil, err
+	}
+	res.Form = submit.FormInfoOf(doc)
+	return res, nil
+}
+
+// ExtractTokens runs parsing and merging over an already-tokenized form.
+// Token IDs must be dense and in render order.
+func (e *Extractor) ExtractTokens(toks []*Token) (*Result, error) {
+	res, err := e.parser.Parse(toks)
+	if err != nil {
+		return nil, fmt.Errorf("formext: %w", err)
+	}
+	return &Result{
+		Model:  e.merger.Merge(res),
+		Tokens: toks,
+		Trees:  res.Maximal,
+		Stats:  res.Stats,
+	}, nil
+}
+
+// Tokenize exposes the front half of the pipeline: HTML → layout → tokens.
+func (e *Extractor) Tokenize(src string) []*Token {
+	return e.tokenizer.Tokenize(e.layout.Layout(htmlparse.Parse(src)))
+}
+
+// DefaultGrammarSource returns the DSL source of the embedded derived
+// global grammar.
+func DefaultGrammarSource() string { return grammar.DefaultSource() }

@@ -1,0 +1,3 @@
+module formext
+
+go 1.22

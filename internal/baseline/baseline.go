@@ -1,0 +1,171 @@
+// Package baseline implements the pairwise proximity/alignment heuristic
+// the paper contrasts its parsing paradigm against (Section 2, discussing
+// Raghavan & Garcia-Molina's hidden-Web crawler: "use simple heuristics
+// such as proximity and alignment to associate pairwise elements and texts
+// in the forms"). Each form control is independently associated with the
+// closest text label; there is no grammar, no global interpretation, no
+// operator/range/date structure.
+//
+// It serves as the comparison point for the ablation experiment E10: where
+// the best-effort parser assembles n-ary conditions, the baseline can only
+// produce pairwise label-widget associations.
+package baseline
+
+import (
+	"math"
+
+	"formext/internal/geom"
+	"formext/internal/model"
+	"formext/internal/token"
+)
+
+// Extract associates every input widget with its closest label and returns
+// the resulting flat condition list.
+func Extract(toks []*token.Token) []model.Condition {
+	var texts []*token.Token
+	for _, t := range toks {
+		if t.Type == token.Text {
+			texts = append(texts, t)
+		}
+	}
+
+	// Group radio buttons and checkboxes by control name: even simple
+	// heuristic systems exploit the HTML name attribute.
+	type group struct {
+		widgets []*token.Token
+		labels  []string // per-widget right-hand labels (radio/checkbox texts)
+	}
+	groups := map[string]*group{}
+	var order []string
+	for i, t := range toks {
+		if !t.IsWidget() || t.Type == token.Submit || t.Type == token.Reset ||
+			t.Type == token.Button || t.Type == token.Image {
+			continue
+		}
+		key := t.Name
+		if key == "" || (t.Type != token.RadioButton && t.Type != token.Checkbox) {
+			key = t.Name + "#" + itoa(i) // non-button widgets never share
+		}
+		g := groups[key]
+		if g == nil {
+			g = &group{}
+			groups[key] = g
+			order = append(order, key)
+		}
+		g.widgets = append(g.widgets, t)
+		if t.Type == token.RadioButton || t.Type == token.Checkbox {
+			if lbl := rightLabel(t, texts); lbl != nil {
+				g.labels = append(g.labels, lbl.SVal)
+			}
+		}
+	}
+
+	var conds []model.Condition
+	for _, key := range order {
+		g := groups[key]
+		lead := g.widgets[0]
+		attr := nearestLabel(lead, texts, g.labels)
+		c := model.Condition{Attribute: attr}
+		for _, w := range g.widgets {
+			if w.Name != "" {
+				c.Fields = append(c.Fields, w.Name)
+			}
+			for _, id := range []int{w.ID} {
+				c.TokenIDs = append(c.TokenIDs, id)
+			}
+		}
+		c.Domain = naiveDomain(g.widgets, g.labels)
+		conds = append(conds, c)
+	}
+	return conds
+}
+
+// rightLabel finds the text immediately right-adjacent to a button widget.
+func rightLabel(w *token.Token, texts []*token.Token) *token.Token {
+	th := geom.DefaultThresholds
+	var best *token.Token
+	bestGap := math.Inf(1)
+	for _, t := range texts {
+		if !th.Left(w.Pos, t.Pos) {
+			continue
+		}
+		if gap := t.Pos.X1 - w.Pos.X2; gap < bestGap {
+			bestGap = gap
+			best = t
+		}
+	}
+	return best
+}
+
+// nearestLabel picks the closest text to the widget, preferring texts on
+// the same row to its left, then texts above, then anything by center
+// distance — the pairwise-proximity heuristic. Texts that are the
+// right-hand labels of the group's own buttons are skipped.
+func nearestLabel(w *token.Token, texts []*token.Token, ownLabels []string) string {
+	th := geom.DefaultThresholds
+	own := map[string]bool{}
+	for _, l := range ownLabels {
+		own[l] = true
+	}
+	best := ""
+	bestScore := math.Inf(1)
+	for _, t := range texts {
+		if own[t.SVal] {
+			continue
+		}
+		d := t.Pos.CenterDistance(w.Pos)
+		// Prefer same-row-left, then above, by discounting their distance.
+		switch {
+		case t.Pos.X2 <= w.Pos.X1 && th.SameRow(t.Pos, w.Pos):
+			d *= 0.25
+		case t.Pos.Y2 <= w.Pos.Y1:
+			d *= 0.6
+		}
+		if d < bestScore {
+			bestScore = d
+			best = t.SVal
+		}
+	}
+	return best
+}
+
+// naiveDomain maps a widget group to a domain without any structural
+// analysis.
+func naiveDomain(widgets []*token.Token, labels []string) model.Domain {
+	lead := widgets[0]
+	switch lead.Type {
+	case token.SelectList:
+		return model.Domain{Kind: model.EnumDomain, Values: lead.Options, Multiple: lead.Multiple}
+	case token.RadioButton:
+		return model.Domain{Kind: model.EnumDomain, Values: labels}
+	case token.Checkbox:
+		if len(widgets) == 1 {
+			return model.Domain{Kind: model.BoolDomain}
+		}
+		return model.Domain{Kind: model.EnumDomain, Values: labels, Multiple: true}
+	default:
+		return model.Domain{Kind: model.TextDomain}
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,514 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"formext/internal/geom"
+	"formext/internal/grammar"
+	"formext/internal/token"
+)
+
+// Options tunes the parser. The zero value asks for the paper's algorithm:
+// scheduled symbol-by-symbol instantiation with just-in-time pruning.
+type Options struct {
+	// Thresholds parameterizes the spatial relations; zero value means
+	// geom.DefaultThresholds.
+	Thresholds geom.Thresholds
+	// DisablePreferences turns off all pruning — the "brute-force"
+	// exhaustive interpretation of Section 4.2.1, kept for the ambiguity
+	// experiments.
+	DisablePreferences bool
+	// DisableScheduling replaces the 2P schedule with a single global
+	// fix point; preferences are then enforced only at the end of parsing
+	// (late pruning) and rollback erases the aggregated false instances.
+	DisableScheduling bool
+	// MaxInstances caps total instance creation as a safety valve for the
+	// exponential worst case; 0 means DefaultMaxInstances.
+	MaxInstances int
+}
+
+// DefaultMaxInstances bounds instance creation (the membership problem for
+// visual languages is NP-complete; the cap keeps pathological inputs and the
+// brute-force ablation from running away).
+const DefaultMaxInstances = 400000
+
+// Stats reports what parsing did — the quantities Section 4.2.1 and 5.1 of
+// the paper discuss (total vs. temporary instances, parse trees, timing).
+type Stats struct {
+	Tokens          int
+	TotalCreated    int           // instances ever created, including pruned ones
+	Pruned          int           // killed directly by a preference
+	RolledBack      int           // killed transitively as ancestors of pruned instances
+	Alive           int           // instances alive at the end
+	MaximalTrees    int           // maximal partial parse trees
+	CompleteParses  int           // alive start-symbol instances covering every token
+	ConstraintEvals int           // production constraint evaluations
+	Truncated       bool          // hit MaxInstances
+	Duration        time.Duration // parse construction + maximization time
+}
+
+// Result is the parser output: the surviving instances and the maximal
+// partial parse trees (Section 5.3), ordered by descending cover.
+type Result struct {
+	// Tokens is the input token set.
+	Tokens []*token.Token
+	// Maximal holds the maximum partial parse trees: alive instances whose
+	// cover is not properly subsumed by any other alive instance's cover.
+	Maximal []*grammar.Instance
+	// Alive holds every surviving instance (terminals included).
+	Alive []*grammar.Instance
+	Stats Stats
+}
+
+// Parser parses token sets against one grammar; it precomputes the 2P
+// schedule once and is safe to reuse across inputs (not concurrently).
+type Parser struct {
+	g     *grammar.Grammar
+	sched *Schedule
+	opt   Options
+}
+
+// NewParser builds a parser for the grammar, computing the 2P schedule.
+func NewParser(g *grammar.Grammar, opt Options) (*Parser, error) {
+	if opt.Thresholds == (geom.Thresholds{}) {
+		opt.Thresholds = geom.DefaultThresholds
+	}
+	if opt.MaxInstances <= 0 {
+		opt.MaxInstances = DefaultMaxInstances
+	}
+	sched, err := BuildSchedule(g)
+	if err != nil {
+		return nil, err
+	}
+	return &Parser{g: g, sched: sched, opt: opt}, nil
+}
+
+// Schedule exposes the computed 2P schedule (for diagnostics and tests).
+func (p *Parser) Schedule() *Schedule { return p.sched }
+
+// Parse runs best-effort parsing over the token set.
+func (p *Parser) Parse(toks []*token.Token) (*Result, error) {
+	start := time.Now()
+	e := &engine{
+		g:     p.g,
+		opt:   p.opt,
+		bySym: map[string][]*grammar.Instance{},
+		dedup: map[string]bool{},
+		ctx:   &grammar.EvalCtx{Bind: map[string]*grammar.Instance{}, Th: p.opt.Thresholds},
+	}
+	// Terminal instances.
+	for i, t := range toks {
+		if t.ID != i {
+			return nil, fmt.Errorf("core: token IDs must be dense and ordered (token %d has ID %d)", i, t.ID)
+		}
+		in := grammar.NewTerminal(t, len(toks))
+		in.ID = e.nextID
+		e.nextID++
+		e.bySym[in.Sym] = append(e.bySym[in.Sym], in)
+		e.stats.TotalCreated++
+	}
+	e.stats.Tokens = len(toks)
+
+	if p.opt.DisableScheduling {
+		// Late pruning: one global fix point, then preference enforcement
+		// with rollback until no more kills.
+		all := []string{}
+		for n := range p.g.Nonterminals {
+			all = append(all, n)
+		}
+		sort.Strings(all)
+		e.fixpoint(all)
+		if !p.opt.DisablePreferences {
+			prefs := ByPriority(p.g.Prefs)
+			for {
+				killed := 0
+				for _, pref := range prefs {
+					killed += e.enforce(pref)
+				}
+				if killed == 0 {
+					break
+				}
+			}
+		}
+	} else {
+		for gi, group := range p.sched.Groups {
+			e.fixpoint(group)
+			if !p.opt.DisablePreferences {
+				for _, pref := range p.sched.EnforceAfter[gi] {
+					e.enforce(pref)
+				}
+			}
+		}
+	}
+
+	res := &Result{Tokens: toks}
+	res.Maximal = e.maximize(p.g.Start)
+	for _, list := range e.bySym {
+		for _, in := range list {
+			if !in.Dead {
+				res.Alive = append(res.Alive, in)
+			}
+		}
+	}
+	sort.Slice(res.Alive, func(i, j int) bool { return res.Alive[i].ID < res.Alive[j].ID })
+	e.stats.Alive = len(res.Alive)
+	e.stats.MaximalTrees = len(res.Maximal)
+	// Complete parses are counted over all alive start-symbol instances:
+	// distinct derivations of the full token set are distinct global
+	// interpretations (Figure 9), even though maximization keeps one
+	// representative per cover.
+	for _, in := range res.Alive {
+		if in.Sym == p.g.Start && in.Cover.Count() == len(toks) {
+			e.stats.CompleteParses++
+		}
+	}
+	e.stats.Duration = time.Since(start)
+	res.Stats = e.stats
+	return res, nil
+}
+
+// structuralKey identifies a derivation by head symbol and component
+// instance IDs.
+func structuralKey(head string, children []*grammar.Instance) string {
+	buf := make([]byte, 0, len(head)+8*len(children))
+	buf = append(buf, head...)
+	for _, c := range children {
+		buf = append(buf, '|')
+		buf = appendInt(buf, c.ID)
+	}
+	return string(buf)
+}
+
+func appendInt(buf []byte, v int) []byte {
+	if v == 0 {
+		return append(buf, '0')
+	}
+	var tmp [20]byte
+	i := len(tmp)
+	for v > 0 {
+		i--
+		tmp[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return append(buf, tmp[i:]...)
+}
+
+// engine holds the mutable state of one parse.
+type engine struct {
+	g      *grammar.Grammar
+	opt    Options
+	bySym  map[string][]*grammar.Instance
+	dedup  map[string]bool // (symbol, cover) pairs ever created
+	nextID int
+	stats  Stats
+	ctx    *grammar.EvalCtx
+}
+
+// fixpoint instantiates the symbols of one schedule group together: it
+// repeatedly applies their productions until no new instance appears
+// (procedure instantiate of Figure 11). The iteration is semi-naive: a
+// component assignment is joined only in the first round where all its
+// instances exist — at least one component must be "new" (created since
+// the previous round), so recursive symbols pay per new instance instead
+// of re-evaluating the whole cross product every round.
+func (e *engine) fixpoint(group []string) {
+	var prods []*grammar.Production
+	inGroup := map[string]bool{}
+	for _, s := range group {
+		inGroup[s] = true
+	}
+	for _, p := range e.g.Prods {
+		if inGroup[p.Head] {
+			prods = append(prods, p)
+		}
+	}
+	// mark[sym] = how many instances of sym existed before the current
+	// round; indices at or beyond the mark are this round's frontier.
+	// Empty at round 1: everything inherited from earlier groups is new
+	// to this group.
+	mark := map[string]int{}
+	for {
+		snapshot := map[string]int{}
+		for _, p := range prods {
+			for _, c := range p.Components {
+				if _, ok := snapshot[c.Sym]; !ok {
+					snapshot[c.Sym] = len(e.bySym[c.Sym])
+				}
+			}
+		}
+		added := 0
+		for _, p := range prods {
+			added += e.applyProd(p, mark)
+			if e.stats.Truncated {
+				return
+			}
+		}
+		if added == 0 {
+			return
+		}
+		for sym, n := range snapshot {
+			mark[sym] = n
+		}
+	}
+}
+
+// applyProd enumerates component assignments for one production, checks
+// cover disjointness and the spatial constraint, and creates the new head
+// instances. Assignments whose components all predate the round's frontier
+// (per mark) were already joined in an earlier round and are skipped.
+// Returns the number of instances added.
+func (e *engine) applyProd(p *grammar.Production, mark map[string]int) int {
+	k := len(p.Components)
+	lists := make([][]*grammar.Instance, k)
+	old := make([]int, k)
+	for i, c := range p.Components {
+		lists[i] = e.bySym[c.Sym]
+		if len(lists[i]) == 0 {
+			return 0
+		}
+		old[i] = mark[c.Sym]
+	}
+	added := 0
+	children := make([]*grammar.Instance, k)
+	var rec func(slot int, hasNew bool)
+	rec = func(slot int, hasNew bool) {
+		if e.stats.Truncated {
+			return
+		}
+		if slot == k {
+			if !hasNew {
+				return
+			}
+			e.stats.ConstraintEvals++
+			for i, c := range p.Components {
+				e.ctx.Bind[c.Var] = children[i]
+			}
+			if !grammar.EvalBool(p.Constraint, e.ctx) {
+				return
+			}
+			// Structural identity: a derivation is identified by its head
+			// symbol and component instances. Distinct derivations of the
+			// same token set stay distinct — that is exactly the ambiguity
+			// the preferences (not the dedup) must resolve, and what the
+			// brute-force ablation must be able to count.
+			key := structuralKey(p.Head, children)
+			if e.dedup[key] {
+				return
+			}
+			inst := grammar.Build(p, append([]*grammar.Instance(nil), children...))
+			e.dedup[key] = true
+			inst.ID = e.nextID
+			e.nextID++
+			for _, c := range inst.Children {
+				c.Parents = append(c.Parents, inst)
+			}
+			e.bySym[inst.Sym] = append(e.bySym[inst.Sym], inst)
+			e.stats.TotalCreated++
+			if e.stats.TotalCreated >= e.opt.MaxInstances {
+				e.stats.Truncated = true
+			}
+			added++
+			return
+		}
+		for idx, cand := range lists[slot] {
+			if cand.Dead {
+				continue
+			}
+			// Prune early: if no new component has been chosen yet and no
+			// later slot can supply one, the whole branch is stale.
+			candNew := idx >= old[slot]
+			if !hasNew && !candNew {
+				stale := true
+				for j := slot + 1; j < k; j++ {
+					if len(lists[j]) > old[j] {
+						stale = false
+						break
+					}
+				}
+				if stale {
+					continue
+				}
+			}
+			// Components must not compete for tokens within one instance.
+			overlap := false
+			for i := 0; i < slot; i++ {
+				if children[i].Cover.Intersects(cand.Cover) {
+					overlap = true
+					break
+				}
+			}
+			if overlap {
+				continue
+			}
+			children[slot] = cand
+			rec(slot+1, hasNew || candNew)
+			if e.stats.Truncated {
+				return
+			}
+		}
+	}
+	rec(0, false)
+	return added
+}
+
+// enforce applies one preference (procedure enforce of Figure 11): for
+// every alive loser instance, if some alive winner instance conflicts with
+// it under U and satisfies the winning criteria W, the loser is invalidated
+// and its ancestors rolled back. Returns the number of direct kills.
+//
+// A subtlety the subsume-type preferences (the paper's R2: the longer list
+// wins) force on rollback: the winner is often BUILT FROM the loser — the
+// length-2 radio list is a subtree of the length-3 winner. Naive ancestor
+// rollback from the loser would destroy the winner's own derivation. The
+// kill therefore spares ancestors that are nodes of the winner's subtree:
+// the loser dies as a standalone interpretation (it can no longer feed new
+// instantiations or stand as a parse tree) while the winner's derivation
+// through it stays intact. Parents outside the winner's subtree — e.g. an
+// EnumRB reading of the short list — are rolled back as usual.
+func (e *engine) enforce(pref *grammar.Preference) int {
+	losers := e.bySym[pref.Loser]
+	winners := e.bySym[pref.Winner]
+	if len(losers) == 0 || len(winners) == 0 {
+		return 0
+	}
+	kills := 0
+	subtreeCache := map[*grammar.Instance]map[int]bool{}
+	for _, l := range losers {
+		if l.Dead {
+			continue
+		}
+		for _, w := range winners {
+			if w.Dead || w == l {
+				continue
+			}
+			e.ctx.Bind[pref.WinnerVar] = w
+			e.ctx.Bind[pref.LoserVar] = l
+			if pref.Cond == nil {
+				// Default conflicting condition: the interpretations
+				// compete for at least one token.
+				if !w.Cover.Intersects(l.Cover) {
+					continue
+				}
+			} else if !grammar.EvalBool(pref.Cond, e.ctx) {
+				continue
+			}
+			if pref.Win != nil && !grammar.EvalBool(pref.Win, e.ctx) {
+				continue
+			}
+			spare := subtreeCache[w]
+			if spare == nil {
+				spare = map[int]bool{}
+				w.Walk(func(x *grammar.Instance) bool {
+					spare[x.ID] = true
+					return true
+				})
+				subtreeCache[w] = spare
+			}
+			e.kill(l, spare, true)
+			kills++
+			break
+		}
+	}
+	return kills
+}
+
+// kill invalidates an instance and rolls back every alive ancestor built on
+// top of it (procedure Rollback of Figure 11) — false instances may have
+// participated in further instantiations, producing false parents that must
+// be erased too. Ancestors inside the sparing winner's subtree are kept
+// (see enforce).
+func (e *engine) kill(in *grammar.Instance, spare map[int]bool, direct bool) {
+	if in.Dead {
+		return
+	}
+	in.Dead = true
+	if direct {
+		e.stats.Pruned++
+	} else {
+		e.stats.RolledBack++
+	}
+	for _, parent := range in.Parents {
+		if spare != nil && spare[parent.ID] {
+			continue
+		}
+		e.kill(parent, spare, false)
+	}
+}
+
+// maximize implements partial-tree maximization (Section 5.3): the parse
+// trees kept are alive nonterminal instances whose covers are maximal under
+// subsumption. Roots (instances with no alive parent) are the only
+// candidates — an instance with an alive parent is subsumed by that
+// parent's tree. Among equal covers the instance closest to the start
+// symbol (then the larger, then the earlier) represents the interpretation.
+func (e *engine) maximize(startSym string) []*grammar.Instance {
+	var roots []*grammar.Instance
+	for _, list := range e.bySym {
+		for _, in := range list {
+			if in.Dead || in.IsTerminal() {
+				continue
+			}
+			hasLiveParent := false
+			for _, p := range in.Parents {
+				if !p.Dead {
+					hasLiveParent = true
+					break
+				}
+			}
+			if !hasLiveParent {
+				roots = append(roots, in)
+			}
+		}
+	}
+	// Representative per distinct cover.
+	better := func(a, b *grammar.Instance) bool {
+		if (a.Sym == startSym) != (b.Sym == startSym) {
+			return a.Sym == startSym
+		}
+		if a.Size() != b.Size() {
+			return a.Size() > b.Size()
+		}
+		return a.ID < b.ID
+	}
+	byCover := map[string]*grammar.Instance{}
+	for _, r := range roots {
+		key := r.Cover.Key()
+		if cur, ok := byCover[key]; !ok || better(r, cur) {
+			byCover[key] = r
+		}
+	}
+	var cands []*grammar.Instance
+	for _, r := range byCover {
+		cands = append(cands, r)
+	}
+	// Deterministic order: larger covers first, then document order.
+	sort.Slice(cands, func(i, j int) bool {
+		ci, cj := cands[i].Cover.Count(), cands[j].Cover.Count()
+		if ci != cj {
+			return ci > cj
+		}
+		mi, mj := cands[i].Cover.Members(), cands[j].Cover.Members()
+		for k := 0; k < len(mi) && k < len(mj); k++ {
+			if mi[k] != mj[k] {
+				return mi[k] < mj[k]
+			}
+		}
+		return cands[i].ID < cands[j].ID
+	})
+	var maximal []*grammar.Instance
+	for i, c := range cands {
+		subsumed := false
+		for j := 0; j < i; j++ {
+			if c.Cover.ProperSubsetOf(cands[j].Cover) {
+				subsumed = true
+				break
+			}
+		}
+		if !subsumed {
+			maximal = append(maximal, c)
+		}
+	}
+	return maximal
+}

@@ -1,0 +1,325 @@
+// Package core implements the best-effort parser of Section 5: fix-point
+// parse construction over a 2P grammar with just-in-time pruning (Section
+// 5.2) and partial-tree maximization (Section 5.3). The parser never
+// rejects an input form; when no single perfect parse exists it resolves
+// ambiguities through preferences and returns the maximal partial parse
+// trees.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"formext/internal/grammar"
+)
+
+// Schedule is the 2P schedule graph of Section 5.2, reduced to an executable
+// plan: symbol groups in instantiation order (each group is one strongly
+// connected component of the children-parent d-edges, instantiated in a
+// joint fix point), plus the preference enforcement points.
+type Schedule struct {
+	// Groups lists the nonterminal groups in instantiation order.
+	Groups [][]string
+	// GroupOf maps a nonterminal to its group index; terminals map to -1.
+	GroupOf map[string]int
+	// EnforceAfter[i] lists the preferences enforced right after group i is
+	// instantiated. A preference lands at max(group(winner), group(loser)),
+	// which with the winner-then-loser ordering guarantees the winner's
+	// instances all exist when losers are checked.
+	EnforceAfter [][]*grammar.Preference
+	// Direct, Transformed and Dropped record the fate of each preference's
+	// r-edge (Section 5.2): enforced by direct ordering, relaxed via the
+	// indirect parent transformation of Figure 13, or dropped (the
+	// rollback machinery then erases any late-pruning effects).
+	Direct      []string
+	Transformed []string
+	Dropped     []string
+}
+
+// BuildSchedule computes the 2P schedule for a grammar. It errors only if
+// the d-edges alone are unschedulable, which cannot happen (the SCC
+// condensation of any digraph is a DAG).
+func BuildSchedule(g *grammar.Grammar) (*Schedule, error) {
+	nodes := make([]string, 0, len(g.Nonterminals))
+	for n := range g.Nonterminals {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+
+	// d-edges between nonterminals: component before head.
+	dAdj := map[string]map[string]bool{}
+	addEdge := func(adj map[string]map[string]bool, from, to string) {
+		if adj[from] == nil {
+			adj[from] = map[string]bool{}
+		}
+		adj[from][to] = true
+	}
+	for _, p := range g.Prods {
+		for _, c := range p.Components {
+			if g.Nonterminals[c.Sym] && c.Sym != p.Head {
+				addEdge(dAdj, c.Sym, p.Head)
+			}
+		}
+	}
+
+	// Condense the d-graph into SCCs.
+	comp, comps := tarjanSCC(nodes, dAdj)
+	ncomp := len(comps)
+
+	// Edges between components induced by d-edges.
+	adj := make([]map[int]bool, ncomp)
+	for i := range adj {
+		adj[i] = map[int]bool{}
+	}
+	for from, tos := range dAdj {
+		for to := range tos {
+			cf, ct := comp[from], comp[to]
+			if cf != ct {
+				adj[cf][ct] = true
+			}
+		}
+	}
+
+	// parentsOf[c] = components of heads of productions that use a symbol
+	// of component c — needed by the r-edge transformation.
+	parentsOf := make([]map[int]bool, ncomp)
+	for i := range parentsOf {
+		parentsOf[i] = map[int]bool{}
+	}
+	for _, p := range g.Prods {
+		hc := comp[p.Head]
+		for _, c := range p.Components {
+			if g.Nonterminals[c.Sym] && comp[c.Sym] != hc {
+				parentsOf[comp[c.Sym]][hc] = true
+			}
+		}
+	}
+
+	sched := &Schedule{GroupOf: map[string]int{}}
+
+	// Greedily add r-edges winner→loser; on cycle try the Figure 13
+	// transformation (winner before each parent of the loser); if that
+	// still cycles, drop the edge.
+	reach := func(from, to int) bool { return reaches(adj, from, to) }
+	for _, pref := range g.Prefs {
+		wc, wok := compOf(comp, g, pref.Winner)
+		lc, lok := compOf(comp, g, pref.Loser)
+		if !wok || !lok || wc == lc {
+			// Terminal-typed or same-group preferences need no ordering:
+			// they are enforced after the later group regardless.
+			continue
+		}
+		if !reach(lc, wc) {
+			adj[wc][lc] = true
+			sched.Direct = append(sched.Direct, pref.Name)
+			continue
+		}
+		// Transformation: schedule the winner before every parent of the
+		// loser instead.
+		ok := true
+		for p := range parentsOf[lc] {
+			if p != wc && reach(p, wc) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			for p := range parentsOf[lc] {
+				if p != wc {
+					adj[wc][p] = true
+				}
+			}
+			sched.Transformed = append(sched.Transformed, pref.Name)
+			continue
+		}
+		sched.Dropped = append(sched.Dropped, pref.Name)
+	}
+
+	order, err := topoOrder(adj, comps)
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range order {
+		idx := len(sched.Groups)
+		group := append([]string(nil), comps[c]...)
+		sort.Strings(group)
+		sched.Groups = append(sched.Groups, group)
+		for _, s := range group {
+			sched.GroupOf[s] = idx
+		}
+	}
+	sched.EnforceAfter = make([][]*grammar.Preference, len(sched.Groups))
+	for _, pref := range g.Prefs {
+		at := -1
+		if i, ok := sched.GroupOf[pref.Winner]; ok && i > at {
+			at = i
+		}
+		if i, ok := sched.GroupOf[pref.Loser]; ok && i > at {
+			at = i
+		}
+		if at < 0 {
+			at = 0 // both terminals: enforce at the first opportunity
+		}
+		sched.EnforceAfter[at] = append(sched.EnforceAfter[at], pref)
+	}
+	// Within one enforcement point, higher-priority preferences act first
+	// (the prioritized-preference extension of Section 7); ties keep
+	// grammar order.
+	for _, prefs := range sched.EnforceAfter {
+		sort.SliceStable(prefs, func(i, j int) bool {
+			return prefs[i].Priority > prefs[j].Priority
+		})
+	}
+	return sched, nil
+}
+
+// ByPriority returns the grammar's preferences sorted by descending
+// priority, ties in grammar order — the enforcement order of the
+// late-pruning path.
+func ByPriority(prefs []*grammar.Preference) []*grammar.Preference {
+	out := append([]*grammar.Preference(nil), prefs...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Priority > out[j].Priority })
+	return out
+}
+
+func compOf(comp map[string]int, g *grammar.Grammar, sym string) (int, bool) {
+	if !g.Nonterminals[sym] {
+		return -1, false
+	}
+	return comp[sym], true
+}
+
+// reaches reports whether `to` is reachable from `from` in the component
+// graph.
+func reaches(adj []map[int]bool, from, to int) bool {
+	if from == to {
+		return true
+	}
+	seen := make([]bool, len(adj))
+	stack := []int{from}
+	seen[from] = true
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for m := range adj[n] {
+			if m == to {
+				return true
+			}
+			if !seen[m] {
+				seen[m] = true
+				stack = append(stack, m)
+			}
+		}
+	}
+	return false
+}
+
+// tarjanSCC returns the strongly connected components of the nonterminal
+// d-graph: a map symbol→component id and the member list per component.
+// Nodes are visited in sorted order so ids are deterministic.
+func tarjanSCC(nodes []string, adj map[string]map[string]bool) (map[string]int, [][]string) {
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	comp := map[string]int{}
+	var stack []string
+	var comps [][]string
+	counter := 0
+
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v] = counter
+		low[v] = counter
+		counter++
+		stack = append(stack, v)
+		onStack[v] = true
+		// Deterministic neighbor order.
+		var ns []string
+		for w := range adj[v] {
+			ns = append(ns, w)
+		}
+		sort.Strings(ns)
+		for _, w := range ns {
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var members []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				members = append(members, w)
+				if w == v {
+					break
+				}
+			}
+			id := len(comps)
+			for _, m := range members {
+				comp[m] = id
+			}
+			comps = append(comps, members)
+		}
+	}
+	for _, v := range nodes {
+		if _, seen := index[v]; !seen {
+			strongconnect(v)
+		}
+	}
+	return comp, comps
+}
+
+// topoOrder returns component ids in a deterministic topological order of
+// the (acyclic) component graph; ties break toward the component whose
+// smallest member name sorts first.
+func topoOrder(adj []map[int]bool, comps [][]string) ([]int, error) {
+	n := len(adj)
+	indeg := make([]int, n)
+	for _, tos := range adj {
+		for to := range tos {
+			indeg[to]++
+		}
+	}
+	nameOf := func(c int) string {
+		best := ""
+		for _, m := range comps[c] {
+			if best == "" || m < best {
+				best = m
+			}
+		}
+		return best
+	}
+	var order []int
+	avail := map[int]bool{}
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			avail[i] = true
+		}
+	}
+	for len(order) < n {
+		pick := -1
+		for c := range avail {
+			if pick < 0 || nameOf(c) < nameOf(pick) {
+				pick = c
+			}
+		}
+		if pick < 0 {
+			return nil, fmt.Errorf("core: cyclic component graph after r-edge insertion")
+		}
+		delete(avail, pick)
+		order = append(order, pick)
+		for to := range adj[pick] {
+			indeg[to]--
+			if indeg[to] == 0 {
+				avail[to] = true
+			}
+		}
+	}
+	return order, nil
+}

@@ -1,0 +1,291 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"formext/internal/model"
+)
+
+// Source is one generated query interface with its ground truth.
+type Source struct {
+	// ID names the source (e.g. "Books-007").
+	ID string
+	// Domain is the schema name.
+	Domain string
+	// HTML is the full page source.
+	HTML string
+	// Truth is the hand-label equivalent: the conditions a perfect
+	// extractor reports, in document order.
+	Truth []model.Condition
+	// PatternIDs lists the condition patterns used, one per rendered
+	// condition (pair patterns appear once per condition).
+	PatternIDs []int
+}
+
+// Config parameterizes generation.
+type Config struct {
+	// Seed makes generation deterministic.
+	Seed int64
+	// Sources is the number of interfaces to generate.
+	Sources int
+	// Schemas is the domain pool; sources cycle through it.
+	Schemas []Schema
+	// MinConds and MaxConds bound the number of conditions per source.
+	MinConds, MaxConds int
+	// Hardness in [0,1] scales how often hard (uncaptured) patterns and
+	// extra decorations appear; it is the knob that moves accuracy off
+	// 100%, standing in for the messiness of live sources.
+	Hardness float64
+	// SampleSchemas draws each source's domain at random instead of
+	// cycling — the Random dataset's sampling, which typically covers
+	// most but not all of the catalogue.
+	SampleSchemas bool
+}
+
+// Generate renders a dataset.
+func Generate(cfg Config) []Source {
+	r := rand.New(rand.NewSource(cfg.Seed))
+	if cfg.MinConds <= 0 {
+		cfg.MinConds = 3
+	}
+	if cfg.MaxConds < cfg.MinConds {
+		cfg.MaxConds = cfg.MinConds + 3
+	}
+	out := make([]Source, 0, cfg.Sources)
+	for i := 0; i < cfg.Sources; i++ {
+		schema := cfg.Schemas[i%len(cfg.Schemas)]
+		if cfg.SampleSchemas {
+			schema = cfg.Schemas[r.Intn(len(cfg.Schemas))]
+		}
+		src := generateOne(r, schema, cfg, fmt.Sprintf("%s-%03d", schema.Name, i))
+		out = append(out, src)
+	}
+	return out
+}
+
+// generateOne renders a single interface. Hardness is drawn per source:
+// most live sources are conventional throughout while a minority are messy
+// in several places at once, which is what concentrates extraction errors
+// in few sources (the paper's Figure 15(a)/(b) distributions have ~70% of
+// sources at exactly 1.0).
+func generateOne(r *rand.Rand, schema Schema, cfg Config, id string) Source {
+	b := &builder{r: r}
+	k := cfg.MinConds + r.Intn(cfg.MaxConds-cfg.MinConds+1)
+	attrs := pickAttrs(r, schema, k)
+
+	hardness := 0.0
+	if r.Float64() < 1.2*cfg.Hardness {
+		hardness = 1.0
+	}
+
+	for i := 0; i < len(attrs); {
+		a := attrs[i]
+		p := samplePattern(r, a, hardness)
+		if p == nil {
+			i++
+			continue
+		}
+		if p.Pair {
+			// Pair patterns consume the next compatible attribute too.
+			if j := nextCompatible(attrs, i+1, p.Kind); j >= 0 {
+				attrs[i+1], attrs[j] = attrs[j], attrs[i+1]
+				p.renderPair(b, a, attrs[i+1])
+				i += 2
+				continue
+			}
+			// No partner available: fall back to the most common pattern
+			// of this kind.
+			p = fallbackPattern(a)
+		}
+		p.render(b, a)
+		i++
+	}
+
+	return Source{
+		ID:         id,
+		Domain:     schema.Name,
+		HTML:       assemblePage(r, schema, b, cfg.Hardness),
+		Truth:      b.truth,
+		PatternIDs: b.used,
+	}
+}
+
+// pickAttrs chooses k distinct attributes, shuffled but keeping the
+// schema's natural lead attributes likely (forms put the discriminating
+// attributes first).
+func pickAttrs(r *rand.Rand, schema Schema, k int) []AttributeSpec {
+	idx := r.Perm(len(schema.Attrs))
+	if k > len(idx) {
+		k = len(idx)
+	}
+	picked := append([]int(nil), idx[:k]...)
+	// Restore document order so the form reads like a real one.
+	for i := 0; i < len(picked); i++ {
+		for j := i + 1; j < len(picked); j++ {
+			if picked[j] < picked[i] {
+				picked[i], picked[j] = picked[j], picked[i]
+			}
+		}
+	}
+	out := make([]AttributeSpec, k)
+	for i, ix := range picked {
+		out[i] = schema.Attrs[ix]
+	}
+	return out
+}
+
+// samplePattern draws a pattern for the attribute: weights follow 1/rank
+// (Zipf), hard patterns are scaled by the hardness knob.
+func samplePattern(r *rand.Rand, a AttributeSpec, hardness float64) *Pattern {
+	var cands []*Pattern
+	var weights []float64
+	for _, p := range Patterns {
+		if p.Kind != a.Kind {
+			continue
+		}
+		if p.NeedsOps && len(a.Ops) == 0 {
+			continue
+		}
+		w := 1.0 / float64(p.ID)
+		if p.Hard {
+			w *= hardness * 25 // hard ranks are high (rare); rescale by knob
+		}
+		cands = append(cands, p)
+		weights = append(weights, w)
+	}
+	if len(cands) == 0 {
+		return nil
+	}
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	pick := r.Float64() * total
+	for i, w := range weights {
+		pick -= w
+		if pick <= 0 {
+			return cands[i]
+		}
+	}
+	return cands[len(cands)-1]
+}
+
+// nextCompatible finds the next attribute of the given kind at or after i.
+func nextCompatible(attrs []AttributeSpec, i int, kind AttrKind) int {
+	for ; i < len(attrs); i++ {
+		if attrs[i].Kind == kind {
+			return i
+		}
+	}
+	return -1
+}
+
+// fallbackPattern returns the rank-1 pattern of the attribute's kind.
+func fallbackPattern(a AttributeSpec) *Pattern {
+	for _, p := range Patterns {
+		if p.Kind == a.Kind && !p.Hard && !p.Pair && (!p.NeedsOps || len(a.Ops) > 0) {
+			return p
+		}
+	}
+	return Patterns[0]
+}
+
+// assemblePage wraps the builder's rows in a page: optional caption
+// heading, the form table, a submit row, optional rule and footer noise.
+func assemblePage(r *rand.Rand, schema Schema, b *builder, hardness float64) string {
+	var sb strings.Builder
+	sb.WriteString("<html><body>")
+	if r.Float64() < 0.7 && len(schema.Captions) > 0 {
+		sb.WriteString("<h3>" + schema.Captions[r.Intn(len(schema.Captions))] + "</h3>")
+	}
+	sb.WriteString(`<form action="/search" method="get"><table>`)
+	for _, row := range b.rows {
+		sb.WriteString(row)
+	}
+	// Submit row; occasionally with a reset companion.
+	if r.Float64() < 0.5 {
+		sb.WriteString(`<tr><td colspan="2"><input type="submit" value="Search"> <input type="reset" value="Clear"></td></tr>`)
+	} else {
+		sb.WriteString(`<tr><td colspan="2"><input type="submit" value="Search"></td></tr>`)
+	}
+	sb.WriteString("</table></form>")
+	if r.Float64() < 0.3+hardness {
+		sb.WriteString("<hr>All content copyright &copy; 2004 by the site owners.")
+	}
+	sb.WriteString("</body></html>")
+	return sb.String()
+}
+
+// ---- dataset presets (Section 6) ----
+
+// Basic generates the 150-source Basic dataset: 50 sources in each of
+// Books, Automobiles and Airfares. The paper notes a bias toward complex
+// forms ("we tend to collect complex forms with many conditions"), so
+// condition counts run high.
+func Basic() []Source {
+	return Generate(Config{
+		Seed:     41,
+		Sources:  150,
+		Schemas:  BasicSchemas,
+		MinConds: 4, MaxConds: 9,
+		Hardness: 0.46,
+	})
+}
+
+// NewSource generates 10 extra interfaces per Basic domain (30 total);
+// collected "more randomly", these run simpler than Basic — the paper
+// observes they score best.
+func NewSource() []Source {
+	return Generate(Config{
+		Seed:     43,
+		Sources:  30,
+		Schemas:  BasicSchemas,
+		MinConds: 2, MaxConds: 5,
+		Hardness: 0.13,
+	})
+}
+
+// NewDomain generates 42 interfaces across six domains unseen when the
+// grammar was derived (seven per domain).
+func NewDomain() []Source {
+	return Generate(Config{
+		Seed:     47,
+		Sources:  42,
+		Schemas:  NewDomainSchemas,
+		MinConds: 3, MaxConds: 7,
+		Hardness: 0.58,
+	})
+}
+
+// Random generates 30 interfaces sampled across the full 16-domain
+// catalogue — the stand-in for the invisible-web.net random sample.
+func Random() []Source {
+	return Generate(Config{
+		Seed:     53,
+		Sources:  30,
+		Schemas:  AllSchemas,
+		MinConds: 3, MaxConds: 8,
+		Hardness:      0.40,
+		SampleSchemas: true,
+	})
+}
+
+// ByName returns a preset dataset by its paper name.
+func ByName(name string) ([]Source, bool) {
+	switch strings.ToLower(name) {
+	case "basic":
+		return Basic(), true
+	case "newsource":
+		return NewSource(), true
+	case "newdomain":
+		return NewDomain(), true
+	case "random":
+		return Random(), true
+	}
+	return nil, false
+}
+
+// DatasetNames lists the four presets in the paper's order.
+var DatasetNames = []string{"Basic", "NewSource", "NewDomain", "Random"}

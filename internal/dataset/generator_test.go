@@ -1,0 +1,254 @@
+package dataset
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"formext/internal/htmlparse"
+	"formext/internal/model"
+)
+
+func TestPresetsShape(t *testing.T) {
+	cases := []struct {
+		name    string
+		srcs    []Source
+		n       int
+		domains int
+	}{
+		{"Basic", Basic(), 150, 3},
+		{"NewSource", NewSource(), 30, 3},
+		{"NewDomain", NewDomain(), 42, 6},
+	}
+	for _, c := range cases {
+		if len(c.srcs) != c.n {
+			t.Errorf("%s: %d sources, want %d", c.name, len(c.srcs), c.n)
+		}
+		doms := map[string]bool{}
+		for _, s := range c.srcs {
+			doms[s.Domain] = true
+		}
+		if len(doms) != c.domains {
+			t.Errorf("%s: %d domains, want %d", c.name, len(doms), c.domains)
+		}
+	}
+	random := Random()
+	if len(random) != 30 {
+		t.Errorf("Random: %d sources", len(random))
+	}
+	doms := map[string]bool{}
+	for _, s := range random {
+		doms[s.Domain] = true
+	}
+	// A 30-sample over 18 domains covers many but rarely all.
+	if len(doms) < 10 || len(doms) > 18 {
+		t.Errorf("Random covers %d domains", len(doms))
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Basic()
+	b := Basic()
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic source count")
+	}
+	for i := range a {
+		if a[i].HTML != b[i].HTML {
+			t.Fatalf("source %d HTML differs between runs", i)
+		}
+		if len(a[i].Truth) != len(b[i].Truth) {
+			t.Fatalf("source %d truth differs", i)
+		}
+	}
+}
+
+func TestSourcesAreWellFormed(t *testing.T) {
+	for _, s := range NewSource() {
+		if len(s.Truth) == 0 {
+			t.Errorf("%s: no ground truth", s.ID)
+		}
+		if len(s.Truth) != len(s.PatternIDs) {
+			t.Errorf("%s: %d truths vs %d pattern ids", s.ID, len(s.Truth), len(s.PatternIDs))
+		}
+		doc := htmlparse.Parse(s.HTML)
+		form := doc.FindTag("form")
+		if form == nil {
+			t.Fatalf("%s: no form element", s.ID)
+		}
+		// Every ground-truth field must exist as a control in the HTML.
+		names := map[string]bool{}
+		for _, n := range form.FindAll(func(n *htmlparse.Node) bool {
+			return n.Type == htmlparse.ElementNode &&
+				(n.Tag == "input" || n.Tag == "select" || n.Tag == "textarea")
+		}) {
+			if v, ok := n.Attr("name"); ok {
+				names[v] = true
+			}
+		}
+		for _, c := range s.Truth {
+			for _, f := range c.Fields {
+				if !names[f] {
+					t.Errorf("%s: truth field %q not in HTML", s.ID, f)
+				}
+			}
+			if c.Attribute == "" {
+				t.Errorf("%s: empty attribute in truth", s.ID)
+			}
+		}
+	}
+}
+
+func TestFieldNamesUniquePerSource(t *testing.T) {
+	for _, s := range NewDomain() {
+		seen := map[string]bool{}
+		for _, c := range s.Truth {
+			for _, f := range c.Fields {
+				if seen[f] {
+					t.Errorf("%s: duplicate field name %q", s.ID, f)
+				}
+				seen[f] = true
+			}
+		}
+	}
+}
+
+func TestPatternVocabulary(t *testing.T) {
+	if len(Patterns) != 25 {
+		t.Errorf("pattern vocabulary = %d, want 25 (Section 3.1)", len(Patterns))
+	}
+	seen := map[int]bool{}
+	for _, p := range Patterns {
+		if p.ID < 1 || p.ID > 25 {
+			t.Errorf("pattern %s has rank %d", p.Name, p.ID)
+		}
+		if seen[p.ID] {
+			t.Errorf("duplicate rank %d", p.ID)
+		}
+		seen[p.ID] = true
+		if p.Pair && p.renderPair == nil {
+			t.Errorf("pair pattern %s lacks renderPair", p.Name)
+		}
+		if !p.Pair && p.render == nil {
+			t.Errorf("pattern %s lacks render", p.Name)
+		}
+	}
+	if PatternByID(1) == nil || PatternByID(1).Name != "attr-left-textbox" {
+		t.Error("PatternByID(1) wrong")
+	}
+	if PatternByID(99) != nil {
+		t.Error("PatternByID(99) should be nil")
+	}
+}
+
+func TestZipfUsage(t *testing.T) {
+	// Across the Basic dataset, the rank-1 pattern must dominate, and
+	// pattern usage must decay with rank (coarsely, over rank buckets).
+	counts := map[int]int{}
+	total := 0
+	for _, s := range Basic() {
+		for _, pid := range s.PatternIDs {
+			counts[pid]++
+			total++
+		}
+	}
+	if counts[1] == 0 {
+		t.Fatal("rank-1 pattern never used")
+	}
+	// Within one attribute kind the nominally lower rank dominates:
+	// 1 > 3 > 16 for text patterns, 2 > 4 for enum patterns.
+	if !(counts[1] > counts[3] && counts[3] > counts[16]) {
+		t.Errorf("text pattern ranks not decaying: 1:%d 3:%d 16:%d", counts[1], counts[3], counts[16])
+	}
+	if counts[2] <= counts[4] {
+		t.Errorf("enum pattern ranks not decaying: 2:%d 4:%d", counts[2], counts[4])
+	}
+	// The defining Zipf property of Figure 4(b) is about frequencies AFTER
+	// ranking by observed count: a heavy head over a long tail.
+	var sorted []int
+	for _, n := range counts {
+		sorted = append(sorted, n)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(sorted)))
+	if len(sorted) < 10 {
+		t.Fatalf("only %d distinct patterns observed", len(sorted))
+	}
+	head := sorted[0] + sorted[1] + sorted[2] + sorted[3] + sorted[4]
+	if head*2 < total {
+		t.Errorf("top-5 observed patterns carry %d of %d uses; expected a Zipf head", head, total)
+	}
+	if sorted[0] < 3*sorted[len(sorted)/2] {
+		t.Errorf("max frequency %d vs median %d: distribution too flat", sorted[0], sorted[len(sorted)/2])
+	}
+}
+
+func TestHardnessKnob(t *testing.T) {
+	soft := Generate(Config{Seed: 7, Sources: 60, Schemas: BasicSchemas, MinConds: 4, MaxConds: 8, Hardness: 0})
+	hard := Generate(Config{Seed: 7, Sources: 60, Schemas: BasicSchemas, MinConds: 4, MaxConds: 8, Hardness: 0.9})
+	countHard := func(srcs []Source) int {
+		n := 0
+		for _, s := range srcs {
+			for _, pid := range s.PatternIDs {
+				if p := PatternByID(pid); p != nil && p.Hard {
+					n++
+				}
+			}
+		}
+		return n
+	}
+	if got := countHard(soft); got != 0 {
+		t.Errorf("hardness 0 produced %d hard patterns", got)
+	}
+	if got := countHard(hard); got == 0 {
+		t.Error("hardness 0.9 produced no hard patterns")
+	}
+}
+
+func TestTruthKindsMatchWidgets(t *testing.T) {
+	for _, s := range Basic()[:30] {
+		for _, c := range s.Truth {
+			switch c.Domain.Kind {
+			case model.RangeDomain:
+				if len(c.Fields) != 2 {
+					t.Errorf("%s: range condition %q has %d fields", s.ID, c.Attribute, len(c.Fields))
+				}
+			case model.DateDomain:
+				if len(c.Fields) != 3 {
+					t.Errorf("%s: date condition %q has %d fields", s.ID, c.Attribute, len(c.Fields))
+				}
+			case model.EnumDomain:
+				if len(c.Domain.Values) == 0 {
+					t.Errorf("%s: enum condition %q has no values", s.ID, c.Attribute)
+				}
+			}
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, n := range DatasetNames {
+		if _, ok := ByName(n); !ok {
+			t.Errorf("ByName(%q) failed", n)
+		}
+		if _, ok := ByName(strings.ToUpper(n)); !ok {
+			t.Errorf("ByName is not case-insensitive for %q", n)
+		}
+	}
+	if _, ok := ByName("bogus"); ok {
+		t.Error("ByName(bogus) should fail")
+	}
+}
+
+func TestFixturesParse(t *testing.T) {
+	for _, src := range []string{QamHTML, QaaHTML, Figure5Fragment} {
+		doc := htmlparse.Parse(src)
+		if doc.FindTag("form") == nil {
+			t.Error("fixture lacks a form")
+		}
+	}
+	if len(QamTruth) != 5 {
+		t.Errorf("Qam truth has %d conditions, want 5 (paper Section 1)", len(QamTruth))
+	}
+	if len(QaaTruth) != 7 {
+		t.Errorf("Qaa truth has %d conditions", len(QaaTruth))
+	}
+}

@@ -1,0 +1,354 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"formext/internal/model"
+)
+
+// Pattern is one condition pattern of the vocabulary (Section 3.1 found 25
+// across the Basic dataset, Zipf-distributed). Each pattern knows which
+// attribute kinds it can render and how to emit the HTML plus the
+// ground-truth condition a human labeller would record.
+type Pattern struct {
+	// ID is the pattern's global frequency rank (1 = most common); the
+	// generator samples patterns with weight 1/ID, reproducing the Zipf
+	// shape of Figure 4(b).
+	ID   int
+	Name string
+	// Kind is the attribute kind the pattern renders.
+	Kind AttrKind
+	// NeedsOps restricts the pattern to attributes with operator texts.
+	NeedsOps bool
+	// Pair marks patterns that consume two attributes at once.
+	Pair bool
+	// Hard marks layouts outside the derived grammar's conventions — the
+	// error sources of Section 6 (uncaptured patterns).
+	Hard bool
+	// render emits rows into the builder and appends ground truth.
+	render func(b *builder, a AttributeSpec)
+	// renderPair emits a two-attribute layout.
+	renderPair func(b *builder, a1, a2 AttributeSpec)
+}
+
+// builder accumulates the HTML table rows and ground truth of one source.
+type builder struct {
+	r     *rand.Rand
+	rows  []string
+	truth []model.Condition
+	used  []int // pattern IDs, in order of use
+	seq   int
+}
+
+// uniq disambiguates control names within one form.
+func (b *builder) uniq(stem string) string {
+	b.seq++
+	return fmt.Sprintf("%s_%d", stem, b.seq)
+}
+
+// row adds a two-cell table row.
+func (b *builder) row(label, widget string) {
+	b.rows = append(b.rows, "<tr><td>"+label+"</td><td>"+widget+"</td></tr>")
+}
+
+// wide adds a full-width row.
+func (b *builder) wide(cell string) {
+	b.rows = append(b.rows, `<tr><td colspan="2">`+cell+"</td></tr>")
+}
+
+func (b *builder) addTruth(c model.Condition, patternID int) {
+	b.truth = append(b.truth, c)
+	b.used = append(b.used, patternID)
+}
+
+// ---- widget snippets ----
+
+func textbox(name string, size int) string {
+	return fmt.Sprintf(`<input type="text" name="%s" size="%d">`, name, size)
+}
+
+func selectList(name string, opts []string) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<select name="%s">`, name)
+	for _, o := range opts {
+		sb.WriteString("<option>" + o + "</option>")
+	}
+	sb.WriteString("</select>")
+	return sb.String()
+}
+
+func radios(name string, labels []string) string {
+	var sb strings.Builder
+	for i, l := range labels {
+		checked := ""
+		if i == 0 {
+			checked = " checked"
+		}
+		fmt.Fprintf(&sb, `<input type="radio" name="%s" value="v%d"%s>%s `, name, i, checked, l)
+	}
+	return sb.String()
+}
+
+func checkboxes(name string, labels []string) string {
+	var sb strings.Builder
+	for i, l := range labels {
+		fmt.Fprintf(&sb, `<input type="checkbox" name="%s" value="v%d">%s `, name, i, l)
+	}
+	return sb.String()
+}
+
+var months = []string{"January", "February", "March", "April", "May", "June",
+	"July", "August", "September", "October", "November", "December"}
+
+func dayOptions() []string {
+	out := make([]string, 31)
+	for i := range out {
+		out[i] = fmt.Sprintf("%d", i+1)
+	}
+	return out
+}
+
+func yearOptions(from, to int) []string {
+	var out []string
+	for y := from; y <= to; y++ {
+		out = append(out, fmt.Sprintf("%d", y))
+	}
+	return out
+}
+
+func dateSelects(b *builder, stem string) (string, []string) {
+	m := b.uniq(stem + "_month")
+	d := b.uniq(stem + "_day")
+	y := b.uniq(stem + "_year")
+	html := selectList(m, months) + " " + selectList(d, dayOptions()) + " " + selectList(y, yearOptions(2004, 2008))
+	return html, []string{m, d, y}
+}
+
+// truthFor builds the ground-truth condition a labeller would record for an
+// attribute rendered with the given fields.
+func truthFor(a AttributeSpec, fields []string, ops []string, values []string, multiple bool) model.Condition {
+	return model.Condition{
+		Attribute: a.Label,
+		Operators: ops,
+		Domain:    model.Domain{Kind: a.Kind.GroundKind(), Values: values, Multiple: multiple},
+		Fields:    fields,
+	}
+}
+
+// Patterns is the pattern vocabulary in frequency-rank order.
+var Patterns = []*Pattern{
+	{ID: 1, Name: "attr-left-textbox", Kind: TextAttr,
+		render: func(b *builder, a AttributeSpec) {
+			n := b.uniq(a.Name)
+			b.row(a.Label, textbox(n, 20+b.r.Intn(20)))
+			b.addTruth(truthFor(a, []string{n}, nil, nil, false), 1)
+		}},
+	{ID: 2, Name: "attr-left-select", Kind: EnumAttr,
+		render: func(b *builder, a AttributeSpec) {
+			n := b.uniq(a.Name)
+			b.row(a.Label, selectList(n, a.Values))
+			b.addTruth(truthFor(a, []string{n}, nil, a.Values, false), 2)
+		}},
+	{ID: 3, Name: "attr-above-textbox", Kind: TextAttr,
+		render: func(b *builder, a AttributeSpec) {
+			n := b.uniq(a.Name)
+			b.wide(a.Label + "<br>" + textbox(n, 20+b.r.Intn(20)))
+			b.addTruth(truthFor(a, []string{n}, nil, nil, false), 3)
+		}},
+	{ID: 4, Name: "attr-above-select", Kind: EnumAttr,
+		render: func(b *builder, a AttributeSpec) {
+			n := b.uniq(a.Name)
+			b.wide(a.Label + "<br>" + selectList(n, a.Values))
+			b.addTruth(truthFor(a, []string{n}, nil, a.Values, false), 4)
+		}},
+	{ID: 5, Name: "attr-left-textbox-radio-ops-below", Kind: TextAttr, NeedsOps: true,
+		render: func(b *builder, a AttributeSpec) {
+			n := b.uniq(a.Name)
+			on := b.uniq(a.Name + "_mode")
+			b.row(a.Label, textbox(n, 30+b.r.Intn(10)))
+			b.row("", radios(on, a.Ops))
+			b.addTruth(truthFor(a, []string{n}, a.Ops, nil, false), 5)
+		}},
+	{ID: 6, Name: "attr-left-radiolist", Kind: EnumAttr,
+		render: func(b *builder, a AttributeSpec) {
+			n := b.uniq(a.Name)
+			vals := capValues(a.Values, 4)
+			b.row(a.Label, radios(n, vals))
+			b.addTruth(truthFor(a, []string{n}, nil, vals, false), 6)
+		}},
+	{ID: 7, Name: "attr-left-checkbox-group", Kind: EnumAttr,
+		render: func(b *builder, a AttributeSpec) {
+			n := b.uniq(a.Name)
+			vals := capValues(a.Values, 5)
+			b.row(a.Label, checkboxes(n, vals))
+			b.addTruth(truthFor(a, []string{n}, nil, vals, true), 7)
+		}},
+	{ID: 8, Name: "attr-left-date-selects", Kind: DateAttr,
+		render: func(b *builder, a AttributeSpec) {
+			html, fields := dateSelects(b, a.Name)
+			b.row(a.Label, html)
+			b.addTruth(truthFor(a, fields, nil, nil, false), 8)
+		}},
+	{ID: 9, Name: "range-from-to-textboxes", Kind: RangeAttr,
+		render: func(b *builder, a AttributeSpec) {
+			lo := b.uniq(a.Name + "_min")
+			hi := b.uniq(a.Name + "_max")
+			b.row(a.Label, "from "+textbox(lo, 8)+" to "+textbox(hi, 8))
+			b.addTruth(truthFor(a, []string{lo, hi}, nil, nil, false), 9)
+		}},
+	{ID: 10, Name: "attr-left-opselect-textbox", Kind: TextAttr, NeedsOps: true,
+		render: func(b *builder, a AttributeSpec) {
+			n := b.uniq(a.Name)
+			on := b.uniq(a.Name + "_mode")
+			b.row(a.Label, selectList(on, a.Ops)+" "+textbox(n, 24))
+			b.addTruth(truthFor(a, []string{n}, a.Ops, nil, false), 10)
+		}},
+	{ID: 11, Name: "single-checkbox", Kind: BoolAttr,
+		render: func(b *builder, a AttributeSpec) {
+			n := b.uniq(a.Name)
+			b.row("", fmt.Sprintf(`<input type="checkbox" name="%s">%s`, n, a.Label))
+			b.addTruth(truthFor(a, []string{n}, nil, nil, false), 11)
+		}},
+	{ID: 12, Name: "attr-left-radiolist-vertical", Kind: EnumAttr,
+		render: func(b *builder, a AttributeSpec) {
+			n := b.uniq(a.Name)
+			vals := capValues(a.Values, 4)
+			var sb strings.Builder
+			for i, v := range vals {
+				if i > 0 {
+					sb.WriteString("<br>")
+				}
+				checked := ""
+				if i == 0 {
+					checked = " checked"
+				}
+				fmt.Fprintf(&sb, `<input type="radio" name="%s" value="v%d"%s>%s`, n, i, checked, v)
+			}
+			b.row(a.Label, sb.String())
+			b.addTruth(truthFor(a, []string{n}, nil, vals, false), 12)
+		}},
+	{ID: 13, Name: "range-select-pair", Kind: RangeAttr,
+		render: func(b *builder, a AttributeSpec) {
+			lo := b.uniq(a.Name + "_min")
+			hi := b.uniq(a.Name + "_max")
+			opts := yearOptions(1998, 2005)
+			b.row(a.Label, "from "+selectList(lo, opts)+" to "+selectList(hi, opts))
+			b.addTruth(truthFor(a, []string{lo, hi}, nil, nil, false), 13)
+		}},
+	{ID: 14, Name: "attr-above-checkbox-group", Kind: EnumAttr,
+		render: func(b *builder, a AttributeSpec) {
+			n := b.uniq(a.Name)
+			vals := capValues(a.Values, 5)
+			b.wide(a.Label + "<br>" + checkboxes(n, vals))
+			b.addTruth(truthFor(a, []string{n}, nil, vals, true), 14)
+		}},
+	{ID: 15, Name: "attr-left-textarea", Kind: TextAttr,
+		render: func(b *builder, a AttributeSpec) {
+			n := b.uniq(a.Name)
+			b.row(a.Label, fmt.Sprintf(`<textarea name="%s" rows="2" cols="24"></textarea>`, n))
+			b.addTruth(truthFor(a, []string{n}, nil, nil, false), 15)
+		}},
+	{ID: 16, Name: "attr-left-textbox-with-hint", Kind: TextAttr,
+		render: func(b *builder, a AttributeSpec) {
+			n := b.uniq(a.Name)
+			b.row(a.Label, textbox(n, 24)+" (optional)")
+			b.addTruth(truthFor(a, []string{n}, nil, nil, false), 16)
+		}},
+	{ID: 17, Name: "attr-above-date-selects", Kind: DateAttr,
+		render: func(b *builder, a AttributeSpec) {
+			html, fields := dateSelects(b, a.Name)
+			b.wide(a.Label + "<br>" + html)
+			b.addTruth(truthFor(a, fields, nil, nil, false), 17)
+		}},
+	{ID: 18, Name: "attr-left-textbox-radio-ops-right", Kind: TextAttr, NeedsOps: true,
+		render: func(b *builder, a AttributeSpec) {
+			n := b.uniq(a.Name)
+			on := b.uniq(a.Name + "_mode")
+			ops := capValues(a.Ops, 2)
+			b.row(a.Label, textbox(n, 18)+" "+radios(on, ops))
+			b.addTruth(truthFor(a, []string{n}, ops, nil, false), 18)
+		}},
+	{ID: 19, Name: "attr-above-multiselect", Kind: EnumAttr,
+		render: func(b *builder, a AttributeSpec) {
+			n := b.uniq(a.Name)
+			b.wide(a.Label + "<br>" + fmt.Sprintf(`<select name="%s" multiple size="4">%s</select>`,
+				n, "<option>"+strings.Join(a.Values, "</option><option>")+"</option>"))
+			b.addTruth(truthFor(a, []string{n}, nil, a.Values, true), 19)
+		}},
+	{ID: 20, Name: "attr-left-multiselect", Kind: EnumAttr,
+		render: func(b *builder, a AttributeSpec) {
+			n := b.uniq(a.Name)
+			b.row(a.Label, fmt.Sprintf(`<select name="%s" multiple size="3">%s</select>`,
+				n, "<option>"+strings.Join(a.Values, "</option><option>")+"</option>"))
+			b.addTruth(truthFor(a, []string{n}, nil, a.Values, true), 20)
+		}},
+	{ID: 21, Name: "attr-right-of-field", Kind: TextAttr, Hard: true,
+		render: func(b *builder, a AttributeSpec) {
+			// Label to the RIGHT of the field — outside the derived
+			// grammar's conventions; a correct extractor loses this one.
+			n := b.uniq(a.Name)
+			b.row("", textbox(n, 16)+" "+a.Label)
+			b.addTruth(truthFor(a, []string{n}, nil, nil, false), 21)
+		}},
+	{ID: 22, Name: "column-pair-offset", Kind: TextAttr, Hard: true, Pair: true,
+		renderPair: func(b *builder, a1, a2 AttributeSpec) {
+			// Column-by-column arrangement (the Figure 14 variation): the
+			// second column's label is pushed far above its field, breaking
+			// adjacency.
+			n1 := b.uniq(a1.Name)
+			n2 := b.uniq(a2.Name)
+			b.rows = append(b.rows, "<tr><td>"+a1.Label+"<br>"+textbox(n1, 16)+
+				"</td><td>"+a2.Label+"<br><br><br><br>"+textbox(n2, 16)+"</td></tr>")
+			b.addTruth(truthFor(a1, []string{n1}, nil, nil, false), 22)
+			b.addTruth(truthFor(a2, []string{n2}, nil, nil, false), 22)
+		}},
+	{ID: 23, Name: "distant-label", Kind: TextAttr, Hard: true,
+		render: func(b *builder, a AttributeSpec) {
+			// Label in the first column of one row, field in the second
+			// column of the NEXT row: neither left- nor above-adjacent.
+			n := b.uniq(a.Name)
+			b.row(a.Label, "")
+			b.row("", textbox(n, 18))
+			b.addTruth(truthFor(a, []string{n}, nil, nil, false), 23)
+		}},
+	{ID: 24, Name: "shared-caption-subattrs", Kind: EnumAttr, Hard: true, Pair: true,
+		renderPair: func(b *builder, a1, a2 AttributeSpec) {
+			// A caption spans two labelled selects (the passengers/adults
+			// conflict of Figure 14): the caption reading competes with the
+			// per-attribute readings.
+			n1 := b.uniq(a1.Name)
+			n2 := b.uniq(a2.Name)
+			b.wide("Number of " + strings.ToLower(a1.Label) + " and " + strings.ToLower(a2.Label))
+			b.rows = append(b.rows, "<tr><td>"+a1.Label+" "+selectList(n1, a1.Values)+
+				"</td><td>"+a2.Label+" "+selectList(n2, a2.Values)+"</td></tr>")
+			b.addTruth(truthFor(a1, []string{n1}, nil, a1.Values, false), 24)
+			b.addTruth(truthFor(a2, []string{n2}, nil, a2.Values, false), 24)
+		}},
+	{ID: 25, Name: "attr-left-textbox-inline-submit", Kind: TextAttr,
+		render: func(b *builder, a AttributeSpec) {
+			n := b.uniq(a.Name)
+			b.row(a.Label, textbox(n, 22)+` <input type="submit" value="Go">`)
+			b.addTruth(truthFor(a, []string{n}, nil, nil, false), 25)
+		}},
+}
+
+// capValues limits an enumeration to n values (radio/checkbox rows get
+// unwieldy beyond a handful).
+func capValues(vals []string, n int) []string {
+	if len(vals) <= n {
+		return vals
+	}
+	return vals[:n]
+}
+
+// PatternByID returns the pattern with the given rank, or nil.
+func PatternByID(id int) *Pattern {
+	for _, p := range Patterns {
+		if p.ID == id {
+			return p
+		}
+	}
+	return nil
+}

@@ -1,0 +1,400 @@
+// Package dataset generates synthetic deep-Web query interfaces with
+// ground-truth semantic models. It substitutes for the paper's TEL-8 /
+// invisible-web.net datasets (Section 6), which were hand-collected from
+// live 2003-era sources and are not available: the generator renders HTML
+// query forms from domain schemas using the condition-pattern vocabulary of
+// Section 3.1, sampled from a Zipf distribution, plus a hardness model that
+// injects exactly the phenomena the paper reports as error sources
+// (uncaptured layouts, distant labels, shared captions, decorations).
+package dataset
+
+import "formext/internal/model"
+
+// AttrKind classifies how an attribute is naturally queried; it determines
+// which condition patterns can render it.
+type AttrKind int
+
+const (
+	// TextAttr is queried by typing (author, title, keywords).
+	TextAttr AttrKind = iota
+	// EnumAttr is queried by choosing from a closed set (format, cabin).
+	EnumAttr
+	// DateAttr is a calendar date (departure date).
+	DateAttr
+	// RangeAttr is a numeric interval (price, year, mileage).
+	RangeAttr
+	// BoolAttr is a single yes/no flag (in stock only).
+	BoolAttr
+)
+
+// GroundKind maps an attribute kind to the domain kind a perfect extractor
+// reports.
+func (k AttrKind) GroundKind() model.DomainKind {
+	switch k {
+	case EnumAttr:
+		return model.EnumDomain
+	case DateAttr:
+		return model.DateDomain
+	case RangeAttr:
+		return model.RangeDomain
+	case BoolAttr:
+		return model.BoolDomain
+	default:
+		return model.TextDomain
+	}
+}
+
+// AttributeSpec is one queryable attribute of a domain schema.
+type AttributeSpec struct {
+	Label  string   // the label rendered on the form
+	Name   string   // the control-name stem
+	Kind   AttrKind // natural query style
+	Values []string // enumeration values (EnumAttr) or operator texts
+	Ops    []string // operator/modifier texts for TextAttr, when customary
+}
+
+// Schema is a domain of deep-Web sources sharing an attribute inventory.
+type Schema struct {
+	Name     string
+	Captions []string // decorative headings sources in this domain use
+	Attrs    []AttributeSpec
+}
+
+// The three Basic domains of the paper's survey (Section 3.1): Books,
+// Airfares, Automobiles — "schematically dissimilar and semantically
+// unrelated".
+var Books = Schema{
+	Name: "Books",
+	Captions: []string{
+		"Search our catalog of over 2 million titles",
+		"Find new and used books at great prices",
+		"Advanced book search",
+	},
+	Attrs: []AttributeSpec{
+		{Label: "Author", Name: "author", Kind: TextAttr,
+			Ops: []string{"First name/initials and last name", "Start of last name", "Exact name"}},
+		{Label: "Title", Name: "title", Kind: TextAttr,
+			Ops: []string{"Title word(s)", "Start(s) of title word(s)", "Exact start of title"}},
+		{Label: "Keyword", Name: "keyword", Kind: TextAttr},
+		{Label: "ISBN", Name: "isbn", Kind: TextAttr},
+		{Label: "Publisher", Name: "publisher", Kind: TextAttr},
+		{Label: "Subject", Name: "subject", Kind: EnumAttr,
+			Values: []string{"Any subject", "Arts", "Biography", "Computers", "Fiction", "History", "Science"}},
+		{Label: "Format", Name: "format", Kind: EnumAttr,
+			Values: []string{"Hardcover", "Paperback", "Audio"}},
+		{Label: "Price", Name: "price", Kind: RangeAttr},
+		{Label: "Publication year", Name: "pubyear", Kind: RangeAttr},
+		{Label: "In stock only", Name: "instock", Kind: BoolAttr},
+		{Label: "Condition", Name: "cond", Kind: EnumAttr, Values: []string{"New", "Used", "Collectible"}},
+		{Label: "Binding", Name: "binding", Kind: EnumAttr, Values: []string{"Any binding", "Cloth", "Leather", "Library"}},
+	},
+}
+
+var Airfares = Schema{
+	Name: "Airfares",
+	Captions: []string{
+		"Book your flight today and save",
+		"Low fares to over 300 destinations",
+		"Plan your trip",
+	},
+	Attrs: []AttributeSpec{
+		{Label: "From", Name: "orig", Kind: TextAttr},
+		{Label: "To", Name: "dest", Kind: TextAttr},
+		{Label: "Departure date", Name: "depart", Kind: DateAttr},
+		{Label: "Return date", Name: "return", Kind: DateAttr},
+		{Label: "Passengers", Name: "pax", Kind: EnumAttr, Values: []string{"1", "2", "3", "4", "5", "6"}},
+		{Label: "Adults", Name: "adults", Kind: EnumAttr, Values: []string{"1", "2", "3", "4"}},
+		{Label: "Children", Name: "children", Kind: EnumAttr, Values: []string{"0", "1", "2", "3"}},
+		{Label: "Cabin", Name: "cabin", Kind: EnumAttr, Values: []string{"Coach", "Business", "First"}},
+		{Label: "Trip type", Name: "trip", Kind: EnumAttr, Values: []string{"Round trip", "One way"}},
+		{Label: "Airline", Name: "airline", Kind: EnumAttr,
+			Values: []string{"No preference", "American", "Delta", "United", "Northwest"}},
+		{Label: "Nonstop only", Name: "nonstop", Kind: BoolAttr},
+	},
+}
+
+var Automobiles = Schema{
+	Name: "Automobiles",
+	Captions: []string{
+		"Find your next car here",
+		"Search thousands of local listings",
+		"New and used car search",
+	},
+	Attrs: []AttributeSpec{
+		{Label: "Make", Name: "make", Kind: EnumAttr,
+			Values: []string{"Any make", "Ford", "Toyota", "Honda", "Chevrolet", "BMW", "Volkswagen"}},
+		{Label: "Model", Name: "carmodel", Kind: TextAttr},
+		{Label: "Zip code", Name: "zip", Kind: TextAttr},
+		{Label: "Price", Name: "price", Kind: RangeAttr},
+		{Label: "Year", Name: "year", Kind: RangeAttr},
+		{Label: "Mileage", Name: "mileage", Kind: EnumAttr,
+			Values: []string{"Any mileage", "Under 30,000", "Under 60,000", "Under 100,000"}},
+		{Label: "Body style", Name: "body", Kind: EnumAttr,
+			Values: []string{"Sedan", "Coupe", "SUV", "Truck", "Convertible"}},
+		{Label: "Color", Name: "color", Kind: EnumAttr,
+			Values: []string{"Any color", "Black", "White", "Silver", "Red", "Blue"}},
+		{Label: "Distance", Name: "radius", Kind: EnumAttr,
+			Values: []string{"10 miles", "25 miles", "50 miles", "100 miles"}},
+		{Label: "Used only", Name: "used", Kind: BoolAttr},
+		{Label: "Condition", Name: "cond", Kind: EnumAttr, Values: []string{"New", "Used", "Certified"}},
+	},
+}
+
+// The NewDomain datasets use six domains outside the Basic three (five
+// from TEL-8 plus RealEstates, as in Section 6).
+var Music = Schema{
+	Name:     "Music",
+	Captions: []string{"Find albums, artists and songs", "Music superstore search"},
+	Attrs: []AttributeSpec{
+		{Label: "Artist", Name: "artist", Kind: TextAttr,
+			Ops: []string{"contains", "starts with", "exact name"}},
+		{Label: "Album title", Name: "album", Kind: TextAttr},
+		{Label: "Song title", Name: "song", Kind: TextAttr},
+		{Label: "Genre", Name: "genre", Kind: EnumAttr,
+			Values: []string{"Any genre", "Rock", "Jazz", "Classical", "Country", "Rap"}},
+		{Label: "Format", Name: "format", Kind: EnumAttr, Values: []string{"CD", "Cassette", "Vinyl"}},
+		{Label: "Price", Name: "price", Kind: RangeAttr},
+		{Label: "Label", Name: "rlabel", Kind: TextAttr},
+	},
+}
+
+var Movies = Schema{
+	Name:     "Movies",
+	Captions: []string{"Search movies on DVD and VHS", "Movie database search"},
+	Attrs: []AttributeSpec{
+		{Label: "Title", Name: "title", Kind: TextAttr,
+			Ops: []string{"contains", "begins with", "exact title"}},
+		{Label: "Director", Name: "director", Kind: TextAttr},
+		{Label: "Actor", Name: "actor", Kind: TextAttr},
+		{Label: "Genre", Name: "genre", Kind: EnumAttr,
+			Values: []string{"All genres", "Action", "Comedy", "Drama", "Horror", "Sci-Fi"}},
+		{Label: "Rating", Name: "rating", Kind: EnumAttr, Values: []string{"G", "PG", "PG-13", "R"}},
+		{Label: "Release year", Name: "year", Kind: RangeAttr},
+		{Label: "Format", Name: "format", Kind: EnumAttr, Values: []string{"DVD", "VHS"}},
+	},
+}
+
+var Hotels = Schema{
+	Name:     "Hotels",
+	Captions: []string{"Reserve your room online", "Hotel availability search"},
+	Attrs: []AttributeSpec{
+		{Label: "City", Name: "city", Kind: TextAttr},
+		{Label: "Check-in date", Name: "checkin", Kind: DateAttr},
+		{Label: "Check-out date", Name: "checkout", Kind: DateAttr},
+		{Label: "Rooms", Name: "rooms", Kind: EnumAttr, Values: []string{"1", "2", "3", "4"}},
+		{Label: "Guests", Name: "guests", Kind: EnumAttr, Values: []string{"1", "2", "3", "4", "5"}},
+		{Label: "Price per night", Name: "price", Kind: RangeAttr},
+		{Label: "Star rating", Name: "stars", Kind: EnumAttr,
+			Values: []string{"Any rating", "2 stars", "3 stars", "4 stars", "5 stars"}},
+		{Label: "Smoking room", Name: "smoking", Kind: BoolAttr},
+	},
+}
+
+var Jobs = Schema{
+	Name:     "Jobs",
+	Captions: []string{"Search thousands of job postings", "Find your next career move"},
+	Attrs: []AttributeSpec{
+		{Label: "Keywords", Name: "kw", Kind: TextAttr,
+			Ops: []string{"all of the words", "any of the words", "exact phrase"}},
+		{Label: "Job title", Name: "title", Kind: TextAttr},
+		{Label: "Company", Name: "company", Kind: TextAttr},
+		{Label: "Location", Name: "loc", Kind: TextAttr},
+		{Label: "Category", Name: "cat", Kind: EnumAttr,
+			Values: []string{"All categories", "Accounting", "Engineering", "Marketing", "Sales"}},
+		{Label: "Job type", Name: "type", Kind: EnumAttr,
+			Values: []string{"Full time", "Part time", "Contract"}},
+		{Label: "Salary", Name: "salary", Kind: RangeAttr},
+		{Label: "Posted within", Name: "age", Kind: EnumAttr,
+			Values: []string{"Any time", "Last 7 days", "Last 30 days"}},
+	},
+}
+
+var CarRentals = Schema{
+	Name:     "CarRentals",
+	Captions: []string{"Rent a car in minutes", "Compare rental rates"},
+	Attrs: []AttributeSpec{
+		{Label: "Pick-up city", Name: "pucity", Kind: TextAttr},
+		{Label: "Pick-up date", Name: "pudate", Kind: DateAttr},
+		{Label: "Drop-off date", Name: "dodate", Kind: DateAttr},
+		{Label: "Car class", Name: "class", Kind: EnumAttr,
+			Values: []string{"Economy", "Compact", "Midsize", "Full size", "SUV"}},
+		{Label: "Company", Name: "company", Kind: EnumAttr,
+			Values: []string{"No preference", "Avis", "Hertz", "Budget", "National"}},
+		{Label: "Driver age", Name: "age", Kind: EnumAttr, Values: []string{"25+", "21-24", "18-20"}},
+	},
+}
+
+var RealEstates = Schema{
+	Name:     "RealEstates",
+	Captions: []string{"Find homes for sale near you", "Real estate listing search"},
+	Attrs: []AttributeSpec{
+		{Label: "City", Name: "city", Kind: TextAttr},
+		{Label: "State", Name: "state", Kind: EnumAttr,
+			Values: []string{"Any state", "California", "Texas", "Illinois", "New York", "Florida"}},
+		{Label: "Zip code", Name: "zip", Kind: TextAttr},
+		{Label: "Price", Name: "price", Kind: RangeAttr},
+		{Label: "Bedrooms", Name: "beds", Kind: EnumAttr, Values: []string{"Any", "1+", "2+", "3+", "4+"}},
+		{Label: "Bathrooms", Name: "baths", Kind: EnumAttr, Values: []string{"Any", "1+", "2+", "3+"}},
+		{Label: "Property type", Name: "ptype", Kind: EnumAttr,
+			Values: []string{"House", "Condo", "Townhouse", "Land"}},
+		{Label: "New construction", Name: "newc", Kind: BoolAttr},
+	},
+}
+
+// Additional domains for the Random dataset, standing in for the 16 of 18
+// invisible-web.net top-level categories the paper's random sample covered.
+var Electronics = Schema{
+	Name:     "Electronics",
+	Captions: []string{"Shop electronics by feature", "Gadget finder"},
+	Attrs: []AttributeSpec{
+		{Label: "Product", Name: "prod", Kind: TextAttr},
+		{Label: "Brand", Name: "brand", Kind: EnumAttr,
+			Values: []string{"Any brand", "Sony", "Panasonic", "Samsung", "Canon"}},
+		{Label: "Category", Name: "cat", Kind: EnumAttr,
+			Values: []string{"All", "Cameras", "Televisions", "Audio", "Phones"}},
+		{Label: "Price", Name: "price", Kind: RangeAttr},
+		{Label: "On sale only", Name: "sale", Kind: BoolAttr},
+	},
+}
+
+var Libraries = Schema{
+	Name:     "Libraries",
+	Captions: []string{"Search the library catalog", "Find items in our collection"},
+	Attrs: []AttributeSpec{
+		{Label: "Any field", Name: "anyf", Kind: TextAttr,
+			Ops: []string{"contains", "begins with", "exact match"}},
+		{Label: "Author", Name: "author", Kind: TextAttr},
+		{Label: "Title", Name: "title", Kind: TextAttr},
+		{Label: "Subject", Name: "subject", Kind: TextAttr},
+		{Label: "Material type", Name: "mat", Kind: EnumAttr,
+			Values: []string{"Any type", "Book", "Journal", "Video", "Map"}},
+		{Label: "Language", Name: "lang", Kind: EnumAttr,
+			Values: []string{"Any language", "English", "Spanish", "French", "German"}},
+		{Label: "Publication year", Name: "pubyear", Kind: RangeAttr},
+	},
+}
+
+var Flights = Schema{
+	Name:     "FlightsIntl",
+	Captions: []string{"International flight finder"},
+	Attrs: []AttributeSpec{
+		{Label: "Departure city", Name: "from", Kind: TextAttr},
+		{Label: "Arrival city", Name: "to", Kind: TextAttr},
+		{Label: "Travel date", Name: "when", Kind: DateAttr},
+		{Label: "Travelers", Name: "trav", Kind: EnumAttr, Values: []string{"1", "2", "3", "4", "5"}},
+		{Label: "Class", Name: "class", Kind: EnumAttr, Values: []string{"Economy", "Business", "First"}},
+	},
+}
+
+var Wines = Schema{
+	Name:     "Wines",
+	Captions: []string{"Search our wine cellar"},
+	Attrs: []AttributeSpec{
+		{Label: "Winery", Name: "winery", Kind: TextAttr},
+		{Label: "Varietal", Name: "var", Kind: EnumAttr,
+			Values: []string{"Any varietal", "Cabernet", "Merlot", "Chardonnay", "Pinot Noir"}},
+		{Label: "Region", Name: "region", Kind: EnumAttr,
+			Values: []string{"Any region", "Napa", "Sonoma", "Bordeaux", "Tuscany"}},
+		{Label: "Price", Name: "price", Kind: RangeAttr},
+		{Label: "Vintage", Name: "vintage", Kind: RangeAttr},
+	},
+}
+
+var Recipes = Schema{
+	Name:     "Recipes",
+	Captions: []string{"What would you like to cook today"},
+	Attrs: []AttributeSpec{
+		{Label: "Ingredients", Name: "ingr", Kind: TextAttr,
+			Ops: []string{"all ingredients", "any ingredient"}},
+		{Label: "Dish name", Name: "dish", Kind: TextAttr},
+		{Label: "Cuisine", Name: "cuisine", Kind: EnumAttr,
+			Values: []string{"Any cuisine", "Italian", "Mexican", "Chinese", "Indian"}},
+		{Label: "Course", Name: "course", Kind: EnumAttr,
+			Values: []string{"Appetizer", "Main dish", "Dessert"}},
+		{Label: "Vegetarian only", Name: "veg", Kind: BoolAttr},
+	},
+}
+
+var Patents = Schema{
+	Name:     "Patents",
+	Captions: []string{"Patent full-text search"},
+	Attrs: []AttributeSpec{
+		{Label: "Inventor", Name: "inv", Kind: TextAttr},
+		{Label: "Assignee", Name: "asgn", Kind: TextAttr},
+		{Label: "Title words", Name: "title", Kind: TextAttr,
+			Ops: []string{"all of the words", "any of the words", "exact phrase"}},
+		{Label: "Issue date", Name: "issued", Kind: DateAttr},
+		{Label: "Classification", Name: "class", Kind: TextAttr},
+	},
+}
+
+var Stocks = Schema{
+	Name:     "Stocks",
+	Captions: []string{"Stock and fund screener"},
+	Attrs: []AttributeSpec{
+		{Label: "Ticker symbol", Name: "sym", Kind: TextAttr},
+		{Label: "Company name", Name: "comp", Kind: TextAttr},
+		{Label: "Sector", Name: "sector", Kind: EnumAttr,
+			Values: []string{"All sectors", "Technology", "Energy", "Financials", "Healthcare"}},
+		{Label: "Market cap", Name: "mcap", Kind: EnumAttr,
+			Values: []string{"Any size", "Large cap", "Mid cap", "Small cap"}},
+		{Label: "Price", Name: "price", Kind: RangeAttr},
+	},
+}
+
+var Universities = Schema{
+	Name:     "Universities",
+	Captions: []string{"College and university finder"},
+	Attrs: []AttributeSpec{
+		{Label: "School name", Name: "school", Kind: TextAttr},
+		{Label: "State", Name: "state", Kind: EnumAttr,
+			Values: []string{"Any state", "California", "Massachusetts", "Texas", "Michigan"}},
+		{Label: "Enrollment", Name: "enroll", Kind: EnumAttr,
+			Values: []string{"Any size", "Under 2,000", "2,000-10,000", "Over 10,000"}},
+		{Label: "Tuition", Name: "tuition", Kind: RangeAttr},
+		{Label: "Public only", Name: "public", Kind: BoolAttr},
+	},
+}
+
+var Weather = Schema{
+	Name:     "WeatherArchive",
+	Captions: []string{"Historical weather lookup"},
+	Attrs: []AttributeSpec{
+		{Label: "Station", Name: "station", Kind: TextAttr},
+		{Label: "Observation date", Name: "obs", Kind: DateAttr},
+		{Label: "Measurement", Name: "meas", Kind: EnumAttr,
+			Values: []string{"Temperature", "Precipitation", "Wind", "Humidity"}},
+	},
+}
+
+var Auctions = Schema{
+	Name:     "Auctions",
+	Captions: []string{"Find it on the auction block"},
+	Attrs: []AttributeSpec{
+		{Label: "Search terms", Name: "q", Kind: TextAttr,
+			Ops: []string{"all words", "any words", "exact phrase"}},
+		{Label: "Category", Name: "cat", Kind: EnumAttr,
+			Values: []string{"All categories", "Antiques", "Art", "Coins", "Stamps"}},
+		{Label: "Price", Name: "price", Kind: RangeAttr},
+		{Label: "Buy it now only", Name: "bin", Kind: BoolAttr},
+		{Label: "Ending within", Name: "ending", Kind: EnumAttr,
+			Values: []string{"Any time", "1 hour", "1 day", "3 days"}},
+	},
+}
+
+// BasicSchemas are the paper's three survey domains.
+var BasicSchemas = []Schema{Books, Airfares, Automobiles}
+
+// NewDomainSchemas are the six extra domains of the NewDomain dataset.
+var NewDomainSchemas = []Schema{Music, Movies, Hotels, Jobs, CarRentals, RealEstates}
+
+// AllSchemas is the 18-domain catalogue the Random dataset samples from,
+// standing in for invisible-web.net's 18 top-level categories; a 30-source
+// random sample covers most but usually not all of them, as in the paper's
+// "16 out of the 18 top level domains".
+var AllSchemas = []Schema{
+	Books, Airfares, Automobiles,
+	Music, Movies, Hotels, Jobs, CarRentals, RealEstates,
+	Electronics, Libraries, Flights, Wines, Recipes, Patents, Stocks,
+	Universities, Weather,
+}

@@ -1,0 +1,169 @@
+// Package geom provides the two-dimensional geometry primitives used by the
+// visual-language machinery: axis-aligned rectangles (token bounding boxes)
+// and the spatial relations (left, above, alignment, adjacency) that 2P
+// grammar productions use as constraints.
+//
+// The paper (Section 3.4) records each token's position as a bounding box
+// pos = (left, right, top, bottom); Rect mirrors that layout. The coordinate
+// system is the usual screen system: x grows rightward, y grows downward.
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Rect is an axis-aligned rectangle given by its left/right x coordinates
+// and top/bottom y coordinates, in pixels. A valid Rect has X1 <= X2 and
+// Y1 <= Y2. The zero Rect is the empty rectangle at the origin.
+type Rect struct {
+	X1 float64 // left
+	X2 float64 // right
+	Y1 float64 // top
+	Y2 float64 // bottom
+}
+
+// R is shorthand for constructing a Rect.
+func R(x1, x2, y1, y2 float64) Rect { return Rect{X1: x1, X2: x2, Y1: y1, Y2: y2} }
+
+// Width returns the horizontal extent of r.
+func (r Rect) Width() float64 { return r.X2 - r.X1 }
+
+// Height returns the vertical extent of r.
+func (r Rect) Height() float64 { return r.Y2 - r.Y1 }
+
+// Area returns the area of r; degenerate rectangles have zero area.
+func (r Rect) Area() float64 {
+	if r.X2 <= r.X1 || r.Y2 <= r.Y1 {
+		return 0
+	}
+	return r.Width() * r.Height()
+}
+
+// CenterX returns the x coordinate of r's center.
+func (r Rect) CenterX() float64 { return (r.X1 + r.X2) / 2 }
+
+// CenterY returns the y coordinate of r's center.
+func (r Rect) CenterY() float64 { return (r.Y1 + r.Y2) / 2 }
+
+// Valid reports whether r is a well-formed rectangle (non-negative extents).
+func (r Rect) Valid() bool { return r.X1 <= r.X2 && r.Y1 <= r.Y2 }
+
+// Empty reports whether r has zero area.
+func (r Rect) Empty() bool { return r.X1 >= r.X2 || r.Y1 >= r.Y2 }
+
+// Union returns the smallest rectangle containing both r and s. Empty
+// rectangles at the zero value are treated as absent.
+func (r Rect) Union(s Rect) Rect {
+	if r == (Rect{}) {
+		return s
+	}
+	if s == (Rect{}) {
+		return r
+	}
+	u := r
+	if s.X1 < u.X1 {
+		u.X1 = s.X1
+	}
+	if s.X2 > u.X2 {
+		u.X2 = s.X2
+	}
+	if s.Y1 < u.Y1 {
+		u.Y1 = s.Y1
+	}
+	if s.Y2 > u.Y2 {
+		u.Y2 = s.Y2
+	}
+	return u
+}
+
+// UnionAll returns the bounding box of all given rectangles.
+func UnionAll(rs ...Rect) Rect {
+	var u Rect
+	for _, r := range rs {
+		u = u.Union(r)
+	}
+	return u
+}
+
+// Intersects reports whether r and s share any interior point.
+func (r Rect) Intersects(s Rect) bool {
+	return r.X1 < s.X2 && s.X1 < r.X2 && r.Y1 < s.Y2 && s.Y1 < r.Y2
+}
+
+// Contains reports whether r fully contains s.
+func (r Rect) Contains(s Rect) bool {
+	return r.X1 <= s.X1 && s.X2 <= r.X2 && r.Y1 <= s.Y1 && s.Y2 <= r.Y2
+}
+
+// ContainsPoint reports whether the point (x, y) lies inside r (inclusive of
+// the left/top edges, exclusive of the right/bottom edges).
+func (r Rect) ContainsPoint(x, y float64) bool {
+	return r.X1 <= x && x < r.X2 && r.Y1 <= y && y < r.Y2
+}
+
+// Translate returns r shifted by (dx, dy).
+func (r Rect) Translate(dx, dy float64) Rect {
+	return Rect{X1: r.X1 + dx, X2: r.X2 + dx, Y1: r.Y1 + dy, Y2: r.Y2 + dy}
+}
+
+// HOverlap returns the length of the horizontal-projection overlap of r and
+// s, i.e. how much of the x axis the two rectangles share. Non-overlapping
+// projections yield a non-positive value equal to minus the gap.
+func (r Rect) HOverlap(s Rect) float64 {
+	lo := r.X1
+	if s.X1 > lo {
+		lo = s.X1
+	}
+	hi := r.X2
+	if s.X2 < hi {
+		hi = s.X2
+	}
+	return hi - lo
+}
+
+// VOverlap returns the length of the vertical-projection overlap of r and s.
+func (r Rect) VOverlap(s Rect) float64 {
+	lo := r.Y1
+	if s.Y1 > lo {
+		lo = s.Y1
+	}
+	hi := r.Y2
+	if s.Y2 < hi {
+		hi = s.Y2
+	}
+	return hi - lo
+}
+
+// HGap returns the horizontal gap between r and s: the distance between r's
+// right edge and s's left edge when r is to the left of s (and symmetrically
+// otherwise). Overlapping projections yield a negative gap.
+func (r Rect) HGap(s Rect) float64 { return -r.HOverlap(s) }
+
+// VGap returns the vertical gap between r and s.
+func (r Rect) VGap(s Rect) float64 { return -r.VOverlap(s) }
+
+// Distance returns the Euclidean distance between the closest points of r
+// and s; zero if they intersect or touch.
+func (r Rect) Distance(s Rect) float64 {
+	dx := r.HGap(s)
+	if dx < 0 {
+		dx = 0
+	}
+	dy := r.VGap(s)
+	if dy < 0 {
+		dy = 0
+	}
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// CenterDistance returns the Euclidean distance between the centers of r and s.
+func (r Rect) CenterDistance(s Rect) float64 {
+	dx := r.CenterX() - s.CenterX()
+	dy := r.CenterY() - s.CenterY()
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+func (r Rect) String() string {
+	return fmt.Sprintf("(%g,%g,%g,%g)", r.X1, r.X2, r.Y1, r.Y2)
+}

@@ -1,0 +1,223 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRectAccessors(t *testing.T) {
+	r := R(10, 40, 10, 20)
+	if got := r.Width(); got != 30 {
+		t.Errorf("Width = %g, want 30", got)
+	}
+	if got := r.Height(); got != 10 {
+		t.Errorf("Height = %g, want 10", got)
+	}
+	if got := r.Area(); got != 300 {
+		t.Errorf("Area = %g, want 300", got)
+	}
+	if got := r.CenterX(); got != 25 {
+		t.Errorf("CenterX = %g, want 25", got)
+	}
+	if got := r.CenterY(); got != 15 {
+		t.Errorf("CenterY = %g, want 15", got)
+	}
+	if !r.Valid() {
+		t.Error("Valid = false, want true")
+	}
+	if r.Empty() {
+		t.Error("Empty = true, want false")
+	}
+}
+
+func TestRectDegenerate(t *testing.T) {
+	r := R(5, 5, 0, 10) // zero width
+	if !r.Valid() {
+		t.Error("zero-width rect should be Valid")
+	}
+	if !r.Empty() {
+		t.Error("zero-width rect should be Empty")
+	}
+	if r.Area() != 0 {
+		t.Errorf("Area = %g, want 0", r.Area())
+	}
+	bad := R(10, 0, 0, 10)
+	if bad.Valid() {
+		t.Error("inverted rect should not be Valid")
+	}
+}
+
+func TestUnion(t *testing.T) {
+	a := R(0, 10, 0, 10)
+	b := R(5, 20, -5, 8)
+	u := a.Union(b)
+	want := R(0, 20, -5, 10)
+	if u != want {
+		t.Errorf("Union = %v, want %v", u, want)
+	}
+	// Zero value acts as identity.
+	if got := (Rect{}).Union(a); got != a {
+		t.Errorf("zero.Union(a) = %v, want %v", got, a)
+	}
+	if got := a.Union(Rect{}); got != a {
+		t.Errorf("a.Union(zero) = %v, want %v", got, a)
+	}
+}
+
+func TestUnionAll(t *testing.T) {
+	u := UnionAll(R(0, 1, 0, 1), R(2, 3, 2, 3), R(-1, 0, -1, 0))
+	want := R(-1, 3, -1, 3)
+	if u != want {
+		t.Errorf("UnionAll = %v, want %v", u, want)
+	}
+	if got := UnionAll(); got != (Rect{}) {
+		t.Errorf("UnionAll() = %v, want zero", got)
+	}
+}
+
+func TestIntersectsContains(t *testing.T) {
+	a := R(0, 10, 0, 10)
+	cases := []struct {
+		name       string
+		b          Rect
+		intersects bool
+		contains   bool
+	}{
+		{"inside", R(2, 8, 2, 8), true, true},
+		{"overlap", R(5, 15, 5, 15), true, false},
+		{"touching edge", R(10, 20, 0, 10), false, false},
+		{"disjoint", R(20, 30, 20, 30), false, false},
+		{"equal", a, true, true},
+	}
+	for _, c := range cases {
+		if got := a.Intersects(c.b); got != c.intersects {
+			t.Errorf("%s: Intersects = %v, want %v", c.name, got, c.intersects)
+		}
+		if got := a.Contains(c.b); got != c.contains {
+			t.Errorf("%s: Contains = %v, want %v", c.name, got, c.contains)
+		}
+	}
+}
+
+func TestContainsPoint(t *testing.T) {
+	r := R(0, 10, 0, 10)
+	if !r.ContainsPoint(0, 0) {
+		t.Error("left/top edge should be inside")
+	}
+	if r.ContainsPoint(10, 5) {
+		t.Error("right edge should be outside")
+	}
+	if r.ContainsPoint(5, 10) {
+		t.Error("bottom edge should be outside")
+	}
+	if !r.ContainsPoint(9.9, 9.9) {
+		t.Error("interior point should be inside")
+	}
+}
+
+func TestOverlapAndGap(t *testing.T) {
+	a := R(0, 10, 0, 10)
+	b := R(15, 25, 3, 8)
+	if got := a.HOverlap(b); got != -5 {
+		t.Errorf("HOverlap = %g, want -5", got)
+	}
+	if got := a.HGap(b); got != 5 {
+		t.Errorf("HGap = %g, want 5", got)
+	}
+	if got := a.VOverlap(b); got != 5 {
+		t.Errorf("VOverlap = %g, want 5", got)
+	}
+	if got := a.VGap(b); got != -5 {
+		t.Errorf("VGap = %g, want -5", got)
+	}
+}
+
+func TestDistance(t *testing.T) {
+	a := R(0, 10, 0, 10)
+	if got := a.Distance(R(5, 15, 5, 15)); got != 0 {
+		t.Errorf("overlapping Distance = %g, want 0", got)
+	}
+	// Pure horizontal separation of 3.
+	if got := a.Distance(R(13, 20, 0, 10)); got != 3 {
+		t.Errorf("horizontal Distance = %g, want 3", got)
+	}
+	// Diagonal separation (3, 4) -> 5.
+	if got := a.Distance(R(13, 20, 14, 20)); math.Abs(got-5) > 1e-9 {
+		t.Errorf("diagonal Distance = %g, want 5", got)
+	}
+}
+
+func TestTranslate(t *testing.T) {
+	r := R(0, 10, 0, 10).Translate(3, -2)
+	want := R(3, 13, -2, 8)
+	if r != want {
+		t.Errorf("Translate = %v, want %v", r, want)
+	}
+}
+
+// boundedRect produces rects with coordinates in a sane range for
+// property-based tests.
+func boundedRect(x1, w, y1, h uint16) Rect {
+	return R(float64(x1%2000), float64(x1%2000)+float64(w%500), float64(y1%2000), float64(y1%2000)+float64(h%500))
+}
+
+func TestUnionPropertyContainsBoth(t *testing.T) {
+	f := func(ax, aw, ay, ah, bx, bw, by, bh uint16) bool {
+		a := boundedRect(ax, aw, ay, ah)
+		b := boundedRect(bx, bw, by, bh)
+		u := a.Union(b)
+		return u.Contains(a) && u.Contains(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnionPropertyCommutativeIdempotent(t *testing.T) {
+	f := func(ax, aw, ay, ah, bx, bw, by, bh uint16) bool {
+		a := boundedRect(ax, aw, ay, ah)
+		b := boundedRect(bx, bw, by, bh)
+		return a.Union(b) == b.Union(a) && a.Union(a) == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntersectsPropertySymmetric(t *testing.T) {
+	f := func(ax, aw, ay, ah, bx, bw, by, bh uint16) bool {
+		a := boundedRect(ax, aw, ay, ah)
+		b := boundedRect(bx, bw, by, bh)
+		return a.Intersects(b) == b.Intersects(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistancePropertySymmetricNonnegative(t *testing.T) {
+	f := func(ax, aw, ay, ah, bx, bw, by, bh uint16) bool {
+		a := boundedRect(ax, aw, ay, ah)
+		b := boundedRect(bx, bw, by, bh)
+		d1, d2 := a.Distance(b), b.Distance(a)
+		return d1 >= 0 && math.Abs(d1-d2) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistanceZeroIffTouchingOrOverlap(t *testing.T) {
+	f := func(ax, aw, ay, ah, bx, bw, by, bh uint16) bool {
+		a := boundedRect(ax, aw, ay, ah)
+		b := boundedRect(bx, bw, by, bh)
+		if a.Intersects(b) {
+			return a.Distance(b) == 0
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

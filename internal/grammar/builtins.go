@@ -1,0 +1,340 @@
+package grammar
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"formext/internal/token"
+)
+
+// builtins is the registry of functions callable from constraint and
+// preference expressions. Spatial predicates delegate to geom.Thresholds,
+// so the adjacency-implied semantics of the grammar's relations (Section
+// 4.1) is centralized there.
+var builtins = map[string]func(ctx *EvalCtx, args []Value) (Value, error){}
+
+func init() {
+	// Spatial relations between two instances.
+	reg2("left", func(ctx *EvalCtx, a, b *Instance) Value { return VBool(ctx.Th.Left(a.Pos, b.Pos)) })
+	reg2("right", func(ctx *EvalCtx, a, b *Instance) Value { return VBool(ctx.Th.Right(a.Pos, b.Pos)) })
+	reg2("above", func(ctx *EvalCtx, a, b *Instance) Value { return VBool(ctx.Th.Above(a.Pos, b.Pos)) })
+	reg2("below", func(ctx *EvalCtx, a, b *Instance) Value { return VBool(ctx.Th.Below(a.Pos, b.Pos)) })
+	reg2("alignedleft", func(ctx *EvalCtx, a, b *Instance) Value { return VBool(ctx.Th.AlignedLeft(a.Pos, b.Pos)) })
+	reg2("alignedtop", func(ctx *EvalCtx, a, b *Instance) Value { return VBool(ctx.Th.AlignedTop(a.Pos, b.Pos)) })
+	reg2("alignedmiddle", func(ctx *EvalCtx, a, b *Instance) Value { return VBool(ctx.Th.AlignedMiddle(a.Pos, b.Pos)) })
+	reg2("samerow", func(ctx *EvalCtx, a, b *Instance) Value { return VBool(ctx.Th.SameRow(a.Pos, b.Pos)) })
+	reg2("samecol", func(ctx *EvalCtx, a, b *Instance) Value { return VBool(ctx.Th.SameColumn(a.Pos, b.Pos)) })
+	reg2("hgap", func(_ *EvalCtx, a, b *Instance) Value { return VNum(a.Pos.HGap(b.Pos)) })
+	reg2("vgap", func(_ *EvalCtx, a, b *Instance) Value { return VNum(a.Pos.VGap(b.Pos)) })
+	reg2("distance", func(_ *EvalCtx, a, b *Instance) Value { return VNum(a.Pos.Distance(b.Pos)) })
+
+	// Cover relations — conflict and subsumption between interpretations.
+	reg2("overlap", func(_ *EvalCtx, a, b *Instance) Value { return VBool(a.Cover.Intersects(b.Cover)) })
+	reg2("subsumes", func(_ *EvalCtx, a, b *Instance) Value { return VBool(b.Cover.SubsetOf(a.Cover)) })
+
+	// samename holds when both subtrees contain widgets and their first
+	// widgets share a form-control name — the HTML-level glue of a radio
+	// group (the name attribute is part of the token attributes, cf. the
+	// <name, field-0> attribute in Figure 5 of the paper).
+	reg2("samename", func(_ *EvalCtx, a, b *Instance) Value {
+		na, nb := widgetName(a), widgetName(b)
+		return VBool(na != "" && na == nb)
+	})
+
+	// labelfor holds when a's text carries an explicit <label for="id">
+	// association matching the id of b's first widget — the page author's
+	// declared pairing, independent of geometry.
+	reg2("labelfor", func(_ *EvalCtx, a, b *Instance) Value {
+		forID := ""
+		a.Walk(func(x *Instance) bool {
+			if forID != "" {
+				return false
+			}
+			if x.Token != nil && x.Token.ForID != "" {
+				forID = x.Token.ForID
+				return false
+			}
+			return true
+		})
+		if forID == "" {
+			return VBool(false)
+		}
+		match := false
+		b.Walk(func(x *Instance) bool {
+			if match {
+				return false
+			}
+			if x.Token != nil && x.Token.ElemID == forID {
+				match = true
+				return false
+			}
+			return true
+		})
+		return VBool(match)
+	})
+
+	// Accessors on one instance.
+	reg1("width", func(_ *EvalCtx, a *Instance) Value { return VNum(a.Pos.Width()) })
+	reg1("height", func(_ *EvalCtx, a *Instance) Value { return VNum(a.Pos.Height()) })
+	reg1("count", func(_ *EvalCtx, a *Instance) Value { return VNum(float64(a.Cover.Count())) })
+	reg1("size", func(_ *EvalCtx, a *Instance) Value { return VNum(float64(a.Size())) })
+	reg1("compdist", func(_ *EvalCtx, a *Instance) Value { return VNum(a.InterComponentDistance()) })
+	// rowish holds when the instance's direct components all sit on one
+	// visual row — the test that separates left-bound label readings from
+	// caption-above readings.
+	reg1("rowish", func(ctx *EvalCtx, a *Instance) Value {
+		for i := 0; i < len(a.Children); i++ {
+			for j := i + 1; j < len(a.Children); j++ {
+				if !ctx.Th.SameRow(a.Children[i].Pos, a.Children[j].Pos) {
+					return VBool(false)
+				}
+			}
+		}
+		return VBool(true)
+	})
+	reg1("sval", func(_ *EvalCtx, a *Instance) Value { return VStr(instText(a)) })
+	reg1("wordcount", func(_ *EvalCtx, a *Instance) Value {
+		return VNum(float64(len(strings.Fields(instText(a)))))
+	})
+	reg1("textlen", func(_ *EvalCtx, a *Instance) Value {
+		return VNum(float64(len(instText(a))))
+	})
+	reg1("checked", func(_ *EvalCtx, a *Instance) Value {
+		return VBool(a.Token != nil && a.Token.Checked)
+	})
+	reg1("multiple", func(_ *EvalCtx, a *Instance) Value {
+		return VBool(a.Token != nil && a.Token.Multiple)
+	})
+	reg1("optioncount", func(_ *EvalCtx, a *Instance) Value {
+		if a.Token == nil {
+			return VNum(0)
+		}
+		return VNum(float64(len(a.Token.Options)))
+	})
+
+	// Text-shape predicates.
+	reg1("attrlike", func(_ *EvalCtx, a *Instance) Value { return VBool(attrLike(instText(a))) })
+	reg1("oplike", func(_ *EvalCtx, a *Instance) Value { return VBool(opLike(instText(a))) })
+	reg1("caplike", func(_ *EvalCtx, a *Instance) Value { return VBool(capLike(instText(a))) })
+	reg1("endscolon", func(_ *EvalCtx, a *Instance) Value {
+		return VBool(strings.HasSuffix(strings.TrimSpace(instText(a)), ":"))
+	})
+
+	// Selection-list content predicates.
+	reg1("oplist", func(_ *EvalCtx, a *Instance) Value { return VBool(opList(a.Token)) })
+	reg1("dateish", func(_ *EvalCtx, a *Instance) Value { return VBool(dateish(a.Token)) })
+	reg1("numlist", func(_ *EvalCtx, a *Instance) Value { return VBool(numList(a.Token)) })
+
+	// String tests with literal arguments.
+	builtins["textis"] = func(ctx *EvalCtx, args []Value) (Value, error) {
+		return varArgsStringTest("textis", args, func(text, lit string) bool { return text == lit })
+	}
+	builtins["contains"] = func(ctx *EvalCtx, args []Value) (Value, error) {
+		return varArgsStringTest("contains", args, strings.Contains)
+	}
+	builtins["near"] = func(ctx *EvalCtx, args []Value) (Value, error) {
+		if len(args) != 3 || args[0].Kind != InstVal || args[1].Kind != InstVal || args[2].Kind != NumVal {
+			return Value{}, fmt.Errorf("near(instance, instance, radius) misused")
+		}
+		return VBool(args[0].I.Pos.Distance(args[1].I.Pos) <= args[2].N), nil
+	}
+}
+
+// reg1 registers a unary builtin over an instance.
+func reg1(name string, fn func(ctx *EvalCtx, a *Instance) Value) {
+	builtins[name] = func(ctx *EvalCtx, args []Value) (Value, error) {
+		if len(args) != 1 || args[0].Kind != InstVal || args[0].I == nil {
+			return Value{}, fmt.Errorf("%s expects one instance argument", name)
+		}
+		return fn(ctx, args[0].I), nil
+	}
+}
+
+// reg2 registers a binary builtin over two instances.
+func reg2(name string, fn func(ctx *EvalCtx, a, b *Instance) Value) {
+	builtins[name] = func(ctx *EvalCtx, args []Value) (Value, error) {
+		if len(args) != 2 || args[0].Kind != InstVal || args[1].Kind != InstVal ||
+			args[0].I == nil || args[1].I == nil {
+			return Value{}, fmt.Errorf("%s expects two instance arguments", name)
+		}
+		return fn(ctx, args[0].I, args[1].I), nil
+	}
+}
+
+// varArgsStringTest implements test(inst, "lit1", "lit2", ...): true when
+// the instance's normalized text matches any literal under pred.
+func varArgsStringTest(name string, args []Value, pred func(text, lit string) bool) (Value, error) {
+	if len(args) < 2 || args[0].Kind != InstVal || args[0].I == nil {
+		return Value{}, fmt.Errorf("%s expects (instance, string...)", name)
+	}
+	text := normText(instText(args[0].I))
+	for _, a := range args[1:] {
+		if a.Kind != StrVal {
+			return Value{}, fmt.Errorf("%s literal arguments must be strings", name)
+		}
+		if pred(text, normText(a.S)) {
+			return VBool(true), nil
+		}
+	}
+	return VBool(false), nil
+}
+
+// widgetName returns the control name of the first named widget token in
+// the subtree, or "".
+func widgetName(in *Instance) string {
+	name := ""
+	in.Walk(func(x *Instance) bool {
+		if name != "" {
+			return false
+		}
+		if x.Token != nil && x.Token.IsWidget() && x.Token.Name != "" {
+			name = x.Token.Name
+			return false
+		}
+		return true
+	})
+	return name
+}
+
+// instText returns the text of an instance: the token string for text
+// terminals, otherwise the concatenated text of the yield.
+func instText(in *Instance) string {
+	if in.Token != nil {
+		return in.Token.SVal
+	}
+	return in.Texts()
+}
+
+func normText(s string) string {
+	s = strings.ToLower(strings.TrimSpace(s))
+	s = strings.Trim(s, ":*?.! \t")
+	return strings.Join(strings.Fields(s), " ")
+}
+
+// attrLike reports whether a text reads like an attribute label: short,
+// contains letters, not overly long. (The fuzzy heuristic of Section 1,
+// made explicit and testable.)
+func attrLike(s string) bool {
+	s = strings.TrimSpace(s)
+	if s == "" || len(s) > 60 {
+		return false
+	}
+	if len(strings.Fields(s)) > 6 {
+		return false
+	}
+	for _, r := range s {
+		if r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' {
+			return true
+		}
+	}
+	return false
+}
+
+// opKeywords are the operator vocabulary observed across query forms.
+// Deliberately absent: bare comparatives that also appear in enumerated
+// VALUES ("any", "all", "under $20", "over 100k miles") — those belong to
+// domains, not operators, and including them turns price/mileage selection
+// lists into false operator lists.
+var opKeywords = []string{
+	"exact", "start", "begin", "contain", "word", "phrase",
+	"at least", "at most", "less than", "more than", "greater", "equal",
+	"ends with", "match", "is before", "is after",
+}
+
+// opLike reports whether a text reads like an operator/modifier label.
+func opLike(s string) bool {
+	s = strings.ToLower(s)
+	for _, k := range opKeywords {
+		if strings.Contains(s, k) {
+			return true
+		}
+	}
+	return false
+}
+
+// capLike reports whether a text reads like a caption or instructions
+// rather than an attribute: long, many words, or sentence punctuation.
+func capLike(s string) bool {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return false
+	}
+	if len(strings.Fields(s)) >= 5 || len(s) > 45 {
+		return true
+	}
+	return strings.HasSuffix(s, ".") || strings.HasSuffix(s, "!")
+}
+
+// opList reports whether a selection list's options read like operators
+// (e.g. "less than | greater than | equal to").
+func opList(t *token.Token) bool {
+	if t == nil || t.Type != token.SelectList || len(t.Options) == 0 {
+		return false
+	}
+	hits := 0
+	for _, o := range t.Options {
+		if opLike(o) {
+			hits++
+		}
+	}
+	return hits*2 >= len(t.Options)
+}
+
+var monthNames = []string{
+	"january", "february", "march", "april", "may", "june", "july",
+	"august", "september", "october", "november", "december",
+	"jan", "feb", "mar", "apr", "jun", "jul", "aug", "sep", "oct", "nov", "dec",
+}
+
+// dateish reports whether a selection list looks like a date part: month
+// names, a day-of-month list, or a year list. Small numeric lists (e.g.
+// passenger counts 1-9) deliberately do not qualify.
+func dateish(t *token.Token) bool {
+	if t == nil || t.Type != token.SelectList || len(t.Options) < 2 {
+		return false
+	}
+	months, days, years, numeric := 0, 0, 0, 0
+	for _, o := range t.Options {
+		o = strings.ToLower(strings.TrimSpace(o))
+		for _, m := range monthNames {
+			if o == m || strings.HasPrefix(o, m+" ") {
+				months++
+				break
+			}
+		}
+		if n, err := strconv.Atoi(o); err == nil {
+			numeric++
+			if n >= 1 && n <= 31 {
+				days++
+			}
+			if n >= 1900 && n <= 2035 {
+				years++
+			}
+		}
+	}
+	n := len(t.Options)
+	switch {
+	case months*3 >= n*2: // mostly month names
+		return true
+	case days >= 25: // a day-of-month list needs most of 1..31
+		return true
+	case years >= 4 && years*3 >= n*2: // several year options
+		return true
+	}
+	return false
+}
+
+// numList reports whether most options of a selection list are numeric.
+func numList(t *token.Token) bool {
+	if t == nil || t.Type != token.SelectList || len(t.Options) < 2 {
+		return false
+	}
+	numeric := 0
+	for _, o := range t.Options {
+		if _, err := strconv.Atoi(strings.TrimSpace(o)); err == nil {
+			numeric++
+		}
+	}
+	return numeric*5 >= len(t.Options)*4
+}

@@ -1,0 +1,14 @@
+package grammar
+
+import _ "embed"
+
+//go:embed defaultgrammar.2p
+var defaultSource string
+
+// DefaultSource returns the DSL source of the embedded derived global
+// grammar, so clients can inspect or extend it.
+func DefaultSource() string { return defaultSource }
+
+// Default parses the embedded derived global grammar. The result is a fresh
+// Grammar on every call, so callers may mutate their copy.
+func Default() *Grammar { return MustParseDSL(defaultSource) }

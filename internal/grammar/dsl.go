@@ -1,0 +1,614 @@
+package grammar
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// The grammar DSL. A 2P grammar is written declaratively:
+//
+//	# comments run to end of line
+//	terminals text, textbox, radiobutton;
+//	start QI;
+//
+//	prod P5 TextOp -> a:Attr v:Val o:Op : left(a, v) && below(o, v);
+//	prod QI -> h:HQI;                      # name optional
+//
+//	pref R1 w:RBU beats l:Attr;                          # U defaults to overlap(w,l), W to true
+//	pref R2 w:RBList beats l:RBList when overlap(w, l)
+//	        win subsumes(w, l) && count(w) > count(l);
+//
+//	tag condition TextOp TextVal;
+//	tag attribute Attr;
+//
+// Statements end with ';'. Expressions use the builtins of builtins.go,
+// && || !, comparisons, numeric and string literals.
+
+// ParseDSL parses a grammar from DSL source and validates it.
+func ParseDSL(src string) (*Grammar, error) {
+	p := &dslParser{lex: newDSLLexer(src), g: NewGrammar()}
+	if err := p.parse(); err != nil {
+		return nil, err
+	}
+	if err := p.g.Validate(); err != nil {
+		return nil, err
+	}
+	return p.g, nil
+}
+
+// MustParseDSL is ParseDSL for known-good embedded grammars.
+func MustParseDSL(src string) *Grammar {
+	g, err := ParseDSL(src)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// ---- DSL lexer ----
+
+type dslTokKind int
+
+const (
+	dIdent dslTokKind = iota
+	dNumber
+	dString
+	dPunct // ; : , ( ) -> == != <= >= < > && || !
+	dEOF
+)
+
+type dslTok struct {
+	kind dslTokKind
+	text string
+	line int
+}
+
+type dslLexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+func newDSLLexer(src string) *dslLexer { return &dslLexer{src: src, line: 1} }
+
+func (l *dslLexer) next() (dslTok, error) {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '#':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		default:
+			goto scan
+		}
+	}
+	return dslTok{kind: dEOF, line: l.line}, nil
+
+scan:
+	c := l.src[l.pos]
+	start := l.pos
+	switch {
+	case isDSLIdentStart(c):
+		for l.pos < len(l.src) && isDSLIdentPart(l.src[l.pos]) {
+			l.pos++
+		}
+		return dslTok{kind: dIdent, text: l.src[start:l.pos], line: l.line}, nil
+	case c >= '0' && c <= '9':
+		for l.pos < len(l.src) && (l.src[l.pos] >= '0' && l.src[l.pos] <= '9' || l.src[l.pos] == '.') {
+			l.pos++
+		}
+		return dslTok{kind: dNumber, text: l.src[start:l.pos], line: l.line}, nil
+	case c == '"':
+		l.pos++
+		var b strings.Builder
+		for l.pos < len(l.src) && l.src[l.pos] != '"' {
+			if l.src[l.pos] == '\\' && l.pos+1 < len(l.src) {
+				l.pos++
+			}
+			if l.src[l.pos] == '\n' {
+				return dslTok{}, fmt.Errorf("line %d: newline in string literal", l.line)
+			}
+			b.WriteByte(l.src[l.pos])
+			l.pos++
+		}
+		if l.pos >= len(l.src) {
+			return dslTok{}, fmt.Errorf("line %d: unterminated string literal", l.line)
+		}
+		l.pos++
+		return dslTok{kind: dString, text: b.String(), line: l.line}, nil
+	default:
+		for _, op := range []string{"->", "==", "!=", "<=", ">=", "&&", "||"} {
+			if strings.HasPrefix(l.src[l.pos:], op) {
+				l.pos += 2
+				return dslTok{kind: dPunct, text: op, line: l.line}, nil
+			}
+		}
+		switch c {
+		case ';', ':', ',', '(', ')', '<', '>', '!', '|':
+			l.pos++
+			return dslTok{kind: dPunct, text: string(c), line: l.line}, nil
+		}
+		return dslTok{}, fmt.Errorf("line %d: unexpected character %q", l.line, string(c))
+	}
+}
+
+func isDSLIdentStart(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+}
+func isDSLIdentPart(c byte) bool { return isDSLIdentStart(c) || c >= '0' && c <= '9' }
+
+// ---- DSL parser ----
+
+type dslParser struct {
+	lex    *dslLexer
+	g      *Grammar
+	tok    dslTok
+	peeked bool
+	nProd  int
+	nPref  int
+}
+
+func (p *dslParser) advance() error {
+	if p.peeked {
+		p.peeked = false
+		return nil
+	}
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *dslParser) peek() (dslTok, error) {
+	if !p.peeked {
+		t, err := p.lex.next()
+		if err != nil {
+			return dslTok{}, err
+		}
+		p.tok = t
+		p.peeked = true
+	}
+	return p.tok, nil
+}
+
+func (p *dslParser) take() (dslTok, error) {
+	t, err := p.peek()
+	if err != nil {
+		return dslTok{}, err
+	}
+	p.peeked = false
+	return t, nil
+}
+
+func (p *dslParser) expect(text string) error {
+	t, err := p.take()
+	if err != nil {
+		return err
+	}
+	if t.text != text {
+		return fmt.Errorf("line %d: expected %q, got %q", t.line, text, t.text)
+	}
+	return nil
+}
+
+func (p *dslParser) ident() (string, error) {
+	t, err := p.take()
+	if err != nil {
+		return "", err
+	}
+	if t.kind != dIdent {
+		return "", fmt.Errorf("line %d: expected identifier, got %q", t.line, t.text)
+	}
+	return t.text, nil
+}
+
+func (p *dslParser) parse() error {
+	for {
+		t, err := p.take()
+		if err != nil {
+			return err
+		}
+		switch {
+		case t.kind == dEOF:
+			return nil
+		case t.text == "terminals":
+			if err := p.terminals(); err != nil {
+				return err
+			}
+		case t.text == "start":
+			name, err := p.ident()
+			if err != nil {
+				return err
+			}
+			p.g.Start = name
+			if err := p.expect(";"); err != nil {
+				return err
+			}
+		case t.text == "prod":
+			if err := p.production(); err != nil {
+				return err
+			}
+		case t.text == "pref":
+			if err := p.preference(); err != nil {
+				return err
+			}
+		case t.text == "tag":
+			if err := p.tag(); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("line %d: unexpected %q (want terminals/start/prod/pref/tag)", t.line, t.text)
+		}
+	}
+}
+
+func (p *dslParser) terminals() error {
+	for {
+		name, err := p.ident()
+		if err != nil {
+			return err
+		}
+		p.g.Terminals[name] = true
+		t, err := p.take()
+		if err != nil {
+			return err
+		}
+		switch t.text {
+		case ",":
+		case ";":
+			return nil
+		default:
+			return fmt.Errorf("line %d: expected , or ; in terminals list, got %q", t.line, t.text)
+		}
+	}
+}
+
+// production parses: prod [Name] Head -> v:Sym ... [: expr] ;
+func (p *dslParser) production() error {
+	first, err := p.ident()
+	if err != nil {
+		return err
+	}
+	name, head := "", first
+	nxt, err := p.peek()
+	if err != nil {
+		return err
+	}
+	if nxt.kind == dIdent { // "prod Name Head -> ..."
+		name = first
+		head, err = p.ident()
+		if err != nil {
+			return err
+		}
+	}
+	if name == "" {
+		p.nProd++
+		name = fmt.Sprintf("P%d", p.nProd)
+	}
+	if err := p.expect("->"); err != nil {
+		return err
+	}
+	prod := &Production{Name: name, Head: head}
+	p.g.Nonterminals[head] = true
+	for {
+		t, err := p.peek()
+		if err != nil {
+			return err
+		}
+		if t.text == ":" || t.text == ";" {
+			break
+		}
+		v, err := p.ident()
+		if err != nil {
+			return err
+		}
+		if err := p.expect(":"); err != nil {
+			return err
+		}
+		sym, err := p.ident()
+		if err != nil {
+			return err
+		}
+		prod.Components = append(prod.Components, Component{Var: v, Sym: sym})
+		// Forward references to nonterminals are fine; validation checks
+		// the closure. Terminals must be declared before use.
+		if !p.g.Terminals[sym] {
+			p.g.Nonterminals[sym] = true
+		}
+	}
+	t, err := p.take()
+	if err != nil {
+		return err
+	}
+	if t.text == ":" {
+		prod.Constraint, err = p.expr()
+		if err != nil {
+			return err
+		}
+		if err := p.expect(";"); err != nil {
+			return err
+		}
+	} else if t.text != ";" {
+		return fmt.Errorf("line %d: expected : or ; after production components", t.line)
+	}
+	p.g.Prods = append(p.g.Prods, prod)
+	return nil
+}
+
+// preference parses:
+//
+//	pref [Name] w:Winner beats l:Loser [when expr] [win expr] ;
+func (p *dslParser) preference() error {
+	first, err := p.ident()
+	if err != nil {
+		return err
+	}
+	name := ""
+	wVar := first
+	nxt, err := p.peek()
+	if err != nil {
+		return err
+	}
+	if nxt.text != ":" { // "pref Name w:Winner ..."
+		name = first
+		wVar, err = p.ident()
+		if err != nil {
+			return err
+		}
+	}
+	if name == "" {
+		p.nPref++
+		name = fmt.Sprintf("R%d", p.nPref)
+	}
+	if err := p.expect(":"); err != nil {
+		return err
+	}
+	winner, err := p.ident()
+	if err != nil {
+		return err
+	}
+	if kw, err := p.ident(); err != nil {
+		return err
+	} else if kw != "beats" {
+		return fmt.Errorf("preference %s: expected 'beats', got %q", name, kw)
+	}
+	lVar, err := p.ident()
+	if err != nil {
+		return err
+	}
+	if err := p.expect(":"); err != nil {
+		return err
+	}
+	loser, err := p.ident()
+	if err != nil {
+		return err
+	}
+	pref := &Preference{Name: name, WinnerVar: wVar, Winner: winner, LoserVar: lVar, Loser: loser}
+	for {
+		t, err := p.take()
+		if err != nil {
+			return err
+		}
+		switch t.text {
+		case ";":
+			p.g.Prefs = append(p.g.Prefs, pref)
+			return nil
+		case "when":
+			pref.Cond, err = p.expr()
+			if err != nil {
+				return err
+			}
+		case "win":
+			pref.Win, err = p.expr()
+			if err != nil {
+				return err
+			}
+		case "prio":
+			n, err := p.take()
+			if err != nil {
+				return err
+			}
+			if n.kind != dNumber {
+				return fmt.Errorf("line %d: prio expects a number, got %q", n.line, n.text)
+			}
+			v, err := strconv.Atoi(n.text)
+			if err != nil {
+				return fmt.Errorf("line %d: bad priority %q", n.line, n.text)
+			}
+			pref.Priority = v
+		default:
+			return fmt.Errorf("line %d: expected when/win/prio/; in preference, got %q", t.line, t.text)
+		}
+	}
+}
+
+// tag parses: tag role Sym Sym ... ;
+func (p *dslParser) tag() error {
+	roleName, err := p.ident()
+	if err != nil {
+		return err
+	}
+	role := Role(roleName)
+	switch role {
+	case RoleCondition, RoleAttribute, RoleOperator, RoleDecoration:
+	default:
+		return fmt.Errorf("unknown role %q", roleName)
+	}
+	for {
+		t, err := p.take()
+		if err != nil {
+			return err
+		}
+		if t.text == ";" {
+			return nil
+		}
+		if t.kind != dIdent {
+			return fmt.Errorf("line %d: expected symbol in tag statement, got %q", t.line, t.text)
+		}
+		p.g.Roles[t.text] = role
+	}
+}
+
+// ---- expression parsing (precedence climbing) ----
+
+func (p *dslParser) expr() (Expr, error) { return p.orExpr() }
+
+func (p *dslParser) orExpr() (Expr, error) {
+	l, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t, err := p.peek()
+		if err != nil {
+			return nil, err
+		}
+		if t.text != "||" {
+			return l, nil
+		}
+		p.peeked = false
+		r, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &OrExpr{L: l, R: r}
+	}
+}
+
+func (p *dslParser) andExpr() (Expr, error) {
+	l, err := p.cmpExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t, err := p.peek()
+		if err != nil {
+			return nil, err
+		}
+		if t.text != "&&" {
+			return l, nil
+		}
+		p.peeked = false
+		r, err := p.cmpExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &AndExpr{L: l, R: r}
+	}
+}
+
+func (p *dslParser) cmpExpr() (Expr, error) {
+	l, err := p.unaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	t, err := p.peek()
+	if err != nil {
+		return nil, err
+	}
+	switch t.text {
+	case "==", "!=", "<", "<=", ">", ">=":
+		p.peeked = false
+		r, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &CmpExpr{Op: t.text, L: l, R: r}, nil
+	}
+	return l, nil
+}
+
+func (p *dslParser) unaryExpr() (Expr, error) {
+	t, err := p.peek()
+	if err != nil {
+		return nil, err
+	}
+	if t.text == "!" {
+		p.peeked = false
+		x, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &NotExpr{X: x}, nil
+	}
+	return p.primaryExpr()
+}
+
+func (p *dslParser) primaryExpr() (Expr, error) {
+	t, err := p.take()
+	if err != nil {
+		return nil, err
+	}
+	switch t.kind {
+	case dNumber:
+		v, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: bad number %q", t.line, t.text)
+		}
+		return &NumLit{V: v}, nil
+	case dString:
+		return &StrLit{V: t.text}, nil
+	case dIdent:
+		switch t.text {
+		case "true":
+			return &BoolLit{V: true}, nil
+		case "false":
+			return &BoolLit{V: false}, nil
+		}
+		nxt, err := p.peek()
+		if err != nil {
+			return nil, err
+		}
+		if nxt.text != "(" {
+			return &VarExpr{Name: t.text}, nil
+		}
+		p.peeked = false
+		call := &CallExpr{Name: t.text}
+		if _, ok := builtins[t.text]; !ok {
+			return nil, fmt.Errorf("line %d: unknown builtin %q", t.line, t.text)
+		}
+		for {
+			nxt, err := p.peek()
+			if err != nil {
+				return nil, err
+			}
+			if nxt.text == ")" {
+				p.peeked = false
+				return call, nil
+			}
+			arg, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			call.Args = append(call.Args, arg)
+			nxt, err = p.peek()
+			if err != nil {
+				return nil, err
+			}
+			if nxt.text == "," {
+				p.peeked = false
+			}
+		}
+	case dPunct:
+		if t.text == "(" {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	}
+	return nil, fmt.Errorf("line %d: unexpected %q in expression", t.line, t.text)
+}

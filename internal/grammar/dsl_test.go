@@ -1,0 +1,184 @@
+package grammar
+
+import (
+	"strings"
+	"testing"
+)
+
+// figure6Grammar is the example grammar G of Figure 6 of the paper,
+// transcribed into the DSL (productions P1-P11).
+const figure6Grammar = `
+terminals text, textbox, radiobutton;
+start QI;
+prod P1a QI -> h:HQI ;
+prod P1b QI -> q:QI h:HQI : above(q, h);
+prod P2a HQI -> c:CP ;
+prod P2b HQI -> h:HQI c:CP : left(h, c);
+prod P3a CP -> x:TextVal ;
+prod P3b CP -> x:TextOp ;
+prod P3c CP -> x:EnumRB ;
+prod P4a TextVal -> a:Attr v:Val : left(a, v);
+prod P4b TextVal -> a:Attr v:Val : above(a, v);
+prod P4c TextVal -> a:Attr v:Val : below(a, v);
+prod P5 TextOp -> a:Attr v:Val o:Op : left(a, v) && below(o, v);
+prod P6 Op -> l:RBList ;
+prod P7 EnumRB -> l:RBList ;
+prod P8a RBList -> u:RBU ;
+prod P8b RBList -> l:RBList u:RBU : left(l, u);
+prod P9 RBU -> r:radiobutton t:text : left(r, t);
+prod P10 Attr -> t:text ;
+prod P11 Val -> b:textbox ;
+pref R1 w:RBU beats l:Attr when overlap(w, l);
+pref R2 w:RBList beats l:RBList when overlap(w, l) win subsumes(w, l) && count(w) > count(l);
+tag condition TextVal TextOp EnumRB;
+tag attribute Attr;
+tag operator Op;
+`
+
+func TestParseFigure6Grammar(t *testing.T) {
+	g, err := ParseDSL(figure6Grammar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Start != "QI" {
+		t.Errorf("start = %q", g.Start)
+	}
+	if len(g.Prods) != 18 {
+		t.Errorf("got %d productions", len(g.Prods))
+	}
+	if len(g.Prefs) != 2 {
+		t.Errorf("got %d preferences", len(g.Prefs))
+	}
+	if len(g.Terminals) != 3 || len(g.Nonterminals) != 11 {
+		t.Errorf("|Σ| = %d, |N| = %d", len(g.Terminals), len(g.Nonterminals))
+	}
+	if g.RoleOf("TextOp") != RoleCondition || g.RoleOf("Attr") != RoleAttribute {
+		t.Error("roles not recorded")
+	}
+	p5 := g.Prods[10]
+	if p5.Name != "P5" || p5.Head != "TextOp" || len(p5.Components) != 3 {
+		t.Errorf("P5 parsed wrong: %v", p5)
+	}
+	if got := p5.String(); !strings.Contains(got, "left(a, v)") || !strings.Contains(got, "below(o, v)") {
+		t.Errorf("P5 constraint: %s", got)
+	}
+	r2 := g.Prefs[1]
+	if r2.Winner != "RBList" || r2.Loser != "RBList" || r2.Win == nil || r2.Cond == nil {
+		t.Errorf("R2 parsed wrong: %+v", r2)
+	}
+}
+
+func TestDefaultGrammarLoads(t *testing.T) {
+	g := Default()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Prods) < 60 || len(g.Nonterminals) < 25 || len(g.Terminals) < 12 {
+		t.Errorf("default grammar unexpectedly small: %s", g.Stats())
+	}
+	if g.Start != "QI" {
+		t.Errorf("start = %q", g.Start)
+	}
+	// Key symbols from the paper's description exist.
+	for _, sym := range []string{"HQI", "CP", "TextVal", "TextOp", "Attr", "Val", "Op", "RBU", "RBList", "EnumRB"} {
+		if !g.Nonterminals[sym] {
+			t.Errorf("missing nonterminal %q", sym)
+		}
+	}
+	// The canonical preferences are present: RBU beats Attr, longer RBList.
+	foundR1, foundR2 := false, false
+	for _, r := range g.Prefs {
+		if r.Winner == "RBU" && r.Loser == "Attr" {
+			foundR1 = true
+		}
+		if r.Winner == "RBList" && r.Loser == "RBList" {
+			foundR2 = true
+		}
+	}
+	if !foundR1 || !foundR2 {
+		t.Error("canonical preferences R1/R2 missing from default grammar")
+	}
+}
+
+func TestDSLErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantErr string
+	}{
+		{"unknown builtin", `terminals text; start A; prod A -> t:text : bogus(t);`, "unknown builtin"},
+		{"undeclared start", `terminals text; start A; prod B -> t:text;`, "start symbol"},
+		{"no production", `terminals text; start A; prod A -> b:B;`, `nonterminal "B" has no production`},
+		{"dup var", `terminals text; start A; prod A -> t:text t:text;`, "duplicate component variable"},
+		{"bad role", `terminals text; start A; prod A -> t:text; tag bogusrole A;`, "unknown role"},
+		{"constraint bad var", `terminals text; start A; prod A -> t:text : attrlike(x);`, "unknown variable"},
+		{"unterminated string", `terminals text; start A; prod A -> t:text : textis(t, "oops);`, "unterminated"},
+		{"pref bad symbol", `terminals text; start A; prod A -> t:text; pref w:A beats l:Nope;`, "undeclared symbol"},
+		{"junk statement", `frobnicate;`, "unexpected"},
+		{"both terminal and nonterminal", `terminals text, A; start A; prod A -> t:text;`, "both terminal and nonterminal"},
+		{"empty rhs", `terminals text; start A; prod A -> ;`, "empty right-hand side"},
+	}
+	for _, c := range cases {
+		_, err := ParseDSL(c.src)
+		if err == nil {
+			t.Errorf("%s: expected error containing %q, got nil", c.name, c.wantErr)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("%s: error %q does not contain %q", c.name, err, c.wantErr)
+		}
+	}
+}
+
+func TestDSLAutoNames(t *testing.T) {
+	g, err := ParseDSL(`terminals text; start A; prod A -> t:text; prod A -> t:text : attrlike(t); pref w:A beats l:A;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Prods[0].Name != "P1" || g.Prods[1].Name != "P2" {
+		t.Errorf("auto production names: %q %q", g.Prods[0].Name, g.Prods[1].Name)
+	}
+	if g.Prefs[0].Name != "R1" {
+		t.Errorf("auto preference name: %q", g.Prefs[0].Name)
+	}
+}
+
+func TestDSLComments(t *testing.T) {
+	src := "# leading comment\nterminals text; # trailing\nstart A;\nprod A -> t:text; # done\n"
+	if _, err := ParseDSL(src); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExprPrecedence(t *testing.T) {
+	g, err := ParseDSL(`terminals text; start A;
+		prod A -> t:text : attrlike(t) || oplike(t) && !caplike(t);`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// || binds looser than &&: (attrlike || (oplike && !caplike))
+	want := `(attrlike(t) || (oplike(t) && !caplike(t)))`
+	if got := g.Prods[0].Constraint.String(); got != want {
+		t.Errorf("constraint = %s, want %s", got, want)
+	}
+}
+
+func TestExprParens(t *testing.T) {
+	g, err := ParseDSL(`terminals text; start A;
+		prod A -> t:text : (attrlike(t) || oplike(t)) && wordcount(t) <= 3;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `((attrlike(t) || oplike(t)) && wordcount(t) <= 3)`
+	if got := g.Prods[0].Constraint.String(); got != want {
+		t.Errorf("constraint = %s, want %s", got, want)
+	}
+}
+
+func TestProdsFor(t *testing.T) {
+	g := MustParseDSL(figure6Grammar)
+	if got := len(g.ProdsFor("TextVal")); got != 3 {
+		t.Errorf("ProdsFor(TextVal) = %d, want 3", got)
+	}
+	if got := len(g.ProdsFor("text")); got != 0 {
+		t.Errorf("ProdsFor(text) = %d, want 0", got)
+	}
+}

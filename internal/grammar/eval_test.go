@@ -1,0 +1,204 @@
+package grammar
+
+import (
+	"strings"
+	"testing"
+
+	"formext/internal/geom"
+)
+
+func evalValue(t *testing.T, e Expr, bind map[string]*Instance) (Value, error) {
+	t.Helper()
+	return e.Eval(&EvalCtx{Bind: bind, Th: geom.DefaultThresholds})
+}
+
+func TestLiteralEval(t *testing.T) {
+	if v, err := evalValue(t, &NumLit{V: 3.5}, nil); err != nil || v.N != 3.5 {
+		t.Errorf("NumLit: %v %v", v, err)
+	}
+	if v, err := evalValue(t, &StrLit{V: "x"}, nil); err != nil || v.S != "x" {
+		t.Errorf("StrLit: %v %v", v, err)
+	}
+	if v, err := evalValue(t, &BoolLit{V: true}, nil); err != nil || !v.B {
+		t.Errorf("BoolLit: %v %v", v, err)
+	}
+}
+
+func TestValueString(t *testing.T) {
+	cases := map[string]Value{
+		"true": VBool(true),
+		"3.5":  VNum(3.5),
+		`"s"`:  VStr("s"),
+	}
+	for want, v := range cases {
+		if got := v.String(); got != want {
+			t.Errorf("String = %q, want %q", got, want)
+		}
+	}
+	if got := VInst(nil).String(); got != "<nil instance>" {
+		t.Errorf("nil instance String = %q", got)
+	}
+	in := mkText(0, "x", geom.R(0, 1, 0, 1), 2)
+	if got := VInst(in).String(); !strings.Contains(got, "text") {
+		t.Errorf("instance String = %q", got)
+	}
+}
+
+func TestLogicalEvalErrors(t *testing.T) {
+	num := &NumLit{V: 1}
+	b := &BoolLit{V: true}
+	if _, err := evalValue(t, &NotExpr{X: num}, nil); err == nil {
+		t.Error("!number should error")
+	}
+	if _, err := evalValue(t, &AndExpr{L: num, R: b}, nil); err == nil {
+		t.Error("number && bool should error")
+	}
+	if _, err := evalValue(t, &AndExpr{L: b, R: num}, nil); err == nil {
+		t.Error("bool && number should error")
+	}
+	if _, err := evalValue(t, &OrExpr{L: num, R: b}, nil); err == nil {
+		t.Error("number || bool should error")
+	}
+	if _, err := evalValue(t, &OrExpr{L: &BoolLit{V: false}, R: num}, nil); err == nil {
+		t.Error("false || number should error")
+	}
+	// Short circuits avoid the bad operand.
+	if v, err := evalValue(t, &AndExpr{L: &BoolLit{V: false}, R: num}, nil); err != nil || v.B {
+		t.Errorf("false && _ = %v, %v", v, err)
+	}
+	if v, err := evalValue(t, &OrExpr{L: b, R: num}, nil); err != nil || !v.B {
+		t.Errorf("true || _ = %v, %v", v, err)
+	}
+	// Errors propagate from operands.
+	bad := &VarExpr{Name: "missing"}
+	if _, err := evalValue(t, &NotExpr{X: bad}, nil); err == nil {
+		t.Error("unbound var should propagate")
+	}
+	if _, err := evalValue(t, &AndExpr{L: bad, R: b}, nil); err == nil {
+		t.Error("unbound var in && should propagate")
+	}
+	if _, err := evalValue(t, &OrExpr{L: bad, R: b}, nil); err == nil {
+		t.Error("unbound var in || should propagate")
+	}
+}
+
+func TestCmpEval(t *testing.T) {
+	n := func(v float64) Expr { return &NumLit{V: v} }
+	cases := []struct {
+		op   string
+		l, r float64
+		want bool
+	}{
+		{"==", 1, 1, true}, {"==", 1, 2, false},
+		{"!=", 1, 2, true}, {"!=", 1, 1, false},
+		{"<", 1, 2, true}, {"<", 2, 1, false},
+		{"<=", 2, 2, true}, {"<=", 3, 2, false},
+		{">", 2, 1, true}, {">", 1, 2, false},
+		{">=", 2, 2, true}, {">=", 1, 2, false},
+	}
+	for _, c := range cases {
+		v, err := evalValue(t, &CmpExpr{Op: c.op, L: n(c.l), R: n(c.r)}, nil)
+		if err != nil || v.B != c.want {
+			t.Errorf("%g %s %g = %v, %v", c.l, c.op, c.r, v, err)
+		}
+	}
+	// String and bool equality.
+	s := func(v string) Expr { return &StrLit{V: v} }
+	if v, _ := evalValue(t, &CmpExpr{Op: "==", L: s("Ab"), R: s("aB")}, nil); !v.B {
+		t.Error("string == should fold case")
+	}
+	if v, _ := evalValue(t, &CmpExpr{Op: "!=", L: s("a"), R: s("b")}, nil); !v.B {
+		t.Error("string != wrong")
+	}
+	bl := func(v bool) Expr { return &BoolLit{V: v} }
+	if v, _ := evalValue(t, &CmpExpr{Op: "==", L: bl(true), R: bl(true)}, nil); !v.B {
+		t.Error("bool == wrong")
+	}
+	if v, _ := evalValue(t, &CmpExpr{Op: "!=", L: bl(true), R: bl(false)}, nil); !v.B {
+		t.Error("bool != wrong")
+	}
+	// Type mismatches and unordered types error.
+	if _, err := evalValue(t, &CmpExpr{Op: "<", L: s("a"), R: s("b")}, nil); err == nil {
+		t.Error("string < should error")
+	}
+	if _, err := evalValue(t, &CmpExpr{Op: "==", L: s("a"), R: n(1)}, nil); err == nil {
+		t.Error("mixed comparison should error")
+	}
+	if _, err := evalValue(t, &CmpExpr{Op: "==", L: &VarExpr{Name: "z"}, R: n(1)}, nil); err == nil {
+		t.Error("unbound operand should error")
+	}
+	if got := (&CmpExpr{Op: "<", L: n(1), R: n(2)}).String(); got != "1 < 2" {
+		t.Errorf("CmpExpr.String = %q", got)
+	}
+	if cmpNum("bogus", 1, 2) {
+		t.Error("unknown operator must be false")
+	}
+}
+
+func TestCallEvalErrors(t *testing.T) {
+	if _, err := evalValue(t, &CallExpr{Name: "nosuch"}, nil); err == nil {
+		t.Error("unknown builtin should error")
+	}
+	// Wrong arity / argument kinds.
+	in := mkText(0, "x", geom.R(0, 1, 0, 1), 2)
+	bind := map[string]*Instance{"a": in}
+	for _, e := range []Expr{
+		&CallExpr{Name: "left", Args: []Expr{&VarExpr{Name: "a"}}},
+		&CallExpr{Name: "attrlike", Args: []Expr{&NumLit{V: 1}}},
+		&CallExpr{Name: "textis", Args: []Expr{&VarExpr{Name: "a"}}},
+		&CallExpr{Name: "textis", Args: []Expr{&VarExpr{Name: "a"}, &NumLit{V: 3}}},
+		&CallExpr{Name: "near", Args: []Expr{&VarExpr{Name: "a"}, &VarExpr{Name: "a"}}},
+		&CallExpr{Name: "left", Args: []Expr{&VarExpr{Name: "a"}, &VarExpr{Name: "nope"}}},
+	} {
+		if _, err := evalValue(t, e, bind); err == nil {
+			t.Errorf("%s should error", e.String())
+		}
+	}
+	// CallExpr.Vars dedupes.
+	c := &CallExpr{Name: "left", Args: []Expr{&VarExpr{Name: "a"}, &VarExpr{Name: "a"}}}
+	if vars := c.Vars(); len(vars) != 1 || vars[0] != "a" {
+		t.Errorf("Vars = %v", vars)
+	}
+}
+
+func TestGrammarAccessors(t *testing.T) {
+	g := MustParseDSL(figure6Grammar)
+	if !g.IsTerminal("text") || g.IsTerminal("QI") {
+		t.Error("IsTerminal wrong")
+	}
+	syms := g.Symbols()
+	if len(syms) != len(g.Terminals)+len(g.Nonterminals) {
+		t.Errorf("Symbols = %v", syms)
+	}
+	for i := 1; i < len(syms); i++ {
+		if syms[i-1] >= syms[i] {
+			t.Error("Symbols not sorted")
+		}
+	}
+	if s := g.Stats(); !strings.Contains(s, "productions") || !strings.Contains(s, "terminals") {
+		t.Errorf("Stats = %q", s)
+	}
+	if s := g.Prefs[0].String(); !strings.Contains(s, "RBU beats Attr") {
+		t.Errorf("Preference.String = %q", s)
+	}
+}
+
+func TestInstanceAccessors(t *testing.T) {
+	u := 3
+	a := mkText(0, "x", geom.R(0, 10, 0, 10), u)
+	if !a.IsTerminal() {
+		t.Error("terminal misreported")
+	}
+	g := MustParseDSL(`terminals text; start P; prod P -> a:text b:text : samerow(a, b);`)
+	b := mkText(1, "y", geom.R(20, 30, 0, 10), u)
+	p := Build(g.Prods[0], []*Instance{a, b})
+	if p.IsTerminal() {
+		t.Error("nonterminal misreported")
+	}
+	if d := p.InterComponentDistance(); d != 10 {
+		t.Errorf("InterComponentDistance = %g, want 10", d)
+	}
+	if d := a.InterComponentDistance(); d != 0 {
+		t.Errorf("terminal compdist = %g", d)
+	}
+}

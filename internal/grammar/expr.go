@@ -1,0 +1,306 @@
+package grammar
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"formext/internal/geom"
+)
+
+// The constraint/preference expression language. Expressions are evaluated
+// against an environment binding component variables to instances, plus the
+// spatial thresholds. Values are booleans, numbers, strings or instances.
+
+// ValueKind discriminates runtime values.
+type ValueKind int
+
+const (
+	// BoolVal is a boolean value.
+	BoolVal ValueKind = iota
+	// NumVal is a float64 value.
+	NumVal
+	// StrVal is a string value.
+	StrVal
+	// InstVal is a parse-tree instance (what a variable evaluates to).
+	InstVal
+)
+
+// Value is a runtime value of the expression language.
+type Value struct {
+	Kind ValueKind
+	B    bool
+	N    float64
+	S    string
+	I    *Instance
+}
+
+// VBool, VNum, VStr and VInst construct values.
+func VBool(b bool) Value      { return Value{Kind: BoolVal, B: b} }
+func VNum(n float64) Value    { return Value{Kind: NumVal, N: n} }
+func VStr(s string) Value     { return Value{Kind: StrVal, S: s} }
+func VInst(i *Instance) Value { return Value{Kind: InstVal, I: i} }
+
+func (v Value) String() string {
+	switch v.Kind {
+	case BoolVal:
+		return strconv.FormatBool(v.B)
+	case NumVal:
+		return strconv.FormatFloat(v.N, 'g', -1, 64)
+	case StrVal:
+		return strconv.Quote(v.S)
+	default:
+		if v.I == nil {
+			return "<nil instance>"
+		}
+		return v.I.String()
+	}
+}
+
+// EvalCtx is the evaluation environment.
+type EvalCtx struct {
+	Bind map[string]*Instance
+	Th   geom.Thresholds
+}
+
+// Expr is a node of the expression AST.
+type Expr interface {
+	// Eval evaluates the expression. Errors indicate type mismatches or
+	// unknown identifiers; the parser treats a failed constraint
+	// evaluation as false.
+	Eval(ctx *EvalCtx) (Value, error)
+	// Vars returns the distinct variable names referenced, for validation.
+	Vars() []string
+	String() string
+}
+
+// ---- AST nodes ----
+
+// VarExpr references a bound component variable.
+type VarExpr struct{ Name string }
+
+func (e *VarExpr) Eval(ctx *EvalCtx) (Value, error) {
+	in, ok := ctx.Bind[e.Name]
+	if !ok {
+		return Value{}, fmt.Errorf("unbound variable %q", e.Name)
+	}
+	return VInst(in), nil
+}
+func (e *VarExpr) Vars() []string { return []string{e.Name} }
+func (e *VarExpr) String() string { return e.Name }
+
+// NumLit is a numeric literal.
+type NumLit struct{ V float64 }
+
+func (e *NumLit) Eval(*EvalCtx) (Value, error) { return VNum(e.V), nil }
+func (e *NumLit) Vars() []string               { return nil }
+func (e *NumLit) String() string               { return strconv.FormatFloat(e.V, 'g', -1, 64) }
+
+// StrLit is a string literal.
+type StrLit struct{ V string }
+
+func (e *StrLit) Eval(*EvalCtx) (Value, error) { return VStr(e.V), nil }
+func (e *StrLit) Vars() []string               { return nil }
+func (e *StrLit) String() string               { return strconv.Quote(e.V) }
+
+// BoolLit is true/false.
+type BoolLit struct{ V bool }
+
+func (e *BoolLit) Eval(*EvalCtx) (Value, error) { return VBool(e.V), nil }
+func (e *BoolLit) Vars() []string               { return nil }
+func (e *BoolLit) String() string               { return strconv.FormatBool(e.V) }
+
+// NotExpr is logical negation.
+type NotExpr struct{ X Expr }
+
+func (e *NotExpr) Eval(ctx *EvalCtx) (Value, error) {
+	v, err := e.X.Eval(ctx)
+	if err != nil {
+		return Value{}, err
+	}
+	if v.Kind != BoolVal {
+		return Value{}, fmt.Errorf("! applied to non-boolean %s", v)
+	}
+	return VBool(!v.B), nil
+}
+func (e *NotExpr) Vars() []string { return e.X.Vars() }
+func (e *NotExpr) String() string { return "!" + e.X.String() }
+
+// AndExpr is short-circuit conjunction.
+type AndExpr struct{ L, R Expr }
+
+func (e *AndExpr) Eval(ctx *EvalCtx) (Value, error) {
+	l, err := e.L.Eval(ctx)
+	if err != nil {
+		return Value{}, err
+	}
+	if l.Kind != BoolVal {
+		return Value{}, fmt.Errorf("&& left operand is %s", l)
+	}
+	if !l.B {
+		return VBool(false), nil
+	}
+	r, err := e.R.Eval(ctx)
+	if err != nil {
+		return Value{}, err
+	}
+	if r.Kind != BoolVal {
+		return Value{}, fmt.Errorf("&& right operand is %s", r)
+	}
+	return r, nil
+}
+func (e *AndExpr) Vars() []string { return mergeVars(e.L, e.R) }
+func (e *AndExpr) String() string { return "(" + e.L.String() + " && " + e.R.String() + ")" }
+
+// OrExpr is short-circuit disjunction.
+type OrExpr struct{ L, R Expr }
+
+func (e *OrExpr) Eval(ctx *EvalCtx) (Value, error) {
+	l, err := e.L.Eval(ctx)
+	if err != nil {
+		return Value{}, err
+	}
+	if l.Kind != BoolVal {
+		return Value{}, fmt.Errorf("|| left operand is %s", l)
+	}
+	if l.B {
+		return VBool(true), nil
+	}
+	r, err := e.R.Eval(ctx)
+	if err != nil {
+		return Value{}, err
+	}
+	if r.Kind != BoolVal {
+		return Value{}, fmt.Errorf("|| right operand is %s", r)
+	}
+	return r, nil
+}
+func (e *OrExpr) Vars() []string { return mergeVars(e.L, e.R) }
+func (e *OrExpr) String() string { return "(" + e.L.String() + " || " + e.R.String() + ")" }
+
+// CmpExpr compares numbers or strings: == != < <= > >=.
+type CmpExpr struct {
+	Op   string
+	L, R Expr
+}
+
+func (e *CmpExpr) Eval(ctx *EvalCtx) (Value, error) {
+	l, err := e.L.Eval(ctx)
+	if err != nil {
+		return Value{}, err
+	}
+	r, err := e.R.Eval(ctx)
+	if err != nil {
+		return Value{}, err
+	}
+	if l.Kind == NumVal && r.Kind == NumVal {
+		return VBool(cmpNum(e.Op, l.N, r.N)), nil
+	}
+	if l.Kind == StrVal && r.Kind == StrVal {
+		switch e.Op {
+		case "==":
+			return VBool(strings.EqualFold(l.S, r.S)), nil
+		case "!=":
+			return VBool(!strings.EqualFold(l.S, r.S)), nil
+		}
+	}
+	if l.Kind == BoolVal && r.Kind == BoolVal {
+		switch e.Op {
+		case "==":
+			return VBool(l.B == r.B), nil
+		case "!=":
+			return VBool(l.B != r.B), nil
+		}
+	}
+	return Value{}, fmt.Errorf("cannot compare %s %s %s", l, e.Op, r)
+}
+func (e *CmpExpr) Vars() []string { return mergeVars(e.L, e.R) }
+func (e *CmpExpr) String() string { return e.L.String() + " " + e.Op + " " + e.R.String() }
+
+func cmpNum(op string, a, b float64) bool {
+	switch op {
+	case "==":
+		return a == b
+	case "!=":
+		return a != b
+	case "<":
+		return a < b
+	case "<=":
+		return a <= b
+	case ">":
+		return a > b
+	case ">=":
+		return a >= b
+	}
+	return false
+}
+
+// CallExpr invokes a builtin predicate or accessor.
+type CallExpr struct {
+	Name string
+	Args []Expr
+}
+
+func (e *CallExpr) Eval(ctx *EvalCtx) (Value, error) {
+	fn, ok := builtins[e.Name]
+	if !ok {
+		return Value{}, fmt.Errorf("unknown builtin %q", e.Name)
+	}
+	args := make([]Value, len(e.Args))
+	for i, a := range e.Args {
+		v, err := a.Eval(ctx)
+		if err != nil {
+			return Value{}, err
+		}
+		args[i] = v
+	}
+	return fn(ctx, args)
+}
+func (e *CallExpr) Vars() []string {
+	var all []string
+	seen := map[string]bool{}
+	for _, a := range e.Args {
+		for _, v := range a.Vars() {
+			if !seen[v] {
+				seen[v] = true
+				all = append(all, v)
+			}
+		}
+	}
+	return all
+}
+func (e *CallExpr) String() string {
+	parts := make([]string, len(e.Args))
+	for i, a := range e.Args {
+		parts[i] = a.String()
+	}
+	return e.Name + "(" + strings.Join(parts, ", ") + ")"
+}
+
+func mergeVars(es ...Expr) []string {
+	seen := map[string]bool{}
+	var all []string
+	for _, e := range es {
+		for _, v := range e.Vars() {
+			if !seen[v] {
+				seen[v] = true
+				all = append(all, v)
+			}
+		}
+	}
+	sort.Strings(all)
+	return all
+}
+
+// EvalBool evaluates e and coerces to a boolean; evaluation errors and
+// non-boolean results are false. This is the forgiving semantics the parser
+// uses for constraints: a constraint that cannot be evaluated simply does
+// not hold.
+func EvalBool(e Expr, ctx *EvalCtx) bool {
+	if e == nil {
+		return true
+	}
+	v, err := e.Eval(ctx)
+	return err == nil && v.Kind == BoolVal && v.B
+}

@@ -1,0 +1,41 @@
+package grammar
+
+import "testing"
+
+// FuzzParseDSL: the DSL parser must reject malformed grammars with errors,
+// never panics, and anything it accepts must validate.
+func FuzzParseDSL(f *testing.F) {
+	seeds := []string{
+		figure6Grammar,
+		DefaultSource(),
+		"terminals text; start A; prod A -> t:text;",
+		"terminals text; start A; prod A -> t:text : attrlike(t) && wordcount(t) <= 3;",
+		"pref w:A beats l:B when overlap(w, l) win true prio 3;",
+		`prod A -> t:text : textis(t, "unterminated`,
+		"terminals ; start ;",
+		"# only a comment",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<15 {
+			return
+		}
+		g, err := ParseDSL(src)
+		if err != nil {
+			return
+		}
+		if g == nil {
+			t.Fatal("nil grammar without error")
+		}
+		// ParseDSL validates internally; Validate must agree.
+		if verr := g.Validate(); verr != nil {
+			t.Fatalf("accepted grammar fails validation: %v", verr)
+		}
+		// The printer round trip must hold for anything accepted.
+		if _, rerr := ParseDSL(g.Print()); rerr != nil {
+			t.Fatalf("printed grammar does not reparse: %v\n%s", rerr, g.Print())
+		}
+	})
+}

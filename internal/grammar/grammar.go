@@ -1,0 +1,283 @@
+// Package grammar implements the 2P grammar of Section 4: a five-tuple
+// ⟨Σ, N, s, Pd, Pf⟩ of terminals, nonterminals, a start symbol, productions
+// and preferences (Definition 1). Productions declaratively capture
+// condition patterns through spatial constraints (Definition 2); preferences
+// capture the conventional precedence that resolves ambiguities between
+// patterns (Definition 3).
+//
+// Grammars are written in a small declarative DSL (see dsl.go) and a
+// derived global grammar is embedded as the default (defaultgrammar.2p).
+package grammar
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Role classifies the semantic role a symbol tags its subtree with; the
+// merger uses roles to compile conditions out of parse trees (the "tagging"
+// half of form understanding).
+type Role string
+
+const (
+	// RoleCondition marks a symbol whose instances are query conditions.
+	RoleCondition Role = "condition"
+	// RoleAttribute marks the attribute label of a condition.
+	RoleAttribute Role = "attribute"
+	// RoleOperator marks operator/modifier constructs.
+	RoleOperator Role = "operator"
+	// RoleDecoration marks constructs with no query semantics (submit
+	// rows, captions, rules); covering them prevents spurious "missing
+	// element" reports.
+	RoleDecoration Role = "decoration"
+)
+
+// Component is one right-hand-side slot of a production, a named symbol
+// reference: the variable name is how the production's constraint
+// expression refers to the matched instance.
+type Component struct {
+	Var string
+	Sym string
+}
+
+// Production is a grammar rule H → M₁ ... Mₖ : C (Definition 2). The
+// constructor F of the definition is universal in this implementation: the
+// head instance's pos is the bounding box of its components and its cover
+// the union of their covers (see Instance).
+type Production struct {
+	Name       string
+	Head       string
+	Components []Component
+	// Constraint is the boolean spatial/attribute expression over the
+	// component variables; nil means unconditionally applicable.
+	Constraint Expr
+}
+
+func (p *Production) String() string {
+	parts := make([]string, len(p.Components))
+	for i, c := range p.Components {
+		parts[i] = c.Var + ":" + c.Sym
+	}
+	s := fmt.Sprintf("%s -> %s", p.Head, strings.Join(parts, " "))
+	if p.Constraint != nil {
+		s += " : " + p.Constraint.String()
+	}
+	return s
+}
+
+// Preference is an ambiguity-resolution rule ⟨I, U, W⟩ (Definition 3):
+// when an instance of Winner and an instance of Loser satisfy the
+// conflicting condition U, and the winning criteria W holds, the loser
+// instance is pruned.
+//
+// The paper's framework keeps preferences "equal (or flat)" and leaves
+// prioritized preferences as future work (Section 7: "it is interesting to
+// see how to develop and integrate a more sophisticated preference model
+// (e.g., prioritized preferences) into the parsing framework"). This
+// implementation supports that extension: Priority orders enforcement —
+// higher priorities are applied first at each enforcement point, so when
+// two preferences are mutually inconsistent (each would kill the other's
+// winner), the higher-priority one acts first and deterministically
+// settles the outcome. Priority 0 (the default) reproduces the paper's
+// flat model.
+type Preference struct {
+	Name      string
+	WinnerVar string
+	Winner    string
+	LoserVar  string
+	Loser     string
+	// Cond is U, the conflicting condition; nil means "covers intersect".
+	Cond Expr
+	// Win is W, the winning criteria; nil means the winner always wins.
+	Win Expr
+	// Priority orders enforcement; higher applies first, default 0.
+	Priority int
+}
+
+func (r *Preference) String() string {
+	return fmt.Sprintf("pref %s: %s beats %s", r.Name, r.Winner, r.Loser)
+}
+
+// Grammar is the 2P grammar ⟨Σ, N, s, Pd, Pf⟩ plus the role tagging used by
+// the merger.
+type Grammar struct {
+	Terminals    map[string]bool
+	Nonterminals map[string]bool
+	Start        string
+	Prods        []*Production
+	Prefs        []*Preference
+	Roles        map[string]Role
+}
+
+// NewGrammar returns an empty grammar.
+func NewGrammar() *Grammar {
+	return &Grammar{
+		Terminals:    map[string]bool{},
+		Nonterminals: map[string]bool{},
+		Roles:        map[string]Role{},
+	}
+}
+
+// IsTerminal reports whether sym is a terminal.
+func (g *Grammar) IsTerminal(sym string) bool { return g.Terminals[sym] }
+
+// RoleOf returns the role tagged on sym, or "".
+func (g *Grammar) RoleOf(sym string) Role { return g.Roles[sym] }
+
+// ProdsFor returns the productions whose head is sym.
+func (g *Grammar) ProdsFor(sym string) []*Production {
+	var out []*Production
+	for _, p := range g.Prods {
+		if p.Head == sym {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Symbols returns all symbols (terminals then nonterminals), sorted.
+func (g *Grammar) Symbols() []string {
+	var out []string
+	for s := range g.Terminals {
+		out = append(out, s)
+	}
+	for s := range g.Nonterminals {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Validate checks structural sanity: the start symbol exists and is a
+// nonterminal, every production head is a nonterminal, every referenced
+// symbol is declared, component variables are unique per production, every
+// nonterminal is reachable-from-productions or used, and preference symbols
+// exist. It returns all problems found.
+func (g *Grammar) Validate() error {
+	var errs []string
+	bad := func(format string, args ...any) { errs = append(errs, fmt.Sprintf(format, args...)) }
+
+	if g.Start == "" {
+		bad("no start symbol declared")
+	} else if !g.Nonterminals[g.Start] {
+		bad("start symbol %q is not a declared nonterminal", g.Start)
+	}
+	for t := range g.Terminals {
+		if g.Nonterminals[t] {
+			bad("symbol %q declared both terminal and nonterminal", t)
+		}
+	}
+	heads := map[string]bool{}
+	for _, p := range g.Prods {
+		if !g.Nonterminals[p.Head] {
+			bad("production %s: head %q is not a declared nonterminal", p.Name, p.Head)
+		}
+		heads[p.Head] = true
+		vars := map[string]bool{}
+		if len(p.Components) == 0 {
+			bad("production %s: empty right-hand side", p.Name)
+		}
+		for _, c := range p.Components {
+			if vars[c.Var] {
+				bad("production %s: duplicate component variable %q", p.Name, c.Var)
+			}
+			vars[c.Var] = true
+			if !g.Terminals[c.Sym] && !g.Nonterminals[c.Sym] {
+				bad("production %s: undeclared symbol %q", p.Name, c.Sym)
+			}
+		}
+		if p.Constraint != nil {
+			for _, v := range p.Constraint.Vars() {
+				if !vars[v] {
+					bad("production %s: constraint references unknown variable %q", p.Name, v)
+				}
+			}
+		}
+	}
+	for n := range g.Nonterminals {
+		if !heads[n] {
+			bad("nonterminal %q has no production", n)
+		}
+	}
+	for _, r := range g.Prefs {
+		for _, sym := range []string{r.Winner, r.Loser} {
+			if !g.Terminals[sym] && !g.Nonterminals[sym] {
+				bad("preference %s: undeclared symbol %q", r.Name, sym)
+			}
+		}
+		vars := map[string]bool{r.WinnerVar: true, r.LoserVar: true}
+		for _, e := range []Expr{r.Cond, r.Win} {
+			if e == nil {
+				continue
+			}
+			for _, v := range e.Vars() {
+				if !vars[v] {
+					bad("preference %s: expression references unknown variable %q", r.Name, v)
+				}
+			}
+		}
+	}
+	for sym := range g.Roles {
+		if !g.Terminals[sym] && !g.Nonterminals[sym] {
+			bad("role tag on undeclared symbol %q", sym)
+		}
+	}
+	if cyc := g.unaryCycle(); cyc != "" {
+		bad("unary production cycle through %q: the parse fix point would diverge", cyc)
+	}
+	if len(errs) > 0 {
+		return fmt.Errorf("grammar validation failed:\n  %s", strings.Join(errs, "\n  "))
+	}
+	return nil
+}
+
+// unaryCycle returns a nonterminal on a cycle of single-component
+// productions, or "". Such a cycle (A → B, B → A) would let the fix point
+// build ever-taller derivations of one token set.
+func (g *Grammar) unaryCycle() string {
+	adj := map[string][]string{}
+	for _, p := range g.Prods {
+		if len(p.Components) == 1 && g.Nonterminals[p.Components[0].Sym] {
+			adj[p.Head] = append(adj[p.Head], p.Components[0].Sym)
+		}
+	}
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := map[string]int{}
+	var visit func(n string) string
+	visit = func(n string) string {
+		color[n] = gray
+		for _, m := range adj[n] {
+			switch color[m] {
+			case gray:
+				return m
+			case white:
+				if c := visit(m); c != "" {
+					return c
+				}
+			}
+		}
+		color[n] = black
+		return ""
+	}
+	for n := range adj {
+		if color[n] == white {
+			if c := visit(n); c != "" {
+				return c
+			}
+		}
+	}
+	return ""
+}
+
+// Stats summarizes the grammar's size, mirroring the paper's reporting
+// ("the derived grammar has 82 productions with 39 nonterminals and 16
+// terminals").
+func (g *Grammar) Stats() string {
+	return fmt.Sprintf("%d productions, %d preferences, %d nonterminals, %d terminals",
+		len(g.Prods), len(g.Prefs), len(g.Nonterminals), len(g.Terminals))
+}

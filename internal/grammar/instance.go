@@ -1,0 +1,163 @@
+package grammar
+
+import (
+	"fmt"
+	"strings"
+
+	"formext/internal/bitset"
+	"formext/internal/geom"
+	"formext/internal/token"
+)
+
+// Instance is a node of a (partial) parse tree: an instantiation of a
+// grammar symbol over a set of input tokens. Terminal instances wrap one
+// token; nonterminal instances are built by a production from component
+// instances. The universal constructor (the F of Definition 2) gives every
+// instance a pos — the bounding box of its components — and a cover — the
+// set of token IDs in its yield.
+type Instance struct {
+	// ID is the creation sequence number assigned by the parser; it makes
+	// preference enforcement and pruning deterministic.
+	ID int
+	// Sym is the grammar symbol this instance instantiates.
+	Sym string
+	// Children are the component instances, in production order; nil for
+	// terminals.
+	Children []*Instance
+	// Token is the wrapped input token of a terminal instance.
+	Token *token.Token
+	// Pos is the bounding box.
+	Pos geom.Rect
+	// Cover is the set of token IDs in the instance's yield.
+	Cover bitset.Set
+	// Prod is the production that built the instance; nil for terminals.
+	Prod *Production
+	// Dead marks instances invalidated by preference enforcement or
+	// rollback; dead instances take no further part in parsing.
+	Dead bool
+	// Parents records the instances built on top of this one, for rollback.
+	Parents []*Instance
+}
+
+// NewTerminal wraps an input token as a terminal instance. The universe is
+// the total token count.
+func NewTerminal(t *token.Token, universe int) *Instance {
+	c := bitset.New(universe)
+	c.Add(t.ID)
+	return &Instance{Sym: string(t.Type), Token: t, Pos: t.Pos, Cover: c}
+}
+
+// Build constructs a head instance from components via the universal
+// constructor: pos is the components' bounding box and cover the union of
+// their covers. It does not check constraints or cover disjointness — the
+// parser does that before calling Build.
+func Build(p *Production, children []*Instance) *Instance {
+	inst := &Instance{Sym: p.Head, Children: children, Prod: p}
+	for i, c := range children {
+		inst.Pos = inst.Pos.Union(c.Pos)
+		if i == 0 {
+			inst.Cover = c.Cover.Clone()
+		} else {
+			inst.Cover.UnionWith(c.Cover)
+		}
+	}
+	return inst
+}
+
+// IsTerminal reports whether the instance wraps a single input token.
+func (in *Instance) IsTerminal() bool { return in.Token != nil }
+
+// Size returns the number of nodes in the subtree.
+func (in *Instance) Size() int {
+	n := 1
+	for _, c := range in.Children {
+		n += c.Size()
+	}
+	return n
+}
+
+// Height returns the height of the subtree (terminals have height 1).
+func (in *Instance) Height() int {
+	h := 0
+	for _, c := range in.Children {
+		if ch := c.Height(); ch > h {
+			h = ch
+		}
+	}
+	return h + 1
+}
+
+// Tokens returns the yield: the wrapped tokens of all terminal descendants
+// in left-to-right derivation order.
+func (in *Instance) Tokens() []*token.Token {
+	var out []*token.Token
+	in.Walk(func(x *Instance) bool {
+		if x.Token != nil {
+			out = append(out, x.Token)
+		}
+		return true
+	})
+	return out
+}
+
+// Walk visits the subtree in preorder. Returning false prunes descent.
+func (in *Instance) Walk(visit func(*Instance) bool) {
+	if !visit(in) {
+		return
+	}
+	for _, c := range in.Children {
+		c.Walk(visit)
+	}
+}
+
+// Texts concatenates the string values of all text-terminal descendants.
+func (in *Instance) Texts() string {
+	var parts []string
+	in.Walk(func(x *Instance) bool {
+		if x.Token != nil && x.Token.Type == token.Text {
+			parts = append(parts, x.Token.SVal)
+		}
+		return true
+	})
+	return strings.Join(parts, " ")
+}
+
+// String renders the instance as Sym[cover] for diagnostics.
+func (in *Instance) String() string {
+	return fmt.Sprintf("%s%s", in.Sym, in.Cover.String())
+}
+
+// Dump renders the whole subtree with indentation, for debugging and the
+// CLI's --trees output.
+func (in *Instance) Dump() string {
+	var b strings.Builder
+	var rec func(x *Instance, depth int)
+	rec = func(x *Instance, depth int) {
+		b.WriteString(strings.Repeat("  ", depth))
+		if x.Token != nil {
+			fmt.Fprintf(&b, "%s %s\n", x.Sym, x.Token)
+			return
+		}
+		fmt.Fprintf(&b, "%s  (%s)\n", x.Sym, x.Prod.Name)
+		for _, c := range x.Children {
+			rec(c, depth+1)
+		}
+	}
+	rec(in, 0)
+	return b.String()
+}
+
+// InterComponentDistance returns the largest pairwise gap between direct
+// children — the "inter-component distance" preferences use to pick tighter
+// groupings (Section 5.2 cycle example).
+func (in *Instance) InterComponentDistance() float64 {
+	max := 0.0
+	for i := 0; i < len(in.Children); i++ {
+		for j := i + 1; j < len(in.Children); j++ {
+			if d := in.Children[i].Pos.Distance(in.Children[j].Pos); d > max {
+				max = d
+			}
+		}
+	}
+	return max
+}

@@ -1,0 +1,68 @@
+package grammar
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Print renders the grammar back to DSL source. ParseDSL(g.Print()) yields
+// an equivalent grammar (same symbols, productions, preferences, roles) —
+// the round trip that lets derived and induced grammars be saved, diffed
+// and reloaded.
+func (g *Grammar) Print() string {
+	var b strings.Builder
+
+	terms := make([]string, 0, len(g.Terminals))
+	for t := range g.Terminals {
+		terms = append(terms, t)
+	}
+	sort.Strings(terms)
+	fmt.Fprintf(&b, "terminals %s;\n", strings.Join(terms, ", "))
+	fmt.Fprintf(&b, "start %s;\n\n", g.Start)
+
+	for _, p := range g.Prods {
+		fmt.Fprintf(&b, "prod %s %s ->", p.Name, p.Head)
+		for _, c := range p.Components {
+			fmt.Fprintf(&b, " %s:%s", c.Var, c.Sym)
+		}
+		if p.Constraint != nil {
+			fmt.Fprintf(&b, " : %s", p.Constraint.String())
+		}
+		b.WriteString(" ;\n")
+	}
+	if len(g.Prods) > 0 && len(g.Prefs) > 0 {
+		b.WriteByte('\n')
+	}
+	for _, r := range g.Prefs {
+		fmt.Fprintf(&b, "pref %s %s:%s beats %s:%s", r.Name, r.WinnerVar, r.Winner, r.LoserVar, r.Loser)
+		if r.Cond != nil {
+			fmt.Fprintf(&b, " when %s", r.Cond.String())
+		}
+		if r.Win != nil {
+			fmt.Fprintf(&b, " win %s", r.Win.String())
+		}
+		if r.Priority != 0 {
+			fmt.Fprintf(&b, " prio %d", r.Priority)
+		}
+		b.WriteString(" ;\n")
+	}
+
+	// Roles, grouped and ordered for stable output.
+	byRole := map[Role][]string{}
+	for sym, role := range g.Roles {
+		byRole[role] = append(byRole[role], sym)
+	}
+	if len(byRole) > 0 {
+		b.WriteByte('\n')
+	}
+	for _, role := range []Role{RoleCondition, RoleAttribute, RoleOperator, RoleDecoration} {
+		syms := byRole[role]
+		if len(syms) == 0 {
+			continue
+		}
+		sort.Strings(syms)
+		fmt.Fprintf(&b, "tag %s %s;\n", role, strings.Join(syms, " "))
+	}
+	return b.String()
+}

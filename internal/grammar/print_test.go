@@ -1,0 +1,70 @@
+package grammar
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPrintRoundTrip: printing any grammar and reparsing it yields an
+// equivalent grammar, and the round trip is a fixpoint (print ∘ parse ∘
+// print is stable).
+func TestPrintRoundTrip(t *testing.T) {
+	for _, src := range []string{figure6Grammar, DefaultSource()} {
+		g1, err := ParseDSL(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		printed := g1.Print()
+		g2, err := ParseDSL(printed)
+		if err != nil {
+			t.Fatalf("reparse failed: %v\n%s", err, printed)
+		}
+		if g1.Start != g2.Start {
+			t.Errorf("start differs: %q vs %q", g1.Start, g2.Start)
+		}
+		if len(g1.Prods) != len(g2.Prods) || len(g1.Prefs) != len(g2.Prefs) {
+			t.Errorf("sizes differ: %s vs %s", g1.Stats(), g2.Stats())
+		}
+		if len(g1.Terminals) != len(g2.Terminals) || len(g1.Nonterminals) != len(g2.Nonterminals) {
+			t.Errorf("alphabets differ: %s vs %s", g1.Stats(), g2.Stats())
+		}
+		for i := range g1.Prods {
+			if g1.Prods[i].String() != g2.Prods[i].String() {
+				t.Errorf("production %d differs:\n  %s\n  %s", i, g1.Prods[i], g2.Prods[i])
+			}
+		}
+		for i := range g1.Prefs {
+			a, b := g1.Prefs[i], g2.Prefs[i]
+			if a.Name != b.Name || a.Winner != b.Winner || a.Loser != b.Loser || a.Priority != b.Priority {
+				t.Errorf("preference %d differs: %+v vs %+v", i, a, b)
+			}
+		}
+		for sym, role := range g1.Roles {
+			if g2.Roles[sym] != role {
+				t.Errorf("role of %s differs", sym)
+			}
+		}
+		// Fixpoint.
+		if again := g2.Print(); again != printed {
+			t.Error("Print is not a fixpoint under reparse")
+		}
+	}
+}
+
+func TestPrintPreservesPriorityAndLiterals(t *testing.T) {
+	src := `terminals text; start A;
+prod P A -> t:text : textis(t, "from", "to") && wordcount(t) <= 2;
+pref R w:A beats l:A when overlap(w, l) win compdist(w) < compdist(l) prio 7;
+tag condition A;
+`
+	g, err := ParseDSL(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := g.Print()
+	for _, want := range []string{`textis(t, "from", "to")`, "prio 7", "tag condition A;"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("printed grammar missing %q:\n%s", want, out)
+		}
+	}
+}

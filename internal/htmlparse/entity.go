@@ -1,0 +1,162 @@
+package htmlparse
+
+import (
+	"strconv"
+	"strings"
+)
+
+// namedEntities maps the named character references that occur in practice
+// on form pages. Exotic references decode to themselves (the reference text
+// is kept literally), which is the behaviour of lenient browsers for unknown
+// entities.
+var namedEntities = map[string]rune{
+	"amp":    '&',
+	"lt":     '<',
+	"gt":     '>',
+	"quot":   '"',
+	"apos":   '\'',
+	"nbsp":   ' ', // plain space: downstream text handling collapses whitespace
+	"copy":   '©',
+	"reg":    '®',
+	"trade":  '™',
+	"hellip": '…',
+	"mdash":  '—',
+	"ndash":  '–',
+	"lsquo":  '‘',
+	"rsquo":  '’',
+	"ldquo":  '“',
+	"rdquo":  '”',
+	"laquo":  '«',
+	"raquo":  '»',
+	"middot": '·',
+	"bull":   '•',
+	"deg":    '°',
+	"plusmn": '±',
+	"frac12": '½',
+	"frac14": '¼',
+	"times":  '×',
+	"divide": '÷',
+	"cent":   '¢',
+	"pound":  '£',
+	"euro":   '€',
+	"yen":    '¥',
+	"sect":   '§',
+	"para":   '¶',
+	"dagger": '†',
+	"larr":   '←',
+	"uarr":   '↑',
+	"rarr":   '→',
+	"darr":   '↓',
+}
+
+// DecodeEntities replaces HTML character references in s with the characters
+// they denote. It handles named references (with or without the trailing
+// semicolon for the common ones), decimal references (&#65;) and hex
+// references (&#x41;). Malformed references are left untouched.
+func DecodeEntities(s string) string {
+	amp := strings.IndexByte(s, '&')
+	if amp < 0 {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s))
+	b.WriteString(s[:amp])
+	s = s[amp:]
+	for len(s) > 0 {
+		if s[0] != '&' {
+			next := strings.IndexByte(s, '&')
+			if next < 0 {
+				b.WriteString(s)
+				break
+			}
+			b.WriteString(s[:next])
+			s = s[next:]
+			continue
+		}
+		r, consumed := decodeOne(s)
+		if consumed == 0 {
+			b.WriteByte('&')
+			s = s[1:]
+			continue
+		}
+		b.WriteString(r)
+		s = s[consumed:]
+	}
+	return b.String()
+}
+
+// decodeOne decodes a single reference at the start of s (which begins with
+// '&'). It returns the replacement text and the number of input bytes
+// consumed; consumed == 0 means no valid reference was found.
+func decodeOne(s string) (string, int) {
+	if len(s) < 2 {
+		return "", 0
+	}
+	if s[1] == '#' {
+		return decodeNumeric(s)
+	}
+	// Longest-match a named reference: scan alphanumerics after '&'.
+	i := 1
+	for i < len(s) && i < 32 && isAlnum(s[i]) {
+		i++
+	}
+	name := s[1:i]
+	hasSemi := i < len(s) && s[i] == ';'
+	if r, ok := namedEntities[name]; ok {
+		if hasSemi {
+			return string(r), i + 1
+		}
+		// Bare references are accepted for legacy-compatible names.
+		switch name {
+		case "amp", "lt", "gt", "quot", "nbsp", "copy", "reg":
+			return string(r), i
+		}
+	}
+	// Try progressively shorter prefixes for run-together text like &ampx.
+	for j := i; j > 1; j-- {
+		if r, ok := namedEntities[s[1:j]]; ok && !hasSemi {
+			switch s[1:j] {
+			case "amp", "lt", "gt", "quot", "nbsp":
+				return string(r), j
+			}
+			_ = r
+		}
+	}
+	return "", 0
+}
+
+func decodeNumeric(s string) (string, int) {
+	// s starts with "&#".
+	i := 2
+	base := 10
+	if i < len(s) && (s[i] == 'x' || s[i] == 'X') {
+		base = 16
+		i++
+	}
+	start := i
+	for i < len(s) && i-start < 8 && isBaseDigit(s[i], base) {
+		i++
+	}
+	if i == start {
+		return "", 0
+	}
+	v, err := strconv.ParseInt(s[start:i], base, 32)
+	if err != nil || v <= 0 || v > 0x10FFFF {
+		return "", 0
+	}
+	if i < len(s) && s[i] == ';' {
+		i++
+	}
+	return string(rune(v)), i
+}
+
+func isAlnum(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
+}
+
+func isBaseDigit(c byte, base int) bool {
+	if base == 10 {
+		return c >= '0' && c <= '9'
+	}
+	return c >= '0' && c <= '9' || c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F'
+}

@@ -1,0 +1,61 @@
+package htmlparse
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse: the tree builder must accept any byte soup without panicking
+// and always produce a consistent tree (browsers never reject input;
+// neither do we).
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"<form><table><tr><td>Author</td><td><input type=text></td></tr></table></form>",
+		"<select><option>a<option>b</select>",
+		"<<>><table><td><table></tr></table>",
+		"<!doctype html><!-- c --><p>x<p>y",
+		"<script>if(a<b){}</script>",
+		"<a href='x>y'>z</a>&amp&#x41;&bogus;",
+		"<input type=\"radio\" name='n' checked value=v/>text",
+		strings.Repeat("<div>", 50) + "deep" + strings.Repeat("</div>", 30),
+		"<td>stray cell</td></p></div>",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<16 {
+			return
+		}
+		doc := Parse(src)
+		if doc == nil || doc.Type != DocumentNode {
+			t.Fatal("Parse must return a document")
+		}
+		doc.Walk(func(n *Node) bool {
+			for _, c := range n.Children {
+				if c.Parent != n {
+					t.Fatal("broken parent link")
+				}
+			}
+			return true
+		})
+	})
+}
+
+// FuzzDecodeEntities: entity decoding never panics and never grows the
+// input unreasonably.
+func FuzzDecodeEntities(f *testing.F) {
+	for _, s := range []string{"&amp;", "&#65;", "&#x41;", "&&&", "&bogus", "a&lt;b", "&#xffffffffff;"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<14 {
+			return
+		}
+		out := DecodeEntities(src)
+		if len(out) > len(src)+8 {
+			t.Fatalf("decoded output grew from %d to %d", len(src), len(out))
+		}
+	})
+}

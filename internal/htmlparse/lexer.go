@@ -1,0 +1,260 @@
+package htmlparse
+
+import "strings"
+
+// tokenKind discriminates lexer output.
+type tokenKind int
+
+const (
+	tokText tokenKind = iota
+	tokStartTag
+	tokEndTag
+	tokComment
+	tokDoctype
+	tokEOF
+)
+
+// lexToken is one lexical unit of the HTML input.
+type lexToken struct {
+	kind        tokenKind
+	data        string // tag name (lower-cased), text content, or comment body
+	attrs       []Attr
+	selfClosing bool
+}
+
+// lexer scans HTML input into tokens. It is deliberately forgiving: anything
+// that is not a well-formed tag is treated as text, mirroring browser error
+// recovery.
+type lexer struct {
+	src string
+	pos int
+	// rawTag, when non-empty, makes the lexer consume everything up to the
+	// matching end tag as a single text token (script/style/textarea/title).
+	rawTag string
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src} }
+
+// next returns the next token.
+func (l *lexer) next() lexToken {
+	if l.pos >= len(l.src) {
+		return lexToken{kind: tokEOF}
+	}
+	if l.rawTag != "" {
+		return l.lexRawText()
+	}
+	if l.src[l.pos] == '<' {
+		if tok, ok := l.lexMarkup(); ok {
+			return tok
+		}
+		// A lone '<' that does not begin markup: emit it as text.
+		l.pos++
+		return lexToken{kind: tokText, data: "<"}
+	}
+	return l.lexText()
+}
+
+func (l *lexer) lexText() lexToken {
+	start := l.pos
+	for l.pos < len(l.src) && l.src[l.pos] != '<' {
+		l.pos++
+	}
+	return lexToken{kind: tokText, data: DecodeEntities(l.src[start:l.pos])}
+}
+
+// lexRawText consumes content up to the closing tag of the current raw-text
+// element.
+func (l *lexer) lexRawText() lexToken {
+	closing := "</" + l.rawTag
+	lower := strings.ToLower(l.src[l.pos:])
+	idx := strings.Index(lower, closing)
+	var content string
+	if idx < 0 {
+		content = l.src[l.pos:]
+		l.pos = len(l.src)
+	} else {
+		content = l.src[l.pos : l.pos+idx]
+		l.pos += idx
+	}
+	l.rawTag = ""
+	if content == "" {
+		// Nothing between the tags; continue with the end tag itself.
+		return l.next()
+	}
+	return lexToken{kind: tokText, data: content}
+}
+
+// lexMarkup attempts to scan a tag, comment or doctype starting at '<'.
+func (l *lexer) lexMarkup() (lexToken, bool) {
+	src, p := l.src, l.pos
+	if p+1 >= len(src) {
+		return lexToken{}, false
+	}
+	switch {
+	case strings.HasPrefix(src[p:], "<!--"):
+		return l.lexComment(), true
+	case src[p+1] == '!' || src[p+1] == '?':
+		return l.lexDeclaration(), true
+	case src[p+1] == '/':
+		return l.lexEndTag()
+	default:
+		return l.lexStartTag()
+	}
+}
+
+func (l *lexer) lexComment() lexToken {
+	l.pos += 4 // consume "<!--"
+	end := strings.Index(l.src[l.pos:], "-->")
+	var body string
+	if end < 0 {
+		body = l.src[l.pos:]
+		l.pos = len(l.src)
+	} else {
+		body = l.src[l.pos : l.pos+end]
+		l.pos += end + 3
+	}
+	return lexToken{kind: tokComment, data: body}
+}
+
+func (l *lexer) lexDeclaration() lexToken {
+	// <!DOCTYPE ...> or <?xml ...?> — consume to '>'.
+	end := strings.IndexByte(l.src[l.pos:], '>')
+	if end < 0 {
+		l.pos = len(l.src)
+	} else {
+		l.pos += end + 1
+	}
+	return lexToken{kind: tokDoctype}
+}
+
+func (l *lexer) lexEndTag() (lexToken, bool) {
+	p := l.pos + 2
+	start := p
+	for p < len(l.src) && isTagNameByte(l.src[p]) {
+		p++
+	}
+	if p == start {
+		return lexToken{}, false
+	}
+	name := strings.ToLower(l.src[start:p])
+	// Skip to '>' discarding any junk.
+	for p < len(l.src) && l.src[p] != '>' {
+		p++
+	}
+	if p < len(l.src) {
+		p++
+	}
+	l.pos = p
+	return lexToken{kind: tokEndTag, data: name}, true
+}
+
+func (l *lexer) lexStartTag() (lexToken, bool) {
+	p := l.pos + 1
+	start := p
+	for p < len(l.src) && isTagNameByte(l.src[p]) {
+		p++
+	}
+	if p == start {
+		return lexToken{}, false
+	}
+	tok := lexToken{kind: tokStartTag, data: strings.ToLower(l.src[start:p])}
+	for {
+		p = skipSpace(l.src, p)
+		if p >= len(l.src) {
+			break
+		}
+		if l.src[p] == '>' {
+			p++
+			break
+		}
+		if l.src[p] == '/' {
+			p++
+			if p < len(l.src) && l.src[p] == '>' {
+				tok.selfClosing = true
+				p++
+				break
+			}
+			continue
+		}
+		var attr Attr
+		attr, p = lexAttr(l.src, p)
+		if attr.Name == "" {
+			p++ // junk byte; skip to avoid an infinite loop
+			continue
+		}
+		tok.attrs = append(tok.attrs, attr)
+	}
+	l.pos = p
+	if isRawTextTag(tok.data) && !tok.selfClosing {
+		l.rawTag = tok.data
+	}
+	return tok, true
+}
+
+// lexAttr scans one attribute at position p and returns it with the new
+// position. The name is lower-cased and the value entity-decoded.
+func lexAttr(src string, p int) (Attr, int) {
+	start := p
+	for p < len(src) && isAttrNameByte(src[p]) {
+		p++
+	}
+	if p == start {
+		return Attr{}, p
+	}
+	attr := Attr{Name: strings.ToLower(src[start:p])}
+	p = skipSpace(src, p)
+	if p >= len(src) || src[p] != '=' {
+		return attr, p // boolean attribute
+	}
+	p = skipSpace(src, p+1)
+	if p >= len(src) {
+		return attr, p
+	}
+	switch src[p] {
+	case '"', '\'':
+		quote := src[p]
+		p++
+		vstart := p
+		for p < len(src) && src[p] != quote {
+			p++
+		}
+		attr.Value = DecodeEntities(src[vstart:p])
+		if p < len(src) {
+			p++ // closing quote
+		}
+	default:
+		vstart := p
+		for p < len(src) && !isSpaceByte(src[p]) && src[p] != '>' {
+			p++
+		}
+		attr.Value = DecodeEntities(src[vstart:p])
+	}
+	return attr, p
+}
+
+func isRawTextTag(tag string) bool {
+	switch tag {
+	case "script", "style", "textarea", "title":
+		return true
+	}
+	return false
+}
+
+func isTagNameByte(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '-' || c == ':'
+}
+
+func isAttrNameByte(c byte) bool {
+	return !isSpaceByte(c) && c != '=' && c != '>' && c != '/' && c != '"' && c != '\''
+}
+
+func isSpaceByte(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f'
+}
+
+func skipSpace(src string, p int) int {
+	for p < len(src) && isSpaceByte(src[p]) {
+		p++
+	}
+	return p
+}

@@ -1,0 +1,166 @@
+// Package htmlparse implements an HTML lexer and forgiving tree builder
+// sufficient for real-world query forms: tag soup, unclosed elements,
+// attribute quoting variants, character entities, comments, and raw-text
+// elements. It is the first half of the substrate that replaces the HTML
+// DOM API of a browser (the paper's tokenizer reads rendered positions from
+// Internet Explorer); the second half is the layout engine in
+// internal/layout.
+package htmlparse
+
+import "strings"
+
+// NodeType discriminates the kinds of DOM nodes produced by the parser.
+type NodeType int
+
+const (
+	// DocumentNode is the synthetic root of a parse.
+	DocumentNode NodeType = iota
+	// ElementNode is a tag such as <input> or <table>.
+	ElementNode
+	// TextNode holds character data.
+	TextNode
+	// CommentNode holds the body of an HTML comment.
+	CommentNode
+)
+
+func (t NodeType) String() string {
+	switch t {
+	case DocumentNode:
+		return "document"
+	case ElementNode:
+		return "element"
+	case TextNode:
+		return "text"
+	case CommentNode:
+		return "comment"
+	default:
+		return "unknown"
+	}
+}
+
+// Attr is a single name/value attribute. Names are lower-cased by the lexer.
+type Attr struct {
+	Name  string
+	Value string
+}
+
+// Node is a node in the parsed document tree.
+type Node struct {
+	Type     NodeType
+	Tag      string // element tag name, lower-cased; empty for non-elements
+	Data     string // text or comment content
+	Attrs    []Attr
+	Parent   *Node
+	Children []*Node
+}
+
+// Attr returns the value of the named attribute and whether it is present.
+// The lookup is case-insensitive because the lexer lower-cases names.
+func (n *Node) Attr(name string) (string, bool) {
+	name = strings.ToLower(name)
+	for _, a := range n.Attrs {
+		if a.Name == name {
+			return a.Value, true
+		}
+	}
+	return "", false
+}
+
+// AttrOr returns the named attribute's value, or def when absent.
+func (n *Node) AttrOr(name, def string) string {
+	if v, ok := n.Attr(name); ok {
+		return v
+	}
+	return def
+}
+
+// HasAttr reports whether the attribute is present (even if empty-valued).
+func (n *Node) HasAttr(name string) bool {
+	_, ok := n.Attr(name)
+	return ok
+}
+
+// AppendChild attaches c as the last child of n and sets its parent.
+func (n *Node) AppendChild(c *Node) {
+	c.Parent = n
+	n.Children = append(n.Children, c)
+}
+
+// Walk visits n and all descendants in document order. Returning false from
+// the visitor prunes the subtree below the current node (the walk continues
+// with siblings).
+func (n *Node) Walk(visit func(*Node) bool) {
+	if !visit(n) {
+		return
+	}
+	for _, c := range n.Children {
+		c.Walk(visit)
+	}
+}
+
+// Find returns the first descendant (in document order, excluding n itself)
+// satisfying pred, or nil.
+func (n *Node) Find(pred func(*Node) bool) *Node {
+	var found *Node
+	for _, c := range n.Children {
+		c.Walk(func(m *Node) bool {
+			if found != nil {
+				return false
+			}
+			if pred(m) {
+				found = m
+				return false
+			}
+			return true
+		})
+		if found != nil {
+			break
+		}
+	}
+	return found
+}
+
+// FindAll returns all descendants satisfying pred in document order.
+func (n *Node) FindAll(pred func(*Node) bool) []*Node {
+	var out []*Node
+	for _, c := range n.Children {
+		c.Walk(func(m *Node) bool {
+			if pred(m) {
+				out = append(out, m)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// FindTag returns the first descendant element with the given tag name.
+func (n *Node) FindTag(tag string) *Node {
+	tag = strings.ToLower(tag)
+	return n.Find(func(m *Node) bool { return m.Type == ElementNode && m.Tag == tag })
+}
+
+// FindAllTags returns all descendant elements with the given tag name.
+func (n *Node) FindAllTags(tag string) []*Node {
+	tag = strings.ToLower(tag)
+	return n.FindAll(func(m *Node) bool { return m.Type == ElementNode && m.Tag == tag })
+}
+
+// InnerText concatenates all descendant text, collapsing runs of whitespace
+// to single spaces and trimming the result.
+func (n *Node) InnerText() string {
+	var b strings.Builder
+	n.Walk(func(m *Node) bool {
+		if m.Type == TextNode {
+			b.WriteString(m.Data)
+			b.WriteByte(' ')
+		}
+		return true
+	})
+	return strings.Join(strings.Fields(b.String()), " ")
+}
+
+// IsElement reports whether n is an element with the given tag.
+func (n *Node) IsElement(tag string) bool {
+	return n.Type == ElementNode && n.Tag == tag
+}

@@ -1,0 +1,134 @@
+package htmlparse
+
+// Tree construction. The builder follows the pragmatic subset of the HTML5
+// tree-construction rules that matters for form pages: void elements,
+// implied end tags (</p>, </li>, </option>, </tr>, </td>, ...), recovery
+// from mismatched end tags, and raw-text elements handled by the lexer.
+
+// voidElements never take children; a start tag is also its end.
+var voidElements = map[string]bool{
+	"area": true, "base": true, "br": true, "col": true, "embed": true,
+	"hr": true, "img": true, "input": true, "link": true, "meta": true,
+	"param": true, "source": true, "track": true, "wbr": true,
+}
+
+// impliedClosers maps a start tag to the set of open tags it implicitly
+// closes when encountered. E.g. a new <li> closes a currently open <li>.
+var impliedClosers = map[string]map[string]bool{
+	"li":         {"li": true},
+	"option":     {"option": true},
+	"optgroup":   {"option": true, "optgroup": true},
+	"tr":         {"tr": true, "td": true, "th": true},
+	"td":         {"td": true, "th": true},
+	"th":         {"td": true, "th": true},
+	"thead":      {"tr": true, "td": true, "th": true, "tbody": true, "tfoot": true, "thead": true},
+	"tbody":      {"tr": true, "td": true, "th": true, "thead": true, "tfoot": true, "tbody": true},
+	"tfoot":      {"tr": true, "td": true, "th": true, "thead": true, "tbody": true, "tfoot": true},
+	"dd":         {"dd": true, "dt": true},
+	"dt":         {"dd": true, "dt": true},
+	"p":          {"p": true},
+	"h1":         {"p": true},
+	"h2":         {"p": true},
+	"h3":         {"p": true},
+	"h4":         {"p": true},
+	"h5":         {"p": true},
+	"h6":         {"p": true},
+	"div":        {"p": true},
+	"table":      {"p": true},
+	"form":       {"p": true},
+	"ul":         {"p": true},
+	"ol":         {"p": true},
+	"fieldset":   {"p": true},
+	"hr":         {"p": true},
+	"blockquote": {"p": true},
+}
+
+// tableScoped lists tags whose implied closing must not escape the nearest
+// enclosing table: a <tr> inside a nested table must not close the outer
+// table's <tr>.
+var tableScoped = map[string]bool{
+	"tr": true, "td": true, "th": true, "thead": true, "tbody": true, "tfoot": true,
+}
+
+// Parse builds a document tree from HTML source. It never fails: malformed
+// input produces a best-effort tree, matching the error recovery a browser
+// performs.
+func Parse(src string) *Node {
+	doc := &Node{Type: DocumentNode}
+	lx := newLexer(src)
+	stack := []*Node{doc}
+	top := func() *Node { return stack[len(stack)-1] }
+
+	for {
+		tok := lx.next()
+		switch tok.kind {
+		case tokEOF:
+			return doc
+		case tokText:
+			if tok.data == "" {
+				continue
+			}
+			top().AppendChild(&Node{Type: TextNode, Data: tok.data})
+		case tokComment:
+			top().AppendChild(&Node{Type: CommentNode, Data: tok.data})
+		case tokDoctype:
+			// Dropped; the tree does not model doctypes.
+		case tokStartTag:
+			closeImplied(&stack, tok.data)
+			el := &Node{Type: ElementNode, Tag: tok.data, Attrs: tok.attrs}
+			stack[len(stack)-1].AppendChild(el)
+			if !voidElements[tok.data] && !tok.selfClosing {
+				stack = append(stack, el)
+			}
+		case tokEndTag:
+			closeTo(&stack, tok.data)
+		}
+	}
+}
+
+// closeImplied pops elements that the incoming start tag implicitly closes.
+func closeImplied(stack *[]*Node, incoming string) {
+	closers := impliedClosers[incoming]
+	if closers == nil {
+		return
+	}
+	s := *stack
+	for len(s) > 1 {
+		t := s[len(s)-1]
+		if t.Type != ElementNode || !closers[t.Tag] {
+			break
+		}
+		// Respect table scoping: an incoming table-structure tag closes
+		// open rows/cells only up to the nearest table boundary.
+		if tableScoped[incoming] && t.Tag == "table" {
+			break
+		}
+		s = s[:len(s)-1]
+	}
+	*stack = s
+}
+
+// closeTo handles an explicit end tag: pop up to and including the matching
+// open element. If no matching element is open the end tag is ignored,
+// except for </p> and </br> which browsers synthesize; we simply ignore
+// those too since they do not affect form extraction.
+func closeTo(stack *[]*Node, tag string) {
+	s := *stack
+	// Search for a matching open element.
+	match := -1
+	for i := len(s) - 1; i >= 1; i-- {
+		if s[i].Type == ElementNode && s[i].Tag == tag {
+			match = i
+			break
+		}
+		// Do not let an end tag close through a table boundary unless it is
+		// the table's own end tag.
+		if s[i].Tag == "table" && tag != "table" && tableScoped[tag] {
+			return
+		}
+	}
+	if match < 0 {
+		return
+	}
+	*stack = s[:match]
+}

@@ -1,0 +1,65 @@
+package htmlparse
+
+import "strings"
+
+// Render serializes the tree back to HTML. Parse(n.Render()) reproduces an
+// equivalent tree (same structure, same text after whitespace
+// normalization): the implied end tags the parser inserted are emitted
+// explicitly, entities are re-escaped, and raw-text elements keep their
+// content verbatim.
+func (n *Node) Render() string {
+	var b strings.Builder
+	renderNode(&b, n)
+	return b.String()
+}
+
+func renderNode(b *strings.Builder, n *Node) {
+	switch n.Type {
+	case DocumentNode:
+		for _, c := range n.Children {
+			renderNode(b, c)
+		}
+	case TextNode:
+		if n.Parent != nil && isRawTextTag(n.Parent.Tag) {
+			b.WriteString(n.Data)
+			return
+		}
+		b.WriteString(EscapeText(n.Data))
+	case CommentNode:
+		b.WriteString("<!--")
+		b.WriteString(n.Data)
+		b.WriteString("-->")
+	case ElementNode:
+		b.WriteByte('<')
+		b.WriteString(n.Tag)
+		for _, a := range n.Attrs {
+			b.WriteByte(' ')
+			b.WriteString(a.Name)
+			b.WriteString(`="`)
+			b.WriteString(EscapeAttr(a.Value))
+			b.WriteByte('"')
+		}
+		b.WriteByte('>')
+		if voidElements[n.Tag] {
+			return
+		}
+		for _, c := range n.Children {
+			renderNode(b, c)
+		}
+		b.WriteString("</")
+		b.WriteString(n.Tag)
+		b.WriteByte('>')
+	}
+}
+
+// EscapeText escapes character data for element content.
+func EscapeText(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}
+
+// EscapeAttr escapes an attribute value for double-quoted output.
+func EscapeAttr(s string) string {
+	r := strings.NewReplacer("&", "&amp;", `"`, "&quot;", "<", "&lt;")
+	return r.Replace(s)
+}

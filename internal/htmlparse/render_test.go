@@ -1,0 +1,96 @@
+package htmlparse
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRenderBasic(t *testing.T) {
+	doc := Parse(`<form action="/s"><table><tr><td>Author</td><td><input type=text name=a></td></tr></table></form>`)
+	out := doc.Render()
+	want := `<form action="/s"><table><tr><td>Author</td><td><input type="text" name="a"></td></tr></table></form>`
+	if out != want {
+		t.Errorf("Render = %q, want %q", out, want)
+	}
+}
+
+func TestRenderEscapes(t *testing.T) {
+	doc := Parse(`<div title="a&quot;b">x &lt; y &amp; z</div>`)
+	out := doc.Render()
+	if !strings.Contains(out, `title="a&quot;b"`) {
+		t.Errorf("attribute not re-escaped: %q", out)
+	}
+	if !strings.Contains(out, "x &lt; y &amp; z") {
+		t.Errorf("text not re-escaped: %q", out)
+	}
+}
+
+func TestRenderRawText(t *testing.T) {
+	doc := Parse(`<script>if (a < b) { f("&amp;"); }</script>`)
+	out := doc.Render()
+	if !strings.Contains(out, `if (a < b) { f("&amp;"); }`) {
+		t.Errorf("raw text mangled: %q", out)
+	}
+}
+
+func TestRenderVoidAndComment(t *testing.T) {
+	doc := Parse(`a<br><!-- note --><hr>`)
+	out := doc.Render()
+	if out != "a<br><!-- note --><hr>" {
+		t.Errorf("Render = %q", out)
+	}
+}
+
+// structure summarizes a tree for equivalence comparison: tags in document
+// order plus normalized text.
+func structure(n *Node) string {
+	var b strings.Builder
+	n.Walk(func(m *Node) bool {
+		switch m.Type {
+		case ElementNode:
+			b.WriteString("<" + m.Tag + ">")
+			for _, a := range m.Attrs {
+				b.WriteString(a.Name + "=" + a.Value + ";")
+			}
+		case TextNode:
+			b.WriteString("[" + strings.Join(strings.Fields(m.Data), " ") + "]")
+		}
+		return true
+	})
+	return b.String()
+}
+
+func TestRenderRoundTrip(t *testing.T) {
+	srcs := []string{
+		`<form><table><tr><td>a<td>b<tr><td>c</table></form>`,
+		`<select><option value="1">one<option selected>two</select>`,
+		`<p>one<p>two<ul><li>x<li>y</ul>`,
+		`<div>5 &lt; 10 &amp; 7 &gt; 2</div>`,
+		`<input type=checkbox checked><textarea rows=2>body</textarea>`,
+	}
+	for _, src := range srcs {
+		d1 := Parse(src)
+		d2 := Parse(d1.Render())
+		if structure(d1) != structure(d2) {
+			t.Errorf("round trip changed structure for %q:\n  %s\n  %s",
+				src, structure(d1), structure(d2))
+		}
+	}
+}
+
+// Property: render∘parse is a fixpoint after one iteration — rendering the
+// reparsed tree reproduces the same serialization.
+func TestRenderPropertyFixpoint(t *testing.T) {
+	f := func(s string) bool {
+		if len(s) > 4096 {
+			return true
+		}
+		r1 := Parse(s).Render()
+		r2 := Parse(r1).Render()
+		return r1 == r2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

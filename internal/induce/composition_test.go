@@ -1,0 +1,131 @@
+package induce
+
+import (
+	"testing"
+
+	"formext/internal/dataset"
+	"formext/internal/model"
+)
+
+// observeOne renders one condition layout and returns its signatures.
+func observeOne(t *testing.T, html string, truth ...model.Condition) []Signature {
+	t.Helper()
+	src := dataset.Source{HTML: html, Truth: truth}
+	return NewInducer().Observe(examplesFrom([]dataset.Source{src})[0])
+}
+
+func TestCompositionRadioOpsBelow(t *testing.T) {
+	sigs := observeOne(t, `<form><table>
+	<tr><td>Author</td><td><input type="text" name="a" size="30"></td></tr>
+	<tr><td></td><td><input type="radio" name="am" checked>exact <input type="radio" name="am">contains</td></tr>
+	</table></form>`,
+		model.Condition{Attribute: "Author", Fields: []string{"a", "am", "am"},
+			Operators: []string{"exact", "contains"},
+			Domain:    model.Domain{Kind: model.TextDomain}})
+	if len(sigs) != 1 || sigs[0].Comp != "entry-radio-ops-below" {
+		t.Errorf("sigs = %v", sigs)
+	}
+}
+
+func TestCompositionRadioOpsRight(t *testing.T) {
+	sigs := observeOne(t, `<form><table>
+	<tr><td>Author</td><td><input type="text" name="a" size="14"> <input type="radio" name="am" checked>exact <input type="radio" name="am">contains</td></tr>
+	</table></form>`,
+		model.Condition{Attribute: "Author", Fields: []string{"a", "am", "am"},
+			Operators: []string{"exact", "contains"},
+			Domain:    model.Domain{Kind: model.TextDomain}})
+	if len(sigs) != 1 || sigs[0].Comp != "entry-radio-ops-right" {
+		t.Errorf("sigs = %v", sigs)
+	}
+}
+
+func TestCompositionOpSelect(t *testing.T) {
+	sigs := observeOne(t, `<form><table>
+	<tr><td>Title</td><td><select name="tm"><option>contains</option><option>exact phrase</option></select> <input type="text" name="t" size="20"></td></tr>
+	</table></form>`,
+		model.Condition{Attribute: "Title", Fields: []string{"t", "tm"},
+			Operators: []string{"contains", "exact phrase"},
+			Domain:    model.Domain{Kind: model.TextDomain}})
+	if len(sigs) != 1 || sigs[0].Comp != "entry-opselect" {
+		t.Errorf("sigs = %v", sigs)
+	}
+}
+
+func TestCompositionSelectRange(t *testing.T) {
+	sigs := observeOne(t, `<form><table>
+	<tr><td>Year</td><td>from <select name="y1"><option>1998</option><option>1999</option><option>2000</option><option>2001</option></select>
+	to <select name="y2"><option>1998</option><option>1999</option><option>2000</option><option>2001</option></select></td></tr>
+	</table></form>`,
+		model.Condition{Attribute: "Year", Fields: []string{"y1", "y2"},
+			Domain: model.Domain{Kind: model.RangeDomain}})
+	if len(sigs) != 1 || sigs[0].Comp != "selectrange" {
+		t.Errorf("sigs = %v", sigs)
+	}
+}
+
+func TestCompositionMultiselectAndChecklist(t *testing.T) {
+	sigs := observeOne(t, `<form><table>
+	<tr><td>Genres</td><td><select name="g1"><option>Rock</option></select> <select name="g2"><option>Jazz</option></select></td></tr>
+	<tr><td>Format</td><td><input type="checkbox" name="f">CD <input type="checkbox" name="f">LP</td></tr>
+	<tr><td></td><td><input type="checkbox" name="s">In stock</td></tr>
+	</table></form>`,
+		model.Condition{Attribute: "Genres", Fields: []string{"g1", "g2"},
+			Domain: model.Domain{Kind: model.EnumDomain}},
+		model.Condition{Attribute: "Format", Fields: []string{"f", "f"},
+			Domain: model.Domain{Kind: model.EnumDomain, Multiple: true}},
+		model.Condition{Attribute: "In stock", Fields: []string{"s"},
+			Domain: model.Domain{Kind: model.BoolDomain}})
+	if len(sigs) != 3 {
+		t.Fatalf("sigs = %v", sigs)
+	}
+	if sigs[0].Comp != "multiselect" || sigs[1].Comp != "checklist" || sigs[2].Comp != "boolcb" {
+		t.Errorf("sigs = %v", sigs)
+	}
+	if sigs[2].Relation != "none" {
+		t.Errorf("boolcb relation = %q", sigs[2].Relation)
+	}
+}
+
+func TestCompositionVerticalRadios(t *testing.T) {
+	sigs := observeOne(t, `<form><table>
+	<tr><td>Condition</td><td>
+	<input type="radio" name="c" checked>New<br>
+	<input type="radio" name="c">Used</td></tr>
+	</table></form>`,
+		model.Condition{Attribute: "Condition", Fields: []string{"c", "c"},
+			Domain: model.Domain{Kind: model.EnumDomain}})
+	if len(sigs) != 1 || sigs[0].Comp != "radiolist" || sigs[0].Relation != "left" {
+		t.Errorf("sigs = %v", sigs)
+	}
+}
+
+func TestInduceCoversOperatorPatterns(t *testing.T) {
+	// A training set heavy on operator layouts yields TextOp machinery and
+	// the right CP alternatives.
+	mk := func() dataset.Source {
+		return dataset.Source{HTML: `<form><table>
+	<tr><td>Author</td><td><input type="text" name="a" size="30"></td></tr>
+	<tr><td></td><td><input type="radio" name="am" checked>exact <input type="radio" name="am">contains</input></td></tr>
+	<tr><td>Title</td><td><select name="tm"><option>contains</option><option>exact phrase</option></select> <input type="text" name="t" size="20"></td></tr>
+	</table></form>`,
+			Truth: []model.Condition{
+				{Attribute: "Author", Fields: []string{"a", "am", "am"},
+					Operators: []string{"exact", "contains"}, Domain: model.Domain{Kind: model.TextDomain}},
+				{Attribute: "Title", Fields: []string{"t", "tm"},
+					Operators: []string{"contains", "exact phrase"}, Domain: model.Domain{Kind: model.TextDomain}},
+			}}
+	}
+	var srcs []dataset.Source
+	for i := 0; i < 4; i++ {
+		srcs = append(srcs, mk())
+	}
+	g, src, _, err := NewInducer().Induce(examplesFrom(srcs))
+	if err != nil {
+		t.Fatalf("%v\n%s", err, src)
+	}
+	for _, sym := range []string{"TextOp", "Op", "OpSel", "RBList"} {
+		if !g.Nonterminals[sym] {
+			t.Errorf("induced grammar lacks %s", sym)
+		}
+	}
+}

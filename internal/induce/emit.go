@@ -1,0 +1,327 @@
+package induce
+
+import "strings"
+
+// emit turns the supported signatures into 2P-grammar DSL source. The
+// structural core (form rows, captions, action rows) is always present —
+// it is the visual-language backbone, not a learned pattern — while every
+// condition pattern, its helper machinery and the precedence preferences
+// appear only when the training data supports them.
+func emit(sigs []Signature) string {
+	f := features{}
+	for _, s := range sigs {
+		f.add(s)
+	}
+	var b strings.Builder
+	w := func(lines ...string) {
+		for _, l := range lines {
+			b.WriteString(l)
+			b.WriteByte('\n')
+		}
+	}
+
+	w("# Grammar derived automatically by internal/induce from training sources.",
+		"",
+		"terminals text, textbox, password, textarea, selectlist, radiobutton,",
+		"          checkbox, submit, reset, button, image, filebox, rule, link;",
+		"start QI;",
+		"",
+		"prod S1 QI -> h:HQI ;",
+		"prod S2 QI -> q:QI h:HQI : above(q, h);",
+		"prod S3 HQI -> c:CP ;",
+		"prod S4 HQI -> h:HQI c:CP : samerow(h, c) && hgap(h, c) >= 0 && hgap(h, c) < 250;",
+		"",
+		"prod A1 Attr -> t:text : attrlike(t);",
+		"prod X1 Caption -> t:text ;",
+		"prod X2 Action -> s:submit ;",
+		"prod X3 Action -> s:reset ;",
+		"prod X4 Action -> s:button ;",
+		"prod X5 Action -> s:image ;",
+		"prod X6 ActionRow -> a:Action ;",
+		"prod X7 ActionRow -> r:ActionRow a:Action : samerow(r, a);",
+		"prod X8 Decor -> r:rule ;",
+		"prod X9 Decor -> l:link ;",
+		"prod X10 Decor -> d:Decor l:link : samerow(d, l) || above(d, l);",
+		"prod C9 CP -> x:Caption ;",
+		"prod C10 CP -> x:ActionRow ;",
+		"prod C11 CP -> x:Decor ;",
+		"pref QA w:ActionRow beats l:ActionRow when overlap(w, l) win subsumes(w, l) && count(w) >= count(l);",
+		"")
+
+	conds := map[string]bool{} // condition symbols induced
+
+	if f.entry || f.rangePair || f.textOps {
+		w("prod V1 Val -> b:textbox ;",
+			"prod V2 Val -> b:password ;",
+			"prod V3 Val -> b:textarea ;",
+			"prod V4 Val -> b:filebox ;")
+	}
+	for _, rel := range f.textValRels.ordered() {
+		w("prod TextVal -> a:Attr v:Val : " + relExpr(rel, "a", "v") + ";")
+		conds["TextVal"] = true
+	}
+	if conds["TextVal"] {
+		w("prod CP -> x:TextVal ;")
+	}
+
+	if f.selectish {
+		w("prod L1 SelVal -> s:selectlist : !oplist(s);",
+			"prod L2 MultiSel -> v:SelVal ;",
+			"prod L3 MultiSel -> m:MultiSel v:SelVal : left(m, v);",
+			"pref QM w:MultiSel beats l:MultiSel when overlap(w, l) win subsumes(w, l) && count(w) >= count(l);")
+	}
+	for _, rel := range f.enumSelRels.ordered() {
+		w("prod EnumSel -> a:Attr m:MultiSel : " + relExpr(rel, "a", "m") + ";")
+		conds["EnumSel"] = true
+	}
+	if conds["EnumSel"] {
+		w("prod CP -> x:EnumSel ;")
+	}
+
+	if f.radio {
+		w("prod R1 RBU -> r:radiobutton t:text : left(r, t);",
+			"prod R2 RBList -> u:RBU ;",
+			"prod R3 RBList -> l:RBList u:RBU : left(l, u) && samename(l, u);",
+			"prod R4 RBList -> l:RBList u:RBU : above(l, u) && samename(l, u);",
+			"pref QR1 w:RBU beats l:Attr when overlap(w, l);",
+			"pref QR2 w:RBList beats l:RBList when overlap(w, l) win subsumes(w, l) && count(w) >= count(l);")
+	}
+	for _, rel := range f.enumRBRels.ordered() {
+		w("prod EnumRB -> a:Attr l:RBList : " + relExpr(rel, "a", "l") + ";")
+		conds["EnumRB"] = true
+	}
+	if f.radio && !f.textOps {
+		// Without operator patterns, a bare list is an enumeration.
+		w("prod EnumRB -> l:RBList : !oplike(l);")
+		conds["EnumRB"] = true
+	}
+	if conds["EnumRB"] {
+		w("prod CP -> x:EnumRB ;")
+	}
+
+	if f.check {
+		w("prod K1 CBU -> c:checkbox t:text : left(c, t);",
+			"prod K2 CBList -> u:CBU ;",
+			"prod K3 CBList -> l:CBList u:CBU : left(l, u);",
+			"prod K4 CBList -> l:CBList u:CBU : above(l, u) && samename(l, u);",
+			"pref QC1 w:CBU beats l:Attr when overlap(w, l);",
+			"pref QC2 w:CBList beats l:CBList when overlap(w, l) win subsumes(w, l) && count(w) >= count(l);")
+	}
+	for _, rel := range f.enumCBRels.ordered() {
+		w("prod EnumCB -> a:Attr l:CBList : " + relExpr(rel, "a", "l") + ";")
+		conds["EnumCB"] = true
+	}
+	if f.boolCB {
+		w("prod BoolCB -> u:CBU ;", "prod CP -> x:BoolCB ;")
+		conds["BoolCB"] = true
+	}
+	if conds["EnumCB"] {
+		w("prod CP -> x:EnumCB ;")
+	}
+
+	if f.date {
+		w("prod D1 DateVal -> a:SelVal b:SelVal : left(a, b) && dateish(a) && dateish(b);",
+			"prod D2 DateVal -> d:DateVal b:SelVal : left(d, b) && dateish(b);",
+			"pref QD w:DateVal beats l:DateVal when overlap(w, l) win subsumes(w, l) && count(w) >= count(l);")
+	}
+	for _, rel := range f.dateRels.ordered() {
+		w("prod DateCond -> a:Attr d:DateVal : " + relExpr(rel, "a", "d") + ";")
+		conds["DateCond"] = true
+	}
+	if conds["DateCond"] {
+		w("prod CP -> x:DateCond ;")
+	}
+
+	if f.rangePair || f.selectRange {
+		w(`prod G1 FromMark -> t:text : textis(t, "from", "between", "min", "minimum", "low", "start", "at least");`,
+			`prod G2 ToMark -> t:text : textis(t, "to", "and", "max", "maximum", "high", "end", "until", "at most");`)
+		if f.rangePair {
+			w("prod G3 FromVal -> f:FromMark v:Val : left(f, v) && width(v) < 140;",
+				"prod G5 ToVal -> t:ToMark v:Val : left(t, v) && width(v) < 140;",
+				"prod G9 RangeVal -> v:Val t:ToVal : left(v, t) && width(v) < 140;")
+		}
+		if f.selectRange {
+			w("prod G4 FromVal -> f:FromMark v:SelVal : left(f, v);",
+				"prod G6 ToVal -> t:ToMark v:SelVal : left(t, v);",
+				"prod G10 RangeVal -> v:SelVal t:ToVal : left(v, t);")
+		}
+		w("prod G7 RangeVal -> x:FromVal y:ToVal : left(x, y);",
+			"prod G8 RangeVal -> x:FromVal y:ToVal : above(x, y);")
+	}
+	for _, rel := range f.rangeRels.ordered() {
+		w("prod RangeCond -> a:Attr r:RangeVal : " + relExpr(rel, "a", "r") + ";")
+		conds["RangeCond"] = true
+	}
+	if conds["RangeCond"] {
+		w("prod CP -> x:RangeCond ;")
+	}
+
+	if f.textOps {
+		w("prod O6 Op -> l:RBList : oplike(l);")
+		if f.opSelect {
+			w("prod O7 Op -> s:OpSel ;", "prod O8 OpSel -> s:selectlist : oplist(s);")
+		}
+		if f.opsBelow {
+			w("prod O1 TextOp -> a:Attr v:Val o:Op : left(a, v) && below(o, v);",
+				"prod O2 TextOp -> a:Attr v:Val o:Op : above(a, v) && below(o, v);")
+		}
+		if f.opsRight {
+			w("prod O4 TextOp -> a:Attr v:Val o:Op : left(a, v) && left(v, o);")
+		}
+		if f.opSelect {
+			w("prod O5 TextOp -> a:Attr o:Op v:Val : left(a, o) && left(o, v);")
+		}
+		w("prod CP -> x:TextOp ;")
+		conds["TextOp"] = true
+	} else if f.radio && !conds["EnumRB"] {
+		// Radio machinery induced only through operators that never
+		// materialized: ensure RBList is consumable.
+		w("prod EnumRB -> l:RBList : true;", "prod CP -> x:EnumRB ;")
+		conds["EnumRB"] = true
+	}
+
+	// Precedence preferences between the induced condition symbols.
+	if conds["TextOp"] && conds["TextVal"] {
+		w("pref w:TextOp beats l:TextVal when overlap(w, l);")
+	}
+	if conds["TextOp"] && conds["EnumRB"] {
+		w("pref w:TextOp beats l:EnumRB when overlap(w, l) win subsumes(w, l);")
+	}
+	if conds["DateCond"] && conds["EnumSel"] {
+		w("pref w:DateCond beats l:EnumSel when overlap(w, l);")
+	}
+	if conds["RangeCond"] && conds["TextVal"] {
+		w("pref w:RangeCond beats l:TextVal when overlap(w, l);")
+	}
+	if conds["RangeCond"] && conds["EnumSel"] {
+		w("pref w:RangeCond beats l:EnumSel when overlap(w, l);")
+	}
+	if conds["RangeCond"] && conds["DateCond"] {
+		w("pref w:RangeCond beats l:DateCond when overlap(w, l);")
+	}
+	if conds["EnumCB"] && conds["BoolCB"] {
+		w("pref w:EnumCB beats l:BoolCB when overlap(w, l);")
+	}
+	for _, sym := range []string{"TextVal", "EnumSel", "DateCond", "EnumRB", "EnumCB", "RangeCond"} {
+		if conds[sym] {
+			w("pref w:" + sym + " beats l:" + sym + " when overlap(w, l) win rowish(w) && !rowish(l);")
+		}
+	}
+	for _, sym := range []string{"EnumRB", "EnumSel"} {
+		if conds[sym] {
+			w("pref w:" + sym + " beats l:" + sym + " when overlap(w, l) win subsumes(w, l) && count(w) > count(l);")
+		}
+	}
+	// Conditions beat the catch-all caption reading.
+	for _, sym := range orderedConds(conds) {
+		w("pref w:" + sym + " beats l:Caption when overlap(w, l);")
+	}
+	if f.radio {
+		w("pref w:RBU beats l:Caption when overlap(w, l);")
+	}
+	if f.check {
+		w("pref w:CBU beats l:Caption when overlap(w, l);")
+	}
+
+	// Role tagging.
+	w("", "tag condition "+strings.Join(orderedConds(conds), " ")+";",
+		"tag attribute Attr;",
+		"tag decoration Caption ActionRow Decor;")
+	if f.textOps {
+		w("tag operator Op;")
+	}
+	return b.String()
+}
+
+// relSet accumulates which label relations were observed per pattern.
+type relSet map[string]bool
+
+func (r relSet) ordered() []string {
+	var out []string
+	for _, rel := range []string{"left", "above", "below"} {
+		if r[rel] {
+			out = append(out, rel)
+		}
+	}
+	return out
+}
+
+// features summarizes the signature set.
+type features struct {
+	entry, selectish, radio, check, boolCB, date        bool
+	rangePair, selectRange, textOps, opsBelow, opsRight bool
+	opSelect                                            bool
+	textValRels, enumSelRels, enumRBRels, enumCBRels    relSet
+	dateRels, rangeRels                                 relSet
+}
+
+func (f *features) rel(set *relSet, rel string) {
+	if *set == nil {
+		*set = relSet{}
+	}
+	(*set)[rel] = true
+}
+
+func (f *features) add(s Signature) {
+	switch s.Comp {
+	case "entry":
+		f.entry = true
+		f.rel(&f.textValRels, s.Relation)
+	case "select", "multiselect":
+		f.selectish = true
+		f.rel(&f.enumSelRels, s.Relation)
+	case "radiolist":
+		f.radio = true
+		f.rel(&f.enumRBRels, s.Relation)
+	case "checklist":
+		f.check = true
+		f.rel(&f.enumCBRels, s.Relation)
+	case "boolcb":
+		f.check = true
+		f.boolCB = true
+	case "dateparts":
+		f.selectish = true
+		f.date = true
+		f.rel(&f.dateRels, s.Relation)
+	case "rangepair":
+		f.entry = true
+		f.rangePair = true
+		f.rel(&f.rangeRels, s.Relation)
+	case "selectrange":
+		f.selectish = true
+		f.selectRange = true
+		f.rel(&f.rangeRels, s.Relation)
+	case "entry-radio-ops-below":
+		f.entry = true
+		f.radio = true
+		f.textOps = true
+		f.opsBelow = true
+		f.rel(&f.textValRels, s.Relation) // the operator-less fallback
+	case "entry-radio-ops-right":
+		f.entry = true
+		f.radio = true
+		f.textOps = true
+		f.opsRight = true
+		f.rel(&f.textValRels, s.Relation)
+	case "entry-opselect":
+		f.entry = true
+		f.selectish = true
+		f.textOps = true
+		f.opSelect = true
+		f.rel(&f.textValRels, s.Relation)
+	}
+}
+
+func relExpr(rel, a, b string) string {
+	return rel + "(" + a + ", " + b + ")"
+}
+
+func orderedConds(conds map[string]bool) []string {
+	var out []string
+	for _, sym := range []string{"TextVal", "TextOp", "EnumRB", "EnumCB", "BoolCB", "EnumSel", "DateCond", "RangeCond"} {
+		if conds[sym] {
+			out = append(out, sym)
+		}
+	}
+	return out
+}

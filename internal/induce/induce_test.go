@@ -1,0 +1,149 @@
+package induce
+
+import (
+	"strings"
+	"testing"
+
+	"formext/internal/dataset"
+	"formext/internal/grammar"
+	"formext/internal/htmlparse"
+	"formext/internal/layout"
+	"formext/internal/model"
+	"formext/internal/token"
+)
+
+// examplesFrom turns dataset sources into training examples through the
+// real tokenization pipeline.
+func examplesFrom(srcs []dataset.Source) []Example {
+	tz := token.NewTokenizer()
+	eng := layout.New()
+	out := make([]Example, 0, len(srcs))
+	for _, s := range srcs {
+		out = append(out, Example{
+			Tokens: tz.Tokenize(eng.Layout(htmlparse.Parse(s.HTML))),
+			Truth:  s.Truth,
+		})
+	}
+	return out
+}
+
+func TestObserveSimpleForm(t *testing.T) {
+	src := dataset.Source{
+		HTML: `<form><table>
+		<tr><td>Author</td><td><input type="text" name="a" size="30"></td></tr>
+		<tr><td>Format</td><td><select name="f"><option>Hard</option><option>Soft</option></select></td></tr>
+		</table></form>`,
+		Truth: []model.Condition{
+			{Attribute: "Author", Fields: []string{"a"}, Domain: model.Domain{Kind: model.TextDomain}},
+			{Attribute: "Format", Fields: []string{"f"}, Domain: model.Domain{Kind: model.EnumDomain}},
+		},
+	}
+	sigs := NewInducer().Observe(examplesFrom([]dataset.Source{src})[0])
+	if len(sigs) != 2 {
+		t.Fatalf("signatures = %v", sigs)
+	}
+	if sigs[0] != (Signature{Relation: "left", Comp: "entry"}) {
+		t.Errorf("sig 0 = %v", sigs[0])
+	}
+	if sigs[1] != (Signature{Relation: "left", Comp: "select"}) {
+		t.Errorf("sig 1 = %v", sigs[1])
+	}
+}
+
+func TestObserveSkipsUncapturedLayouts(t *testing.T) {
+	// A label nowhere near its field yields no signature.
+	src := dataset.Source{
+		HTML: `<form><table>
+		<tr><td>Lonely</td><td></td></tr>
+		<tr><td></td><td><br><br><br><input type="text" name="x"></td></tr>
+		</table></form>`,
+		Truth: []model.Condition{
+			{Attribute: "Lonely", Fields: []string{"x"}, Domain: model.Domain{Kind: model.TextDomain}},
+		},
+	}
+	sigs := NewInducer().Observe(examplesFrom([]dataset.Source{src})[0])
+	if len(sigs) != 0 {
+		t.Errorf("uncaptured layout produced signatures: %v", sigs)
+	}
+}
+
+func TestInduceFromBasicDataset(t *testing.T) {
+	examples := examplesFrom(dataset.Basic())
+	ind := NewInducer()
+	g, src, counts, err := ind.Induce(examples)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, src)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The big conventions must all be learned from Basic.
+	for _, sig := range []Signature{
+		{"left", "entry"}, {"left", "select"}, {"above", "entry"},
+		{"left", "radiolist"}, {"none", "boolcb"}, {"left", "dateparts"},
+		{"left", "rangepair"},
+	} {
+		if counts[sig] < ind.MinSupport {
+			t.Errorf("signature %v has support %d", sig, counts[sig])
+		}
+	}
+	for _, sym := range []string{"TextVal", "EnumSel", "EnumRB", "BoolCB", "DateCond", "RangeCond"} {
+		if !g.Nonterminals[sym] {
+			t.Errorf("induced grammar lacks %s", sym)
+		}
+	}
+	if !strings.Contains(src, "tag condition") {
+		t.Error("induced grammar lacks role tags")
+	}
+	if len(g.Prods) < 40 {
+		t.Errorf("induced grammar suspiciously small: %s", g.Stats())
+	}
+}
+
+func TestInducedGrammarOmitsUnseenPatterns(t *testing.T) {
+	// Training only on entry conditions must not produce checkbox or date
+	// machinery.
+	src := dataset.Source{
+		HTML: `<form><table>
+		<tr><td>Author</td><td><input type="text" name="a" size="30"></td></tr>
+		</table></form>`,
+		Truth: []model.Condition{
+			{Attribute: "Author", Fields: []string{"a"}, Domain: model.Domain{Kind: model.TextDomain}},
+		},
+	}
+	var srcs []dataset.Source
+	for i := 0; i < 5; i++ {
+		srcs = append(srcs, src)
+	}
+	ind := NewInducer()
+	g, _, _, err := ind.Induce(examplesFrom(srcs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Nonterminals["CBList"] || g.Nonterminals["DateVal"] || g.Nonterminals["RangeVal"] {
+		t.Errorf("unseen machinery induced: %s", g.Stats())
+	}
+	if !g.Nonterminals["TextVal"] {
+		t.Error("TextVal missing")
+	}
+}
+
+func TestMinSupportFiltersRarities(t *testing.T) {
+	examples := examplesFrom(dataset.Basic())
+	strict := &Inducer{MinSupport: 10000, Thresholds: NewInducer().Thresholds}
+	_, src, _, err := strict.Induce(examples)
+	if err != nil {
+		t.Fatalf("%v", err)
+	}
+	// With impossible support, only the structural core remains.
+	if strings.Contains(src, "TextVal") {
+		t.Error("unsupported patterns leaked into the grammar")
+	}
+	g, err := grammar.ParseDSL(src)
+	if err != nil {
+		t.Fatalf("core-only grammar invalid: %v\n%s", err, src)
+	}
+	if g.Start != "QI" {
+		t.Error("structural core broken")
+	}
+}

@@ -1,0 +1,91 @@
+// Package layout implements a simplified visual layout engine for HTML. It
+// substitutes for the browser rendering API the paper's tokenizer relies on
+// ("our tokenizer uses the HTML DOM API available in browsers, e.g.
+// Internet Explorer, which provides access to HTML tags and their
+// positions", Section 3.4): given a parsed document it computes a render
+// tree of boxes with absolute pixel bounding boxes.
+//
+// The engine models the subset of CSS-less HTML flow that query forms use:
+// block stacking, inline flow with line wrapping and vertical centering,
+// <br>/<hr>, nested tables with column sizing, and intrinsic widget sizes
+// for form controls. Absolute pixel values differ from any real browser;
+// the downstream parser consumes only relative topology (left/above/
+// alignment/adjacency), which this engine preserves.
+package layout
+
+import (
+	"formext/internal/geom"
+	"formext/internal/htmlparse"
+)
+
+// BoxKind discriminates render-tree boxes.
+type BoxKind int
+
+const (
+	// BlockBox is a block-level container (div, p, table, tr, td, form...).
+	BlockBox BoxKind = iota
+	// TextBox is a run of text on a single line.
+	TextBox
+	// WidgetBox is a form control (input, select, textarea, button, img).
+	WidgetBox
+	// RuleBox is a horizontal rule.
+	RuleBox
+)
+
+func (k BoxKind) String() string {
+	switch k {
+	case BlockBox:
+		return "block"
+	case TextBox:
+		return "text"
+	case WidgetBox:
+		return "widget"
+	case RuleBox:
+		return "rule"
+	default:
+		return "unknown"
+	}
+}
+
+// Box is a node of the render tree.
+type Box struct {
+	Kind BoxKind
+	// Node is the originating DOM node: the element for widget and block
+	// boxes, the text node for text runs.
+	Node *htmlparse.Node
+	// Text is the rendered text of a TextBox run.
+	Text string
+	// Rect is the absolute bounding box in page coordinates.
+	Rect     geom.Rect
+	Children []*Box
+}
+
+// Translate shifts the box and its whole subtree by (dx, dy).
+func (b *Box) Translate(dx, dy float64) {
+	b.Rect = b.Rect.Translate(dx, dy)
+	for _, c := range b.Children {
+		c.Translate(dx, dy)
+	}
+}
+
+// Walk visits b and all descendants in render order.
+func (b *Box) Walk(visit func(*Box) bool) {
+	if !visit(b) {
+		return
+	}
+	for _, c := range b.Children {
+		c.Walk(visit)
+	}
+}
+
+// Leaves returns all leaf boxes (text runs, widgets, rules) in render order.
+func (b *Box) Leaves() []*Box {
+	var out []*Box
+	b.Walk(func(x *Box) bool {
+		if len(x.Children) == 0 && x.Kind != BlockBox {
+			out = append(out, x)
+		}
+		return true
+	})
+	return out
+}

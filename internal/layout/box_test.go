@@ -1,0 +1,107 @@
+package layout
+
+import (
+	"strings"
+	"testing"
+
+	"formext/internal/htmlparse"
+)
+
+func TestBoxKindString(t *testing.T) {
+	cases := map[BoxKind]string{
+		BlockBox:    "block",
+		TextBox:     "text",
+		WidgetBox:   "widget",
+		RuleBox:     "rule",
+		BoxKind(99): "unknown",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("String(%d) = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestBoxWalkPrune(t *testing.T) {
+	root := render(`<div><p>inner</p></div><span>outer</span>`)
+	var kinds []string
+	root.Walk(func(b *Box) bool {
+		kinds = append(kinds, b.Kind.String())
+		// Prune inside the first block child.
+		return b.Kind != BlockBox || b.Node == nil || b.Node.Tag != "div"
+	})
+	joined := strings.Join(kinds, " ")
+	if !strings.Contains(joined, "block") || strings.Count(joined, "text") != 1 {
+		t.Errorf("walk with prune visited %v", kinds)
+	}
+}
+
+func TestWidgetSizeVariants(t *testing.T) {
+	m := DefaultMetrics
+	cases := []struct {
+		html     string
+		tag      string
+		rendered bool
+	}{
+		{`<input type=hidden name=h>`, "input", false},
+		{`<input type=radio>`, "input", true},
+		{`<input type=image value="Go">`, "input", true},
+		{`<input type=reset>`, "input", true},
+		{`<input type=file>`, "input", true},
+		{`<input type=password size=10>`, "input", true},
+		{`<input type=submit value="">`, "input", true},
+		{`<button></button>`, "button", true},
+		{`<img>`, "img", true},
+		{`<select size=3><option>a</option></select>`, "select", true},
+		{`<textarea></textarea>`, "textarea", true},
+		{`<span>not a widget</span>`, "span", false},
+	}
+	for _, c := range cases {
+		n := htmlparse.Parse(c.html).FindTag(c.tag)
+		if n == nil {
+			t.Fatalf("no %s in %q", c.tag, c.html)
+		}
+		w, h, ok := m.WidgetSize(n)
+		if ok != c.rendered {
+			t.Errorf("%q: rendered = %v, want %v", c.html, ok, c.rendered)
+		}
+		if ok && (w <= 0 || h <= 0) {
+			t.Errorf("%q: degenerate size %gx%g", c.html, w, h)
+		}
+	}
+	// Multi-row select is taller than a single-row one.
+	single := htmlparse.Parse(`<select><option>x</option></select>`).FindTag("select")
+	multi := htmlparse.Parse(`<select size=4><option>x</option></select>`).FindTag("select")
+	_, h1, _ := m.WidgetSize(single)
+	_, h4, _ := m.WidgetSize(multi)
+	if h4 <= h1 {
+		t.Errorf("size=4 select (%g) should be taller than default (%g)", h4, h1)
+	}
+}
+
+func TestBlockIndents(t *testing.T) {
+	root := render(`<ul><li>item</li></ul><blockquote>quote</blockquote><dl><dt>t</dt><dd>def</dd></dl>`)
+	item := leafByText(root, "item")
+	quote := leafByText(root, "quote")
+	def := leafByText(root, "def")
+	term := leafByText(root, "t")
+	if item.Rect.X1 <= float64(bodyMargin) {
+		t.Errorf("list item not indented: %v", item.Rect)
+	}
+	if quote.Rect.X1 <= float64(bodyMargin) {
+		t.Errorf("blockquote not indented: %v", quote.Rect)
+	}
+	if def.Rect.X1 <= term.Rect.X1 {
+		t.Errorf("dd (%v) should be indented past dt (%v)", def.Rect, term.Rect)
+	}
+}
+
+func TestConsecutiveLineBreaks(t *testing.T) {
+	root := render(`top<br><br><br>bottom`)
+	top := leafByText(root, "top")
+	bottom := leafByText(root, "bottom")
+	gap := bottom.Rect.Y1 - top.Rect.Y2
+	if gap < 2*DefaultMetrics.LineH {
+		t.Errorf("blank lines collapsed: gap = %g", gap)
+	}
+}

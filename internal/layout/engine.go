@@ -1,0 +1,280 @@
+package layout
+
+import (
+	"strings"
+
+	"formext/internal/geom"
+	"formext/internal/htmlparse"
+)
+
+// Engine lays out a parsed HTML document into a render tree with absolute
+// bounding boxes.
+type Engine struct {
+	// Viewport is the page width in pixels; the body margin is taken from
+	// it on both sides.
+	Viewport float64
+	// M is the font/widget sizing model.
+	M Metrics
+}
+
+// New returns an engine with an 800px viewport and default metrics.
+func New() *Engine { return &Engine{Viewport: 800, M: DefaultMetrics} }
+
+const bodyMargin = 8
+
+// Layout renders the document and returns the root box. The root's
+// children are the top-level block and inline boxes in render order.
+func (e *Engine) Layout(doc *htmlparse.Node) *Box {
+	root := doc
+	if body := doc.FindTag("body"); body != nil {
+		root = body
+	}
+	f := &flow{e: e, x0: bodyMargin, width: e.Viewport - 2*bodyMargin, y: bodyMargin}
+	for _, c := range root.Children {
+		f.node(c)
+	}
+	f.flushLine()
+	b := &Box{Kind: BlockBox, Node: doc, Children: f.out}
+	b.Rect = unionRects(f.out)
+	if b.Rect == (geom.Rect{}) {
+		b.Rect = geom.R(0, e.Viewport, 0, 0)
+	}
+	return b
+}
+
+// flow is one block-formatting context: a vertical cursor plus an open line
+// box of inline-level boxes.
+type flow struct {
+	e       *Engine
+	x0      float64 // content left edge
+	width   float64 // content width
+	y       float64 // vertical cursor (top of the open line)
+	line    []*Box  // inline boxes on the open line
+	lineAdv float64 // horizontal advance on the open line
+	align   string  // "", "center" or "right": horizontal line alignment
+	out     []*Box  // finished boxes of this context
+}
+
+// skipTags are elements that contribute nothing to visual layout.
+var skipTags = map[string]bool{
+	"head": true, "script": true, "style": true, "title": true,
+	"meta": true, "link": true, "base": true, "noscript": true,
+	"map": true, "iframe": true, "object": true, "applet": true,
+}
+
+// blockTags are block-level containers laid out by vertical stacking.
+var blockTags = map[string]bool{
+	"div": true, "p": true, "form": true, "center": true, "fieldset": true,
+	"legend": true, "h1": true, "h2": true, "h3": true, "h4": true,
+	"h5": true, "h6": true, "ul": true, "ol": true, "li": true, "dl": true,
+	"dt": true, "dd": true, "blockquote": true, "pre": true,
+	"address": true, "caption": true, "tr": true, "td": true, "th": true,
+	"thead": true, "tbody": true, "tfoot": true,
+}
+
+// widgetTags are leaf elements with intrinsic sizes.
+var widgetTags = map[string]bool{
+	"input": true, "select": true, "textarea": true, "button": true, "img": true,
+}
+
+func (f *flow) node(n *htmlparse.Node) {
+	switch n.Type {
+	case htmlparse.TextNode:
+		f.text(n)
+	case htmlparse.ElementNode:
+		f.element(n)
+	}
+}
+
+func (f *flow) element(n *htmlparse.Node) {
+	switch {
+	case skipTags[n.Tag]:
+	case n.Tag == "br":
+		f.lineBreak()
+	case n.Tag == "hr":
+		f.rule(n)
+	case widgetTags[n.Tag]:
+		w, h, ok := f.e.M.WidgetSize(n)
+		if ok {
+			f.placeInline(&Box{Kind: WidgetBox, Node: n}, w, h)
+		}
+	case n.Tag == "table":
+		f.flushLine()
+		f.table(n)
+	case blockTags[n.Tag]:
+		f.flushLine()
+		f.block(n)
+	default:
+		// Inline container (span, b, i, a, font, label, ...): its children
+		// flow into the current line boxes directly.
+		for _, c := range n.Children {
+			f.node(c)
+		}
+	}
+}
+
+// text flows a text node's words into line boxes, wrapping at the content
+// width. Each maximal on-one-line run becomes a TextBox.
+func (f *flow) text(n *htmlparse.Node) {
+	words := strings.Fields(n.Data)
+	if len(words) == 0 {
+		return
+	}
+	m := f.e.M
+	i := 0
+	for i < len(words) {
+		run := words[i]
+		i++
+		for i < len(words) {
+			next := run + " " + words[i]
+			if f.lineAdv+m.TextWidth(next) > f.width {
+				break
+			}
+			run = next
+			i++
+		}
+		w := m.TextWidth(run)
+		f.placeInline(&Box{Kind: TextBox, Node: n, Text: run}, w, m.TextH)
+	}
+}
+
+// placeInline appends an inline-level box of the given size to the open
+// line, wrapping first if it does not fit.
+func (f *flow) placeInline(b *Box, w, h float64) {
+	if f.lineAdv > 0 && f.lineAdv+w > f.width {
+		f.flushLine()
+	}
+	x := f.x0 + f.lineAdv
+	b.Rect = geom.R(x, x+w, f.y, f.y+h)
+	f.line = append(f.line, b)
+	f.lineAdv += w + f.e.M.SpaceW
+}
+
+// flushLine closes the open line box: inline boxes are vertically centered
+// against the tallest box, horizontally aligned per the context's align
+// mode, and emitted; the cursor moves below the line.
+func (f *flow) flushLine() {
+	if len(f.line) == 0 {
+		return
+	}
+	lineH := f.e.M.LineH
+	for _, b := range f.line {
+		if h := b.Rect.Height(); h > lineH {
+			lineH = h
+		}
+	}
+	// Horizontal alignment: shift the whole line within the content width.
+	lineW := f.lineAdv - f.e.M.SpaceW
+	var dx float64
+	switch f.align {
+	case "center":
+		dx = (f.width - lineW) / 2
+	case "right":
+		dx = f.width - lineW
+	}
+	if dx < 0 {
+		dx = 0
+	}
+	for _, b := range f.line {
+		dy := (lineH - b.Rect.Height()) / 2
+		if dy > 0 || dx > 0 {
+			b.Translate(dx, dy)
+		}
+	}
+	f.out = append(f.out, f.line...)
+	f.line = nil
+	f.lineAdv = 0
+	f.y += lineH + f.e.M.LineGap
+}
+
+// lineBreak handles <br>: it ends the open line, or advances one blank line
+// when the line is empty.
+func (f *flow) lineBreak() {
+	if len(f.line) > 0 {
+		f.flushLine()
+		return
+	}
+	f.y += f.e.M.LineH + f.e.M.LineGap
+}
+
+// rule handles <hr>: a full-width 2px box with vertical margins.
+func (f *flow) rule(n *htmlparse.Node) {
+	f.flushLine()
+	f.y += f.e.M.BlockGap / 2
+	b := &Box{Kind: RuleBox, Node: n, Rect: geom.R(f.x0, f.x0+f.width, f.y, f.y+2)}
+	f.out = append(f.out, b)
+	f.y += 2 + f.e.M.BlockGap/2
+}
+
+// blockGapFor returns the vertical margin applied above and below a block.
+func (f *flow) blockGapFor(tag string) float64 {
+	switch tag {
+	case "p", "h1", "h2", "h3", "h4", "h5", "h6", "ul", "ol", "blockquote", "fieldset":
+		return f.e.M.BlockGap
+	default:
+		return 0
+	}
+}
+
+// blockIndent returns the extra left indentation of a block's content.
+func blockIndent(tag string) float64 {
+	switch tag {
+	case "li":
+		return 20
+	case "blockquote", "dd":
+		return 30
+	case "fieldset":
+		return 8
+	default:
+		return 0
+	}
+}
+
+// block lays out a block-level element in its own flow and emits it as a
+// BlockBox.
+func (f *flow) block(n *htmlparse.Node) {
+	gap := f.blockGapFor(n.Tag)
+	indent := blockIndent(n.Tag)
+	f.y += gap
+	sub := &flow{e: f.e, x0: f.x0 + indent, width: f.width - indent, y: f.y, align: alignOf(n, f.align)}
+	if sub.width < 40 {
+		sub.width = 40
+	}
+	for _, c := range n.Children {
+		sub.node(c)
+	}
+	sub.flushLine()
+	b := &Box{Kind: BlockBox, Node: n, Children: sub.out}
+	b.Rect = unionRects(sub.out)
+	if b.Rect == (geom.Rect{}) {
+		b.Rect = geom.R(f.x0, f.x0+f.width, f.y, f.y)
+	}
+	f.out = append(f.out, b)
+	f.y = sub.y + gap
+}
+
+// alignOf resolves an element's horizontal alignment: the <center> tag,
+// an align attribute, or the inherited context alignment.
+func alignOf(n *htmlparse.Node, inherited string) string {
+	if n.Tag == "center" {
+		return "center"
+	}
+	switch strings.ToLower(n.AttrOr("align", "")) {
+	case "center", "middle":
+		return "center"
+	case "right":
+		return "right"
+	case "left":
+		return ""
+	}
+	return inherited
+}
+
+// unionRects returns the bounding box of a slice of boxes.
+func unionRects(bs []*Box) geom.Rect {
+	var u geom.Rect
+	for _, b := range bs {
+		u = u.Union(b.Rect)
+	}
+	return u
+}

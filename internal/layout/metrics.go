@@ -1,0 +1,118 @@
+package layout
+
+import (
+	"strconv"
+	"strings"
+
+	"formext/internal/htmlparse"
+)
+
+// Metrics holds the font and widget sizing model. The engine approximates a
+// fixed-pitch 12px font; what matters downstream is that relative sizes are
+// realistic (a size=40 textbox is wider than its label, radio buttons are
+// small squares, a select is as wide as its longest option).
+type Metrics struct {
+	CharW     float64 // advance width of one character
+	SpaceW    float64 // inter-run spacing
+	TextH     float64 // height of a text run
+	LineH     float64 // minimum line box height
+	LineGap   float64 // leading between consecutive line boxes
+	BlockGap  float64 // vertical margin around paragraphs and headings
+	CellPad   float64 // table cell padding
+	CellSpace float64 // table cell spacing
+}
+
+// DefaultMetrics is the standard sizing model used across the project.
+var DefaultMetrics = Metrics{
+	CharW:     7,
+	SpaceW:    4,
+	TextH:     14,
+	LineH:     18,
+	LineGap:   2,
+	BlockGap:  8,
+	CellPad:   2,
+	CellSpace: 2,
+}
+
+// TextWidth returns the advance width of a text run.
+func (m Metrics) TextWidth(s string) float64 { return float64(len([]rune(s))) * m.CharW }
+
+// WidgetSize returns the intrinsic (width, height) of a form-control or
+// image element, and whether the element is rendered at all (type=hidden
+// inputs are not).
+func (m Metrics) WidgetSize(n *htmlparse.Node) (w, h float64, rendered bool) {
+	switch n.Tag {
+	case "input":
+		return m.inputSize(n)
+	case "select":
+		return m.selectSize(n)
+	case "textarea":
+		cols := attrInt(n, "cols", 20)
+		rows := attrInt(n, "rows", 2)
+		return float64(cols)*m.CharW + 12, float64(rows)*m.LineH + 6, true
+	case "button":
+		label := n.InnerText()
+		if label == "" {
+			label = "Button"
+		}
+		return m.TextWidth(label) + 16, 24, true
+	case "img":
+		w := float64(attrInt(n, "width", 50))
+		h := float64(attrInt(n, "height", 22))
+		return w, h, true
+	}
+	return 0, 0, false
+}
+
+func (m Metrics) inputSize(n *htmlparse.Node) (float64, float64, bool) {
+	switch strings.ToLower(n.AttrOr("type", "text")) {
+	case "hidden":
+		return 0, 0, false
+	case "radio", "checkbox":
+		return 13, 13, true
+	case "submit", "reset", "button", "image":
+		label := n.AttrOr("value", "Submit")
+		if label == "" {
+			label = "Submit"
+		}
+		return m.TextWidth(label) + 16, 24, true
+	case "file":
+		return 220, 24, true
+	default: // text, password, search, and anything unrecognized
+		size := attrInt(n, "size", 20)
+		return float64(size)*m.CharW + 10, 22, true
+	}
+}
+
+func (m Metrics) selectSize(n *htmlparse.Node) (float64, float64, bool) {
+	longest := 4.0
+	for _, opt := range n.FindAllTags("option") {
+		if w := m.TextWidth(opt.InnerText()); w > longest {
+			longest = w
+		}
+	}
+	rows := attrInt(n, "size", 1)
+	h := 22.0
+	if rows > 1 {
+		h = float64(rows)*m.LineH + 4
+	}
+	return longest + 28, h, true
+}
+
+// attrInt parses an integer attribute with a default and floor of 1.
+func attrInt(n *htmlparse.Node, name string, def int) int {
+	v, ok := n.Attr(name)
+	if !ok {
+		return def
+	}
+	// Tolerate trailing junk like "40%" or "40px".
+	end := 0
+	for end < len(v) && v[end] >= '0' && v[end] <= '9' {
+		end++
+	}
+	i, err := strconv.Atoi(v[:end])
+	if err != nil || i < 1 {
+		return def
+	}
+	return i
+}

@@ -1,0 +1,201 @@
+package layout
+
+import (
+	"formext/internal/geom"
+	"formext/internal/htmlparse"
+)
+
+// Table layout: two-pass column sizing. The first pass measures every
+// cell's preferred content width by laying it out unconstrained; column
+// widths are the per-column maxima (colspan cells spread their demand
+// evenly). The second pass lays each cell out at its final column width and
+// vertically centers cell content within the row, which is what makes row
+// labels align with the widgets beside them — the topology the grammar's
+// spatial constraints read.
+
+// tableCell is one grid cell with its resolved span.
+type tableCell struct {
+	node *htmlparse.Node
+	span int
+	col  int // starting column, assigned during grid construction
+}
+
+// collectRows gathers the tr elements of a table in order, looking through
+// thead/tbody/tfoot wrappers but not into nested tables.
+func collectRows(table *htmlparse.Node) []*htmlparse.Node {
+	var rows []*htmlparse.Node
+	var scan func(n *htmlparse.Node)
+	scan = func(n *htmlparse.Node) {
+		for _, c := range n.Children {
+			if c.Type != htmlparse.ElementNode {
+				continue
+			}
+			switch c.Tag {
+			case "tr":
+				rows = append(rows, c)
+			case "thead", "tbody", "tfoot":
+				scan(c)
+			}
+		}
+	}
+	scan(table)
+	return rows
+}
+
+// cellsOf gathers the td/th cells of a row.
+func cellsOf(row *htmlparse.Node) []tableCell {
+	var cells []tableCell
+	for _, c := range row.Children {
+		if c.Type == htmlparse.ElementNode && (c.Tag == "td" || c.Tag == "th") {
+			span := attrInt(c, "colspan", 1)
+			if span > 20 {
+				span = 20
+			}
+			cells = append(cells, tableCell{node: c, span: span})
+		}
+	}
+	return cells
+}
+
+// measureWidth lays out the cell's content at an effectively unbounded
+// width and returns the resulting content width.
+func (f *flow) measureWidth(cell *htmlparse.Node) float64 {
+	sub := &flow{e: f.e, x0: 0, width: 1e7, y: 0}
+	for _, c := range cell.Children {
+		sub.node(c)
+	}
+	sub.flushLine()
+	return unionRects(sub.out).Width()
+}
+
+// table lays out a table element and appends its box tree to the flow.
+func (f *flow) table(n *htmlparse.Node) {
+	rows := collectRows(n)
+	if len(rows) == 0 {
+		return
+	}
+	m := f.e.M
+
+	// Caption renders as a block above the grid.
+	if caption := n.FindTag("caption"); caption != nil {
+		f.block(caption)
+	}
+
+	// Build the grid and assign starting columns.
+	grid := make([][]tableCell, len(rows))
+	ncols := 0
+	for i, r := range rows {
+		cells := cellsOf(r)
+		col := 0
+		for j := range cells {
+			cells[j].col = col
+			col += cells[j].span
+		}
+		if col > ncols {
+			ncols = col
+		}
+		grid[i] = cells
+	}
+	if ncols == 0 {
+		return
+	}
+
+	// Pass 1: preferred column widths.
+	colW := make([]float64, ncols)
+	for i := range colW {
+		colW[i] = 4
+	}
+	for _, cells := range grid {
+		for _, c := range cells {
+			pref := f.measureWidth(c.node) + 2*m.CellPad
+			// An explicit width attribute sets a floor for the column.
+			if attr := float64(attrInt(c.node, "width", 0)); attr > pref {
+				pref = attr
+			}
+			per := pref / float64(c.span)
+			for j := c.col; j < c.col+c.span && j < ncols; j++ {
+				if per > colW[j] {
+					colW[j] = per
+				}
+			}
+		}
+	}
+	// Cap the table at the available width by proportional shrinking; the
+	// second pass will wrap cell content at the narrower widths.
+	total := m.CellSpace
+	for _, w := range colW {
+		total += w + m.CellSpace
+	}
+	if total > f.width && total > 0 {
+		scale := (f.width - m.CellSpace*float64(ncols+1)) / (total - m.CellSpace*float64(ncols+1))
+		if scale < 0.2 {
+			scale = 0.2
+		}
+		for i := range colW {
+			colW[i] *= scale
+		}
+	}
+	// Column x offsets.
+	colX := make([]float64, ncols+1)
+	colX[0] = m.CellSpace
+	for i := 0; i < ncols; i++ {
+		colX[i+1] = colX[i] + colW[i] + m.CellSpace
+	}
+
+	// Pass 2: lay rows out.
+	tbl := &Box{Kind: BlockBox, Node: n}
+	y := f.y + m.CellSpace
+	for ri, cells := range grid {
+		rowBox := &Box{Kind: BlockBox, Node: rows[ri]}
+		type laidCell struct {
+			box      *Box
+			contentH float64
+		}
+		laid := make([]laidCell, 0, len(cells))
+		rowH := m.LineH
+		for _, c := range cells {
+			spanEnd := c.col + c.span
+			if spanEnd > ncols {
+				spanEnd = ncols
+			}
+			cw := colX[spanEnd] - colX[c.col] - m.CellSpace
+			cx := f.x0 + colX[c.col]
+			sub := &flow{e: f.e, x0: cx + m.CellPad, width: cw - 2*m.CellPad, y: y + m.CellPad,
+				align: alignOf(c.node, "")}
+			if sub.width < 20 {
+				sub.width = 20
+			}
+			for _, ch := range c.node.Children {
+				sub.node(ch)
+			}
+			sub.flushLine()
+			cellBox := &Box{Kind: BlockBox, Node: c.node, Children: sub.out}
+			contentH := sub.y - (y + m.CellPad)
+			if contentH < 0 {
+				contentH = 0
+			}
+			cellBox.Rect = geom.R(cx, cx+cw, y, y+contentH+2*m.CellPad)
+			laid = append(laid, laidCell{box: cellBox, contentH: contentH})
+			if h := contentH + 2*m.CellPad; h > rowH {
+				rowH = h
+			}
+		}
+		// Vertical middle alignment of each cell's content within the row.
+		for _, lc := range laid {
+			dy := (rowH - (lc.contentH + 2*f.e.M.CellPad)) / 2
+			if dy > 0 {
+				for _, ch := range lc.box.Children {
+					ch.Translate(0, dy)
+				}
+			}
+			lc.box.Rect.Y2 = y + rowH
+			rowBox.Children = append(rowBox.Children, lc.box)
+		}
+		rowBox.Rect = geom.R(f.x0+colX[0], f.x0+colX[ncols], y, y+rowH)
+		tbl.Children = append(tbl.Children, rowBox)
+		y += rowH + m.CellSpace
+	}
+	tbl.Rect = geom.R(f.x0, f.x0+colX[ncols]+m.CellSpace, f.y, y)
+	f.out = append(f.out, tbl)
+	f.y = y
+}

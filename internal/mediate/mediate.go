@@ -1,0 +1,178 @@
+// Package mediate closes the integration loop the paper opens: capability
+// extraction exists so that a mediator can "model Web databases by their
+// interfaces ... or build unified query interfaces" (Section 1) and then
+// pose one query against many sources. A Mediator owns the unified
+// interface of a domain (built by internal/unify) plus, per member source,
+// the mapping from unified attributes to that source's native conditions;
+// Translate turns a constraint on the unified interface into per-source
+// submissions (internal/submit).
+package mediate
+
+import (
+	"fmt"
+
+	"formext/internal/model"
+	"formext/internal/repair"
+	"formext/internal/submit"
+	"formext/internal/unify"
+)
+
+// Source is one member database: its extracted model and submission
+// envelope.
+type Source struct {
+	ID    string
+	Model *model.SemanticModel
+	Form  submit.FormInfo
+}
+
+// Mediator routes unified constraints to member sources.
+type Mediator struct {
+	// MinSimilarity gates the unified-attribute ↔ source-condition mapping.
+	MinSimilarity float64
+	sources       []Source
+	unified       []model.Condition
+	// routes[s][u] is the index of source s's condition for unified
+	// condition u, or -1.
+	routes [][]int
+}
+
+// New builds a mediator over the member sources. minSources controls which
+// attributes make the unified interface (as unify.Unifier.Unified).
+func New(sources []Source, minSources int) *Mediator {
+	m := &Mediator{MinSimilarity: 0.55, sources: sources}
+	u := unify.NewUnifier()
+	for _, s := range sources {
+		u.Add(s.Model)
+	}
+	m.unified = u.Unified(minSources)
+	m.routes = make([][]int, len(sources))
+	for si, s := range sources {
+		m.routes[si] = make([]int, len(m.unified))
+		for ui := range m.unified {
+			m.routes[si][ui] = bestCondition(&m.unified[ui], s.Model, m.MinSimilarity)
+		}
+	}
+	return m
+}
+
+// bestCondition finds the source condition most similar to the unified one.
+func bestCondition(u *model.Condition, sm *model.SemanticModel, minSim float64) int {
+	best, bestScore := -1, minSim
+	for i := range sm.Conditions {
+		s := repair.TextSimilarity(u.Attribute, sm.Conditions[i].Attribute)
+		if sm.Conditions[i].Domain.Kind != u.Domain.Kind {
+			s *= 0.8
+		}
+		if s > bestScore {
+			best, bestScore = i, s
+		}
+	}
+	return best
+}
+
+// Unified returns the unified query interface.
+func (m *Mediator) Unified() []model.Condition { return m.unified }
+
+// Coverage reports, for each unified condition, how many sources support it.
+func (m *Mediator) Coverage() []int {
+	out := make([]int, len(m.unified))
+	for _, row := range m.routes {
+		for ui, ci := range row {
+			if ci >= 0 {
+				out[ui]++
+			}
+		}
+	}
+	return out
+}
+
+// SourceQuery is one source's translation of a unified constraint set.
+type SourceQuery struct {
+	SourceID string
+	Query    *submit.Query
+	// Applied lists the unified attributes that translated; Skipped maps
+	// the ones that did not onto the reason.
+	Applied []string
+	Skipped map[string]string
+}
+
+// Translate poses constraints (formulated against Unified()) on every
+// member source: each constraint is routed to the source's corresponding
+// native condition, values are translated into the source's domain, and a
+// submittable query is assembled. Sources where no constraint applies are
+// omitted.
+func (m *Mediator) Translate(constraints []model.Constraint) ([]SourceQuery, error) {
+	// Map each constraint to its unified condition index.
+	uidx := make([]int, len(constraints))
+	for ki, k := range constraints {
+		uidx[ki] = -1
+		for ui := range m.unified {
+			if &m.unified[ui] == k.Condition {
+				uidx[ki] = ui
+				break
+			}
+		}
+		if uidx[ki] < 0 {
+			return nil, fmt.Errorf("mediate: constraint %d is not over the unified interface", ki)
+		}
+	}
+	var out []SourceQuery
+	for si, s := range m.sources {
+		sq := SourceQuery{SourceID: s.ID, Query: submit.NewQuery(s.Form), Skipped: map[string]string{}}
+		for ki, k := range constraints {
+			ui := uidx[ki]
+			attr := m.unified[ui].Attribute
+			ci := m.routes[si][ui]
+			if ci < 0 {
+				sq.Skipped[attr] = "source has no matching condition"
+				continue
+			}
+			native := &s.Model.Conditions[ci]
+			nk, err := translateConstraint(k, native)
+			if err != nil {
+				sq.Skipped[attr] = err.Error()
+				continue
+			}
+			if err := sq.Query.Apply(nk); err != nil {
+				sq.Skipped[attr] = err.Error()
+				continue
+			}
+			sq.Applied = append(sq.Applied, attr)
+		}
+		if len(sq.Applied) > 0 {
+			out = append(out, sq)
+		}
+	}
+	return out, nil
+}
+
+// translateConstraint rebinds a unified constraint onto a source's native
+// condition: enum values map by label similarity, operators by label
+// similarity, text/range/date values pass through.
+func translateConstraint(k model.Constraint, native *model.Condition) (model.Constraint, error) {
+	nk := model.Constraint{Condition: native, Value: k.Value}
+	if native.Domain.Kind == model.EnumDomain {
+		best, bestScore := "", 0.55
+		for _, v := range native.Domain.Values {
+			if s := repair.TextSimilarity(k.Value, v); s > bestScore {
+				best, bestScore = v, s
+			}
+		}
+		if best == "" {
+			return nk, fmt.Errorf("value %q has no counterpart in the source domain", k.Value)
+		}
+		nk.Value = best
+	}
+	if k.Operator != "" {
+		best, bestScore := "", 0.55
+		for _, o := range native.Operators {
+			if s := repair.TextSimilarity(k.Operator, o); s > bestScore {
+				best, bestScore = o, s
+			}
+		}
+		// A missing operator degrades to the implicit one rather than
+		// failing the whole source.
+		nk.Operator = best
+	}
+	return nk, nil
+}

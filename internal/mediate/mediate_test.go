@@ -1,0 +1,196 @@
+package mediate
+
+import (
+	"net/url"
+	"strings"
+	"testing"
+
+	"formext/internal/model"
+	"formext/internal/submit"
+)
+
+// bookSource fabricates a member source.
+func bookSource(id string, conds ...model.Condition) Source {
+	return Source{
+		ID:    id,
+		Model: &model.SemanticModel{Conditions: conds},
+		Form:  submit.FormInfo{Action: "/" + id, Method: "get", Hidden: url.Values{}},
+	}
+}
+
+func textCond(attr, field string) model.Condition {
+	return model.Condition{Attribute: attr, Fields: []string{field},
+		Domain: model.Domain{Kind: model.TextDomain}}
+}
+
+func enumCond(attr, field string, values ...string) model.Condition {
+	return model.Condition{Attribute: attr, Fields: []string{field},
+		Domain:       model.Domain{Kind: model.EnumDomain, Values: values},
+		SubmitValues: values}
+}
+
+func testSources() []Source {
+	return []Source{
+		bookSource("alpha",
+			textCond("Author", "au"),
+			textCond("Title", "ti"),
+			enumCond("Format", "fmt", "Hardcover", "Paperback")),
+		bookSource("beta",
+			textCond("Author:", "writer"),
+			enumCond("Format", "binding", "Hard cover", "Soft cover")),
+		bookSource("gamma",
+			textCond("Title", "t"),
+			textCond("Author", "a")),
+	}
+}
+
+func TestUnifiedAndCoverage(t *testing.T) {
+	m := New(testSources(), 2)
+	unified := m.Unified()
+	attrs := map[string]bool{}
+	for _, c := range unified {
+		attrs[c.Attribute] = true
+	}
+	for _, want := range []string{"author", "title", "format"} {
+		if !attrs[want] {
+			t.Errorf("unified missing %q: %+v", want, unified)
+		}
+	}
+	cov := m.Coverage()
+	for ui, c := range unified {
+		want := map[string]int{"author": 3, "title": 2, "format": 2}[c.Attribute]
+		if cov[ui] != want {
+			t.Errorf("coverage of %s = %d, want %d", c.Attribute, cov[ui], want)
+		}
+	}
+}
+
+func findUnified(m *Mediator, attr string) *model.Condition {
+	u := m.Unified()
+	for i := range u {
+		if u[i].Attribute == attr {
+			return &u[i]
+		}
+	}
+	return nil
+}
+
+func TestTranslateTextConstraint(t *testing.T) {
+	m := New(testSources(), 2)
+	author := findUnified(m, "author")
+	if author == nil {
+		t.Fatal("no unified author")
+	}
+	k, err := author.Bind("", "tom clancy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, err := m.Translate([]model.Constraint{k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 3 {
+		t.Fatalf("queries = %d, want all three sources", len(qs))
+	}
+	wantField := map[string]string{"alpha": "au", "beta": "writer", "gamma": "a"}
+	for _, q := range qs {
+		u, err := q.Query.URL()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(u, wantField[q.SourceID]+"=tom+clancy") {
+			t.Errorf("%s url = %s", q.SourceID, u)
+		}
+		if len(q.Applied) != 1 {
+			t.Errorf("%s applied = %v", q.SourceID, q.Applied)
+		}
+	}
+}
+
+func TestTranslateEnumValue(t *testing.T) {
+	m := New(testSources(), 2)
+	format := findUnified(m, "format")
+	if format == nil {
+		t.Fatalf("no unified format: %+v", m.Unified())
+	}
+	// The unified domain carries normalized merged values; pick hardcover.
+	k := model.Constraint{Condition: format, Value: "hardcover"}
+	qs, err := m.Translate([]model.Constraint{k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]string{}
+	for _, q := range qs {
+		got[q.SourceID] = q.Query.Values().Encode()
+	}
+	if !strings.Contains(got["alpha"], "fmt=Hardcover") {
+		t.Errorf("alpha: %s", got["alpha"])
+	}
+	if !strings.Contains(got["beta"], "binding=Hard+cover") {
+		t.Errorf("beta: %s", got["beta"])
+	}
+	if _, ok := got["gamma"]; ok {
+		t.Error("gamma has no format condition and should be skipped")
+	}
+}
+
+func TestTranslateSkipsMissingConditions(t *testing.T) {
+	m := New(testSources(), 2)
+	title := findUnified(m, "title")
+	k, err := title.Bind("", "deep web")
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, err := m.Translate([]model.Constraint{k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := map[string]bool{}
+	for _, q := range qs {
+		ids[q.SourceID] = true
+	}
+	if !ids["alpha"] || !ids["gamma"] || ids["beta"] {
+		t.Errorf("routed to %v; beta lacks title", ids)
+	}
+}
+
+func TestTranslateRejectsForeignConstraint(t *testing.T) {
+	m := New(testSources(), 2)
+	foreign := textCond("Author", "x")
+	if _, err := m.Translate([]model.Constraint{{Condition: &foreign, Value: "v"}}); err == nil {
+		t.Error("constraints must be over the unified interface")
+	}
+}
+
+func TestOperatorDegradesGracefully(t *testing.T) {
+	withOps := bookSource("ops",
+		model.Condition{Attribute: "Author", Fields: []string{"a"},
+			Operators:      []string{"Exact name", "Contains"},
+			OperatorField:  "am",
+			OperatorValues: []string{"x", "c"},
+			Domain:         model.Domain{Kind: model.TextDomain}})
+	plain := bookSource("plain", textCond("Author", "a2"))
+	m := New([]Source{withOps, plain, bookSource("third", textCond("Author", "a3"))}, 2)
+	author := findUnified(m, "author")
+	if author == nil {
+		t.Fatal("no unified author")
+	}
+	k := model.Constraint{Condition: author, Operator: "exact name", Value: "clancy"}
+	qs, err := m.Translate([]model.Constraint{k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range qs {
+		enc := q.Query.Values().Encode()
+		switch q.SourceID {
+		case "ops":
+			if !strings.Contains(enc, "am=x") {
+				t.Errorf("ops source lost the operator: %s", enc)
+			}
+		case "plain", "third":
+			if strings.Contains(enc, "am=") {
+				t.Errorf("%s invented an operator: %s", q.SourceID, enc)
+			}
+		}
+	}
+}

@@ -1,0 +1,382 @@
+// Package merger implements the back-end of the form extractor (Section
+// 3.4): it combines the multiple partial parse trees the best-effort parser
+// outputs, compiles the semantic model (the union of extracted query
+// conditions), and reports the two error classes the paper defines —
+// conflicts (a token claimed by several conditions, like the
+// passengers/adults selection list of interface Qaa) and missing elements
+// (tokens no parse tree covers).
+package merger
+
+import (
+	"sort"
+	"strings"
+
+	"formext/internal/bitset"
+	"formext/internal/core"
+	"formext/internal/grammar"
+	"formext/internal/model"
+	"formext/internal/token"
+)
+
+// Merger compiles semantic models from parse results, guided by the
+// grammar's role tagging.
+type Merger struct {
+	g *grammar.Grammar
+}
+
+// New returns a merger for the grammar whose roles tag the parse trees.
+func New(g *grammar.Grammar) *Merger { return &Merger{g: g} }
+
+// Merge combines the maximal parse trees into the semantic model.
+func (m *Merger) Merge(res *core.Result) *model.SemanticModel {
+	sm := &model.SemanticModel{}
+	n := len(res.Tokens)
+	covered := bitset.New(n)
+
+	// Coverage counts what the semantic reading accounts for: tokens inside
+	// extracted conditions or inside decoration constructs (captions,
+	// action rows). A token grouped only into a semantics-free fragment —
+	// say a selection list absorbed by a value construct that never found
+	// an attribute — is still missing from the model and reported as such.
+	var conds []model.Condition
+	for _, tree := range res.Maximal {
+		m.conditionsOf(tree, &conds)
+		tree.Walk(func(in *grammar.Instance) bool {
+			switch m.g.RoleOf(in.Sym) {
+			case grammar.RoleCondition, grammar.RoleDecoration:
+				covered.UnionWith(in.Cover)
+				return false
+			}
+			return true
+		})
+	}
+
+	// Union with deduplication: conditions over the same token set are the
+	// same condition extracted from overlapping partial trees.
+	seen := map[string]int{}
+	for _, c := range conds {
+		key := tokenKey(c.TokenIDs)
+		if _, dup := seen[key]; dup {
+			continue
+		}
+		seen[key] = len(sm.Conditions)
+		sm.Conditions = append(sm.Conditions, c)
+	}
+	sort.SliceStable(sm.Conditions, func(i, j int) bool {
+		return firstToken(sm.Conditions[i]) < firstToken(sm.Conditions[j])
+	})
+
+	// Conflicts: a token claimed by two different conditions.
+	owner := make([]int, n)
+	for i := range owner {
+		owner[i] = -1
+	}
+	for ci, c := range sm.Conditions {
+		for _, t := range c.TokenIDs {
+			if prev := owner[t]; prev >= 0 && prev != ci {
+				sm.Conflicts = append(sm.Conflicts, model.Conflict{TokenID: t, Conditions: [2]int{prev, ci}})
+			} else {
+				owner[t] = ci
+			}
+		}
+	}
+
+	// Missing elements: tokens not covered by any parse tree. Pure
+	// decorations (rules) are not reported.
+	for _, t := range res.Tokens {
+		if covered.Has(t.ID) || t.Type == token.Rule {
+			continue
+		}
+		sm.Missing = append(sm.Missing, t.ID)
+	}
+	return sm
+}
+
+// conditionsOf extracts the conditions of one parse tree: the outermost
+// condition-role nodes, each compiled into a [attribute; operators; domain]
+// tuple.
+func (m *Merger) conditionsOf(tree *grammar.Instance, out *[]model.Condition) {
+	tree.Walk(func(in *grammar.Instance) bool {
+		if m.g.RoleOf(in.Sym) == grammar.RoleCondition {
+			*out = append(*out, m.compile(in))
+			return false // do not extract nested condition readings
+		}
+		return true
+	})
+}
+
+// compile turns one condition subtree into a Condition using the role tags:
+// attribute text from attribute-role subtrees, operators from operator-role
+// subtrees, and the domain from the remaining widgets.
+func (m *Merger) compile(cond *grammar.Instance) model.Condition {
+	var c model.Condition
+	var attrParts, freeTexts []string
+	var widgets []*token.Token
+
+	var walk func(in *grammar.Instance)
+	walk = func(in *grammar.Instance) {
+		switch m.g.RoleOf(in.Sym) {
+		case grammar.RoleAttribute:
+			if s := in.Texts(); s != "" {
+				attrParts = append(attrParts, s)
+			}
+			return
+		case grammar.RoleOperator:
+			labels, field, values := operatorsOf(in)
+			c.Operators = append(c.Operators, labels...)
+			if c.OperatorField == "" {
+				c.OperatorField = field
+			}
+			c.OperatorValues = append(c.OperatorValues, values...)
+			return
+		}
+		if in.Token != nil {
+			switch {
+			case in.Token.Type == token.Text:
+				freeTexts = append(freeTexts, in.Token.SVal)
+			case in.Token.IsWidget():
+				widgets = append(widgets, in.Token)
+			}
+			return
+		}
+		for _, ch := range in.Children {
+			walk(ch)
+		}
+	}
+	walk(cond)
+
+	c.Attribute = strings.Join(attrParts, " ")
+	c.TokenIDs = cond.Cover.Members()
+	for _, w := range widgets {
+		if w.Name != "" {
+			c.Fields = append(c.Fields, w.Name)
+		}
+	}
+	c.Domain = inferDomain(widgets, freeTexts)
+	c.SubmitValues = submitValuesFor(widgets, c.Domain)
+	if c.Attribute == "" {
+		// Conditions without an attribute-role subtree (e.g. a single
+		// checkbox) are named by their own label texts.
+		c.Attribute = strings.Join(freeTexts, " ")
+	}
+	return c
+}
+
+// operatorsOf lists the operator choices of an operator-role subtree — the
+// individual text labels (radio operators) or the options of an operator
+// selection list — together with the control name and the wire values that
+// select each operator.
+func operatorsOf(op *grammar.Instance) (labels []string, field string, values []string) {
+	op.Walk(func(in *grammar.Instance) bool {
+		if in.Token == nil {
+			return true
+		}
+		switch in.Token.Type {
+		case token.Text:
+			labels = append(labels, in.Token.SVal)
+		case token.RadioButton, token.Checkbox:
+			if field == "" {
+				field = in.Token.Name
+			}
+			values = append(values, in.Token.Value)
+		case token.SelectList:
+			labels = append(labels, in.Token.Options...)
+			if field == "" {
+				field = in.Token.Name
+			}
+			values = append(values, in.Token.OptionValues...)
+		}
+		return true
+	})
+	return labels, field, values
+}
+
+// submitValuesFor maps an enum domain's display values to the wire values
+// the form transmits: option values for selects, the value attributes for
+// radio/checkbox groups.
+func submitValuesFor(widgets []*token.Token, d model.Domain) []string {
+	if d.Kind != model.EnumDomain {
+		return nil
+	}
+	var out []string
+	for _, w := range widgets {
+		switch w.Type {
+		case token.SelectList:
+			out = append(out, w.OptionValues...)
+		case token.RadioButton, token.Checkbox:
+			out = append(out, w.Value)
+		}
+	}
+	if len(out) != len(d.Values) {
+		// Labels and widgets failed to line up; submission metadata is
+		// best-effort and absent beats wrong.
+		return nil
+	}
+	return out
+}
+
+// inferDomain derives the domain of a condition from the widgets that make
+// up its value region (attribute and operator subtrees already excluded).
+func inferDomain(widgets []*token.Token, freeTexts []string) model.Domain {
+	var entry, selects, radios, checks int
+	var opts []string
+	multiple := false
+	for _, w := range widgets {
+		switch w.Type {
+		case token.Textbox, token.Password, token.Textarea, token.FileBox:
+			entry++
+		case token.SelectList:
+			selects++
+			opts = append(opts, w.Options...)
+			if w.Multiple {
+				multiple = true
+			}
+		case token.RadioButton:
+			radios++
+		case token.Checkbox:
+			checks++
+		}
+	}
+	switch {
+	case radios > 0 || checks > 1:
+		// Enumeration over labelled buttons; values are the label texts.
+		if radios+checks == 1 {
+			return model.Domain{Kind: model.BoolDomain}
+		}
+		return model.Domain{Kind: model.EnumDomain, Values: freeTexts, Multiple: checks > 0}
+	case checks == 1:
+		return model.Domain{Kind: model.BoolDomain}
+	case entry >= 2:
+		return model.Domain{Kind: model.RangeDomain}
+	case entry == 1 && selects == 0:
+		return model.Domain{Kind: model.TextDomain}
+	case entry == 1 && selects >= 1:
+		// Mixed entry/select pairs appear in ranges ("from [select] to
+		// [box]").
+		return model.Domain{Kind: model.RangeDomain}
+	case selects >= 2:
+		// Explicit from/to marks say range even when the options would
+		// pass the date test (year-only lists).
+		if hasRangeMarks(freeTexts) {
+			return model.Domain{Kind: model.RangeDomain}
+		}
+		if allDateish(widgets) {
+			return model.Domain{Kind: model.DateDomain}
+		}
+		return model.Domain{Kind: model.EnumDomain, Values: opts, Multiple: multiple}
+	case selects == 1:
+		return model.Domain{Kind: model.EnumDomain, Values: opts, Multiple: multiple}
+	default:
+		return model.Domain{Kind: model.TextDomain}
+	}
+}
+
+// allDateish reports whether every selection list among the widgets looks
+// like a date part.
+func allDateish(widgets []*token.Token) bool {
+	any := false
+	for _, w := range widgets {
+		if w.Type != token.SelectList {
+			continue
+		}
+		any = true
+		if !selectDateish(w) {
+			return false
+		}
+	}
+	return any
+}
+
+// selectDateish mirrors the grammar's dateish builtin for merger-side
+// inference.
+func selectDateish(t *token.Token) bool {
+	if len(t.Options) < 2 {
+		return false
+	}
+	months, days, years := 0, 0, 0
+	for _, o := range t.Options {
+		o = strings.ToLower(strings.TrimSpace(o))
+		for _, m := range monthNames {
+			if o == m || strings.HasPrefix(o, m+" ") {
+				months++
+				break
+			}
+		}
+		if n, ok := atoi(o); ok {
+			if n >= 1 && n <= 31 {
+				days++
+			}
+			if n >= 1900 && n <= 2035 {
+				years++
+			}
+		}
+	}
+	n := len(t.Options)
+	return months*3 >= n*2 || days >= 25 || (years >= 4 && years*3 >= n*2)
+}
+
+var monthNames = []string{
+	"january", "february", "march", "april", "may", "june", "july",
+	"august", "september", "october", "november", "december",
+	"jan", "feb", "mar", "apr", "jun", "jul", "aug", "sep", "oct", "nov", "dec",
+}
+
+func atoi(s string) (int, bool) {
+	if s == "" {
+		return 0, false
+	}
+	n := 0
+	for _, r := range s {
+		if r < '0' || r > '9' {
+			return 0, false
+		}
+		n = n*10 + int(r-'0')
+		if n > 1<<30 {
+			return 0, false
+		}
+	}
+	return n, true
+}
+
+func hasRangeMarks(texts []string) bool {
+	from, to := false, false
+	for _, t := range texts {
+		switch model.NormalizeLabel(t) {
+		case "from", "between", "min", "minimum", "low", "start", "at least":
+			from = true
+		case "to", "and", "max", "maximum", "high", "end", "until", "at most":
+			to = true
+		}
+	}
+	return from && to
+}
+
+func tokenKey(ids []int) string {
+	var b strings.Builder
+	for _, id := range ids {
+		b.WriteByte(',')
+		b.WriteString(itoa(id))
+	}
+	return b.String()
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+func firstToken(c model.Condition) int {
+	if len(c.TokenIDs) == 0 {
+		return 1 << 30
+	}
+	return c.TokenIDs[0]
+}

@@ -1,0 +1,130 @@
+// Package metrics implements the evaluation metrics of Section 6.1:
+// per-source precision/recall over extracted query conditions, the overall
+// (aggregated) precision/recall, and the source-distribution curves of
+// Figure 15(a)/(b).
+package metrics
+
+import (
+	"fmt"
+
+	"formext/internal/model"
+)
+
+// SourceResult is the per-source metric of Section 6.1: Ps(q) and Rs(q).
+type SourceResult struct {
+	ID        string
+	TP        int // |Cs ∩ Es|
+	Extracted int // |Es|
+	Truth     int // |Cs|
+	Precision float64
+	Recall    float64
+}
+
+// Match compares extracted conditions against ground truth. Conditions
+// match on their Key — normalized attribute plus domain kind — as
+// multisets, mirroring the paper's manual comparison of condition sets. Set
+// strict to additionally require operators and enumeration values to agree
+// (StrictKey).
+func Match(truth, extracted []model.Condition, strict bool) SourceResult {
+	key := func(c model.Condition) string {
+		if strict {
+			return c.StrictKey()
+		}
+		return c.Key()
+	}
+	want := map[string]int{}
+	for _, c := range truth {
+		want[key(c)]++
+	}
+	tp := 0
+	for _, c := range extracted {
+		k := key(c)
+		if want[k] > 0 {
+			want[k]--
+			tp++
+		}
+	}
+	r := SourceResult{TP: tp, Extracted: len(extracted), Truth: len(truth)}
+	r.Precision = ratio(tp, len(extracted))
+	r.Recall = ratio(tp, len(truth))
+	return r
+}
+
+// ratio returns a/b with the vacuous-truth convention: an empty denominator
+// scores 1 (an extractor that claims nothing has made no false claims; a
+// form with no conditions has nothing to recall).
+func ratio(a, b int) float64 {
+	if b == 0 {
+		return 1
+	}
+	return float64(a) / float64(b)
+}
+
+// Aggregate combines per-source results into the paper's summary numbers.
+type Aggregate struct {
+	// AvgPrecision and AvgRecall are the per-source averages (Fig 15(c)).
+	AvgPrecision, AvgRecall float64
+	// OverallPrecision and OverallRecall aggregate all conditions across
+	// sources (Fig 15(d)): Pa(w) and Ra(w).
+	OverallPrecision, OverallRecall float64
+	// Accuracy is the average of overall precision and recall — the
+	// paper's headline "above 85% accuracy" figure.
+	Accuracy float64
+	Sources  int
+}
+
+// Aggregate computes the dataset-level numbers from per-source results.
+func Summarize(results []SourceResult) Aggregate {
+	var a Aggregate
+	a.Sources = len(results)
+	if len(results) == 0 {
+		return a
+	}
+	var sumP, sumR float64
+	var tp, ex, tr int
+	for _, r := range results {
+		sumP += r.Precision
+		sumR += r.Recall
+		tp += r.TP
+		ex += r.Extracted
+		tr += r.Truth
+	}
+	a.AvgPrecision = sumP / float64(len(results))
+	a.AvgRecall = sumR / float64(len(results))
+	a.OverallPrecision = ratio(tp, ex)
+	a.OverallRecall = ratio(tp, tr)
+	a.Accuracy = (a.OverallPrecision + a.OverallRecall) / 2
+	return a
+}
+
+// DistributionThresholds are the x-axis buckets of Figure 15(a)/(b).
+var DistributionThresholds = []float64{1.0, 0.9, 0.8, 0.7, 0.6, 0.0}
+
+// Distribution returns, for each threshold, the percentage of sources
+// whose metric (selected by recall=false → precision) reaches at least the
+// threshold — the cumulative curves of Figure 15(a)/(b).
+func Distribution(results []SourceResult, recall bool) []float64 {
+	out := make([]float64, len(DistributionThresholds))
+	if len(results) == 0 {
+		return out
+	}
+	for i, th := range DistributionThresholds {
+		n := 0
+		for _, r := range results {
+			v := r.Precision
+			if recall {
+				v = r.Recall
+			}
+			if v >= th-1e-9 {
+				n++
+			}
+		}
+		out[i] = 100 * float64(n) / float64(len(results))
+	}
+	return out
+}
+
+func (r SourceResult) String() string {
+	return fmt.Sprintf("%s: P=%.2f R=%.2f (tp=%d |E|=%d |C|=%d)",
+		r.ID, r.Precision, r.Recall, r.TP, r.Extracted, r.Truth)
+}

@@ -1,0 +1,164 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"formext/internal/model"
+)
+
+func cond(attr string, kind model.DomainKind) model.Condition {
+	return model.Condition{Attribute: attr, Domain: model.Domain{Kind: kind}}
+}
+
+func TestMatchExact(t *testing.T) {
+	truth := []model.Condition{cond("Author", model.TextDomain), cond("Price", model.RangeDomain)}
+	got := Match(truth, truth, false)
+	if got.Precision != 1 || got.Recall != 1 || got.TP != 2 {
+		t.Errorf("exact match: %+v", got)
+	}
+}
+
+func TestMatchNormalizesAttributes(t *testing.T) {
+	truth := []model.Condition{cond("Author", model.TextDomain)}
+	extracted := []model.Condition{cond("  author: ", model.TextDomain)}
+	got := Match(truth, extracted, false)
+	if got.TP != 1 {
+		t.Errorf("normalization failed: %+v", got)
+	}
+}
+
+func TestMatchPartial(t *testing.T) {
+	truth := []model.Condition{
+		cond("Author", model.TextDomain),
+		cond("Title", model.TextDomain),
+		cond("Price", model.RangeDomain),
+	}
+	extracted := []model.Condition{
+		cond("Author", model.TextDomain),
+		cond("Price", model.DateDomain), // wrong kind: false positive + miss
+		cond("Bogus", model.TextDomain), // false positive
+	}
+	got := Match(truth, extracted, false)
+	if got.TP != 1 {
+		t.Fatalf("tp = %d", got.TP)
+	}
+	if math.Abs(got.Precision-1.0/3) > 1e-9 || math.Abs(got.Recall-1.0/3) > 1e-9 {
+		t.Errorf("P=%g R=%g", got.Precision, got.Recall)
+	}
+}
+
+func TestMatchMultiset(t *testing.T) {
+	// Two identical truth conditions require two extracted copies.
+	truth := []model.Condition{cond("Date", model.DateDomain), cond("Date", model.DateDomain)}
+	extracted := []model.Condition{cond("Date", model.DateDomain)}
+	got := Match(truth, extracted, false)
+	if got.TP != 1 || got.Recall != 0.5 || got.Precision != 1 {
+		t.Errorf("multiset match: %+v", got)
+	}
+}
+
+func TestMatchStrict(t *testing.T) {
+	truth := []model.Condition{{
+		Attribute: "Author",
+		Operators: []string{"exact", "starts"},
+		Domain:    model.Domain{Kind: model.TextDomain},
+	}}
+	okExtract := []model.Condition{{
+		Attribute: "author",
+		Operators: []string{"Starts", "Exact"},
+		Domain:    model.Domain{Kind: model.TextDomain},
+	}}
+	badOps := []model.Condition{{
+		Attribute: "author",
+		Operators: []string{"exact"},
+		Domain:    model.Domain{Kind: model.TextDomain},
+	}}
+	if got := Match(truth, okExtract, true); got.TP != 1 {
+		t.Errorf("strict match should accept reordered operators: %+v", got)
+	}
+	if got := Match(truth, badOps, true); got.TP != 0 {
+		t.Errorf("strict match should reject missing operators: %+v", got)
+	}
+	if got := Match(truth, badOps, false); got.TP != 1 {
+		t.Errorf("lenient match should accept: %+v", got)
+	}
+}
+
+func TestVacuousRatios(t *testing.T) {
+	got := Match(nil, nil, false)
+	if got.Precision != 1 || got.Recall != 1 {
+		t.Errorf("empty/empty: %+v", got)
+	}
+	got = Match([]model.Condition{cond("A", model.TextDomain)}, nil, false)
+	if got.Precision != 1 || got.Recall != 0 {
+		t.Errorf("empty extraction: %+v", got)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	results := []SourceResult{
+		{TP: 4, Extracted: 4, Truth: 5, Precision: 1.0, Recall: 0.8},
+		{TP: 3, Extracted: 6, Truth: 3, Precision: 0.5, Recall: 1.0},
+	}
+	agg := Summarize(results)
+	if agg.Sources != 2 {
+		t.Errorf("sources = %d", agg.Sources)
+	}
+	if math.Abs(agg.AvgPrecision-0.75) > 1e-9 || math.Abs(agg.AvgRecall-0.9) > 1e-9 {
+		t.Errorf("avg: %+v", agg)
+	}
+	if math.Abs(agg.OverallPrecision-0.7) > 1e-9 { // 7/10
+		t.Errorf("overall P = %g", agg.OverallPrecision)
+	}
+	if math.Abs(agg.OverallRecall-0.875) > 1e-9 { // 7/8
+		t.Errorf("overall R = %g", agg.OverallRecall)
+	}
+	if math.Abs(agg.Accuracy-(0.7+0.875)/2) > 1e-9 {
+		t.Errorf("accuracy = %g", agg.Accuracy)
+	}
+	if got := Summarize(nil); got.Sources != 0 {
+		t.Errorf("empty summarize: %+v", got)
+	}
+}
+
+func TestDistribution(t *testing.T) {
+	results := []SourceResult{
+		{Precision: 1.0, Recall: 1.0},
+		{Precision: 0.9, Recall: 0.5},
+		{Precision: 0.65, Recall: 0.95},
+		{Precision: 0.0, Recall: 0.0},
+	}
+	p := Distribution(results, false)
+	// thresholds: 1.0, .9, .8, .7, .6, 0
+	want := []float64{25, 50, 50, 50, 75, 100}
+	for i := range want {
+		if math.Abs(p[i]-want[i]) > 1e-9 {
+			t.Errorf("precision dist[%d] = %g, want %g", i, p[i], want[i])
+		}
+	}
+	r := Distribution(results, true)
+	wantR := []float64{25, 50, 50, 50, 50, 100}
+	for i := range wantR {
+		if math.Abs(r[i]-wantR[i]) > 1e-9 {
+			t.Errorf("recall dist[%d] = %g, want %g", i, r[i], wantR[i])
+		}
+	}
+	// Cumulative: non-decreasing along thresholds.
+	for i := 1; i < len(p); i++ {
+		if p[i] < p[i-1] {
+			t.Error("distribution must be cumulative")
+		}
+	}
+	if got := Distribution(nil, false); got[0] != 0 {
+		t.Errorf("empty distribution: %v", got)
+	}
+}
+
+func TestDistributionRecallAt95(t *testing.T) {
+	// 0.95 >= 0.9 bucket but not 1.0 bucket.
+	d := Distribution([]SourceResult{{Recall: 0.95}}, true)
+	if d[0] != 0 || d[1] != 100 {
+		t.Errorf("dist = %v", d)
+	}
+}

@@ -1,0 +1,174 @@
+// Package model defines the semantic model of a Web query interface: the
+// set of query conditions the form supports. A condition is the three-tuple
+// [attribute; operators; domain] of Section 1 of the paper — e.g.
+// [author; {"first name...", "start...", "exact name"}; text] — and the
+// semantic model is what the form extractor ultimately outputs.
+package model
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DomainKind classifies the domain of allowed values of a condition.
+type DomainKind string
+
+const (
+	// TextDomain is free text entered into a textbox or textarea.
+	TextDomain DomainKind = "text"
+	// EnumDomain is a closed set of values (selection list, radio group,
+	// checkbox group).
+	EnumDomain DomainKind = "enum"
+	// BoolDomain is a single on/off checkbox.
+	BoolDomain DomainKind = "bool"
+	// RangeDomain is a pair of endpoints (from/to fields).
+	RangeDomain DomainKind = "range"
+	// DateDomain is a date assembled from month/day/year parts.
+	DateDomain DomainKind = "date"
+)
+
+// Domain describes the allowed values of a condition.
+type Domain struct {
+	Kind DomainKind `json:"kind"`
+	// Values holds the allowed values of an enum domain (display texts).
+	Values []string `json:"values,omitempty"`
+	// Multiple reports whether several values may be selected at once.
+	Multiple bool `json:"multiple,omitempty"`
+}
+
+// Condition is one specifiable query condition of the interface.
+type Condition struct {
+	// Attribute is the attribute label as it appears on the form
+	// (e.g. "Author", "Departure date").
+	Attribute string `json:"attribute"`
+	// Operators lists the supported operators or modifiers (e.g.
+	// "exact name", "start of last name"). Empty means the single implicit
+	// operator (contains/equals).
+	Operators []string `json:"operators,omitempty"`
+	// Domain is the domain of allowed values.
+	Domain Domain `json:"domain"`
+	// Fields lists the form-control names the condition binds to, in
+	// visual order.
+	Fields []string `json:"fields,omitempty"`
+	// TokenIDs lists the input tokens grouped into this condition.
+	TokenIDs []int `json:"tokens,omitempty"`
+
+	// Submission metadata — what a mediator needs to actually pose the
+	// query (the integration use the paper motivates). SubmitValues[i] is
+	// the wire value for Domain.Values[i]; OperatorField/OperatorValues
+	// encode how an operator choice is transmitted (OperatorValues[i]
+	// selects Operators[i]).
+	SubmitValues   []string `json:"submitValues,omitempty"`
+	OperatorField  string   `json:"operatorField,omitempty"`
+	OperatorValues []string `json:"operatorValues,omitempty"`
+}
+
+// NormalizeLabel canonicalizes an attribute label for comparison: lower
+// case, punctuation and markup residue trimmed, whitespace collapsed.
+func NormalizeLabel(s string) string {
+	s = strings.ToLower(strings.TrimSpace(s))
+	s = strings.Trim(s, ":*?.! \t")
+	return strings.Join(strings.Fields(s), " ")
+}
+
+// Key returns a canonical identity for comparing an extracted condition
+// with a ground-truth condition: the normalized attribute plus the domain
+// kind. Operators and exact value lists are compared separately by the
+// stricter metrics.
+func (c Condition) Key() string {
+	return NormalizeLabel(c.Attribute) + "|" + string(c.Domain.Kind)
+}
+
+// StrictKey additionally folds in operators and the domain value set, for
+// exact-match comparisons.
+func (c Condition) StrictKey() string {
+	ops := make([]string, len(c.Operators))
+	for i, o := range c.Operators {
+		ops[i] = NormalizeLabel(o)
+	}
+	sort.Strings(ops)
+	vals := make([]string, len(c.Domain.Values))
+	for i, v := range c.Domain.Values {
+		vals[i] = NormalizeLabel(v)
+	}
+	sort.Strings(vals)
+	return c.Key() + "|" + strings.Join(ops, ",") + "|" + strings.Join(vals, ",")
+}
+
+func (c Condition) String() string {
+	ops := "{}"
+	if len(c.Operators) > 0 {
+		ops = "{" + strings.Join(c.Operators, ", ") + "}"
+	}
+	dom := string(c.Domain.Kind)
+	if c.Domain.Kind == EnumDomain {
+		dom = fmt.Sprintf("enum(%d values)", len(c.Domain.Values))
+	}
+	return fmt.Sprintf("[%s; %s; %s]", c.Attribute, ops, dom)
+}
+
+// Conflict reports that the same token was claimed by two different
+// conditions — e.g. a selection list associated with both "number of
+// passengers" and "adults" (Section 3.4, Figure 14 discussion).
+type Conflict struct {
+	TokenID    int    `json:"token"`
+	Conditions [2]int `json:"conditions"` // indices into SemanticModel.Conditions
+}
+
+// SemanticModel is the extractor's final output for one query interface.
+type SemanticModel struct {
+	Conditions []Condition `json:"conditions"`
+	// Conflicts lists tokens claimed by multiple conditions.
+	Conflicts []Conflict `json:"conflicts,omitempty"`
+	// Missing lists tokens not covered by any parse tree (excluding
+	// decorations such as submit buttons).
+	Missing []int `json:"missing,omitempty"`
+}
+
+// Constraint is a concrete constraint a user formulates from a condition by
+// selecting an operator and a value, e.g. [author = "tom clancy"] with
+// operator "exact name".
+type Constraint struct {
+	Condition *Condition
+	Operator  string
+	Value     string
+}
+
+// Bind formulates a constraint from the condition, validating the operator
+// and value against the condition's capabilities.
+func (c *Condition) Bind(operator, value string) (Constraint, error) {
+	if operator != "" && len(c.Operators) > 0 {
+		ok := false
+		for _, o := range c.Operators {
+			if NormalizeLabel(o) == NormalizeLabel(operator) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return Constraint{}, fmt.Errorf("condition %q does not support operator %q", c.Attribute, operator)
+		}
+	}
+	if c.Domain.Kind == EnumDomain {
+		ok := false
+		for _, v := range c.Domain.Values {
+			if NormalizeLabel(v) == NormalizeLabel(value) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return Constraint{}, fmt.Errorf("value %q is outside the domain of %q", value, c.Attribute)
+		}
+	}
+	return Constraint{Condition: c, Operator: operator, Value: value}, nil
+}
+
+func (k Constraint) String() string {
+	op := k.Operator
+	if op == "" {
+		op = "="
+	}
+	return fmt.Sprintf("[%s %s %q]", k.Condition.Attribute, op, k.Value)
+}

@@ -1,0 +1,110 @@
+package model
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNormalizeLabel(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"Author:", "author"},
+		{"  Departure   Date * ", "departure date"},
+		{"PRICE!?", "price"},
+		{"", ""},
+		{"Title word(s)", "title word(s)"},
+	}
+	for _, c := range cases {
+		if got := NormalizeLabel(c.in); got != c.want {
+			t.Errorf("NormalizeLabel(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestConditionKeys(t *testing.T) {
+	a := Condition{Attribute: "Author:", Domain: Domain{Kind: TextDomain}}
+	b := Condition{Attribute: "author", Domain: Domain{Kind: TextDomain}}
+	if a.Key() != b.Key() {
+		t.Errorf("keys differ: %q vs %q", a.Key(), b.Key())
+	}
+	c := Condition{Attribute: "author", Domain: Domain{Kind: EnumDomain}}
+	if a.Key() == c.Key() {
+		t.Error("different domains must give different keys")
+	}
+	// StrictKey is order-insensitive over operators and values.
+	d1 := Condition{Attribute: "x", Operators: []string{"b", "a"}, Domain: Domain{Kind: EnumDomain, Values: []string{"v2", "v1"}}}
+	d2 := Condition{Attribute: "x", Operators: []string{"a", "b"}, Domain: Domain{Kind: EnumDomain, Values: []string{"v1", "v2"}}}
+	if d1.StrictKey() != d2.StrictKey() {
+		t.Errorf("strict keys differ: %q vs %q", d1.StrictKey(), d2.StrictKey())
+	}
+	d3 := Condition{Attribute: "x", Operators: []string{"a"}, Domain: Domain{Kind: EnumDomain, Values: []string{"v1", "v2"}}}
+	if d1.StrictKey() == d3.StrictKey() {
+		t.Error("different operator sets must differ strictly")
+	}
+}
+
+func TestConditionString(t *testing.T) {
+	c := Condition{
+		Attribute: "author",
+		Operators: []string{"exact name"},
+		Domain:    Domain{Kind: TextDomain},
+	}
+	if got := c.String(); got != "[author; {exact name}; text]" {
+		t.Errorf("String = %q", got)
+	}
+	e := Condition{Attribute: "price", Domain: Domain{Kind: EnumDomain, Values: []string{"a", "b"}}}
+	if got := e.String(); !strings.Contains(got, "enum(2 values)") {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestBindOperators(t *testing.T) {
+	c := Condition{
+		Attribute: "author",
+		Operators: []string{"Exact name", "Start of last name"},
+		Domain:    Domain{Kind: TextDomain},
+	}
+	if _, err := c.Bind("exact name", "tom clancy"); err != nil {
+		t.Errorf("case-insensitive operator rejected: %v", err)
+	}
+	if _, err := c.Bind("fuzzy", "x"); err == nil {
+		t.Error("unknown operator accepted")
+	}
+	// Empty operator always allowed (implicit operator).
+	if _, err := c.Bind("", "x"); err != nil {
+		t.Errorf("implicit operator rejected: %v", err)
+	}
+}
+
+func TestBindEnumDomain(t *testing.T) {
+	c := Condition{Attribute: "format", Domain: Domain{Kind: EnumDomain, Values: []string{"Hardcover", "Paperback"}}}
+	if _, err := c.Bind("", "paperback"); err != nil {
+		t.Errorf("in-domain value rejected: %v", err)
+	}
+	if _, err := c.Bind("", "vinyl"); err == nil {
+		t.Error("out-of-domain value accepted")
+	}
+}
+
+func TestConstraintString(t *testing.T) {
+	c := Condition{Attribute: "price", Domain: Domain{Kind: TextDomain}}
+	k, err := c.Bind("", "20")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := k.String(); got != `[price = "20"]` {
+		t.Errorf("String = %q", got)
+	}
+}
+
+// Property: normalization is idempotent and never yields surrounding
+// whitespace or trailing colons.
+func TestNormalizePropertyIdempotent(t *testing.T) {
+	f := func(s string) bool {
+		n := NormalizeLabel(s)
+		return NormalizeLabel(n) == n && n == strings.TrimSpace(n) && !strings.HasSuffix(n, ":")
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,303 @@
+// Package repair implements the error-handling extensions sketched in the
+// paper's concluding discussion (Section 7): "to resolve the conflict in a
+// specific query interface, we can leverage the correctly parsed conditions
+// from other query interfaces of the same domain (e.g., using the
+// extraction of flyairnorth.com to help the understanding of aa.com). Also,
+// to handle missing elements, we find it promising to explore matching
+// non-associated tokens by their textual similarity."
+//
+// DomainKnowledge accumulates the attribute vocabulary of a domain from
+// conflict-free extractions; Repairer then arbitrates conflicts by
+// vocabulary support and recovers missing widgets by textual similarity
+// between nearby labels and known attributes.
+package repair
+
+import (
+	"sort"
+	"strings"
+
+	"formext/internal/model"
+	"formext/internal/token"
+)
+
+// DomainKnowledge is the cross-source attribute vocabulary of one domain.
+type DomainKnowledge struct {
+	// counts maps a normalized attribute to how many sources exhibited it.
+	counts map[string]int
+	// kinds votes on the domain kind each attribute takes.
+	kinds map[string]map[model.DomainKind]int
+	// sources is the number of semantic models learned from.
+	sources int
+}
+
+// NewDomainKnowledge returns an empty vocabulary.
+func NewDomainKnowledge() *DomainKnowledge {
+	return &DomainKnowledge{
+		counts: map[string]int{},
+		kinds:  map[string]map[model.DomainKind]int{},
+	}
+}
+
+// Learn absorbs one extracted semantic model. Conditions involved in
+// conflicts are skipped — only the "correctly parsed conditions" feed the
+// vocabulary.
+func (k *DomainKnowledge) Learn(sm *model.SemanticModel) {
+	conflicted := map[int]bool{}
+	for _, c := range sm.Conflicts {
+		conflicted[c.Conditions[0]] = true
+		conflicted[c.Conditions[1]] = true
+	}
+	k.sources++
+	seen := map[string]bool{}
+	for i, c := range sm.Conditions {
+		if conflicted[i] {
+			continue
+		}
+		key := model.NormalizeLabel(c.Attribute)
+		if key == "" {
+			continue
+		}
+		if !seen[key] {
+			seen[key] = true
+			k.counts[key]++
+		}
+		if k.kinds[key] == nil {
+			k.kinds[key] = map[model.DomainKind]int{}
+		}
+		k.kinds[key][c.Domain.Kind]++
+	}
+}
+
+// Sources reports how many models have been learned from.
+func (k *DomainKnowledge) Sources() int { return k.sources }
+
+// Support returns how many sources exhibited the attribute.
+func (k *DomainKnowledge) Support(attr string) int {
+	return k.counts[model.NormalizeLabel(attr)]
+}
+
+// Attributes lists the known vocabulary in descending support order.
+func (k *DomainKnowledge) Attributes() []string {
+	out := make([]string, 0, len(k.counts))
+	for a := range k.counts {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if k.counts[out[i]] != k.counts[out[j]] {
+			return k.counts[out[i]] > k.counts[out[j]]
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// KindOf returns the majority domain kind observed for the attribute.
+func (k *DomainKnowledge) KindOf(attr string) (model.DomainKind, bool) {
+	votes := k.kinds[model.NormalizeLabel(attr)]
+	if len(votes) == 0 {
+		return "", false
+	}
+	best, n := model.DomainKind(""), -1
+	for kind, v := range votes {
+		if v > n || (v == n && kind < best) {
+			best, n = kind, v
+		}
+	}
+	return best, true
+}
+
+// Repairer post-processes semantic models with domain knowledge.
+type Repairer struct {
+	Knowledge *DomainKnowledge
+	// MinSupport is the vocabulary support needed before the repairer
+	// trusts an attribute enough to act on it (default 2).
+	MinSupport int
+	// MinSimilarity is the label-similarity threshold for recovering
+	// missing widgets (default 0.5).
+	MinSimilarity float64
+}
+
+// NewRepairer builds a repairer over the vocabulary.
+func NewRepairer(k *DomainKnowledge) *Repairer {
+	return &Repairer{Knowledge: k, MinSupport: 2, MinSimilarity: 0.5}
+}
+
+// Repair returns a repaired copy of the semantic model:
+//
+//   - conflicts whose two claimants have clearly different vocabulary
+//     support are resolved in favour of the better-supported attribute (the
+//     loser drops the contested tokens; a loser with no unique tokens left
+//     is removed);
+//   - missing widget tokens whose nearest label is textually similar to a
+//     known domain attribute become recovered conditions.
+func (r *Repairer) Repair(sm *model.SemanticModel, toks []*token.Token) *model.SemanticModel {
+	out := &model.SemanticModel{
+		Conditions: append([]model.Condition(nil), sm.Conditions...),
+	}
+	drop := map[int]bool{}
+
+	// Conflict arbitration by vocabulary support.
+	for _, c := range sm.Conflicts {
+		i, j := c.Conditions[0], c.Conditions[1]
+		if drop[i] || drop[j] {
+			continue
+		}
+		si := r.Knowledge.Support(sm.Conditions[i].Attribute)
+		sj := r.Knowledge.Support(sm.Conditions[j].Attribute)
+		switch {
+		case si >= r.MinSupport && si > sj:
+			drop[j] = true
+		case sj >= r.MinSupport && sj > si:
+			drop[i] = true
+		default:
+			out.Conflicts = append(out.Conflicts, c) // unresolved
+		}
+	}
+
+	// Missing-element recovery by textual similarity.
+	missingLeft := make([]int, 0, len(sm.Missing))
+	for _, id := range sm.Missing {
+		tok := toks[id]
+		if !tok.IsWidget() {
+			missingLeft = append(missingLeft, id)
+			continue
+		}
+		attr, ok := r.recoverLabel(tok, toks)
+		if !ok {
+			missingLeft = append(missingLeft, id)
+			continue
+		}
+		cond := model.Condition{
+			Attribute: attr,
+			TokenIDs:  []int{id},
+		}
+		if tok.Name != "" {
+			cond.Fields = []string{tok.Name}
+		}
+		// The widget's own shape decides the kind; a single recovered
+		// widget cannot express range/date structure even when the
+		// vocabulary knows the attribute under another kind.
+		cond.Domain = domainOfWidget(tok)
+		out.Conditions = append(out.Conditions, cond)
+	}
+	out.Missing = missingLeft
+
+	if len(drop) > 0 {
+		kept := out.Conditions[:0]
+		for i, c := range out.Conditions {
+			if i < len(sm.Conditions) && drop[i] {
+				continue
+			}
+			kept = append(kept, c)
+		}
+		out.Conditions = kept
+		// Conflict indices refer to the original ordering; after dropping,
+		// remap the unresolved ones.
+		remap := map[int]int{}
+		idx := 0
+		for i := range sm.Conditions {
+			if !drop[i] {
+				remap[i] = idx
+				idx++
+			}
+		}
+		fixed := out.Conflicts[:0]
+		for _, c := range out.Conflicts {
+			a, aok := remap[c.Conditions[0]]
+			b, bok := remap[c.Conditions[1]]
+			if aok && bok {
+				fixed = append(fixed, model.Conflict{TokenID: c.TokenID, Conditions: [2]int{a, b}})
+			}
+		}
+		out.Conflicts = fixed
+	}
+	return out
+}
+
+// recoverLabel finds a nearby text token similar to a known attribute.
+func (r *Repairer) recoverLabel(w *token.Token, toks []*token.Token) (string, bool) {
+	type cand struct {
+		text string
+		dist float64
+	}
+	var cands []cand
+	for _, t := range toks {
+		if t.Type != token.Text {
+			continue
+		}
+		if d := t.Pos.Distance(w.Pos); d <= 120 {
+			cands = append(cands, cand{text: t.SVal, dist: d})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].dist < cands[j].dist })
+	for _, c := range cands {
+		for _, known := range r.Knowledge.Attributes() {
+			if r.Knowledge.counts[known] < r.MinSupport {
+				break // attributes are in descending support order
+			}
+			if TextSimilarity(c.text, known) >= r.MinSimilarity {
+				return c.text, true
+			}
+		}
+	}
+	return "", false
+}
+
+// domainOfWidget maps a lone widget to the domain a pairwise reading gives.
+func domainOfWidget(t *token.Token) model.Domain {
+	switch t.Type {
+	case token.SelectList:
+		return model.Domain{Kind: model.EnumDomain, Values: t.Options, Multiple: t.Multiple}
+	case token.Checkbox:
+		return model.Domain{Kind: model.BoolDomain}
+	case token.RadioButton:
+		return model.Domain{Kind: model.EnumDomain}
+	default:
+		return model.Domain{Kind: model.TextDomain}
+	}
+}
+
+// TextSimilarity scores two labels in [0, 1]: the Jaccard overlap of their
+// word sets, with full credit when one normalized label prefixes the other
+// (e.g. "departure date" vs "departure") or when they differ only in word
+// spacing ("hardcover" vs "hard cover", "zipcode" vs "zip code").
+func TextSimilarity(a, b string) float64 {
+	na, nb := model.NormalizeLabel(a), model.NormalizeLabel(b)
+	if na == "" || nb == "" {
+		return 0
+	}
+	if na == nb {
+		return 1
+	}
+	if strings.HasPrefix(na, nb+" ") || strings.HasPrefix(nb, na+" ") {
+		return 1
+	}
+	if strings.ReplaceAll(na, " ", "") == strings.ReplaceAll(nb, " ", "") {
+		return 1
+	}
+	wa := strings.Fields(na)
+	wb := strings.Fields(nb)
+	set := map[string]bool{}
+	for _, w := range wa {
+		set[w] = true
+	}
+	inter := 0
+	seen := map[string]bool{}
+	for _, w := range wb {
+		if set[w] && !seen[w] {
+			inter++
+			seen[w] = true
+		}
+	}
+	union := len(set)
+	for _, w := range wb {
+		if !set[w] {
+			union++
+			set[w] = true
+		}
+	}
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}

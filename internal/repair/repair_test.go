@@ -1,0 +1,173 @@
+package repair
+
+import (
+	"testing"
+
+	"formext/internal/geom"
+	"formext/internal/model"
+	"formext/internal/token"
+)
+
+func mkModel(attrs ...string) *model.SemanticModel {
+	sm := &model.SemanticModel{}
+	for _, a := range attrs {
+		sm.Conditions = append(sm.Conditions, model.Condition{
+			Attribute: a,
+			Domain:    model.Domain{Kind: model.TextDomain},
+		})
+	}
+	return sm
+}
+
+func TestLearnAndSupport(t *testing.T) {
+	k := NewDomainKnowledge()
+	k.Learn(mkModel("From", "To", "Departure date"))
+	k.Learn(mkModel("From:", "Cabin"))
+	k.Learn(mkModel("from", "To"))
+	if got := k.Support("FROM"); got != 3 {
+		t.Errorf("Support(from) = %d, want 3", got)
+	}
+	if got := k.Support("To"); got != 2 {
+		t.Errorf("Support(to) = %d, want 2", got)
+	}
+	if got := k.Support("bogus"); got != 0 {
+		t.Errorf("Support(bogus) = %d", got)
+	}
+	if k.Sources() != 3 {
+		t.Errorf("Sources = %d", k.Sources())
+	}
+	attrs := k.Attributes()
+	if attrs[0] != "from" {
+		t.Errorf("Attributes[0] = %q", attrs[0])
+	}
+}
+
+func TestLearnSkipsConflictedConditions(t *testing.T) {
+	k := NewDomainKnowledge()
+	sm := mkModel("Adults", "Number of passengers")
+	sm.Conflicts = []model.Conflict{{TokenID: 1, Conditions: [2]int{0, 1}}}
+	k.Learn(sm)
+	if k.Support("Adults") != 0 || k.Support("Number of passengers") != 0 {
+		t.Error("conflicted conditions must not feed the vocabulary")
+	}
+}
+
+func TestKindVoting(t *testing.T) {
+	k := NewDomainKnowledge()
+	date := &model.SemanticModel{Conditions: []model.Condition{
+		{Attribute: "Departure date", Domain: model.Domain{Kind: model.DateDomain}},
+	}}
+	k.Learn(date)
+	k.Learn(date)
+	k.Learn(&model.SemanticModel{Conditions: []model.Condition{
+		{Attribute: "Departure date", Domain: model.Domain{Kind: model.EnumDomain}},
+	}})
+	kind, ok := k.KindOf("departure date")
+	if !ok || kind != model.DateDomain {
+		t.Errorf("KindOf = %v, %v", kind, ok)
+	}
+	if _, ok := k.KindOf("unseen"); ok {
+		t.Error("unseen attribute should have no kind")
+	}
+}
+
+func TestRepairResolvesConflictBySupport(t *testing.T) {
+	k := NewDomainKnowledge()
+	// "Adults" is well-attested domain vocabulary; "Number of guests and
+	// rooms" (a caption misreading) is not.
+	for i := 0; i < 3; i++ {
+		k.Learn(mkModel("Adults", "Children"))
+	}
+	r := NewRepairer(k)
+
+	sm := mkModel("Number of guests and rooms", "Adults")
+	sm.Conflicts = []model.Conflict{{TokenID: 5, Conditions: [2]int{0, 1}}}
+	out := r.Repair(sm, nil)
+	if len(out.Conditions) != 1 || out.Conditions[0].Attribute != "Adults" {
+		t.Fatalf("repaired conditions = %+v", out.Conditions)
+	}
+	if len(out.Conflicts) != 0 {
+		t.Errorf("conflict should be resolved: %+v", out.Conflicts)
+	}
+}
+
+func TestRepairKeepsUnresolvableConflicts(t *testing.T) {
+	k := NewDomainKnowledge()
+	for i := 0; i < 3; i++ {
+		k.Learn(mkModel("Adults", "Passengers"))
+	}
+	r := NewRepairer(k)
+	// Both claimants are equally supported: the conflict stays, remapped.
+	sm := mkModel("Adults", "Passengers")
+	sm.Conflicts = []model.Conflict{{TokenID: 2, Conditions: [2]int{0, 1}}}
+	out := r.Repair(sm, nil)
+	if len(out.Conditions) != 2 || len(out.Conflicts) != 1 {
+		t.Fatalf("repair should be conservative: %+v", out)
+	}
+}
+
+func TestRepairRecoversMissingWidget(t *testing.T) {
+	k := NewDomainKnowledge()
+	for i := 0; i < 2; i++ {
+		k.Learn(mkModel("Make", "Model"))
+	}
+	r := NewRepairer(k)
+
+	toks := []*token.Token{
+		{ID: 0, Type: token.Text, SVal: "Make", Pos: geom.R(0, 40, 0, 14)},
+		{ID: 1, Type: token.SelectList, Name: "make", Options: []string{"Ford", "Honda"},
+			Pos: geom.R(0, 120, 60, 82)}, // too far below its label for the grammar
+	}
+	sm := &model.SemanticModel{Missing: []int{1}}
+	out := r.Repair(sm, toks)
+	if len(out.Conditions) != 1 {
+		t.Fatalf("recovered conditions = %+v", out.Conditions)
+	}
+	c := out.Conditions[0]
+	if c.Attribute != "Make" || c.Domain.Kind != model.EnumDomain || len(c.Fields) != 1 {
+		t.Errorf("recovered condition = %+v", c)
+	}
+	if len(out.Missing) != 0 {
+		t.Errorf("missing should be consumed: %v", out.Missing)
+	}
+}
+
+func TestRepairLeavesUnmatchableMissing(t *testing.T) {
+	k := NewDomainKnowledge()
+	k.Learn(mkModel("Price", "Year"))
+	k.Learn(mkModel("Price"))
+	r := NewRepairer(k)
+	toks := []*token.Token{
+		{ID: 0, Type: token.Text, SVal: "Unrelated banner text", Pos: geom.R(0, 100, 0, 14)},
+		{ID: 1, Type: token.SelectList, Name: "x", Pos: geom.R(0, 60, 30, 52)},
+	}
+	sm := &model.SemanticModel{Missing: []int{1}}
+	out := r.Repair(sm, toks)
+	if len(out.Conditions) != 0 || len(out.Missing) != 1 {
+		t.Errorf("nothing should be recovered: %+v", out)
+	}
+}
+
+func TestTextSimilarity(t *testing.T) {
+	cases := []struct {
+		a, b string
+		min  float64
+		max  float64
+	}{
+		{"Departure date", "departure date", 1, 1},
+		{"Departure date:", "departure", 1, 1},
+		{"Departure date", "Return date", 0.3, 0.4},
+		{"Make", "Model", 0, 0},
+		{"", "x", 0, 0},
+		{"number of passengers", "passengers", 0.3, 0.5},
+	}
+	for _, c := range cases {
+		got := TextSimilarity(c.a, c.b)
+		if got < c.min-1e-9 || got > c.max+1e-9 {
+			t.Errorf("TextSimilarity(%q, %q) = %g, want in [%g, %g]", c.a, c.b, got, c.min, c.max)
+		}
+		if rev := TextSimilarity(c.b, c.a); rev != got {
+			t.Errorf("similarity not symmetric for %q/%q", c.a, c.b)
+		}
+	}
+}

@@ -1,0 +1,223 @@
+package submit
+
+import (
+	"net/url"
+	"strings"
+	"testing"
+
+	"formext/internal/htmlparse"
+	"formext/internal/model"
+)
+
+func TestFormInfoOf(t *testing.T) {
+	doc := htmlparse.Parse(`<form action="/search" method="POST">
+		<input type="hidden" name="sid" value="42">
+		<input type="hidden" name="lang" value="en">
+		<input type="text" name="q">
+	</form>`)
+	info := FormInfoOf(doc)
+	if info.Action != "/search" || info.Method != "post" {
+		t.Errorf("info = %+v", info)
+	}
+	if info.Hidden.Get("sid") != "42" || info.Hidden.Get("lang") != "en" {
+		t.Errorf("hidden = %v", info.Hidden)
+	}
+}
+
+func TestFormInfoDefaults(t *testing.T) {
+	info := FormInfoOf(htmlparse.Parse(`<div>no form here</div>`))
+	if info.Method != "get" || info.Action != "" || len(info.Hidden) != 0 {
+		t.Errorf("info = %+v", info)
+	}
+}
+
+func textCond(attr, field string) *model.Condition {
+	return &model.Condition{
+		Attribute: attr,
+		Domain:    model.Domain{Kind: model.TextDomain},
+		Fields:    []string{field},
+	}
+}
+
+func TestApplyText(t *testing.T) {
+	q := NewQuery(FormInfo{Action: "/s", Method: "get", Hidden: url.Values{"sid": {"1"}}})
+	c := textCond("Author", "author")
+	k, err := c.Bind("", "tom clancy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Apply(k); err != nil {
+		t.Fatal(err)
+	}
+	u, err := q.URL()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(u, "author=tom+clancy") || !strings.Contains(u, "sid=1") {
+		t.Errorf("url = %s", u)
+	}
+	if !strings.HasPrefix(u, "/s?") {
+		t.Errorf("url = %s", u)
+	}
+}
+
+func TestApplyEnumWireValues(t *testing.T) {
+	c := &model.Condition{
+		Attribute:    "Price",
+		Domain:       model.Domain{Kind: model.EnumDomain, Values: []string{"any price", "under $20"}},
+		SubmitValues: []string{"", "20"},
+		Fields:       []string{"price"},
+	}
+	q := NewQuery(FormInfo{Action: "/s", Method: "get", Hidden: url.Values{}})
+	k, err := c.Bind("", "under $20")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Apply(k); err != nil {
+		t.Fatal(err)
+	}
+	if got := q.Values().Get("price"); got != "20" {
+		t.Errorf("price = %q, want wire value 20", got)
+	}
+}
+
+func TestApplyEnumWithoutWireValues(t *testing.T) {
+	c := &model.Condition{
+		Attribute: "Cabin",
+		Domain:    model.Domain{Kind: model.EnumDomain, Values: []string{"Coach", "First"}},
+		Fields:    []string{"cabin"},
+	}
+	q := NewQuery(FormInfo{Method: "get", Hidden: url.Values{}})
+	k, _ := c.Bind("", "coach")
+	if err := q.Apply(k); err != nil {
+		t.Fatal(err)
+	}
+	if got := q.Values().Get("cabin"); got != "Coach" {
+		t.Errorf("cabin = %q (display fallback expected)", got)
+	}
+}
+
+func TestApplyMultiEnum(t *testing.T) {
+	c := &model.Condition{
+		Attribute:    "Format",
+		Domain:       model.Domain{Kind: model.EnumDomain, Values: []string{"Hard", "Soft"}, Multiple: true},
+		SubmitValues: []string{"h", "s"},
+		Fields:       []string{"fmt"},
+	}
+	q := NewQuery(FormInfo{Method: "get", Hidden: url.Values{}})
+	for _, v := range []string{"Hard", "Soft"} {
+		k, _ := c.Bind("", v)
+		if err := q.Apply(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := q.Values()["fmt"]; len(got) != 2 || got[0] != "h" || got[1] != "s" {
+		t.Errorf("fmt = %v", got)
+	}
+}
+
+func TestApplyOperator(t *testing.T) {
+	c := &model.Condition{
+		Attribute:      "Author",
+		Operators:      []string{"contains", "Exact name"},
+		OperatorField:  "amode",
+		OperatorValues: []string{"c", "x"},
+		Domain:         model.Domain{Kind: model.TextDomain},
+		Fields:         []string{"author"},
+	}
+	q := NewQuery(FormInfo{Method: "get", Hidden: url.Values{}})
+	k, err := c.Bind("exact name", "clancy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Apply(k); err != nil {
+		t.Fatal(err)
+	}
+	if q.Values().Get("amode") != "x" || q.Values().Get("author") != "clancy" {
+		t.Errorf("values = %v", q.Values())
+	}
+}
+
+func TestApplyRangeAndDate(t *testing.T) {
+	rng := &model.Condition{
+		Attribute: "Price",
+		Domain:    model.Domain{Kind: model.RangeDomain},
+		Fields:    []string{"pmin", "pmax"},
+	}
+	date := &model.Condition{
+		Attribute: "Departure",
+		Domain:    model.Domain{Kind: model.DateDomain},
+		Fields:    []string{"m", "d", "y"},
+	}
+	q := NewQuery(FormInfo{Method: "get", Hidden: url.Values{}})
+	if err := q.Apply(model.Constraint{Condition: rng, Value: "10 .. 50"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Apply(model.Constraint{Condition: date, Value: "June/13/2004"}); err != nil {
+		t.Fatal(err)
+	}
+	v := q.Values()
+	if v.Get("pmin") != "10" || v.Get("pmax") != "50" {
+		t.Errorf("range = %v", v)
+	}
+	if v.Get("m") != "June" || v.Get("d") != "13" || v.Get("y") != "2004" {
+		t.Errorf("date = %v", v)
+	}
+	// Malformed values are rejected.
+	if err := q.Apply(model.Constraint{Condition: rng, Value: "10-50"}); err == nil {
+		t.Error("bad range separator accepted")
+	}
+	if err := q.Apply(model.Constraint{Condition: date, Value: "June/13"}); err == nil {
+		t.Error("short date accepted")
+	}
+}
+
+func TestApplyBool(t *testing.T) {
+	c := &model.Condition{
+		Attribute: "In stock only",
+		Domain:    model.Domain{Kind: model.BoolDomain},
+		Fields:    []string{"instock"},
+	}
+	q := NewQuery(FormInfo{Method: "get", Hidden: url.Values{}})
+	if err := q.Apply(model.Constraint{Condition: c, Value: "true"}); err != nil {
+		t.Fatal(err)
+	}
+	if q.Values().Get("instock") != "on" {
+		t.Errorf("values = %v", q.Values())
+	}
+	q2 := NewQuery(FormInfo{Method: "get", Hidden: url.Values{}})
+	if err := q2.Apply(model.Constraint{Condition: c, Value: "false"}); err != nil {
+		t.Fatal(err)
+	}
+	if q2.Values().Get("instock") != "" {
+		t.Error("false should leave the checkbox off")
+	}
+}
+
+func TestPostEncode(t *testing.T) {
+	q := NewQuery(FormInfo{Action: "/s", Method: "post", Hidden: url.Values{}})
+	k, _ := textCond("Q", "q").Bind("", "golang")
+	if err := q.Apply(k); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.URL(); err == nil {
+		t.Error("URL must refuse POST forms")
+	}
+	if got := q.Encode(); got != "q=golang" {
+		t.Errorf("body = %q", got)
+	}
+	if q.Method() != "post" || q.Action() != "/s" {
+		t.Error("envelope accessors wrong")
+	}
+}
+
+func TestApplyErrors(t *testing.T) {
+	q := NewQuery(FormInfo{Method: "get", Hidden: url.Values{}})
+	if err := q.Apply(model.Constraint{}); err == nil {
+		t.Error("nil condition accepted")
+	}
+	noFields := &model.Condition{Attribute: "X", Domain: model.Domain{Kind: model.TextDomain}}
+	if err := q.Apply(model.Constraint{Condition: noFields, Value: "v"}); err == nil {
+		t.Error("condition without fields accepted")
+	}
+}

@@ -1,0 +1,123 @@
+// Package survey reproduces the motivating survey of Section 3.1: the
+// condition-pattern vocabulary across sources, its growth curve as sources
+// accumulate (Figure 4(a)) and its rank-frequency distribution (Figure
+// 4(b)).
+package survey
+
+import (
+	"sort"
+
+	"formext/internal/dataset"
+)
+
+// Occurrence marks pattern y occurring in source x — one "+" of Figure 4(a).
+type Occurrence struct {
+	SourceIndex int
+	PatternID   int
+}
+
+// Growth is the vocabulary-growth series: after scanning source i (1-based
+// along the x axis), Distinct[i-1] patterns have been seen.
+type Growth struct {
+	Occurrences []Occurrence
+	Distinct    []int // cumulative distinct patterns after each source
+}
+
+// VocabularyGrowth scans sources in order and reports the growth curve.
+func VocabularyGrowth(sources []dataset.Source) Growth {
+	var g Growth
+	seen := map[int]bool{}
+	for i, s := range sources {
+		inSource := map[int]bool{}
+		for _, pid := range s.PatternIDs {
+			if !inSource[pid] {
+				inSource[pid] = true
+				g.Occurrences = append(g.Occurrences, Occurrence{SourceIndex: i, PatternID: pid})
+			}
+			seen[pid] = true
+		}
+		g.Distinct = append(g.Distinct, len(seen))
+	}
+	return g
+}
+
+// RankEntry is one bar of Figure 4(b): a pattern with its observation
+// counts, total and per domain.
+type RankEntry struct {
+	PatternID int
+	Name      string
+	Total     int
+	ByDomain  map[string]int
+}
+
+// RankFrequencies counts pattern observations and returns them in
+// descending total order (the ranked x axis of Figure 4(b)). Patterns
+// observed fewer than minCount times are dropped (the paper plots the 21
+// "more-than-once" patterns of 25).
+func RankFrequencies(sources []dataset.Source, minCount int) []RankEntry {
+	byID := map[int]*RankEntry{}
+	for _, s := range sources {
+		for _, pid := range s.PatternIDs {
+			e := byID[pid]
+			if e == nil {
+				name := ""
+				if p := dataset.PatternByID(pid); p != nil {
+					name = p.Name
+				}
+				e = &RankEntry{PatternID: pid, Name: name, ByDomain: map[string]int{}}
+				byID[pid] = e
+			}
+			e.Total++
+			e.ByDomain[s.Domain]++
+		}
+	}
+	var out []RankEntry
+	for _, e := range byID {
+		if e.Total >= minCount {
+			out = append(out, *e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Total != out[j].Total {
+			return out[i].Total > out[j].Total
+		}
+		return out[i].PatternID < out[j].PatternID
+	})
+	return out
+}
+
+// CrossDomainReuse reports how many of the patterns seen in the base
+// domain(s) are reused (not newly introduced) by each other domain — the
+// paper's observation that "Automobiles and Airfares are mostly reusing the
+// patterns from Books".
+func CrossDomainReuse(sources []dataset.Source, baseDomain string) map[string]struct{ Reused, New int } {
+	base := map[int]bool{}
+	for _, s := range sources {
+		if s.Domain == baseDomain {
+			for _, pid := range s.PatternIDs {
+				base[pid] = true
+			}
+		}
+	}
+	out := map[string]struct{ Reused, New int }{}
+	for _, s := range sources {
+		if s.Domain == baseDomain {
+			continue
+		}
+		seenHere := map[int]bool{}
+		for _, pid := range s.PatternIDs {
+			if seenHere[pid] {
+				continue
+			}
+			seenHere[pid] = true
+			e := out[s.Domain]
+			if base[pid] {
+				e.Reused++
+			} else {
+				e.New++
+			}
+			out[s.Domain] = e
+		}
+	}
+	return out
+}

@@ -1,0 +1,94 @@
+package survey
+
+import (
+	"testing"
+
+	"formext/internal/dataset"
+)
+
+func TestVocabularyGrowthFlattens(t *testing.T) {
+	srcs := dataset.Basic()
+	g := VocabularyGrowth(srcs)
+	if len(g.Distinct) != len(srcs) {
+		t.Fatalf("growth series length %d", len(g.Distinct))
+	}
+	// Monotone non-decreasing.
+	for i := 1; i < len(g.Distinct); i++ {
+		if g.Distinct[i] < g.Distinct[i-1] {
+			t.Fatalf("growth decreased at %d", i)
+		}
+	}
+	// The curve flattens: most of the vocabulary appears in the first
+	// third of the sources (Figure 4(a): "the curve flattens rapidly").
+	third := g.Distinct[len(srcs)/3]
+	final := g.Distinct[len(srcs)-1]
+	if third*10 < final*8 {
+		t.Errorf("vocabulary at 1/3 = %d, final = %d; expected early convergence", third, final)
+	}
+	if final < 15 || final > 25 {
+		t.Errorf("final vocabulary = %d, expected close to the 25-pattern library", final)
+	}
+	if len(g.Occurrences) == 0 {
+		t.Error("no occurrences recorded")
+	}
+}
+
+func TestRankFrequenciesZipf(t *testing.T) {
+	srcs := dataset.Basic()
+	ranks := RankFrequencies(srcs, 2)
+	if len(ranks) < 12 {
+		t.Fatalf("only %d more-than-once patterns", len(ranks))
+	}
+	// Descending totals.
+	for i := 1; i < len(ranks); i++ {
+		if ranks[i].Total > ranks[i-1].Total {
+			t.Fatalf("ranking not sorted at %d", i)
+		}
+	}
+	// Zipf head: the top rank well above the median rank.
+	if ranks[0].Total < 3*ranks[len(ranks)/2].Total {
+		t.Errorf("top=%d median=%d: too flat", ranks[0].Total, ranks[len(ranks)/2].Total)
+	}
+	// Per-domain counts sum to the total.
+	for _, e := range ranks {
+		sum := 0
+		for _, n := range e.ByDomain {
+			sum += n
+		}
+		if sum != e.Total {
+			t.Errorf("pattern %d: domain counts %d != total %d", e.PatternID, sum, e.Total)
+		}
+	}
+	// minCount filtering works.
+	all := RankFrequencies(srcs, 1)
+	if len(all) < len(ranks) {
+		t.Error("minCount=1 returned fewer patterns than minCount=2")
+	}
+}
+
+func TestCrossDomainReuse(t *testing.T) {
+	srcs := dataset.Basic()
+	reuse := CrossDomainReuse(srcs, "Books")
+	if len(reuse) != 2 {
+		t.Fatalf("reuse domains = %v", reuse)
+	}
+	for dom, e := range reuse {
+		if e.Reused == 0 {
+			t.Errorf("%s reuses no Books patterns", dom)
+		}
+		// The paper: other domains "mostly reuse" the base vocabulary.
+		if e.Reused < e.New {
+			t.Errorf("%s: reused %d < new %d", dom, e.Reused, e.New)
+		}
+	}
+}
+
+func TestGrowthEmptyInput(t *testing.T) {
+	g := VocabularyGrowth(nil)
+	if len(g.Distinct) != 0 || len(g.Occurrences) != 0 {
+		t.Error("empty input should produce empty growth")
+	}
+	if got := RankFrequencies(nil, 1); len(got) != 0 {
+		t.Error("empty input should produce no ranks")
+	}
+}

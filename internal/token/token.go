@@ -1,0 +1,266 @@
+// Package token converts a rendered query form into the token set the
+// best-effort parser consumes. Tokens are instances of the 2P grammar's
+// terminals (Definition 1 of the paper): each has a terminal type, a
+// bounding box (the universal pos attribute), and type-specific attributes
+// such as the string value of a text token or the option list of a
+// selection list (Figure 5).
+package token
+
+import (
+	"fmt"
+	"strings"
+
+	"formext/internal/geom"
+	"formext/internal/htmlparse"
+	"formext/internal/layout"
+)
+
+// Type is a terminal type name as referenced by the grammar.
+type Type string
+
+// The terminal vocabulary. The derived grammar's terminal set Σ is drawn
+// from these.
+const (
+	Text        Type = "text"
+	Textbox     Type = "textbox"
+	Password    Type = "password"
+	Textarea    Type = "textarea"
+	SelectList  Type = "selectlist"
+	RadioButton Type = "radiobutton"
+	Checkbox    Type = "checkbox"
+	Submit      Type = "submit"
+	Reset       Type = "reset"
+	Button      Type = "button"
+	Image       Type = "image"
+	FileBox     Type = "filebox"
+	Rule        Type = "rule"
+	// Link is anchor text: hyperlinks are the vocabulary of the paper's
+	// proposed follow-on application, extracting navigational menus and
+	// services from entry pages (Section 7).
+	Link Type = "link"
+)
+
+// AllTypes lists every terminal type the tokenizer can emit.
+var AllTypes = []Type{
+	Text, Textbox, Password, Textarea, SelectList, RadioButton,
+	Checkbox, Submit, Reset, Button, Image, FileBox, Rule, Link,
+}
+
+// Token is one atomic visual element of the form.
+type Token struct {
+	// ID is the token's index in the token set; covers and conflicts are
+	// expressed as bit sets over these indices.
+	ID int
+	// Type is the terminal type.
+	Type Type
+	// SVal is the string value: the text of a text token, the label of a
+	// button, empty otherwise.
+	SVal string
+	// Pos is the bounding box assigned by the layout engine.
+	Pos geom.Rect
+	// Name is the form-control name attribute, when the token is a widget.
+	Name string
+	// Value is the control's value attribute (radio/checkbox/submit).
+	Value string
+	// Options holds the display texts of a selection list's options.
+	Options []string
+	// OptionValues holds the submit values of a selection list's options.
+	OptionValues []string
+	// Checked reports whether a radio button or checkbox is pre-checked.
+	Checked bool
+	// Multiple reports whether a selection list allows multiple choices.
+	Multiple bool
+	// ForID carries the explicit HTML association of a text token wrapped
+	// in <label for="...">; ElemID is a widget's id attribute. When both
+	// sides are present the page author has declared the label-widget
+	// pairing outright, and the grammar's labelfor builtin can use it
+	// regardless of geometry.
+	ForID  string
+	ElemID string
+	// Node is the originating DOM node (text node for text tokens).
+	Node *htmlparse.Node
+}
+
+// IsWidget reports whether the token is a form-input widget (as opposed to
+// text, links and rules).
+func (t *Token) IsWidget() bool {
+	switch t.Type {
+	case Text, Rule, Link:
+		return false
+	}
+	return true
+}
+
+func (t *Token) String() string {
+	if t.Type == Text {
+		return fmt.Sprintf("t%d:%s(%q)@%v", t.ID, t.Type, t.SVal, t.Pos)
+	}
+	return fmt.Sprintf("t%d:%s(name=%s)@%v", t.ID, t.Type, t.Name, t.Pos)
+}
+
+// Tokenizer converts render trees into token sets.
+type Tokenizer struct {
+	// MergeGap is the maximum horizontal gap, in pixels, between two text
+	// runs on one line that are merged into a single text token. Inline
+	// markup (<b>, <font>, ...) splits what is visually one label into
+	// several runs; merging restores the visual unit.
+	MergeGap float64
+}
+
+// NewTokenizer returns a tokenizer with the default merge gap.
+func NewTokenizer() *Tokenizer { return &Tokenizer{MergeGap: 12} }
+
+// Tokenize flattens the render tree into the token set, in render order.
+func (tz *Tokenizer) Tokenize(root *layout.Box) []*Token {
+	var toks []*Token
+	for _, leaf := range root.Leaves() {
+		switch leaf.Kind {
+		case layout.TextBox:
+			tz.addText(&toks, leaf)
+		case layout.WidgetBox:
+			if t := widgetToken(leaf); t != nil {
+				toks = append(toks, t)
+			}
+		case layout.RuleBox:
+			toks = append(toks, &Token{Type: Rule, Pos: leaf.Rect, Node: leaf.Node})
+		}
+	}
+	for i, t := range toks {
+		t.ID = i
+	}
+	return toks
+}
+
+// addText appends a text run, merging it into the previous token when the
+// two form one visual label: same line, small gap, no widget between them
+// in render order (guaranteed because merging only considers the
+// immediately preceding token), and the same containing block — text in
+// adjacent table cells is two labels even when the cells nearly touch.
+func (tz *Tokenizer) addText(toks *[]*Token, leaf *layout.Box) {
+	s := strings.TrimSpace(leaf.Text)
+	if s == "" {
+		return
+	}
+	anchor := enclosingAnchor(leaf.Node)
+	typ := Text
+	href := ""
+	if anchor != nil {
+		typ = Link
+		href = anchor.AttrOr("href", "")
+	}
+	forID := enclosingLabelFor(leaf.Node)
+	if n := len(*toks); n > 0 {
+		prev := (*toks)[n-1]
+		if prev.Type == typ && sameLine(prev.Pos, leaf.Rect) &&
+			leaf.Rect.X1-prev.Pos.X2 <= tz.MergeGap && leaf.Rect.X1 >= prev.Pos.X1 &&
+			containingBlock(prev.Node) == containingBlock(leaf.Node) &&
+			(typ != Link || prev.Name == href) && prev.ForID == forID {
+			prev.SVal = prev.SVal + " " + s
+			prev.Pos = prev.Pos.Union(leaf.Rect)
+			return
+		}
+	}
+	*toks = append(*toks, &Token{Type: typ, SVal: s, Name: href, ForID: forID, Pos: leaf.Rect, Node: leaf.Node})
+}
+
+// enclosingLabelFor returns the for attribute of the nearest enclosing
+// <label for="...">, or "".
+func enclosingLabelFor(n *htmlparse.Node) string {
+	for p := n; p != nil; p = p.Parent {
+		if p.Type == htmlparse.ElementNode && p.Tag == "label" {
+			return p.AttrOr("for", "")
+		}
+	}
+	return ""
+}
+
+// enclosingAnchor finds the nearest <a href> ancestor of a text node.
+func enclosingAnchor(n *htmlparse.Node) *htmlparse.Node {
+	for p := n; p != nil; p = p.Parent {
+		if p.Type == htmlparse.ElementNode && p.Tag == "a" && p.HasAttr("href") {
+			return p
+		}
+	}
+	return nil
+}
+
+// blockBoundaryTags are the elements that delimit a text label: two runs in
+// different cells or blocks never merge.
+var blockBoundaryTags = map[string]bool{
+	"td": true, "th": true, "tr": true, "table": true, "div": true,
+	"p": true, "li": true, "form": true, "body": true, "fieldset": true,
+	"h1": true, "h2": true, "h3": true, "h4": true, "h5": true, "h6": true,
+}
+
+// containingBlock returns the nearest block-level ancestor of a text node.
+func containingBlock(n *htmlparse.Node) *htmlparse.Node {
+	for p := n; p != nil; p = p.Parent {
+		if p.Type == htmlparse.ElementNode && blockBoundaryTags[p.Tag] {
+			return p
+		}
+	}
+	return nil
+}
+
+// sameLine reports whether two boxes overlap vertically by at least half of
+// the smaller height.
+func sameLine(a, b geom.Rect) bool {
+	ov := a.VOverlap(b)
+	small := a.Height()
+	if b.Height() < small {
+		small = b.Height()
+	}
+	return small > 0 && ov >= small/2
+}
+
+// widgetToken maps a widget render box to a token, or nil for widgets that
+// play no role in query semantics.
+func widgetToken(leaf *layout.Box) *Token {
+	n := leaf.Node
+	t := &Token{Pos: leaf.Rect, Node: n, Name: n.AttrOr("name", ""), ElemID: n.AttrOr("id", "")}
+	switch n.Tag {
+	case "input":
+		switch strings.ToLower(n.AttrOr("type", "text")) {
+		case "radio":
+			t.Type = RadioButton
+		case "checkbox":
+			t.Type = Checkbox
+		case "submit", "image":
+			t.Type = Submit
+			t.SVal = n.AttrOr("value", "Submit")
+		case "reset":
+			t.Type = Reset
+			t.SVal = n.AttrOr("value", "Reset")
+		case "button":
+			t.Type = Button
+			t.SVal = n.AttrOr("value", "")
+		case "password":
+			t.Type = Password
+		case "file":
+			t.Type = FileBox
+		default:
+			t.Type = Textbox
+		}
+		t.Value = n.AttrOr("value", "")
+		t.Checked = n.HasAttr("checked")
+	case "select":
+		t.Type = SelectList
+		t.Multiple = n.HasAttr("multiple")
+		for _, opt := range n.FindAllTags("option") {
+			text := opt.InnerText()
+			t.Options = append(t.Options, text)
+			t.OptionValues = append(t.OptionValues, opt.AttrOr("value", text))
+		}
+	case "textarea":
+		t.Type = Textarea
+	case "button":
+		t.Type = Button
+		t.SVal = n.InnerText()
+	case "img":
+		t.Type = Image
+		t.SVal = n.AttrOr("alt", "")
+	default:
+		return nil
+	}
+	return t
+}

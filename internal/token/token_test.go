@@ -1,0 +1,233 @@
+package token
+
+import (
+	"strings"
+	"testing"
+
+	"formext/internal/htmlparse"
+	"formext/internal/layout"
+)
+
+func tokenize(src string) []*Token {
+	root := layout.New().Layout(htmlparse.Parse(src))
+	return NewTokenizer().Tokenize(root)
+}
+
+func types(toks []*Token) string {
+	parts := make([]string, len(toks))
+	for i, t := range toks {
+		parts[i] = string(t.Type)
+	}
+	return strings.Join(parts, " ")
+}
+
+func TestTokenizeQamFragment(t *testing.T) {
+	// The Figure 5 fragment of interface Qam: an author row with a textbox
+	// and three radio operators, then a title row.
+	src := `<form>
+	Author <input type=text name=query-0 size=30><br>
+	<input type=radio name=field-0 checked>First name/initials and last name
+	<input type=radio name=field-0>Start of last name
+	<input type=radio name=field-0>Exact name<br>
+	Title <input type=text name=query-1 size=30><br>
+	<input type=radio name=field-1 checked>Title word(s)
+	<input type=radio name=field-1>Start(s) of title word(s)
+	<input type=radio name=field-1>Exact start of title
+	</form>`
+	toks := tokenize(src)
+	want := "text textbox radiobutton text radiobutton text radiobutton text " +
+		"text textbox radiobutton text radiobutton text radiobutton text"
+	if got := types(toks); got != want {
+		t.Fatalf("types = %q,\nwant %q", got, want)
+	}
+	if len(toks) != 16 {
+		t.Errorf("got %d tokens, want 16 (as in Figure 5)", len(toks))
+	}
+	if toks[0].SVal != "Author" {
+		t.Errorf("token 0 sval = %q", toks[0].SVal)
+	}
+	if toks[1].Name != "query-0" {
+		t.Errorf("token 1 name = %q", toks[1].Name)
+	}
+	if !toks[2].Checked {
+		t.Error("first radio should be checked")
+	}
+	if toks[3].SVal != "First name/initials and last name" {
+		t.Errorf("token 3 sval = %q", toks[3].SVal)
+	}
+	for _, tok := range toks {
+		if !tok.Pos.Valid() || tok.Pos.Empty() {
+			t.Errorf("token %v has degenerate pos", tok)
+		}
+	}
+	// IDs are dense and ordered.
+	for i, tok := range toks {
+		if tok.ID != i {
+			t.Errorf("token %d has ID %d", i, tok.ID)
+		}
+	}
+}
+
+func TestTextMergingAcrossInlineMarkup(t *testing.T) {
+	toks := tokenize(`<b>Last</b> <i>Name</i>: <input type=text name=ln>`)
+	if len(toks) != 2 {
+		t.Fatalf("got %d tokens (%s), want 2", len(toks), types(toks))
+	}
+	if toks[0].SVal != "Last Name :" && toks[0].SVal != "Last Name:" {
+		t.Errorf("merged text = %q", toks[0].SVal)
+	}
+}
+
+func TestTextNotMergedAcrossRows(t *testing.T) {
+	toks := tokenize(`one<br>two`)
+	if len(toks) != 2 {
+		t.Fatalf("got %d tokens, want 2: %v", len(toks), toks)
+	}
+}
+
+func TestTextNotMergedAcrossWidget(t *testing.T) {
+	toks := tokenize(`<input type=radio name=a>yes <input type=radio name=a>no`)
+	if got := types(toks); got != "radiobutton text radiobutton text" {
+		t.Fatalf("types = %q", got)
+	}
+	if toks[1].SVal != "yes" || toks[3].SVal != "no" {
+		t.Errorf("radio labels = %q, %q", toks[1].SVal, toks[3].SVal)
+	}
+}
+
+func TestSelectOptions(t *testing.T) {
+	toks := tokenize(`Price <select name=p>
+		<option value="">any</option>
+		<option value="5">under $5</option>
+		<option value="20">under $20</option>
+		<option value="50">under $50</option>
+	</select>`)
+	if got := types(toks); got != "text selectlist" {
+		t.Fatalf("types = %q", got)
+	}
+	sel := toks[1]
+	if len(sel.Options) != 4 {
+		t.Fatalf("options = %v", sel.Options)
+	}
+	if sel.Options[1] != "under $5" || sel.OptionValues[1] != "5" {
+		t.Errorf("option 1 = %q/%q", sel.Options[1], sel.OptionValues[1])
+	}
+	if sel.OptionValues[0] != "" {
+		t.Errorf("empty value attr should stay empty, got %q", sel.OptionValues[0])
+	}
+	if sel.Multiple {
+		t.Error("single select misreported as multiple")
+	}
+}
+
+func TestMultipleSelect(t *testing.T) {
+	toks := tokenize(`<select name=cat multiple size=4><option>a<option>b</select>`)
+	if !toks[0].Multiple {
+		t.Error("multiple select not detected")
+	}
+}
+
+func TestButtonsAndMisc(t *testing.T) {
+	toks := tokenize(`<input type=submit value="Search Now"><input type=reset>` +
+		`<button>Go!</button><img src=x alt="logo" width=40 height=20><input type=file name=up><hr>`)
+	if got := types(toks); got != "submit reset button image filebox rule" {
+		t.Fatalf("types = %q", got)
+	}
+	if toks[0].SVal != "Search Now" {
+		t.Errorf("submit label = %q", toks[0].SVal)
+	}
+	if toks[2].SVal != "Go!" {
+		t.Errorf("button label = %q", toks[2].SVal)
+	}
+	if toks[3].SVal != "logo" {
+		t.Errorf("image alt = %q", toks[3].SVal)
+	}
+	if toks[0].IsWidget() != true || toks[5].IsWidget() != false {
+		t.Error("IsWidget misclassifies")
+	}
+}
+
+func TestHiddenInputsSkipped(t *testing.T) {
+	toks := tokenize(`<input type=hidden name=sid value=1>visible<input type=text name=q>`)
+	if got := types(toks); got != "text textbox" {
+		t.Fatalf("types = %q", got)
+	}
+}
+
+func TestPasswordAndTextarea(t *testing.T) {
+	toks := tokenize(`<input type=password name=pw><textarea name=msg rows=2 cols=20>x</textarea>`)
+	if got := types(toks); got != "password textarea" {
+		t.Fatalf("types = %q", got)
+	}
+}
+
+func TestTokenString(t *testing.T) {
+	toks := tokenize(`Author <input type=text name=a>`)
+	if got := toks[0].String(); !strings.Contains(got, `"Author"`) || !strings.Contains(got, "t0:text") {
+		t.Errorf("text String = %q", got)
+	}
+	if got := toks[1].String(); !strings.Contains(got, "name=a") || !strings.Contains(got, "t1:textbox") {
+		t.Errorf("widget String = %q", got)
+	}
+}
+
+func TestLabelForTokens(t *testing.T) {
+	toks := tokenize(`<label for="au">Author</label> <input type="text" id="au" name="author"> plain`)
+	if toks[0].ForID != "au" {
+		t.Errorf("label ForID = %q", toks[0].ForID)
+	}
+	if toks[1].ElemID != "au" {
+		t.Errorf("widget ElemID = %q", toks[1].ElemID)
+	}
+	if toks[2].ForID != "" {
+		t.Errorf("plain text ForID = %q", toks[2].ForID)
+	}
+	// Label text and plain text never merge even when adjacent.
+	if len(toks) != 3 {
+		t.Fatalf("tokens = %v", toks)
+	}
+}
+
+func TestLinkTokens(t *testing.T) {
+	toks := tokenize(`<a href="/books">Books</a> <a href="/music">New Music</a> plain text <a>no href</a>`)
+	if got := types(toks); got != "link link text" {
+		t.Fatalf("types = %q", got)
+	}
+	if toks[0].SVal != "Books" || toks[0].Name != "/books" {
+		t.Errorf("link 0 = %+v", toks[0])
+	}
+	if toks[1].SVal != "New Music" || toks[1].Name != "/music" {
+		t.Errorf("link 1 should merge its words: %+v", toks[1])
+	}
+	if toks[2].SVal != "plain text no href" {
+		t.Errorf("anchor without href is plain text: %+v", toks[2])
+	}
+	if toks[0].IsWidget() {
+		t.Error("links are not widgets")
+	}
+}
+
+func TestAdjacentLinksStaySeparate(t *testing.T) {
+	toks := tokenize(`<a href="/a">alpha</a><a href="/b">beta</a>`)
+	if len(toks) != 2 {
+		t.Fatalf("adjacent links merged: %v", toks)
+	}
+	if toks[0].Name == toks[1].Name {
+		t.Error("hrefs confused")
+	}
+}
+
+func TestTokenOrderIsRenderOrder(t *testing.T) {
+	src := `<table><tr><td>A</td><td><input type=text name=a></td></tr>
+	<tr><td>B</td><td><input type=text name=b></td></tr></table>`
+	toks := tokenize(src)
+	if got := types(toks); got != "text textbox text textbox" {
+		t.Fatalf("types = %q", got)
+	}
+	if toks[0].SVal != "A" || toks[2].SVal != "B" {
+		t.Errorf("order wrong: %v", toks)
+	}
+	if toks[0].Pos.Y1 >= toks[2].Pos.Y1 {
+		t.Error("row order not reflected in positions")
+	}
+}

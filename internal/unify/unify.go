@@ -1,0 +1,323 @@
+// Package unify implements the integration tasks the paper names as the
+// consumers of automatic capability extraction (Section 1): "to model Web
+// databases by their interfaces, to classify or cluster query interfaces,
+// to match query interfaces or to build unified query interfaces."
+//
+// Given extracted semantic models, the package matches schemas between two
+// interfaces, clusters sources by schema similarity (recovering domains),
+// and builds a unified query interface per domain by clustering attribute
+// labels across sources.
+package unify
+
+import (
+	"sort"
+
+	"formext/internal/model"
+	"formext/internal/repair"
+)
+
+// ---- attribute clustering and unified interfaces ----
+
+// AttributeCluster groups the labels that denote one attribute concept
+// across sources of a domain.
+type AttributeCluster struct {
+	// Canonical is the most frequent label of the cluster.
+	Canonical string
+	// Labels counts the variant labels observed.
+	Labels map[string]int
+	// Kinds votes on the domain kind.
+	Kinds map[model.DomainKind]int
+	// Sources is how many interfaces expose the attribute.
+	Sources int
+	// Values merges enum values across sources, with counts.
+	Values map[string]int
+	// Operators merges operator labels across sources, with counts.
+	Operators map[string]int
+}
+
+// Kind returns the majority domain kind of the cluster.
+func (c *AttributeCluster) Kind() model.DomainKind {
+	best, n := model.DomainKind(model.TextDomain), -1
+	for k, v := range c.Kinds {
+		if v > n || (v == n && k < best) {
+			best, n = k, v
+		}
+	}
+	return best
+}
+
+// refreshCanonical keeps Canonical at the modal label (ties break
+// lexicographically for determinism).
+func (c *AttributeCluster) refreshCanonical() {
+	best, n := "", -1
+	for l, v := range c.Labels {
+		if v > n || (v == n && (best == "" || l < best)) {
+			best, n = l, v
+		}
+	}
+	c.Canonical = best
+}
+
+// Unifier accumulates semantic models of one domain and clusters their
+// attributes.
+type Unifier struct {
+	// MinSimilarity is the label-similarity threshold for joining an
+	// existing cluster (default 0.55).
+	MinSimilarity float64
+	clusters      []*AttributeCluster
+	sources       int
+}
+
+// NewUnifier returns a unifier with default thresholds.
+func NewUnifier() *Unifier { return &Unifier{MinSimilarity: 0.55} }
+
+// Add absorbs one interface's conditions.
+func (u *Unifier) Add(sm *model.SemanticModel) {
+	u.sources++
+	seen := map[*AttributeCluster]bool{}
+	for i := range sm.Conditions {
+		c := &sm.Conditions[i]
+		cl := u.bestCluster(c)
+		if cl == nil {
+			cl = &AttributeCluster{
+				Labels:    map[string]int{},
+				Kinds:     map[model.DomainKind]int{},
+				Values:    map[string]int{},
+				Operators: map[string]int{},
+			}
+			u.clusters = append(u.clusters, cl)
+		}
+		cl.Labels[model.NormalizeLabel(c.Attribute)]++
+		cl.Kinds[c.Domain.Kind]++
+		if !seen[cl] {
+			seen[cl] = true
+			cl.Sources++
+		}
+		for _, v := range c.Domain.Values {
+			cl.Values[model.NormalizeLabel(v)]++
+		}
+		for _, o := range c.Operators {
+			cl.Operators[model.NormalizeLabel(o)]++
+		}
+		cl.refreshCanonical()
+	}
+}
+
+// bestCluster finds the most similar existing cluster above the threshold.
+func (u *Unifier) bestCluster(c *model.Condition) *AttributeCluster {
+	var best *AttributeCluster
+	bestScore := u.MinSimilarity
+	for _, cl := range u.clusters {
+		s := clusterSimilarity(cl, c)
+		if s > bestScore || (s == bestScore && best == nil && s >= u.MinSimilarity) {
+			best = cl
+			bestScore = s
+		}
+	}
+	return best
+}
+
+// clusterSimilarity scores a condition against a cluster: the best label
+// similarity, discounted when the domain kinds disagree (an enum "title"
+// and a text "title" may still be the same concept presented differently,
+// so kind mismatch dampens rather than vetoes).
+func clusterSimilarity(cl *AttributeCluster, c *model.Condition) float64 {
+	best := 0.0
+	for l := range cl.Labels {
+		if s := repair.TextSimilarity(l, c.Attribute); s > best {
+			best = s
+		}
+	}
+	if _, ok := cl.Kinds[c.Domain.Kind]; !ok && len(cl.Kinds) > 0 {
+		best *= 0.8
+	}
+	return best
+}
+
+// Sources reports how many interfaces have been added.
+func (u *Unifier) Sources() int { return u.sources }
+
+// Clusters returns the attribute clusters in descending source support.
+func (u *Unifier) Clusters() []*AttributeCluster {
+	out := append([]*AttributeCluster(nil), u.clusters...)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Sources != out[j].Sources {
+			return out[i].Sources > out[j].Sources
+		}
+		return out[i].Canonical < out[j].Canonical
+	})
+	return out
+}
+
+// Unified builds the unified query interface: one condition per cluster
+// exposed by at least minSources interfaces, carrying the canonical label,
+// the majority kind, and the enum values / operators seen more than once
+// (or at all, when the cluster is small).
+func (u *Unifier) Unified(minSources int) []model.Condition {
+	var out []model.Condition
+	for _, cl := range u.Clusters() {
+		if cl.Sources < minSources {
+			continue
+		}
+		c := model.Condition{
+			Attribute: cl.Canonical,
+			Domain:    model.Domain{Kind: cl.Kind()},
+		}
+		if c.Domain.Kind == model.EnumDomain {
+			c.Domain.Values = frequentKeys(cl.Values, min2(cl.Sources))
+		}
+		c.Operators = frequentKeys(cl.Operators, min2(cl.Sources))
+		out = append(out, c)
+	}
+	return out
+}
+
+func min2(sources int) int {
+	if sources >= 3 {
+		return 2
+	}
+	return 1
+}
+
+// frequentKeys returns the keys with count >= min, most frequent first.
+func frequentKeys(m map[string]int, min int) []string {
+	var keys []string
+	for k, n := range m {
+		if n >= min && k != "" {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if m[keys[i]] != m[keys[j]] {
+			return m[keys[i]] > m[keys[j]]
+		}
+		return keys[i] < keys[j]
+	})
+	return keys
+}
+
+// ---- pairwise schema matching ----
+
+// Correspondence aligns condition A of one interface with condition B of
+// another.
+type Correspondence struct {
+	A, B  int
+	Score float64
+}
+
+// MatchSchemas aligns the conditions of two interfaces greedily by label
+// similarity (best pairs first, one-to-one), keeping pairs above minScore.
+func MatchSchemas(a, b *model.SemanticModel, minScore float64) []Correspondence {
+	type pair struct {
+		i, j  int
+		score float64
+	}
+	var pairs []pair
+	for i := range a.Conditions {
+		for j := range b.Conditions {
+			s := repair.TextSimilarity(a.Conditions[i].Attribute, b.Conditions[j].Attribute)
+			if a.Conditions[i].Domain.Kind != b.Conditions[j].Domain.Kind {
+				s *= 0.8
+			}
+			if s >= minScore {
+				pairs = append(pairs, pair{i, j, s})
+			}
+		}
+	}
+	sort.Slice(pairs, func(x, y int) bool {
+		if pairs[x].score != pairs[y].score {
+			return pairs[x].score > pairs[y].score
+		}
+		if pairs[x].i != pairs[y].i {
+			return pairs[x].i < pairs[y].i
+		}
+		return pairs[x].j < pairs[y].j
+	})
+	usedA := map[int]bool{}
+	usedB := map[int]bool{}
+	var out []Correspondence
+	for _, p := range pairs {
+		if usedA[p.i] || usedB[p.j] {
+			continue
+		}
+		usedA[p.i] = true
+		usedB[p.j] = true
+		out = append(out, Correspondence{A: p.i, B: p.j, Score: p.score})
+	}
+	sort.Slice(out, func(x, y int) bool { return out[x].A < out[y].A })
+	return out
+}
+
+// ---- source clustering ----
+
+// Similarity scores two interfaces' schemas in [0, 1]: soft Jaccard over
+// their attribute sets (each attribute contributes its best match on the
+// other side).
+func Similarity(a, b *model.SemanticModel) float64 {
+	if len(a.Conditions) == 0 && len(b.Conditions) == 0 {
+		return 1
+	}
+	if len(a.Conditions) == 0 || len(b.Conditions) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for i := range a.Conditions {
+		sum += bestMatch(&a.Conditions[i], b)
+	}
+	for j := range b.Conditions {
+		sum += bestMatch(&b.Conditions[j], a)
+	}
+	return sum / float64(len(a.Conditions)+len(b.Conditions))
+}
+
+func bestMatch(c *model.Condition, sm *model.SemanticModel) float64 {
+	best := 0.0
+	for i := range sm.Conditions {
+		if s := repair.TextSimilarity(c.Attribute, sm.Conditions[i].Attribute); s > best {
+			best = s
+		}
+	}
+	return best
+}
+
+// ClusterSources groups interfaces whose schema similarity reaches the
+// threshold, by single-linkage agglomeration (a union-find over all
+// above-threshold pairs). It returns index groups, largest first.
+func ClusterSources(models []*model.SemanticModel, threshold float64) [][]int {
+	n := len(models)
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if Similarity(models[i], models[j]) >= threshold {
+				union(i, j)
+			}
+		}
+	}
+	groups := map[int][]int{}
+	for i := 0; i < n; i++ {
+		r := find(i)
+		groups[r] = append(groups[r], i)
+	}
+	var out [][]int
+	for _, g := range groups {
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i]) != len(out[j]) {
+			return len(out[i]) > len(out[j])
+		}
+		return out[i][0] < out[j][0]
+	})
+	return out
+}

@@ -1,0 +1,168 @@
+package unify
+
+import (
+	"testing"
+
+	"formext/internal/model"
+)
+
+func sm(conds ...model.Condition) *model.SemanticModel {
+	return &model.SemanticModel{Conditions: conds}
+}
+
+func text(attr string) model.Condition {
+	return model.Condition{Attribute: attr, Domain: model.Domain{Kind: model.TextDomain}}
+}
+
+func enum(attr string, values ...string) model.Condition {
+	return model.Condition{Attribute: attr, Domain: model.Domain{Kind: model.EnumDomain, Values: values}}
+}
+
+func TestUnifierClustersVariantLabels(t *testing.T) {
+	u := NewUnifier()
+	u.Add(sm(text("Author"), enum("Format", "Hardcover", "Paperback")))
+	u.Add(sm(text("Author:"), enum("Format", "Hardcover", "Audio")))
+	u.Add(sm(text("author")))
+	cls := u.Clusters()
+	if len(cls) != 2 {
+		t.Fatalf("clusters = %d: %+v", len(cls), cls)
+	}
+	author := cls[0]
+	if author.Canonical != "author" || author.Sources != 3 {
+		t.Errorf("author cluster = %+v", author)
+	}
+	format := cls[1]
+	if format.Canonical != "format" || format.Sources != 2 {
+		t.Errorf("format cluster = %+v", format)
+	}
+	if format.Values["hardcover"] != 2 || format.Values["audio"] != 1 {
+		t.Errorf("format values = %v", format.Values)
+	}
+	if format.Kind() != model.EnumDomain || author.Kind() != model.TextDomain {
+		t.Error("cluster kinds wrong")
+	}
+}
+
+func TestUnifiedInterface(t *testing.T) {
+	u := NewUnifier()
+	for i := 0; i < 4; i++ {
+		u.Add(sm(text("Title"), enum("Format", "Hardcover", "Paperback")))
+	}
+	u.Add(sm(text("Rare attribute")))
+	unified := u.Unified(2)
+	if len(unified) != 2 {
+		t.Fatalf("unified = %+v", unified)
+	}
+	if unified[0].Attribute != "format" && unified[1].Attribute != "format" {
+		t.Errorf("unified missing format: %+v", unified)
+	}
+	for _, c := range unified {
+		if c.Attribute == "format" {
+			if c.Domain.Kind != model.EnumDomain || len(c.Domain.Values) != 2 {
+				t.Errorf("format condition = %+v", c)
+			}
+		}
+		if c.Attribute == "rare attribute" {
+			t.Error("singleton attribute leaked into the unified interface")
+		}
+	}
+}
+
+func TestUnifiedMergesOperators(t *testing.T) {
+	u := NewUnifier()
+	withOps := model.Condition{
+		Attribute: "Author",
+		Operators: []string{"exact name", "contains"},
+		Domain:    model.Domain{Kind: model.TextDomain},
+	}
+	u.Add(sm(withOps))
+	u.Add(sm(withOps))
+	u.Add(sm(text("Author")))
+	unified := u.Unified(2)
+	if len(unified) != 1 {
+		t.Fatalf("unified = %+v", unified)
+	}
+	if len(unified[0].Operators) != 2 {
+		t.Errorf("merged operators = %v", unified[0].Operators)
+	}
+}
+
+func TestMatchSchemas(t *testing.T) {
+	a := sm(text("Author"), text("Title"), enum("Subject", "Arts"))
+	b := sm(enum("subject category", "Arts", "History"), text("Title of book"), text("Author:"))
+	m := MatchSchemas(a, b, 0.4)
+	if len(m) != 3 {
+		t.Fatalf("correspondences = %+v", m)
+	}
+	want := map[int]int{0: 2, 1: 1, 2: 0}
+	for _, c := range m {
+		if want[c.A] != c.B {
+			t.Errorf("condition %d matched to %d, want %d (score %.2f)", c.A, c.B, want[c.A], c.Score)
+		}
+	}
+}
+
+func TestMatchSchemasOneToOne(t *testing.T) {
+	a := sm(text("Price"), text("Price"))
+	b := sm(text("Price"))
+	m := MatchSchemas(a, b, 0.5)
+	if len(m) != 1 {
+		t.Errorf("matching must be one-to-one: %+v", m)
+	}
+}
+
+func TestSimilarity(t *testing.T) {
+	books1 := sm(text("Author"), text("Title"), enum("Format", "Hard"))
+	books2 := sm(text("Author"), text("Title"), text("ISBN"))
+	cars := sm(enum("Make", "Ford"), text("Model"), text("Zip code"))
+	if s := Similarity(books1, books2); s < 0.6 {
+		t.Errorf("same-domain similarity = %.2f", s)
+	}
+	if s := Similarity(books1, cars); s > 0.3 {
+		t.Errorf("cross-domain similarity = %.2f", s)
+	}
+	if Similarity(books1, books1) < 0.99 {
+		t.Error("self-similarity should be ~1")
+	}
+	if Similarity(sm(), sm()) != 1 || Similarity(sm(), books1) != 0 {
+		t.Error("empty-model conventions wrong")
+	}
+	if Similarity(books1, books2) != Similarity(books2, books1) {
+		t.Error("similarity not symmetric")
+	}
+}
+
+func TestClusterSourcesRecoverDomains(t *testing.T) {
+	models := []*model.SemanticModel{
+		sm(text("Author"), text("Title"), text("Publisher")),       // books
+		sm(text("Author"), text("Title"), enum("Format", "Hard")),  // books
+		sm(enum("Make", "Ford"), text("Model"), text("Zip code")),  // cars
+		sm(enum("Make", "BMW"), text("Model"), text("Color")),      // cars
+		sm(text("From"), text("To"), enum("Cabin", "Coach")),       // flights
+		sm(text("Title"), text("Author"), enum("Subject", "Arts")), // books
+	}
+	groups := ClusterSources(models, 0.5)
+	if len(groups) != 3 {
+		t.Fatalf("groups = %v", groups)
+	}
+	if len(groups[0]) != 3 {
+		t.Errorf("books cluster = %v", groups[0])
+	}
+	inBooks := map[int]bool{}
+	for _, i := range groups[0] {
+		inBooks[i] = true
+	}
+	if !inBooks[0] || !inBooks[1] || !inBooks[5] {
+		t.Errorf("books cluster members = %v", groups[0])
+	}
+}
+
+func TestClusterSourcesEdgeCases(t *testing.T) {
+	if got := ClusterSources(nil, 0.5); len(got) != 0 {
+		t.Errorf("empty input: %v", got)
+	}
+	lone := []*model.SemanticModel{sm(text("X"))}
+	if got := ClusterSources(lone, 0.5); len(got) != 1 || len(got[0]) != 1 {
+		t.Errorf("singleton: %v", got)
+	}
+}

@@ -1,0 +1,124 @@
+package formext_test
+
+// Whole-pipeline invariant harness: random generator configurations feed
+// the extractor, and structural invariants that must hold for ANY input are
+// checked on every result. This is the breadth counterpart to the targeted
+// fixtures — it sweeps form shapes (domain mixes, condition counts,
+// hardness levels) the curated datasets don't.
+
+import (
+	"testing"
+
+	"formext"
+
+	"formext/internal/dataset"
+)
+
+func checkInvariants(t *testing.T, id string, res *formext.Result) {
+	t.Helper()
+	n := len(res.Tokens)
+	claimed := make([]int, n)
+	for ci, c := range res.Model.Conditions {
+		if c.Attribute == "" {
+			t.Errorf("%s: condition %d has an empty attribute", id, ci)
+		}
+		prev := -1
+		for _, tid := range c.TokenIDs {
+			if tid < 0 || tid >= n {
+				t.Fatalf("%s: condition %d references token %d of %d", id, ci, tid, n)
+			}
+			if tid <= prev {
+				t.Errorf("%s: condition %d token ids not ascending", id, ci)
+			}
+			prev = tid
+			claimed[tid]++
+		}
+		if len(c.SubmitValues) != 0 && len(c.SubmitValues) != len(c.Domain.Values) {
+			t.Errorf("%s: condition %d submit values misaligned (%d vs %d)",
+				id, ci, len(c.SubmitValues), len(c.Domain.Values))
+		}
+	}
+	// Every multiply-claimed token must be covered by a conflict report,
+	// and every reported conflict must reference a multiply-claimed token.
+	conflicted := map[int]bool{}
+	for _, k := range res.Model.Conflicts {
+		conflicted[k.TokenID] = true
+		if k.TokenID < 0 || k.TokenID >= n {
+			t.Fatalf("%s: conflict token %d out of range", id, k.TokenID)
+		}
+		if k.Conditions[0] >= len(res.Model.Conditions) || k.Conditions[1] >= len(res.Model.Conditions) {
+			t.Fatalf("%s: conflict references missing condition", id)
+		}
+		if claimed[k.TokenID] < 2 {
+			t.Errorf("%s: conflict on singly-claimed token %d", id, k.TokenID)
+		}
+	}
+	for tid, c := range claimed {
+		if c > 1 && !conflicted[tid] {
+			t.Errorf("%s: token %d claimed %d times without a conflict report", id, tid, c)
+		}
+	}
+	// Missing tokens are never claimed by conditions.
+	for _, tid := range res.Model.Missing {
+		if claimed[tid] > 0 {
+			t.Errorf("%s: token %d both missing and claimed", id, tid)
+		}
+	}
+	// Maximal trees: alive, in-universe, mutually non-subsumed.
+	for i, a := range res.Trees {
+		if a.Dead {
+			t.Errorf("%s: dead maximal tree", id)
+		}
+		for j, b := range res.Trees {
+			if i != j && a.Cover.ProperSubsetOf(b.Cover) {
+				t.Errorf("%s: maximal tree %d subsumed by %d", id, i, j)
+			}
+		}
+	}
+}
+
+func TestPipelineInvariantsAcrossRandomConfigs(t *testing.T) {
+	ex, err := formext.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pools := [][]dataset.Schema{dataset.BasicSchemas, dataset.NewDomainSchemas, dataset.AllSchemas}
+	for seed := int64(100); seed < 130; seed++ {
+		cfg := dataset.Config{
+			Seed:          seed,
+			Sources:       4,
+			Schemas:       pools[seed%3],
+			MinConds:      1 + int(seed%5),
+			MaxConds:      3 + int(seed%7),
+			Hardness:      float64(seed%10) / 10,
+			SampleSchemas: seed%2 == 0,
+		}
+		for _, s := range dataset.Generate(cfg) {
+			res, err := ex.ExtractHTML(s.HTML)
+			if err != nil {
+				t.Fatalf("seed %d %s: %v", seed, s.ID, err)
+			}
+			checkInvariants(t, s.ID, res)
+		}
+	}
+}
+
+func TestPipelineInvariantsOnCuratedDatasets(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-dataset sweep")
+	}
+	ex, err := formext.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range dataset.DatasetNames {
+		srcs, _ := dataset.ByName(name)
+		for _, s := range srcs {
+			res, err := ex.ExtractHTML(s.HTML)
+			if err != nil {
+				t.Fatalf("%s: %v", s.ID, err)
+			}
+			checkInvariants(t, s.ID, res)
+		}
+	}
+}
