@@ -1,0 +1,20 @@
+# Tier-1 verification: everything must build, vet clean, and pass the
+# full test suite under the race detector (the concurrent serving path —
+# pool, batch, formserve — is exercised by design).
+.PHONY: check build vet test bench
+
+check: build vet test
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test -race ./...
+
+# Regenerate the paper's evaluation numbers and the serving-path
+# benchmarks (BENCH_pool.json records the before/after of PR 1).
+bench:
+	go test -bench=. -benchmem ./...

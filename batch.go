@@ -3,6 +3,8 @@ package formext
 import (
 	"fmt"
 	"runtime"
+	"sort"
+	"strings"
 	"sync"
 )
 
@@ -14,14 +16,62 @@ type BatchOptions struct {
 	Workers int
 }
 
+// PageError reports the failure of one page in a batch.
+type PageError struct {
+	// Page is the index of the failed page in the input slice.
+	Page int
+	// Err is the underlying extraction error.
+	Err error
+}
+
+func (e *PageError) Error() string { return fmt.Sprintf("page %d: %v", e.Page, e.Err) }
+
+// Unwrap exposes the underlying error to errors.Is/As.
+func (e *PageError) Unwrap() error { return e.Err }
+
+// BatchError aggregates the per-page failures of one ExtractAll call. The
+// pages it names are exactly the nil entries of the returned results;
+// every other page was extracted successfully.
+type BatchError struct {
+	// Pages lists the failed pages in ascending page order.
+	Pages []PageError
+}
+
+func (e *BatchError) Error() string {
+	if len(e.Pages) == 1 {
+		return e.Pages[0].Error()
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d pages failed: ", len(e.Pages))
+	for i := range e.Pages {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		b.WriteString(e.Pages[i].Error())
+	}
+	return b.String()
+}
+
+// extractPage is the per-page extraction the batch workers run; a package
+// variable so tests can inject per-page failures (the real pipeline is
+// total and never fails on well-formed configurations).
+var extractPage = func(ex *Extractor, src string) (*Result, error) { return ex.ExtractHTML(src) }
+
 // ExtractAll extracts every page concurrently and returns the results in
-// input order. An Extractor is not safe for concurrent use, so each worker
-// gets its own; this is the crawl-scale entry point the paper's
+// input order. Workers draw pooled extractors that share one compiled
+// grammar and schedule; this is the crawl-scale entry point the paper's
 // integration scenario needs (10^5 sources, Section 1).
 //
-// Individual pages never fail (the pipeline is total); the returned error
-// reports configuration problems only.
+// Configuration problems (an invalid grammar, for instance) fail the whole
+// batch up front with nil results. After that, the results slice is always
+// returned in full: a page that fails to extract leaves a nil entry and is
+// reported in a *BatchError listing every failed page, while all other
+// pages keep their results. With the default pipeline individual pages
+// never fail, so the error is nil in normal operation.
 func ExtractAll(pages []string, opt BatchOptions) ([]*Result, error) {
+	if len(pages) == 0 {
+		return nil, nil
+	}
 	workers := opt.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -29,40 +79,48 @@ func ExtractAll(pages []string, opt BatchOptions) ([]*Result, error) {
 	if workers > len(pages) {
 		workers = len(pages)
 	}
-	if len(pages) == 0 {
-		return nil, nil
-	}
-	// Validate the configuration once, up front.
-	if _, err := New(opt.Options); err != nil {
+	// Validates the configuration once, up front, and primes the pool.
+	pool, err := NewPool(opt.Options)
+	if err != nil {
 		return nil, err
 	}
 
 	results := make([]*Result, len(pages))
-	jobs := make(chan int)
-	var wg sync.WaitGroup
-	var mu sync.Mutex
-	var firstErr error
+	// The jobs channel is buffered to hold every index and filled before
+	// the workers start, so no sender can ever block: even if every worker
+	// exits without receiving (say, extractor construction fails), the
+	// batch still terminates instead of deadlocking on an unbuffered send.
+	jobs := make(chan int, len(pages))
+	for i := range pages {
+		jobs <- i
+	}
+	close(jobs)
 
+	var (
+		wg        sync.WaitGroup
+		mu        sync.Mutex
+		pageErrs  []PageError
+		workerErr error
+	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			ex, err := New(opt.Options)
+			ex, err := pool.Get()
 			if err != nil {
 				mu.Lock()
-				if firstErr == nil {
-					firstErr = err
+				if workerErr == nil {
+					workerErr = err
 				}
 				mu.Unlock()
 				return
 			}
+			defer pool.Put(ex)
 			for i := range jobs {
-				res, err := ex.ExtractHTML(pages[i])
+				res, err := extractPage(ex, pages[i])
 				if err != nil {
 					mu.Lock()
-					if firstErr == nil {
-						firstErr = fmt.Errorf("page %d: %w", i, err)
-					}
+					pageErrs = append(pageErrs, PageError{Page: i, Err: err})
 					mu.Unlock()
 					continue
 				}
@@ -70,13 +128,25 @@ func ExtractAll(pages []string, opt BatchOptions) ([]*Result, error) {
 			}
 		}()
 	}
-	for i := range pages {
-		jobs <- i
-	}
-	close(jobs)
 	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+
+	// Pages no worker processed (possible only when every worker failed to
+	// obtain an extractor) are failures too: every nil entry of the results
+	// must be accounted for in the error.
+	if workerErr != nil {
+		reported := make(map[int]bool, len(pageErrs))
+		for _, pe := range pageErrs {
+			reported[pe.Page] = true
+		}
+		for i := range pages {
+			if results[i] == nil && !reported[i] {
+				pageErrs = append(pageErrs, PageError{Page: i, Err: workerErr})
+			}
+		}
+	}
+	if len(pageErrs) > 0 {
+		sort.Slice(pageErrs, func(i, j int) bool { return pageErrs[i].Page < pageErrs[j].Page })
+		return results, &BatchError{Pages: pageErrs}
 	}
 	return results, nil
 }

@@ -1,0 +1,139 @@
+package formext
+
+// Regression tests for the two seed batch.go bugs, written against the
+// package internals so they can inject failures the total pipeline never
+// produces on its own:
+//
+//   - the latent producer deadlock: a worker whose extractor construction
+//     failed returned without ever receiving from the unbuffered jobs
+//     channel, so with every worker dead the producer loop blocked forever;
+//   - the partial-results contract violation: any per-page error discarded
+//     every completed result and returned nil, despite the doc comment's
+//     promise that individual pages never fail.
+//
+// Both tests fail against the seed batch.go (the first by timeout, the
+// second on the discarded results) and pass with the pooled rewrite.
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// failingFactory makes extractor construction succeed once (the up-front
+// validation call) and fail ever after — the precise shape of the seed
+// deadlock, where validation passed but every worker's New failed.
+func failingFactory(t *testing.T) {
+	t.Helper()
+	orig := newExtractor
+	var calls atomic.Int64
+	newExtractor = func(o Options) (*Extractor, error) {
+		if n := calls.Add(1); n > 1 {
+			return nil, fmt.Errorf("injected: construction failure %d", n)
+		}
+		return New(o)
+	}
+	t.Cleanup(func() { newExtractor = orig })
+}
+
+func TestExtractAllWorkerFactoryFailureDoesNotDeadlock(t *testing.T) {
+	failingFactory(t)
+	pages := []string{
+		"<form>A <input type=text name=a></form>",
+		"<form>B <input type=text name=b></form>",
+		"<form>C <input type=text name=c></form>",
+		"<form>D <input type=text name=d></form>",
+	}
+	type outcome struct {
+		res []*Result
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		res, err := ExtractAll(pages, BatchOptions{Workers: 4})
+		done <- outcome{res, err}
+	}()
+	select {
+	case out := <-done:
+		// Termination plus full accounting is the contract. Usually the
+		// pool still holds the validation extractor, one worker drains
+		// every job, and the batch succeeds outright; but sync.Pool sheds
+		// its contents on GC, in which case every worker's construction
+		// fails and each page must instead be reported in the BatchError.
+		// Either way no page may be silently lost — and the seed deadlocked
+		// here instead of returning at all.
+		if len(out.res) != len(pages) {
+			t.Fatalf("results = %d (err %v), want %d", len(out.res), out.err, len(pages))
+		}
+		failed := map[int]bool{}
+		if out.err != nil {
+			var be *BatchError
+			if !errors.As(out.err, &be) {
+				t.Fatalf("error type = %T, want *BatchError", out.err)
+			}
+			for _, pe := range be.Pages {
+				failed[pe.Page] = true
+			}
+		}
+		for i, r := range out.res {
+			if r == nil && !failed[i] {
+				t.Errorf("page %d missing and unreported", i)
+			}
+			if r != nil && failed[i] {
+				t.Errorf("page %d both extracted and reported failed", i)
+			}
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("ExtractAll deadlocked with failing worker factories (seed batch.go bug)")
+	}
+}
+
+func TestExtractAllReturnsPartialResultsOnPageError(t *testing.T) {
+	orig := extractPage
+	extractPage = func(ex *Extractor, src string) (*Result, error) {
+		if src == "FAIL" {
+			return nil, errors.New("injected page failure")
+		}
+		return ex.ExtractHTML(src)
+	}
+	t.Cleanup(func() { extractPage = orig })
+
+	pages := []string{
+		"<form>A <input type=text name=a></form>",
+		"FAIL",
+		"<form>C <input type=text name=c></form>",
+		"FAIL",
+		"<form>E <input type=text name=e></form>",
+	}
+	res, err := ExtractAll(pages, BatchOptions{Workers: 3})
+	if err == nil {
+		t.Fatal("want a *BatchError for the failed pages")
+	}
+	var be *BatchError
+	if !errors.As(err, &be) {
+		t.Fatalf("error type = %T, want *BatchError", err)
+	}
+	if len(be.Pages) != 2 || be.Pages[0].Page != 1 || be.Pages[1].Page != 3 {
+		t.Fatalf("failed pages = %+v, want pages 1 and 3", be.Pages)
+	}
+	for _, pe := range be.Pages {
+		if pe.Err == nil || !errors.Is(&pe, pe.Err) {
+			t.Errorf("page %d: unwrap broken: %v", pe.Page, pe.Err)
+		}
+	}
+	// The completed pages must survive the error (seed returned nil).
+	if len(res) != len(pages) {
+		t.Fatalf("results = %d, want %d (partial results, not nil)", len(res), len(pages))
+	}
+	for i, r := range res {
+		failed := pages[i] == "FAIL"
+		if failed && r != nil {
+			t.Errorf("page %d: result for failed page", i)
+		}
+		if !failed && r == nil {
+			t.Errorf("page %d: completed result discarded", i)
+		}
+	}
+}

@@ -255,11 +255,92 @@ func BenchmarkTokenizePipeline(b *testing.B) {
 }
 
 func BenchmarkGrammarLoad(b *testing.B) {
+	// Measures the DSL parse itself. grammar.Default() no longer pays this
+	// per call — it compiles once per process (see BenchmarkNew for the
+	// amortized construction path).
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		g := grammar.Default()
+		g := grammar.MustParseDSL(grammar.DefaultSource())
 		if len(g.Prods) == 0 {
 			b.Fatal("empty grammar")
+		}
+	}
+}
+
+// ---- serving-path benchmarks (PR 1: parse-once grammar + pool) ----
+
+// BenchmarkNew measures extractor construction — the per-request cost the
+// serving path pays when it cannot reuse extractors. With the parse-once
+// default grammar and the shared schedule cache this is allocation-light;
+// the seed re-parsed the grammar DSL on every call (see BENCH_pool.json
+// for before/after).
+func BenchmarkNew(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ex, err := formext.New()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if ex.Grammar() == nil {
+			b.Fatal("no grammar")
+		}
+	}
+}
+
+// BenchmarkPoolExtract is the steady-state serving cost per request: a
+// pooled extractor over the shared grammar, sequentially.
+func BenchmarkPoolExtract(b *testing.B) {
+	pool, err := formext.NewPool()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := pool.Extract(dataset.QamHTML); err != nil { // warm up
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pool.Extract(dataset.QamHTML); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPoolExtractParallel contends many goroutines on one pool — the
+// concurrent serving path of cmd/formserve.
+func BenchmarkPoolExtractParallel(b *testing.B) {
+	pool, err := formext.NewPool()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := pool.Extract(dataset.QamHTML); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkExtractAll is the crawl-scale batch entry point: the 30-source
+// NewSource dataset extracted with the default (GOMAXPROCS) worker count.
+func BenchmarkExtractAll(b *testing.B) {
+	srcs := dataset.NewSource()
+	pages := make([]string, len(srcs))
+	for i, s := range srcs {
+		pages[i] = s.HTML
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := formext.ExtractAll(pages, formext.BatchOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res) != len(pages) {
+			b.Fatalf("results = %d", len(res))
 		}
 	}
 }

@@ -12,18 +12,53 @@
 //	POST /extract            body: HTML    → JSON semantic model
 //	POST /extract?trees=1    also include rendered parse trees
 //	GET  /grammar            the derived 2P grammar (DSL text)
+//	GET  /healthz            liveness probe
+//	GET  /metrics            expvar counters (requests, latency, totals)
 //	GET  /                   paste-a-form demo page
+//
+// The server reads and writes with timeouts, drains in-flight requests on
+// SIGINT/SIGTERM, and serves every extraction from a shared extractor pool
+// over the parse-once default grammar.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
+	"expvar"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"formext"
+)
+
+// maxBody bounds the request body of /extract.
+const maxBody = 1 << 20
+
+// Serving metrics, published through expvar and exposed at /metrics.
+// Declared at package level so they are registered exactly once no matter
+// how many handlers tests construct.
+var (
+	// mRequests counts requests per endpoint.
+	mRequests = expvar.NewMap("formserve_requests_total")
+	// mExtractions counts successful extractions.
+	mExtractions = expvar.NewInt("formserve_extractions_total")
+	// mExtractErrors counts failed extractions (bad bodies excluded).
+	mExtractErrors = expvar.NewInt("formserve_extract_errors_total")
+	// mLatencyNs accumulates extraction wall time in nanoseconds; divide by
+	// formserve_extractions_total for the mean.
+	mLatencyNs = expvar.NewInt("formserve_extract_latency_ns_total")
+	// mTokens accumulates tokens seen across extractions.
+	mTokens = expvar.NewInt("formserve_tokens_total")
+	// mInstances accumulates parser instances created across extractions.
+	mInstances = expvar.NewInt("formserve_instances_total")
 )
 
 func main() {
@@ -33,23 +68,66 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           h,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
 	log.Printf("formserve listening on %s", *addr)
-	log.Fatal(http.ListenAndServe(*addr, h))
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+		stop() // a second signal kills immediately
+		log.Print("formserve: signal received, draining")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("formserve: shutdown: %v", err)
+		}
+	}
 }
 
-// newHandler builds the service mux. Extraction is stateless per request:
-// each request gets its own extractor, so requests are safe to serve
-// concurrently.
+// server is the service state: one extractor pool shared by all requests.
+type server struct {
+	pool *formext.Pool
+	mux  *http.ServeMux
+}
+
+// newHandler builds the service. Extraction is served from a pool of
+// extractors over the shared parse-once grammar; the pool constructor also
+// validates the configuration once at startup.
 func newHandler() (http.Handler, error) {
-	// Validate the configuration once at startup.
-	if _, err := formext.New(); err != nil {
+	pool, err := formext.NewPool()
+	if err != nil {
 		return nil, err
 	}
-	mux := http.NewServeMux()
-	mux.HandleFunc("/extract", handleExtract)
-	mux.HandleFunc("/grammar", handleGrammar)
-	mux.HandleFunc("/", handleIndex)
-	return mux, nil
+	s := &server{pool: pool, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/extract", s.handleExtract)
+	s.mux.HandleFunc("/grammar", s.handleGrammar)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.Handle("/metrics", expvar.Handler())
+	s.mux.HandleFunc("/", s.handleIndex)
+	return s, nil
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch r.URL.Path {
+	case "/extract", "/grammar", "/healthz", "/metrics", "/":
+		mRequests.Add(r.URL.Path, 1)
+	default:
+		mRequests.Add("other", 1)
+	}
+	s.mux.ServeHTTP(w, r)
 }
 
 // extractResponse is the JSON envelope of /extract.
@@ -65,26 +143,43 @@ type extractResponse struct {
 	Trees []string `json:"trees,omitempty"`
 }
 
-func handleExtract(w http.ResponseWriter, r *http.Request) {
+func (s *server) handleExtract(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST HTML to /extract", http.StatusMethodNotAllowed)
 		return
 	}
-	src, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	src, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBody))
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusRequestEntityTooLarge)
+		// 413 is only for bodies over the limit; everything else — client
+		// disconnects, malformed transfer encodings — is a bad request.
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			http.Error(w, fmt.Sprintf("request body exceeds %d bytes", tooLarge.Limit),
+				http.StatusRequestEntityTooLarge)
+		} else {
+			http.Error(w, "reading request body: "+err.Error(), http.StatusBadRequest)
+		}
 		return
 	}
-	ex, err := formext.New()
+	ex, err := s.pool.Get()
 	if err != nil {
+		mExtractErrors.Add(1)
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
+	defer s.pool.Put(ex)
+	start := time.Now()
 	res, err := ex.ExtractHTML(string(src))
 	if err != nil {
+		mExtractErrors.Add(1)
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
+	mExtractions.Add(1)
+	mLatencyNs.Add(time.Since(start).Nanoseconds())
+	mTokens.Add(int64(len(res.Tokens)))
+	mInstances.Add(int64(res.Stats.TotalCreated))
+
 	var resp extractResponse
 	resp.Model = res.Model
 	resp.Tokens = len(res.Tokens)
@@ -100,23 +195,31 @@ func handleExtract(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, resp)
 }
 
-func handleGrammar(w http.ResponseWriter, r *http.Request) {
+func (s *server) handleGrammar(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		w.Header().Set("Allow", "GET, HEAD")
+		http.Error(w, "GET /grammar", http.StatusMethodNotAllowed)
+		return
+	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprint(w, formext.DefaultGrammarSource())
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
 }
 
 const indexPage = `<!doctype html><title>formext</title>
 <h2>formext — Web query interface extractor</h2>
 <p>Paste an HTML query form; the semantic model (the query conditions
 [attribute; operators; domain]) comes back as JSON.</p>
-<form method="post" action="/extract">
-<textarea name="_" rows="14" cols="90" onchange="this.form.raw=this.value"></textarea><br>
-<button onclick="event.preventDefault();fetch('/extract',{method:'POST',body:document.querySelector('textarea').value}).then(r=>r.text()).then(t=>document.querySelector('pre').textContent=t)">Extract</button>
-</form>
+<textarea rows="14" cols="90"></textarea><br>
+<button onclick="fetch('/extract',{method:'POST',body:document.querySelector('textarea').value}).then(r=>r.text()).then(t=>document.querySelector('pre').textContent=t)">Extract</button>
 <pre></pre>
 <p><a href="/grammar">The derived 2P grammar</a></p>`
 
-func handleIndex(w http.ResponseWriter, r *http.Request) {
+func (s *server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Path != "/" {
 		http.NotFound(w, r)
 		return

@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -78,6 +79,131 @@ func TestExtractRejectsGet(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusMethodNotAllowed {
 		t.Errorf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestExtractBodyTooLargeIs413(t *testing.T) {
+	srv := newTestServer(t)
+	big := strings.Repeat("x", maxBody+1)
+	resp, err := http.Post(srv.URL+"/extract", "text/html", strings.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("status = %d, want 413", resp.StatusCode)
+	}
+}
+
+// brokenReader fails mid-body, standing in for a client disconnect.
+type brokenReader struct{}
+
+func (brokenReader) Read([]byte) (int, error) { return 0, errors.New("connection reset") }
+
+func TestExtractBodyReadErrorIs400(t *testing.T) {
+	h, err := newHandler()
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodPost, "/extract", brokenReader{})
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("status = %d, want 400 (read errors are not 413)", rec.Code)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	srv := newTestServer(t)
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "ok") {
+		t.Errorf("healthz: %d %q", resp.StatusCode, body)
+	}
+}
+
+func TestMetricsCountsExtractions(t *testing.T) {
+	srv := newTestServer(t)
+	read := func() map[string]any {
+		resp, err := http.Get(srv.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("metrics status = %d", resp.StatusCode)
+		}
+		var m map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	count := func(m map[string]any, key string) float64 {
+		v, ok := m[key].(float64)
+		if !ok {
+			t.Fatalf("metric %q missing or not numeric: %v", key, m[key])
+		}
+		return v
+	}
+	before := read()
+	resp, err := http.Post(srv.URL+"/extract", "text/html",
+		strings.NewReader(`<form>X <input type=text name=x></form>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	after := read()
+	if d := count(after, "formserve_extractions_total") - count(before, "formserve_extractions_total"); d != 1 {
+		t.Errorf("extractions delta = %v, want 1", d)
+	}
+	for _, key := range []string{
+		"formserve_extract_latency_ns_total",
+		"formserve_tokens_total",
+		"formserve_instances_total",
+	} {
+		if count(after, key) <= count(before, key) {
+			t.Errorf("metric %q did not advance", key)
+		}
+	}
+	reqs, ok := after["formserve_requests_total"].(map[string]any)
+	if !ok || reqs["/extract"] == nil {
+		t.Errorf("request counts missing: %v", after["formserve_requests_total"])
+	}
+}
+
+func TestGrammarRejectsPost(t *testing.T) {
+	srv := newTestServer(t)
+	resp, err := http.Post(srv.URL+"/grammar", "text/plain", strings.NewReader("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST /grammar status = %d, want 405", resp.StatusCode)
+	}
+	if allow := resp.Header.Get("Allow"); !strings.Contains(allow, "GET") {
+		t.Errorf("Allow = %q", allow)
+	}
+}
+
+func TestIndexPageHasNoDeadFormJS(t *testing.T) {
+	srv := newTestServer(t)
+	resp, err := http.Get(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if strings.Contains(string(body), "this.form.raw") {
+		t.Error("index page still carries the dead onchange JS")
+	}
+	if !strings.Contains(string(body), "fetch('/extract'") {
+		t.Error("index page lost its extract button")
 	}
 }
 

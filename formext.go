@@ -156,7 +156,14 @@ type Options struct {
 }
 
 // Extractor is the form extractor of Figure 2. It is safe to reuse across
-// inputs, but not concurrently; create one per goroutine.
+// inputs and safe for concurrent use by multiple goroutines: the grammar
+// and parser it holds are immutable after construction, and all per-parse
+// mutable state (instances, bindings, statistics) is allocated per call.
+// Request-scale servers should still prefer a Pool, which amortizes
+// extractor construction and keeps per-Options extractors warm.
+//
+// The one caveat: the Grammar returned by Grammar() is shared (for the
+// default options it is shared process-wide) and must not be mutated.
 type Extractor struct {
 	grammar   *grammar.Grammar
 	parser    *core.Parser
@@ -167,6 +174,11 @@ type Extractor struct {
 
 // New builds an extractor. With no options it uses the embedded derived
 // global grammar, an 800px viewport and default thresholds.
+//
+// The default grammar is compiled exactly once per process and shared by
+// every extractor (as is its 2P schedule), so constructing extractors is
+// cheap; a custom GrammarSource is parsed on every call. The returned
+// grammar is shared and must be treated as read-only.
 func New(opts ...Options) (*Extractor, error) {
 	var o Options
 	if len(opts) > 1 {

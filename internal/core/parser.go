@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"formext/internal/geom"
@@ -62,15 +63,40 @@ type Result struct {
 	Stats Stats
 }
 
-// Parser parses token sets against one grammar; it precomputes the 2P
-// schedule once and is safe to reuse across inputs (not concurrently).
+// Parser parses token sets against one grammar. A Parser is immutable
+// after construction — the grammar, the 2P schedule and the options are
+// all read-only — and every call to Parse allocates a fresh engine for
+// its mutable state, so one Parser is safe for concurrent use by multiple
+// goroutines.
 type Parser struct {
 	g     *grammar.Grammar
 	sched *Schedule
 	opt   Options
 }
 
-// NewParser builds a parser for the grammar, computing the 2P schedule.
+// schedCache memoizes the 2P schedule per grammar, keyed by the *Grammar
+// pointer. Grammars are immutable after construction (see grammar.Grammar),
+// so a schedule computed once is valid for the grammar's lifetime; the
+// cache makes NewParser on a shared grammar — the serving path's default —
+// allocation-light.
+var schedCache sync.Map // *grammar.Grammar → *Schedule
+
+// scheduleFor returns the (possibly cached) 2P schedule of g.
+func scheduleFor(g *grammar.Grammar) (*Schedule, error) {
+	if s, ok := schedCache.Load(g); ok {
+		return s.(*Schedule), nil
+	}
+	s, err := BuildSchedule(g)
+	if err != nil {
+		return nil, err
+	}
+	actual, _ := schedCache.LoadOrStore(g, s)
+	return actual.(*Schedule), nil
+}
+
+// NewParser builds a parser for the grammar. The 2P schedule is computed
+// once per grammar and cached, so repeated construction over a shared
+// grammar costs only the Parser allocation.
 func NewParser(g *grammar.Grammar, opt Options) (*Parser, error) {
 	if opt.Thresholds == (geom.Thresholds{}) {
 		opt.Thresholds = geom.DefaultThresholds
@@ -78,7 +104,7 @@ func NewParser(g *grammar.Grammar, opt Options) (*Parser, error) {
 	if opt.MaxInstances <= 0 {
 		opt.MaxInstances = DefaultMaxInstances
 	}
-	sched, err := BuildSchedule(g)
+	sched, err := scheduleFor(g)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,9 @@
 package grammar
 
-import _ "embed"
+import (
+	_ "embed"
+	"sync"
+)
 
 //go:embed defaultgrammar.2p
 var defaultSource string
@@ -9,6 +12,18 @@ var defaultSource string
 // grammar, so clients can inspect or extend it.
 func DefaultSource() string { return defaultSource }
 
-// Default parses the embedded derived global grammar. The result is a fresh
-// Grammar on every call, so callers may mutate their copy.
-func Default() *Grammar { return MustParseDSL(defaultSource) }
+var (
+	defaultOnce    sync.Once
+	defaultGrammar *Grammar
+)
+
+// Default returns the embedded derived global grammar, compiled exactly
+// once per process. The result is shared by every caller — extractors,
+// parsers and pools all parse against the same *Grammar — and like any
+// Grammar it is immutable after construction (see the Grammar type
+// documentation). Callers that want a private, modifiable grammar must
+// parse their own copy with ParseDSL(DefaultSource()).
+func Default() *Grammar {
+	defaultOnce.Do(func() { defaultGrammar = MustParseDSL(defaultSource) })
+	return defaultGrammar
+}

@@ -58,7 +58,10 @@ func (v Value) String() string {
 	}
 }
 
-// EvalCtx is the evaluation environment.
+// EvalCtx is the evaluation environment. One EvalCtx belongs to one parse:
+// the engine rebinds Bind for every constraint evaluation, so contexts are
+// never shared across goroutines (expressions themselves are immutable and
+// shareable, like the Grammar that owns them).
 type EvalCtx struct {
 	Bind map[string]*Instance
 	Th   geom.Thresholds

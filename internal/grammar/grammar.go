@@ -101,6 +101,17 @@ func (r *Preference) String() string {
 
 // Grammar is the 2P grammar ⟨Σ, N, s, Pd, Pf⟩ plus the role tagging used by
 // the merger.
+//
+// Concurrency contract: a Grammar is immutable once construction is
+// complete (ParseDSL and the DSL builder populate it, validate it, and
+// hand it over; nothing in this module writes to it afterwards), so one
+// *Grammar may be shared freely across parsers and goroutines. All
+// per-parse mutable state lives elsewhere — in parse-tree Instances and
+// in the evaluation context (EvalCtx) a parse threads through constraint
+// evaluation. Downstream caches key on the *Grammar pointer (the core
+// package memoizes the 2P schedule per grammar); mutating a Grammar after
+// it has been used to build a parser is a data race and invalidates those
+// caches.
 type Grammar struct {
 	Terminals    map[string]bool
 	Nonterminals map[string]bool

@@ -15,6 +15,11 @@ import (
 // instances. The universal constructor (the F of Definition 2) gives every
 // instance a pos — the bounding box of its components — and a cover — the
 // set of token IDs in its yield.
+//
+// Instances are the mutable half of the parsing state: the parser engine
+// assigns IDs, records Parents and flips Dead during preference
+// enforcement. They belong to exactly one parse and must not be shared
+// across concurrent parses (the shared, immutable half is the Grammar).
 type Instance struct {
 	// ID is the creation sequence number assigned by the parser; it makes
 	// preference enforcement and pruning deterministic.

@@ -1,0 +1,77 @@
+package formext
+
+import (
+	"fmt"
+	"sync"
+)
+
+// newExtractor is the factory behind Pool and ExtractAll; a package
+// variable so tests can inject construction failures (the batch path's
+// regression tests need workers whose extractor construction fails after
+// the up-front validation succeeded).
+var newExtractor = func(o Options) (*Extractor, error) { return New(o) }
+
+// Pool keeps ready-to-use extractors for one Options value, backed by
+// sync.Pool. All pooled extractors share the same compiled grammar and 2P
+// schedule (both immutable), so Get after a warm-up is amortized
+// allocation-free and the pool shrinks under memory pressure like any
+// sync.Pool.
+//
+// A Pool is safe for concurrent use; it is the serving-path primitive that
+// cmd/formserve and ExtractAll build on.
+type Pool struct {
+	opts Options
+	pool sync.Pool
+}
+
+// NewPool validates the options by building one extractor and returns a
+// pool keyed to them. The validation extractor primes the pool.
+func NewPool(opts ...Options) (*Pool, error) {
+	var o Options
+	if len(opts) > 1 {
+		return nil, fmt.Errorf("formext: at most one Options value")
+	}
+	if len(opts) == 1 {
+		o = opts[0]
+	}
+	ex, err := newExtractor(o)
+	if err != nil {
+		return nil, err
+	}
+	p := &Pool{opts: o}
+	p.pool.Put(ex)
+	return p, nil
+}
+
+// Options returns the options every pooled extractor is built with.
+func (p *Pool) Options() Options { return p.opts }
+
+// Get returns a ready extractor, constructing one only when the pool is
+// empty. Return it with Put when done.
+func (p *Pool) Get() (*Extractor, error) {
+	if v := p.pool.Get(); v != nil {
+		return v.(*Extractor), nil
+	}
+	return newExtractor(p.opts)
+}
+
+// Put returns an extractor to the pool. Only extractors obtained from Get
+// on the same pool may be returned: a foreign extractor built with other
+// options would poison every later Get. Putting nil is a no-op.
+func (p *Pool) Put(ex *Extractor) {
+	if ex == nil {
+		return
+	}
+	p.pool.Put(ex)
+}
+
+// Extract runs the full pipeline on HTML source using a pooled extractor:
+// Get, ExtractHTML, Put.
+func (p *Pool) Extract(src string) (*Result, error) {
+	ex, err := p.Get()
+	if err != nil {
+		return nil, err
+	}
+	defer p.Put(ex)
+	return ex.ExtractHTML(src)
+}
