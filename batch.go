@@ -22,6 +22,12 @@ type PageError struct {
 	Page int
 	// Err is the underlying extraction error.
 	Err error
+	// Stats carries the observability snapshot accumulated before the
+	// failure — in particular the per-stage wall times of the stages that
+	// did run — so a failed page in a crawl is diagnosable without
+	// re-extracting it. Zero when the failure preceded the pipeline (an
+	// extractor that could not be constructed).
+	Stats Stats
 }
 
 func (e *PageError) Error() string { return fmt.Sprintf("page %d: %v", e.Page, e.Err) }
@@ -54,8 +60,10 @@ func (e *BatchError) Error() string {
 
 // extractPage is the per-page extraction the batch workers run; a package
 // variable so tests can inject per-page failures (the real pipeline is
-// total and never fails on well-formed configurations).
-var extractPage = func(ex *Extractor, src string) (*Result, error) { return ex.ExtractHTML(src) }
+// total and never fails on well-formed configurations). It uses the
+// internal entry point whose Result is non-nil even on error, carrying the
+// stage timings accumulated before the failure.
+var extractPage = func(ex *Extractor, src string) (*Result, error) { return ex.extractHTML(src) }
 
 // ExtractAll extracts every page concurrently and returns the results in
 // input order. Workers draw pooled extractors that share one compiled
@@ -119,8 +127,12 @@ func ExtractAll(pages []string, opt BatchOptions) ([]*Result, error) {
 			for i := range jobs {
 				res, err := extractPage(ex, pages[i])
 				if err != nil {
+					pe := PageError{Page: i, Err: err}
+					if res != nil {
+						pe.Stats = res.Stats
+					}
 					mu.Lock()
-					pageErrs = append(pageErrs, PageError{Page: i, Err: err})
+					pageErrs = append(pageErrs, pe)
 					mu.Unlock()
 					continue
 				}

@@ -17,6 +17,7 @@ package formext
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -135,5 +136,51 @@ func TestExtractAllReturnsPartialResultsOnPageError(t *testing.T) {
 		if !failed && r == nil {
 			t.Errorf("page %d: completed result discarded", i)
 		}
+	}
+}
+
+// TestExtractAllPageErrorCarriesStageTimings is the regression test for
+// the batch-diagnosability contract: a failed page's PageError must carry
+// the observability snapshot accumulated before the failure, so a crawl
+// can report where a bad page spent its time without re-extracting it.
+// The injected failure returns the partial Result the internal entry point
+// guarantees, exactly as extractHTML does on a mid-pipeline error.
+func TestExtractAllPageErrorCarriesStageTimings(t *testing.T) {
+	orig := extractPage
+	extractPage = func(ex *Extractor, src string) (*Result, error) {
+		res, err := ex.extractHTML(src)
+		if err != nil {
+			return res, err
+		}
+		if strings.Contains(src, "doomed") {
+			return res, errors.New("injected post-pipeline failure")
+		}
+		return res, nil
+	}
+	t.Cleanup(func() { extractPage = orig })
+
+	pages := []string{
+		"<form>A <input type=text name=a></form>",
+		"<form>doomed <input type=text name=b></form>",
+	}
+	res, err := ExtractAll(pages, BatchOptions{Workers: 2})
+	var be *BatchError
+	if !errors.As(err, &be) || len(be.Pages) != 1 {
+		t.Fatalf("err = %v, want a BatchError with one failed page", err)
+	}
+	pe := be.Pages[0]
+	if pe.Page != 1 {
+		t.Fatalf("failed page = %d, want 1", pe.Page)
+	}
+	st := pe.Stats.Stages
+	if st.HTMLParse == 0 || st.Layout == 0 || st.Tokenize == 0 || st.Parse == 0 {
+		t.Errorf("PageError.Stats.Stages missing timings: %s", st)
+	}
+	if pe.Stats.TotalCreated == 0 || pe.Stats.FixpointIters == 0 {
+		t.Errorf("PageError.Stats parser counters empty: created=%d iters=%d",
+			pe.Stats.TotalCreated, pe.Stats.FixpointIters)
+	}
+	if res[0] == nil || res[1] != nil {
+		t.Errorf("partial results wrong: %v", res)
 	}
 }

@@ -371,3 +371,55 @@ func BenchmarkMetricsMatch(b *testing.B) {
 		metrics.Match(srcs[0].Truth, res.Model.Conditions, false)
 	}
 }
+
+// ---- PR 2: observability overhead ----
+
+// BenchmarkTraceOverhead measures the cost of the observability layer at
+// its three operating points against the untraced pipeline over the Qam
+// interface:
+//
+//	untraced  — Options.Tracer nil: the production default. The only
+//	            instrumentation cost is per-stage clock reads and the
+//	            always-on parser counters; the disabled-overhead
+//	            acceptance gate (≤2% vs the PR 1 BenchmarkPoolExtract
+//	            baseline) is checked here.
+//	disabled  — a constructed-but-disabled tracer (nil sink): Start
+//	            returns nil, adding only nil checks over untraced.
+//	nop-sink  — full span/event construction, then discarded: the cost
+//	            of the instrumentation itself.
+//	ring-sink — the formserve flight-recorder configuration.
+func BenchmarkTraceOverhead(b *testing.B) {
+	cases := []struct {
+		name string
+		opts formext.Options
+	}{
+		{"untraced", formext.Options{}},
+		{"disabled", formext.Options{Tracer: formext.NewTracer(nil)}},
+		{"nop-sink", formext.Options{Tracer: formext.NewTracer(nopSink{})}},
+		{"ring-sink", formext.Options{Tracer: formext.NewTracer(formext.NewRingSink(64))}},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			ex, err := formext.New(c.opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := ex.ExtractHTML(dataset.QamHTML); err != nil { // warm up
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := ex.ExtractHTML(dataset.QamHTML); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// nopSink discards traces after full construction (formext re-exports the
+// obs sinks but not NopSink, which exists for exactly this measurement).
+type nopSink struct{}
+
+func (nopSink) Emit(*formext.Trace) {}

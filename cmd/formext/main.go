@@ -11,9 +11,15 @@
 //	-tokens          also list the tokenized form
 //	-trees           also dump the maximal parse trees
 //	-stats           also print parser statistics
+//	-trace FILE      write a JSON trace of the extraction to FILE ("-" = stdout)
 //	-grammar FILE    parse against a custom 2P grammar (DSL source)
 //	-explain N       explain how token N was interpreted
 //	-print-grammar   print the embedded derived grammar and exit
+//
+// The trace is one JSON object per extraction: a span tree with one child
+// per pipeline stage (htmlparse, layout, tokenize, parse, merge) carrying
+// per-stage timings, structured attributes (token counts, instances
+// created, prunes) and events (preference prunes, merge conflicts).
 package main
 
 import (
@@ -26,36 +32,61 @@ import (
 	"formext"
 )
 
+// cliOptions collects the command's flags so run stays testable without a
+// positional-boolean signature.
+type cliOptions struct {
+	asJSON       bool
+	showTokens   bool
+	showTrees    bool
+	showStats    bool
+	grammarFile  string
+	printGrammar bool
+	explain      int
+	traceFile    string // "-" = stdout
+}
+
 func main() {
-	var (
-		asJSON       = flag.Bool("json", false, "emit the semantic model as JSON")
-		showTokens   = flag.Bool("tokens", false, "list the tokenized form")
-		showTrees    = flag.Bool("trees", false, "dump the maximal parse trees")
-		showStats    = flag.Bool("stats", false, "print parser statistics")
-		grammarFile  = flag.String("grammar", "", "custom 2P grammar DSL file")
-		printGrammar = flag.Bool("print-grammar", false, "print the embedded derived grammar and exit")
-		explain      = flag.Int("explain", -1, "explain how the given token id was interpreted")
-	)
+	var o cliOptions
+	flag.BoolVar(&o.asJSON, "json", false, "emit the semantic model as JSON")
+	flag.BoolVar(&o.showTokens, "tokens", false, "list the tokenized form")
+	flag.BoolVar(&o.showTrees, "trees", false, "dump the maximal parse trees")
+	flag.BoolVar(&o.showStats, "stats", false, "print parser statistics")
+	flag.StringVar(&o.grammarFile, "grammar", "", "custom 2P grammar DSL file")
+	flag.BoolVar(&o.printGrammar, "print-grammar", false, "print the embedded derived grammar and exit")
+	flag.IntVar(&o.explain, "explain", -1, "explain how the given token id was interpreted")
+	flag.StringVar(&o.traceFile, "trace", "", "write a JSON trace of the extraction to `file` (\"-\" = stdout)")
 	flag.Parse()
-	if err := run(*asJSON, *showTokens, *showTrees, *showStats, *grammarFile, *printGrammar, *explain, flag.Args()); err != nil {
+	if err := run(o, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "formext:", err)
 		os.Exit(1)
 	}
 }
 
-func run(asJSON, showTokens, showTrees, showStats bool, grammarFile string, printGrammar bool, explain int, args []string) error {
-	if printGrammar {
+func run(o cliOptions, args []string) error {
+	if o.printGrammar {
 		fmt.Print(formext.DefaultGrammarSource())
 		return nil
 	}
 
 	var opts formext.Options
-	if grammarFile != "" {
-		src, err := os.ReadFile(grammarFile)
+	if o.grammarFile != "" {
+		src, err := os.ReadFile(o.grammarFile)
 		if err != nil {
 			return err
 		}
 		opts.GrammarSource = string(src)
+	}
+	if o.traceFile != "" {
+		w := io.Writer(os.Stdout)
+		if o.traceFile != "-" {
+			f, err := os.Create(o.traceFile)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			w = f
+		}
+		opts.Tracer = formext.NewTracer(formext.NewJSONLSink(w))
 	}
 	ex, err := formext.New(opts)
 	if err != nil {
@@ -81,13 +112,13 @@ func run(asJSON, showTokens, showTrees, showStats bool, grammarFile string, prin
 		return err
 	}
 
-	if showTokens {
+	if o.showTokens {
 		fmt.Println("tokens:")
 		for _, t := range res.Tokens {
 			fmt.Println("  ", t)
 		}
 	}
-	if asJSON {
+	if o.asJSON {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(res.Model); err != nil {
@@ -110,20 +141,24 @@ func run(asJSON, showTokens, showTrees, showStats bool, grammarFile string, prin
 			fmt.Printf("missing element: token %d (%s)\n", id, res.Tokens[id])
 		}
 	}
-	if showTrees {
+	if o.showTrees {
 		fmt.Printf("maximal parse trees (%d):\n", len(res.Trees))
 		for i, tr := range res.Trees {
 			fmt.Printf("--- tree %d: %s over %d tokens ---\n", i, tr.Sym, tr.Cover.Count())
 			fmt.Print(tr.Dump())
 		}
 	}
-	if explain >= 0 {
-		fmt.Print(res.Explain(explain))
+	if o.explain >= 0 {
+		fmt.Print(res.Explain(o.explain))
 	}
-	if showStats {
+	if o.showStats {
 		s := res.Stats
-		fmt.Printf("stats: %d tokens, %d instances created, %d pruned, %d rolled back, %d alive, %d complete parses, %v\n",
-			s.Tokens, s.TotalCreated, s.Pruned, s.RolledBack, s.Alive, s.CompleteParses, s.Duration)
+		fmt.Printf("stats: %d tokens, %d instances created, %d pruned, %d rolled back, %d alive, %d complete parses, %d fix-point rounds, %v\n",
+			s.Tokens, s.TotalCreated, s.Pruned, s.RolledBack, s.Alive, s.CompleteParses, s.FixpointIters, s.Duration)
+		fmt.Printf("stages: %s\n", s.Stages)
+		if s.TraceID != "" {
+			fmt.Printf("trace: %s\n", s.TraceID)
+		}
 	}
 	return nil
 }

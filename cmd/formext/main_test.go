@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"io"
 	"os"
 	"path/filepath"
@@ -46,7 +47,7 @@ func capture(t *testing.T, fn func() error) (string, error) {
 func TestRunTextOutput(t *testing.T) {
 	p := withFile(t, sample)
 	out, err := capture(t, func() error {
-		return run(false, false, false, true, "", false, -1, []string{p})
+		return run(cliOptions{showStats: true, explain: -1}, []string{p})
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -61,7 +62,7 @@ func TestRunTextOutput(t *testing.T) {
 func TestRunJSONOutput(t *testing.T) {
 	p := withFile(t, sample)
 	out, err := capture(t, func() error {
-		return run(true, false, false, false, "", false, -1, []string{p})
+		return run(cliOptions{asJSON: true, explain: -1}, []string{p})
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -76,7 +77,7 @@ func TestRunJSONOutput(t *testing.T) {
 func TestRunTreesTokensExplain(t *testing.T) {
 	p := withFile(t, sample)
 	out, err := capture(t, func() error {
-		return run(false, true, true, false, "", false, 1, []string{p})
+		return run(cliOptions{showTokens: true, showTrees: true, explain: 1}, []string{p})
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -90,7 +91,7 @@ func TestRunTreesTokensExplain(t *testing.T) {
 
 func TestRunPrintGrammar(t *testing.T) {
 	out, err := capture(t, func() error {
-		return run(false, false, false, false, "", true, -1, nil)
+		return run(cliOptions{printGrammar: true, explain: -1}, nil)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -113,7 +114,7 @@ tag condition TextVal; tag attribute Attr;`
 	}
 	p := withFile(t, `<form>Name <input type=text name=n></form>`)
 	out, err := capture(t, func() error {
-		return run(false, false, false, false, gp, false, -1, []string{p})
+		return run(cliOptions{grammarFile: gp, explain: -1}, []string{p})
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -124,15 +125,77 @@ tag condition TextVal; tag attribute Attr;`
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run(false, false, false, false, "", false, -1, []string{"a", "b"}); err == nil {
+	if err := run(cliOptions{explain: -1}, []string{"a", "b"}); err == nil {
 		t.Error("two files should error")
 	}
-	if err := run(false, false, false, false, "/nonexistent.2p", false, -1, nil); err == nil {
+	if err := run(cliOptions{grammarFile: "/nonexistent.2p", explain: -1}, nil); err == nil {
 		t.Error("missing grammar file should error")
 	}
-	if err := run(false, false, false, false, "", false, -1, []string{"/nonexistent.html"}); err == nil {
+	if err := run(cliOptions{explain: -1}, []string{"/nonexistent.html"}); err == nil {
 		t.Error("missing input file should error")
 	}
 }
 
 func contains(s, sub string) bool { return strings.Contains(s, sub) }
+
+// TestRunTrace checks that -trace writes one JSON object whose span tree
+// covers every pipeline stage, with the parse span carrying the parser's
+// internal counters.
+func TestRunTrace(t *testing.T) {
+	p := withFile(t, sample)
+	tp := filepath.Join(t.TempDir(), "trace.json")
+	if _, err := capture(t, func() error {
+		return run(cliOptions{traceFile: tp, explain: -1}, []string{p})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr struct {
+		TraceID string `json:"traceId"`
+		Name    string `json:"name"`
+		DurUs   int64  `json:"durUs"`
+		Root    struct {
+			Name     string `json:"name"`
+			Children []struct {
+				Name  string           `json:"name"`
+				Attrs map[string]int64 `json:"attrs"`
+			} `json:"children"`
+		} `json:"root"`
+	}
+	if err := json.Unmarshal(raw, &tr); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, raw)
+	}
+	if tr.TraceID == "" || tr.Name != "extract" {
+		t.Errorf("trace envelope wrong: id=%q name=%q", tr.TraceID, tr.Name)
+	}
+	got := map[string]bool{}
+	for _, c := range tr.Root.Children {
+		got[c.Name] = true
+		if c.Name == "parse" && c.Attrs["instances"] == 0 {
+			t.Error("parse span has no instances attribute")
+		}
+	}
+	for _, stage := range []string{"htmlparse", "layout", "tokenize", "parse", "merge"} {
+		if !got[stage] {
+			t.Errorf("trace missing stage span %q (have %v)", stage, got)
+		}
+	}
+}
+
+// TestRunTraceStdout checks the "-" target and that the trace coexists
+// with normal output.
+func TestRunTraceStdout(t *testing.T) {
+	p := withFile(t, sample)
+	out, err := capture(t, func() error {
+		return run(cliOptions{traceFile: "-", showStats: true, explain: -1}, []string{p})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !contains(out, `"traceId"`) || !contains(out, "trace: ") {
+		t.Errorf("stdout trace output missing:\n%s", out)
+	}
+}

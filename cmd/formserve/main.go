@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	formserve [-addr :8080]
+//	formserve [-addr :8080] [-trace-buffer 64]
 //
 // Endpoints:
 //
@@ -13,12 +13,19 @@
 //	POST /extract?trees=1    also include rendered parse trees
 //	GET  /grammar            the derived 2P grammar (DSL text)
 //	GET  /healthz            liveness probe
-//	GET  /metrics            expvar counters (requests, latency, totals)
+//	GET  /metrics            expvar counters, parser totals, latency histogram
+//	GET  /traces             recent extraction traces (?id=... for one)
 //	GET  /                   paste-a-form demo page
 //
 // The server reads and writes with timeouts, drains in-flight requests on
 // SIGINT/SIGTERM, and serves every extraction from a shared extractor pool
 // over the parse-once default grammar.
+//
+// Every extraction is traced into an in-memory ring buffer (-trace-buffer
+// traces, 0 disables tracing): the response carries the trace ID in its
+// body and the X-Trace-Id header, and GET /traces?id=<id> replays the full
+// span tree — per-stage timings, fix-point groups, prune and merge-conflict
+// events — of that exact request.
 package main
 
 import (
@@ -53,18 +60,37 @@ var (
 	// mExtractErrors counts failed extractions (bad bodies excluded).
 	mExtractErrors = expvar.NewInt("formserve_extract_errors_total")
 	// mLatencyNs accumulates extraction wall time in nanoseconds; divide by
-	// formserve_extractions_total for the mean.
+	// formserve_extractions_total for the mean. Kept for scrapers that
+	// already track it; mLatency is the interpretable view.
 	mLatencyNs = expvar.NewInt("formserve_extract_latency_ns_total")
+	// mLatency is the extraction latency histogram: count, sum, min, max
+	// and cumulative fixed buckets (100µs–10s), so one scrape of /metrics
+	// is readable without computing deltas.
+	mLatency = formext.NewHistogram()
 	// mTokens accumulates tokens seen across extractions.
 	mTokens = expvar.NewInt("formserve_tokens_total")
 	// mInstances accumulates parser instances created across extractions.
 	mInstances = expvar.NewInt("formserve_instances_total")
+	// mPrunes and mRollbacks accumulate the parser's preference-pruning
+	// work: instances killed directly and killed transitively.
+	mPrunes    = expvar.NewInt("formserve_prunes_total")
+	mRollbacks = expvar.NewInt("formserve_rollbacks_total")
+	// mFixpoint accumulates fix-point rounds across all schedule groups.
+	mFixpoint = expvar.NewInt("formserve_fixpoint_iters_total")
+	// mConflicts and mMissing accumulate the merger's two error classes.
+	mConflicts = expvar.NewInt("formserve_merge_conflicts_total")
+	mMissing   = expvar.NewInt("formserve_merge_missing_total")
 )
+
+func init() {
+	expvar.Publish("formserve_extract_latency_ns", mLatency)
+}
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
+	traceBuf := flag.Int("trace-buffer", 64, "recent traces kept for /traces (0 disables tracing)")
 	flag.Parse()
-	h, err := newHandler()
+	h, err := newHandler(*traceBuf)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -97,32 +123,43 @@ func main() {
 	}
 }
 
-// server is the service state: one extractor pool shared by all requests.
+// server is the service state: one extractor pool shared by all requests,
+// plus the flight-recorder sink the pool's tracer feeds.
 type server struct {
 	pool *formext.Pool
+	sink *formext.RingSink // nil when tracing is disabled
 	mux  *http.ServeMux
 }
 
 // newHandler builds the service. Extraction is served from a pool of
 // extractors over the shared parse-once grammar; the pool constructor also
-// validates the configuration once at startup.
-func newHandler() (http.Handler, error) {
-	pool, err := formext.NewPool()
+// validates the configuration once at startup. traceBuffer sizes the ring
+// of recent traces behind /traces; 0 serves untraced (stage timings and
+// counters still flow — only span trees are skipped).
+func newHandler(traceBuffer int) (http.Handler, error) {
+	var opts formext.Options
+	var sink *formext.RingSink
+	if traceBuffer > 0 {
+		sink = formext.NewRingSink(traceBuffer)
+		opts.Tracer = formext.NewTracer(sink)
+	}
+	pool, err := formext.NewPool(opts)
 	if err != nil {
 		return nil, err
 	}
-	s := &server{pool: pool, mux: http.NewServeMux()}
+	s := &server{pool: pool, sink: sink, mux: http.NewServeMux()}
 	s.mux.HandleFunc("/extract", s.handleExtract)
 	s.mux.HandleFunc("/grammar", s.handleGrammar)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.Handle("/metrics", expvar.Handler())
+	s.mux.HandleFunc("/traces", s.handleTraces)
 	s.mux.HandleFunc("/", s.handleIndex)
 	return s, nil
 }
 
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	switch r.URL.Path {
-	case "/extract", "/grammar", "/healthz", "/metrics", "/":
+	case "/extract", "/grammar", "/healthz", "/metrics", "/traces", "/":
 		mRequests.Add(r.URL.Path, 1)
 	default:
 		mRequests.Add("other", 1)
@@ -132,13 +169,20 @@ func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 // extractResponse is the JSON envelope of /extract.
 type extractResponse struct {
-	Model  *formext.SemanticModel `json:"model"`
-	Tokens int                    `json:"tokens"`
-	Stats  struct {
-		InstancesCreated int    `json:"instancesCreated"`
-		CompleteParses   int    `json:"completeParses"`
-		MaximalTrees     int    `json:"maximalTrees"`
-		Duration         string `json:"duration"`
+	Model   *formext.SemanticModel `json:"model"`
+	Tokens  int                    `json:"tokens"`
+	TraceID string                 `json:"traceId,omitempty"`
+	Stats   struct {
+		InstancesCreated int                  `json:"instancesCreated"`
+		Pruned           int                  `json:"pruned"`
+		RolledBack       int                  `json:"rolledBack"`
+		FixpointIters    int                  `json:"fixpointIters"`
+		CompleteParses   int                  `json:"completeParses"`
+		MaximalTrees     int                  `json:"maximalTrees"`
+		Conflicts        int                  `json:"conflicts"`
+		Missing          int                  `json:"missing"`
+		Duration         string               `json:"duration"`
+		Stages           formext.StageTimings `json:"stages"`
 	} `json:"stats"`
 	Trees []string `json:"trees,omitempty"`
 }
@@ -176,23 +220,73 @@ func (s *server) handleExtract(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	mExtractions.Add(1)
-	mLatencyNs.Add(time.Since(start).Nanoseconds())
+	lat := time.Since(start).Nanoseconds()
+	mLatencyNs.Add(lat)
+	mLatency.Observe(lat)
 	mTokens.Add(int64(len(res.Tokens)))
 	mInstances.Add(int64(res.Stats.TotalCreated))
+	mPrunes.Add(int64(res.Stats.Pruned))
+	mRollbacks.Add(int64(res.Stats.RolledBack))
+	mFixpoint.Add(int64(res.Stats.FixpointIters))
+	mConflicts.Add(int64(res.Stats.Merge.Conflicts))
+	mMissing.Add(int64(res.Stats.Merge.Missing))
 
 	var resp extractResponse
 	resp.Model = res.Model
 	resp.Tokens = len(res.Tokens)
+	resp.TraceID = res.Stats.TraceID
 	resp.Stats.InstancesCreated = res.Stats.TotalCreated
+	resp.Stats.Pruned = res.Stats.Pruned
+	resp.Stats.RolledBack = res.Stats.RolledBack
+	resp.Stats.FixpointIters = res.Stats.FixpointIters
 	resp.Stats.CompleteParses = res.Stats.CompleteParses
 	resp.Stats.MaximalTrees = len(res.Trees)
+	resp.Stats.Conflicts = res.Stats.Merge.Conflicts
+	resp.Stats.Missing = res.Stats.Merge.Missing
 	resp.Stats.Duration = res.Stats.Duration.String()
+	resp.Stats.Stages = res.Stats.Stages
+	if resp.TraceID != "" {
+		w.Header().Set("X-Trace-Id", resp.TraceID)
+	}
 	if r.URL.Query().Get("trees") != "" {
 		for _, tr := range res.Trees {
 			resp.Trees = append(resp.Trees, tr.Dump())
 		}
 	}
 	writeJSON(w, resp)
+}
+
+// tracesResponse is the JSON envelope of GET /traces (without ?id=).
+type tracesResponse struct {
+	Count   int              `json:"count"`
+	Dropped uint64           `json:"dropped"`
+	Traces  []*formext.Trace `json:"traces"`
+}
+
+func (s *server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		w.Header().Set("Allow", "GET, HEAD")
+		http.Error(w, "GET /traces", http.StatusMethodNotAllowed)
+		return
+	}
+	if s.sink == nil {
+		http.Error(w, "tracing disabled (-trace-buffer 0)", http.StatusNotFound)
+		return
+	}
+	if id := r.URL.Query().Get("id"); id != "" {
+		tr := s.sink.Find(id)
+		if tr == nil {
+			http.Error(w, "no buffered trace "+id, http.StatusNotFound)
+			return
+		}
+		writeJSON(w, tr)
+		return
+	}
+	writeJSON(w, tracesResponse{
+		Count:   s.sink.Len(),
+		Dropped: s.sink.Dropped(),
+		Traces:  s.sink.Traces(),
+	})
 }
 
 func (s *server) handleGrammar(w http.ResponseWriter, r *http.Request) {

@@ -12,7 +12,7 @@ import (
 
 func newTestServer(t *testing.T) *httptest.Server {
 	t.Helper()
-	h, err := newHandler()
+	h, err := newHandler(16)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +101,7 @@ type brokenReader struct{}
 func (brokenReader) Read([]byte) (int, error) { return 0, errors.New("connection reset") }
 
 func TestExtractBodyReadErrorIs400(t *testing.T) {
-	h, err := newHandler()
+	h, err := newHandler(16)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -240,5 +240,191 @@ func TestIndexAndNotFound(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusNotFound {
 		t.Errorf("not-found status = %d", resp.StatusCode)
+	}
+}
+
+func TestMetricsLatencyHistogram(t *testing.T) {
+	srv := newTestServer(t)
+	resp, err := http.Post(srv.URL+"/extract", "text/html",
+		strings.NewReader(`<form>X <input type=text name=x></form>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	resp, err = http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	var h struct {
+		Count   uint64 `json:"count"`
+		Sum     int64  `json:"sum"`
+		Min     int64  `json:"min"`
+		Max     int64  `json:"max"`
+		Buckets []struct {
+			Le    any    `json:"le"`
+			Count uint64 `json:"count"`
+		} `json:"buckets"`
+	}
+	if err := json.Unmarshal(m["formserve_extract_latency_ns"], &h); err != nil {
+		t.Fatalf("latency histogram not valid JSON: %v\n%s", err, m["formserve_extract_latency_ns"])
+	}
+	if h.Count == 0 || h.Min <= 0 || h.Max < h.Min || h.Sum < h.Max {
+		t.Errorf("histogram not interpretable: %+v", h)
+	}
+	if len(h.Buckets) == 0 {
+		t.Fatal("histogram has no buckets")
+	}
+	if last := h.Buckets[len(h.Buckets)-1]; last.Le != "+Inf" || last.Count != h.Count {
+		t.Errorf("terminal bucket = %+v, want +Inf with count %d", last, h.Count)
+	}
+	for _, key := range []string{
+		"formserve_fixpoint_iters_total",
+		"formserve_prunes_total",
+		"formserve_rollbacks_total",
+		"formserve_merge_conflicts_total",
+		"formserve_merge_missing_total",
+	} {
+		if _, ok := m[key]; !ok {
+			t.Errorf("metric %q not published", key)
+		}
+	}
+}
+
+func TestExtractTraceIDAndTracesEndpoint(t *testing.T) {
+	srv := newTestServer(t)
+	resp, err := http.Post(srv.URL+"/extract", "text/html",
+		strings.NewReader(`<form>X <input type=text name=x></form>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out extractResponse
+	err = json.NewDecoder(resp.Body).Decode(&out)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.TraceID == "" {
+		t.Fatal("response has no traceId")
+	}
+	if hdr := resp.Header.Get("X-Trace-Id"); hdr != out.TraceID {
+		t.Errorf("X-Trace-Id = %q, want %q", hdr, out.TraceID)
+	}
+	if out.Stats.FixpointIters == 0 {
+		t.Error("fixpointIters not reported")
+	}
+
+	// The buffered trace is retrievable by ID and spans every stage.
+	resp, err = http.Get(srv.URL + "/traces?id=" + out.TraceID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /traces?id: status %d", resp.StatusCode)
+	}
+	var tr struct {
+		TraceID string `json:"traceId"`
+		Root    struct {
+			Children []struct {
+				Name string `json:"name"`
+			} `json:"children"`
+		} `json:"root"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&tr); err != nil {
+		t.Fatal(err)
+	}
+	if tr.TraceID != out.TraceID {
+		t.Errorf("trace id = %q, want %q", tr.TraceID, out.TraceID)
+	}
+	got := map[string]bool{}
+	for _, c := range tr.Root.Children {
+		got[c.Name] = true
+	}
+	for _, stage := range []string{"htmlparse", "layout", "tokenize", "parse", "merge"} {
+		if !got[stage] {
+			t.Errorf("trace missing stage %q", stage)
+		}
+	}
+}
+
+func TestTracesList(t *testing.T) {
+	srv := newTestServer(t)
+	for i := 0; i < 2; i++ {
+		resp, err := http.Post(srv.URL+"/extract", "text/html",
+			strings.NewReader(`<form>X <input type=text name=x></form>`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	resp, err := http.Get(srv.URL + "/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Count  int               `json:"count"`
+		Traces []json.RawMessage `json:"traces"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Count < 2 || len(out.Traces) != out.Count {
+		t.Errorf("traces list: count=%d len=%d", out.Count, len(out.Traces))
+	}
+}
+
+func TestTracesUnknownIDIs404(t *testing.T) {
+	srv := newTestServer(t)
+	resp, err := http.Get(srv.URL + "/traces?id=deadbeef")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("status = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestTracesDisabled(t *testing.T) {
+	h, err := newHandler(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	// Extraction still works and still reports stage timings — only the
+	// span tree (and so the trace ID) is absent.
+	resp, err := http.Post(srv.URL+"/extract", "text/html",
+		strings.NewReader(`<form>X <input type=text name=x></form>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out extractResponse
+	err = json.NewDecoder(resp.Body).Decode(&out)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.TraceID != "" {
+		t.Errorf("traceId = %q with tracing disabled", out.TraceID)
+	}
+	if out.Stats.Stages.Parse == 0 {
+		t.Error("stage timings absent with tracing disabled")
+	}
+
+	resp, err = http.Get(srv.URL + "/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("GET /traces with tracing disabled: %d, want 404", resp.StatusCode)
 	}
 }

@@ -22,7 +22,9 @@ package formext
 
 import (
 	"fmt"
+	"io"
 	"strings"
+	"time"
 
 	"formext/internal/core"
 	"formext/internal/geom"
@@ -31,6 +33,7 @@ import (
 	"formext/internal/layout"
 	"formext/internal/merger"
 	"formext/internal/model"
+	"formext/internal/obs"
 	"formext/internal/submit"
 	"formext/internal/token"
 )
@@ -56,13 +59,76 @@ type (
 	Grammar = grammar.Grammar
 	// Instance is a (partial) parse tree node.
 	Instance = grammar.Instance
-	// Stats reports parsing effort and pruning behaviour.
-	Stats = core.Stats
+	// ParseStats reports the parser's internal work: instances created,
+	// prunes, rollbacks, fix-point rounds, parse trees.
+	ParseStats = core.Stats
 	// FormInfo is the submission envelope (action, method, hidden fields).
 	FormInfo = submit.FormInfo
 	// Query accumulates bound constraints for submission.
 	Query = submit.Query
+
+	// Tracer hands out per-extraction traces; attach one with
+	// Options.Tracer. Nil means tracing off at zero cost.
+	Tracer = obs.Tracer
+	// Trace is one traced extraction: a span tree rooted at "extract".
+	Trace = obs.Trace
+	// Span is one timed region of a trace (a pipeline stage, a fix-point
+	// group).
+	Span = obs.Span
+	// TraceSink receives completed traces (ring buffer, JSON lines, ...).
+	TraceSink = obs.Sink
+	// RingSink is the in-memory flight recorder sink.
+	RingSink = obs.RingSink
+	// JSONLSink writes each completed trace as one JSON line.
+	JSONLSink = obs.JSONLSink
+	// StageTimings records per-stage wall time for one extraction.
+	StageTimings = obs.StageTimings
+	// Histogram is the fixed-bucket latency histogram formserve publishes.
+	Histogram = obs.Histogram
 )
+
+// NewTracer returns a tracer delivering completed traces to sink; a nil
+// sink yields a disabled tracer (Start allocates nothing).
+func NewTracer(sink TraceSink) *Tracer { return obs.NewTracer(sink) }
+
+// NewRingSink returns an in-memory sink keeping the last capacity traces.
+func NewRingSink(capacity int) *RingSink { return obs.NewRingSink(capacity) }
+
+// NewJSONLSink returns a sink writing each completed trace as one JSON
+// line to w.
+func NewJSONLSink(w io.Writer) *JSONLSink { return obs.NewJSONLSink(w) }
+
+// NewHistogram returns a fixed-bucket histogram over the given ascending
+// upper bounds (a 100µs–10s latency layout when none are given). It
+// implements expvar.Var, so servers publish it directly on /metrics.
+func NewHistogram(bounds ...int64) *Histogram { return obs.NewHistogram(bounds...) }
+
+// MergeStats counts the merger's output and its two error classes
+// (Section 3.4): conflicts and missing elements. The counts equal the
+// lengths of the corresponding SemanticModel slices by construction.
+type MergeStats struct {
+	Conditions int
+	Conflicts  int
+	Missing    int
+}
+
+// Stats is the per-Result observability snapshot: the parser's internal
+// counters (embedded, so res.Stats.TotalCreated and friends read as
+// before), per-stage wall times, the merge report, and the trace ID when a
+// tracer was attached. Stage timings are recorded on every extraction —
+// they cost ten clock reads — while spans and events exist only under a
+// tracer.
+type Stats struct {
+	ParseStats
+	// Stages holds per-stage wall time (htmlparse, layout, tokenize,
+	// parse, merge).
+	Stages StageTimings
+	// Merge counts conditions, conflicts and missing elements.
+	Merge MergeStats
+	// TraceID identifies this extraction's trace, when a tracer was
+	// attached ("" otherwise).
+	TraceID string `json:",omitempty"`
+}
 
 // Domain kind constants, re-exported.
 const (
@@ -153,6 +219,12 @@ type Options struct {
 	DisableScheduling bool
 	// MaxInstances caps instance creation (0 = core.DefaultMaxInstances).
 	MaxInstances int
+	// Tracer, when non-nil and enabled, records a Trace per extraction:
+	// per-stage spans with structured events (fix-point groups, prunes,
+	// merge conflicts) delivered to the tracer's sink, plus pprof stage
+	// labels. Nil (the default) keeps the pipeline on the untraced path,
+	// whose only added cost is the per-stage wall clock reads.
+	Tracer *Tracer
 }
 
 // Extractor is the form extractor of Figure 2. It is safe to reuse across
@@ -170,6 +242,7 @@ type Extractor struct {
 	merger    *merger.Merger
 	layout    *layout.Engine
 	tokenizer *token.Tokenizer
+	tracer    *Tracer
 }
 
 // New builds an extractor. With no options it uses the embedded derived
@@ -213,6 +286,7 @@ func New(opts ...Options) (*Extractor, error) {
 		merger:    merger.New(g),
 		layout:    eng,
 		tokenizer: token.NewTokenizer(),
+		tracer:    o.Tracer,
 	}, nil
 }
 
@@ -221,12 +295,59 @@ func (e *Extractor) Grammar() *Grammar { return e.grammar }
 
 // ExtractHTML runs the full pipeline on HTML source.
 func (e *Extractor) ExtractHTML(src string) (*Result, error) {
-	doc := htmlparse.Parse(src)
-	boxes := e.layout.Layout(doc)
-	toks := e.tokenizer.Tokenize(boxes)
-	res, err := e.ExtractTokens(toks)
+	res, err := e.extractHTML(src)
 	if err != nil {
 		return nil, err
+	}
+	return res, nil
+}
+
+// extractHTML is ExtractHTML with the batch path's diagnosability
+// contract: the returned Result is always non-nil, carrying the tokens and
+// stage timings accumulated up to the point of failure, so a failed page
+// in a batch still reports where its time went.
+func (e *Extractor) extractHTML(src string) (*Result, error) {
+	tr := e.tracer.Start("extract")
+	defer tr.End()
+	res := &Result{Stats: Stats{TraceID: tr.TraceID()}}
+
+	var doc *htmlparse.Node
+	runStage(tr, obs.StageHTMLParse, &res.Stats.Stages.HTMLParse, func(sp *Span) {
+		doc = htmlparse.Parse(src)
+		if sp != nil {
+			ds := htmlparse.StatsOf(doc)
+			sp.SetInt("bytes", int64(len(src)))
+			sp.SetInt("elements", int64(ds.Elements))
+			sp.SetInt("texts", int64(ds.Texts))
+			sp.SetInt("maxDepth", int64(ds.MaxDepth))
+		}
+	})
+
+	var boxes *layout.Box
+	runStage(tr, obs.StageLayout, &res.Stats.Stages.Layout, func(sp *Span) {
+		boxes = e.layout.Layout(doc)
+		if sp != nil {
+			bs := layout.StatsOf(boxes)
+			sp.SetInt("boxes", int64(bs.Total()))
+			sp.SetInt("textBoxes", int64(bs.Texts))
+			sp.SetInt("widgetBoxes", int64(bs.Widgets))
+			sp.SetInt("pageHeight", int64(bs.Height))
+		}
+	})
+
+	runStage(tr, obs.StageTokenize, &res.Stats.Stages.Tokenize, func(sp *Span) {
+		res.Tokens = e.tokenizer.Tokenize(boxes)
+		if sp != nil {
+			ts := token.StatsOf(res.Tokens)
+			sp.SetInt("tokens", int64(ts.Total))
+			sp.SetInt("texts", int64(ts.Texts))
+			sp.SetInt("widgets", int64(ts.Widgets))
+		}
+	})
+
+	if err := e.parseAndMerge(tr, res); err != nil {
+		tr.Root().SetStr("error", err.Error())
+		return res, err
 	}
 	res.Form = submit.FormInfoOf(doc)
 	return res, nil
@@ -235,16 +356,56 @@ func (e *Extractor) ExtractHTML(src string) (*Result, error) {
 // ExtractTokens runs parsing and merging over an already-tokenized form.
 // Token IDs must be dense and in render order.
 func (e *Extractor) ExtractTokens(toks []*Token) (*Result, error) {
-	res, err := e.parser.Parse(toks)
-	if err != nil {
-		return nil, fmt.Errorf("formext: %w", err)
+	tr := e.tracer.Start("extract-tokens")
+	defer tr.End()
+	res := &Result{Tokens: toks, Stats: Stats{TraceID: tr.TraceID()}}
+	if err := e.parseAndMerge(tr, res); err != nil {
+		tr.Root().SetStr("error", err.Error())
+		return nil, err
 	}
-	return &Result{
-		Model:  e.merger.Merge(res),
-		Tokens: toks,
-		Trees:  res.Maximal,
-		Stats:  res.Stats,
-	}, nil
+	return res, nil
+}
+
+// parseAndMerge runs the back half of the pipeline (best-effort parse,
+// then merge) over res.Tokens, filling the result's trees, model and
+// statistics.
+func (e *Extractor) parseAndMerge(tr *Trace, res *Result) error {
+	var pres *core.Result
+	var perr error
+	runStage(tr, obs.StageParse, &res.Stats.Stages.Parse, func(sp *Span) {
+		pres, perr = e.parser.ParseSpan(res.Tokens, sp)
+	})
+	if perr != nil {
+		return fmt.Errorf("formext: %w", perr)
+	}
+	res.Trees = pres.Maximal
+	res.Stats.ParseStats = pres.Stats
+
+	runStage(tr, obs.StageMerge, &res.Stats.Stages.Merge, func(sp *Span) {
+		res.Model = e.merger.MergeSpan(pres, sp)
+	})
+	res.Stats.Merge = MergeStats{
+		Conditions: len(res.Model.Conditions),
+		Conflicts:  len(res.Model.Conflicts),
+		Missing:    len(res.Model.Missing),
+	}
+	return nil
+}
+
+// runStage runs one pipeline stage, always measuring its wall time into
+// *d. Under an enabled trace the stage additionally gets a span (passed to
+// f for stage-specific attributes) and a pprof label, so CPU profiles
+// taken during traced extractions attribute samples per stage.
+func runStage(tr *Trace, name string, d *time.Duration, f func(sp *Span)) {
+	sp := tr.Span(name)
+	start := time.Now()
+	if sp != nil {
+		obs.Labeled(name, func() { f(sp) })
+	} else {
+		f(nil)
+	}
+	*d = time.Since(start)
+	sp.End()
 }
 
 // Tokenize exposes the front half of the pipeline: HTML → layout → tokens.

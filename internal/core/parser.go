@@ -3,11 +3,13 @@ package core
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
 	"formext/internal/geom"
 	"formext/internal/grammar"
+	"formext/internal/obs"
 	"formext/internal/token"
 )
 
@@ -36,9 +38,14 @@ type Options struct {
 const DefaultMaxInstances = 400000
 
 // Stats reports what parsing did — the quantities Section 4.2.1 and 5.1 of
-// the paper discuss (total vs. temporary instances, parse trees, timing).
+// the paper discuss (total vs. temporary instances, parse trees, timing),
+// plus the scheduling internals the observability layer exposes (fix-point
+// rounds, schedule groups). Counting is unconditional: the counters are
+// plain integer increments on paths that already do real work, so there is
+// no "stats off" mode to get wrong.
 type Stats struct {
 	Tokens          int
+	Terminals       int           // terminal instances created (one per token)
 	TotalCreated    int           // instances ever created, including pruned ones
 	Pruned          int           // killed directly by a preference
 	RolledBack      int           // killed transitively as ancestors of pruned instances
@@ -46,9 +53,14 @@ type Stats struct {
 	MaximalTrees    int           // maximal partial parse trees
 	CompleteParses  int           // alive start-symbol instances covering every token
 	ConstraintEvals int           // production constraint evaluations
+	FixpointIters   int           // fix-point rounds summed over all groups
+	Groups          int           // schedule groups executed (1 when scheduling is off)
 	Truncated       bool          // hit MaxInstances
 	Duration        time.Duration // parse construction + maximization time
 }
+
+// Nonterminals returns the nonterminal instances created.
+func (s Stats) Nonterminals() int { return s.TotalCreated - s.Terminals }
 
 // Result is the parser output: the surviving instances and the maximal
 // partial parse trees (Section 5.3), ordered by descending cover.
@@ -116,6 +128,15 @@ func (p *Parser) Schedule() *Schedule { return p.sched }
 
 // Parse runs best-effort parsing over the token set.
 func (p *Parser) Parse(toks []*token.Token) (*Result, error) {
+	return p.ParseSpan(toks, nil)
+}
+
+// ParseSpan runs best-effort parsing, recording per-group span events on sp
+// when non-nil: one child span per schedule group with the instances
+// created, fix-point rounds and prune/rollback counts it caused, plus one
+// for maximization. A nil span costs only the nil checks inside obs; the
+// counters in Stats are recorded either way.
+func (p *Parser) ParseSpan(toks []*token.Token, sp *obs.Span) (*Result, error) {
 	start := time.Now()
 	e := &engine{
 		g:     p.g,
@@ -134,6 +155,7 @@ func (p *Parser) Parse(toks []*token.Token) (*Result, error) {
 		e.nextID++
 		e.bySym[in.Sym] = append(e.bySym[in.Sym], in)
 		e.stats.TotalCreated++
+		e.stats.Terminals++
 	}
 	e.stats.Tokens = len(toks)
 
@@ -145,32 +167,52 @@ func (p *Parser) Parse(toks []*token.Token) (*Result, error) {
 			all = append(all, n)
 		}
 		sort.Strings(all)
-		e.fixpoint(all)
+		e.stats.Groups++
+		gsp := sp.Span("fixpoint")
+		gsp.SetStr("mode", "global")
+		e.fixpoint(gsp, all)
 		if !p.opt.DisablePreferences {
 			prefs := ByPriority(p.g.Prefs)
 			for {
 				killed := 0
 				for _, pref := range prefs {
-					killed += e.enforce(pref)
+					killed += e.enforce(gsp, pref)
 				}
 				if killed == 0 {
 					break
 				}
 			}
 		}
+		gsp.SetInt("created", int64(e.stats.TotalCreated-e.stats.Terminals))
+		gsp.SetInt("pruned", int64(e.stats.Pruned))
+		gsp.SetInt("rolledBack", int64(e.stats.RolledBack))
+		gsp.End()
 	} else {
 		for gi, group := range p.sched.Groups {
-			e.fixpoint(group)
+			e.stats.Groups++
+			gsp := sp.Span("fixpoint")
+			gsp.SetStr("symbols", strings.Join(group, " "))
+			c0, f0 := e.stats.TotalCreated, e.stats.FixpointIters
+			p0, r0 := e.stats.Pruned, e.stats.RolledBack
+			e.fixpoint(gsp, group)
 			if !p.opt.DisablePreferences {
 				for _, pref := range p.sched.EnforceAfter[gi] {
-					e.enforce(pref)
+					e.enforce(gsp, pref)
 				}
 			}
+			gsp.SetInt("created", int64(e.stats.TotalCreated-c0))
+			gsp.SetInt("rounds", int64(e.stats.FixpointIters-f0))
+			gsp.SetInt("pruned", int64(e.stats.Pruned-p0))
+			gsp.SetInt("rolledBack", int64(e.stats.RolledBack-r0))
+			gsp.End()
 		}
 	}
 
+	msp := sp.Span("maximize")
 	res := &Result{Tokens: toks}
 	res.Maximal = e.maximize(p.g.Start)
+	msp.SetInt("trees", int64(len(res.Maximal)))
+	msp.End()
 	for _, list := range e.bySym {
 		for _, in := range list {
 			if !in.Dead {
@@ -192,6 +234,13 @@ func (p *Parser) Parse(toks []*token.Token) (*Result, error) {
 	}
 	e.stats.Duration = time.Since(start)
 	res.Stats = e.stats
+
+	sp.SetInt("tokens", int64(e.stats.Tokens))
+	sp.SetInt("instances", int64(e.stats.TotalCreated))
+	sp.SetInt("pruned", int64(e.stats.Pruned))
+	sp.SetInt("rolledBack", int64(e.stats.RolledBack))
+	sp.SetInt("fixpointIters", int64(e.stats.FixpointIters))
+	sp.SetInt("completeParses", int64(e.stats.CompleteParses))
 	return res, nil
 }
 
@@ -239,7 +288,7 @@ type engine struct {
 // instances exist — at least one component must be "new" (created since
 // the previous round), so recursive symbols pay per new instance instead
 // of re-evaluating the whole cross product every round.
-func (e *engine) fixpoint(group []string) {
+func (e *engine) fixpoint(sp *obs.Span, group []string) {
 	var prods []*grammar.Production
 	inGroup := map[string]bool{}
 	for _, s := range group {
@@ -256,6 +305,7 @@ func (e *engine) fixpoint(group []string) {
 	// to this group.
 	mark := map[string]int{}
 	for {
+		e.stats.FixpointIters++
 		snapshot := map[string]int{}
 		for _, p := range prods {
 			for _, c := range p.Components {
@@ -268,6 +318,7 @@ func (e *engine) fixpoint(group []string) {
 		for _, p := range prods {
 			added += e.applyProd(p, mark)
 			if e.stats.Truncated {
+				sp.Event("truncated", obs.Int("instances", int64(e.stats.TotalCreated)))
 				return
 			}
 		}
@@ -393,12 +444,13 @@ func (e *engine) applyProd(p *grammar.Production, mark map[string]int) int {
 // instantiations or stand as a parse tree) while the winner's derivation
 // through it stays intact. Parents outside the winner's subtree — e.g. an
 // EnumRB reading of the short list — are rolled back as usual.
-func (e *engine) enforce(pref *grammar.Preference) int {
+func (e *engine) enforce(sp *obs.Span, pref *grammar.Preference) int {
 	losers := e.bySym[pref.Loser]
 	winners := e.bySym[pref.Winner]
 	if len(losers) == 0 || len(winners) == 0 {
 		return 0
 	}
+	rolled0 := e.stats.RolledBack
 	kills := 0
 	subtreeCache := map[*grammar.Instance]map[int]bool{}
 	for _, l := range losers {
@@ -436,6 +488,11 @@ func (e *engine) enforce(pref *grammar.Preference) int {
 			kills++
 			break
 		}
+	}
+	if kills > 0 && sp != nil {
+		sp.Event("prune", obs.Str("pref", pref.Name),
+			obs.Int("killed", int64(kills)),
+			obs.Int("rolledBack", int64(e.stats.RolledBack-rolled0)))
 	}
 	return kills
 }

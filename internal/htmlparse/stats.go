@@ -1,0 +1,38 @@
+package htmlparse
+
+// DocStats summarizes a parsed document for the observability layer: node
+// counts by class and tree depth, the numbers the htmlparse trace span
+// reports.
+type DocStats struct {
+	Elements int
+	Texts    int
+	Comments int
+	MaxDepth int
+}
+
+// StatsOf walks the tree once and tallies it. The document root itself is
+// depth 0 and not counted as a node.
+func StatsOf(root *Node) DocStats {
+	var st DocStats
+	var walk func(n *Node, depth int)
+	walk = func(n *Node, depth int) {
+		switch n.Type {
+		case ElementNode:
+			st.Elements++
+		case TextNode:
+			st.Texts++
+		case CommentNode:
+			st.Comments++
+		}
+		if depth > st.MaxDepth {
+			st.MaxDepth = depth
+		}
+		for _, c := range n.Children {
+			walk(c, depth+1)
+		}
+	}
+	if root != nil {
+		walk(root, 0)
+	}
+	return st
+}

@@ -1,0 +1,40 @@
+package layout
+
+// BoxStats summarizes a render tree for the observability layer: box
+// counts by kind plus the rendered page height, the numbers the layout
+// trace span reports.
+type BoxStats struct {
+	Blocks  int
+	Texts   int
+	Widgets int
+	Rules   int
+	// Height is the rendered page height in layout pixels (the root box's
+	// bottom edge).
+	Height float64
+}
+
+// Total counts all boxes.
+func (s BoxStats) Total() int { return s.Blocks + s.Texts + s.Widgets + s.Rules }
+
+// StatsOf walks the render tree once and tallies it.
+func StatsOf(root *Box) BoxStats {
+	var st BoxStats
+	if root == nil {
+		return st
+	}
+	st.Height = root.Rect.Y2
+	root.Walk(func(b *Box) bool {
+		switch b.Kind {
+		case BlockBox:
+			st.Blocks++
+		case TextBox:
+			st.Texts++
+		case WidgetBox:
+			st.Widgets++
+		case RuleBox:
+			st.Rules++
+		}
+		return true
+	})
+	return st
+}

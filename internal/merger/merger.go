@@ -15,6 +15,7 @@ import (
 	"formext/internal/core"
 	"formext/internal/grammar"
 	"formext/internal/model"
+	"formext/internal/obs"
 	"formext/internal/token"
 )
 
@@ -29,6 +30,16 @@ func New(g *grammar.Grammar) *Merger { return &Merger{g: g} }
 
 // Merge combines the maximal parse trees into the semantic model.
 func (m *Merger) Merge(res *core.Result) *model.SemanticModel {
+	return m.MergeSpan(res, nil)
+}
+
+// MergeSpan merges, recording the merge report on sp when non-nil: the
+// condition/conflict/missing counts as attributes and one structured event
+// per conflict (which token, which conditions) and per missing element.
+// These events are the merger's per-request error report — the two failure
+// classes Section 3.4 tells clients to handle — so a trace shows not just
+// that a merge lost tokens but which ones.
+func (m *Merger) MergeSpan(res *core.Result, sp *obs.Span) *model.SemanticModel {
 	sm := &model.SemanticModel{}
 	n := len(res.Tokens)
 	covered := bitset.New(n)
@@ -88,6 +99,21 @@ func (m *Merger) Merge(res *core.Result) *model.SemanticModel {
 			continue
 		}
 		sm.Missing = append(sm.Missing, t.ID)
+	}
+
+	if sp != nil {
+		sp.SetInt("trees", int64(len(res.Maximal)))
+		sp.SetInt("conditions", int64(len(sm.Conditions)))
+		sp.SetInt("conflicts", int64(len(sm.Conflicts)))
+		sp.SetInt("missing", int64(len(sm.Missing)))
+		for _, k := range sm.Conflicts {
+			sp.Event("conflict", obs.Int("token", int64(k.TokenID)),
+				obs.Int("condA", int64(k.Conditions[0])),
+				obs.Int("condB", int64(k.Conditions[1])))
+		}
+		for _, id := range sm.Missing {
+			sp.Event("missing", obs.Int("token", int64(id)))
+		}
 	}
 	return sm
 }

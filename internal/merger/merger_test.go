@@ -8,6 +8,7 @@ import (
 	"formext/internal/htmlparse"
 	"formext/internal/layout"
 	"formext/internal/model"
+	"formext/internal/obs"
 	"formext/internal/token"
 )
 
@@ -189,5 +190,133 @@ func TestSelectDateishMirrorsGrammar(t *testing.T) {
 	}
 	if !selectDateish(mk("Jan", "Feb", "Mar", "Apr")) {
 		t.Error("month abbreviations should be dateish")
+	}
+}
+
+// pipelineSpan is pipeline with the merge recorded on a live span, so
+// tests can assert the span report against the model.
+func pipelineSpan(t *testing.T, src string) (*model.SemanticModel, *obs.Span) {
+	t.Helper()
+	g := grammar.Default()
+	p, err := core.NewParser(g, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	toks := token.NewTokenizer().Tokenize(layout.New().Layout(htmlparse.Parse(src)))
+	res, err := p.Parse(toks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := obs.NewTracer(obs.NopSink{}).Start("test")
+	sp := tr.Span(obs.StageMerge)
+	sm := New(g).MergeSpan(res, sp)
+	sp.End()
+	tr.End()
+	return sm, sp
+}
+
+// spanInt reads an integer attribute off a span, failing when absent.
+func spanInt(t *testing.T, sp *obs.Span, key string) int64 {
+	t.Helper()
+	for _, a := range sp.Attrs {
+		if a.Key == key && !a.IsStr {
+			return a.Int
+		}
+	}
+	t.Fatalf("span %q has no int attribute %q (attrs %v)", sp.Name, key, sp.Attrs)
+	return 0
+}
+
+// countEvents counts a span's events by name.
+func countEvents(sp *obs.Span, name string) int {
+	n := 0
+	for _, ev := range sp.Events {
+		if ev.Name == name {
+			n++
+		}
+	}
+	return n
+}
+
+func TestMergeSpanReportsConflicts(t *testing.T) {
+	// The passengers/adults row: overlapping trees claim the shared
+	// heading for both conditions, the conflict class of interface Qaa.
+	sm, sp := pipelineSpan(t, `<form><table><tr>
+	<td>Number of passengers</td>
+	<td>Adults <select name="ad"><option>1</option><option>2</option></select></td>
+	<td>Children <select name="ch"><option>0</option><option>1</option></select></td>
+	</tr></table></form>`)
+	if len(sm.Conflicts) == 0 {
+		t.Fatal("crafted form produced no conflicts")
+	}
+	if got := spanInt(t, sp, "conflicts"); got != int64(len(sm.Conflicts)) {
+		t.Errorf("span conflicts = %d, model has %d", got, len(sm.Conflicts))
+	}
+	if got := countEvents(sp, "conflict"); got != len(sm.Conflicts) {
+		t.Errorf("conflict events = %d, model has %d", got, len(sm.Conflicts))
+	}
+	if got := spanInt(t, sp, "conditions"); got != int64(len(sm.Conditions)) {
+		t.Errorf("span conditions = %d, model has %d", got, len(sm.Conditions))
+	}
+	// Each conflict event names a token owned by two distinct conditions.
+	for _, ev := range sp.Events {
+		if ev.Name != "conflict" {
+			continue
+		}
+		attrs := map[string]int64{}
+		for _, a := range ev.Attrs {
+			attrs[a.Key] = a.Int
+		}
+		if attrs["condA"] == attrs["condB"] {
+			t.Errorf("conflict event with a single condition: %v", ev.Attrs)
+		}
+		if attrs["token"] < 0 || attrs["token"] >= int64(len(sm.Conditions[0].TokenIDs)+100) {
+			t.Errorf("conflict event token out of range: %v", ev.Attrs)
+		}
+	}
+}
+
+func TestMergeSpanReportsMissing(t *testing.T) {
+	// A bare selection list with no attribute text anywhere: no condition
+	// can form, so the token is a missing element, not silently dropped.
+	sm, sp := pipelineSpan(t,
+		`<form><select name="x"><option>alpha</option><option>beta</option></select></form>`)
+	if len(sm.Missing) == 0 {
+		t.Fatal("crafted form produced no missing elements")
+	}
+	if got := spanInt(t, sp, "missing"); got != int64(len(sm.Missing)) {
+		t.Errorf("span missing = %d, model has %d", got, len(sm.Missing))
+	}
+	if got := countEvents(sp, "missing"); got != len(sm.Missing) {
+		t.Errorf("missing events = %d, model has %d", got, len(sm.Missing))
+	}
+	// The events name exactly the missing token IDs.
+	want := map[int64]bool{}
+	for _, id := range sm.Missing {
+		want[int64(id)] = true
+	}
+	for _, ev := range sp.Events {
+		if ev.Name != "missing" {
+			continue
+		}
+		if len(ev.Attrs) != 1 || !want[ev.Attrs[0].Int] {
+			t.Errorf("missing event for unexpected token: %v", ev.Attrs)
+		}
+	}
+}
+
+func TestMergeSpanNilIsSafe(t *testing.T) {
+	// The untraced path must produce the identical model.
+	src := `<form><table><tr>
+	<td>Number of passengers</td>
+	<td>Adults <select name="ad"><option>1</option><option>2</option></select></td>
+	<td>Children <select name="ch"><option>0</option><option>1</option></select></td>
+	</tr></table></form>`
+	traced, _ := pipelineSpan(t, src)
+	plain, _ := pipeline(t, src)
+	if len(traced.Conditions) != len(plain.Conditions) ||
+		len(traced.Conflicts) != len(plain.Conflicts) ||
+		len(traced.Missing) != len(plain.Missing) {
+		t.Errorf("traced and untraced merges differ: %+v vs %+v", traced, plain)
 	}
 }

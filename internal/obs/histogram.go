@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync/atomic"
+)
+
+// Histogram is a fixed-bucket histogram over int64 observations with
+// lock-free recording, built for latency-in-nanoseconds but agnostic to
+// units. It implements expvar.Var, rendering as JSON with count, sum, min,
+// max and cumulative bucket counts — so a single scrape of /metrics is
+// interpretable without computing deltas against a previous scrape.
+type Histogram struct {
+	bounds []int64 // ascending upper bounds; an implicit +Inf bucket follows
+	counts []atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Int64
+	min    atomic.Int64
+	max    atomic.Int64
+}
+
+// DefaultLatencyBuckets spans 100µs to 10s in nanoseconds — wide enough
+// for a pathological parse, fine enough near the 1ms where typical forms
+// land.
+var DefaultLatencyBuckets = []int64{
+	100_000,        // 100µs
+	250_000,        // 250µs
+	500_000,        // 500µs
+	1_000_000,      // 1ms
+	2_500_000,      // 2.5ms
+	5_000_000,      // 5ms
+	10_000_000,     // 10ms
+	25_000_000,     // 25ms
+	50_000_000,     // 50ms
+	100_000_000,    // 100ms
+	250_000_000,    // 250ms
+	500_000_000,    // 500ms
+	1_000_000_000,  // 1s
+	2_500_000_000,  // 2.5s
+	5_000_000_000,  // 5s
+	10_000_000_000, // 10s
+}
+
+// NewHistogram returns a histogram over the given ascending upper bounds
+// (DefaultLatencyBuckets when none are given). Bounds must be strictly
+// ascending; the constructor panics otherwise, since bucket layout is a
+// compile-time decision.
+func NewHistogram(bounds ...int64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefaultLatencyBuckets
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram bounds not ascending at %d: %d <= %d",
+				i, bounds[i], bounds[i-1]))
+		}
+	}
+	h := &Histogram{
+		bounds: append([]int64(nil), bounds...),
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+	h.min.Store(math.MaxInt64)
+	h.max.Store(math.MinInt64)
+	return h
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	// Binary search for the first bound >= v; the tail bucket is +Inf.
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if v <= h.bounds[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	h.counts[lo].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.min.Load()
+		if v >= cur || h.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Min returns the smallest observation (0 before any).
+func (h *Histogram) Min() int64 {
+	if h.count.Load() == 0 {
+		return 0
+	}
+	return h.min.Load()
+}
+
+// Max returns the largest observation (0 before any).
+func (h *Histogram) Max() int64 {
+	if h.count.Load() == 0 {
+		return 0
+	}
+	return h.max.Load()
+}
+
+// String renders the histogram as JSON, satisfying expvar.Var. Bucket
+// counts are cumulative (each bucket counts observations <= its le bound,
+// Prometheus-style), with a final +Inf bucket equal to count.
+//
+// Concurrent Observe calls may land between the counter reads, so a scrape
+// under load is approximate to within the in-flight observations — the
+// standard contract for lock-free metrics.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, `{"count":%d,"sum":%d,"min":%d,"max":%d,"buckets":[`,
+		h.Count(), h.Sum(), h.Min(), h.Max())
+	var cum uint64
+	for i := range h.counts {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		cum += h.counts[i].Load()
+		if i < len(h.bounds) {
+			fmt.Fprintf(&b, `{"le":%d,"count":%d}`, h.bounds[i], cum)
+		} else {
+			fmt.Fprintf(&b, `{"le":"+Inf","count":%d}`, cum)
+		}
+	}
+	b.WriteString("]}")
+	return b.String()
+}

@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Sum() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Errorf("empty histogram: count=%d sum=%d min=%d max=%d",
+			h.Count(), h.Sum(), h.Min(), h.Max())
+	}
+	var v struct {
+		Count   uint64 `json:"count"`
+		Buckets []any  `json:"buckets"`
+	}
+	if err := json.Unmarshal([]byte(h.String()), &v); err != nil {
+		t.Fatalf("String() not JSON: %v\n%s", err, h.String())
+	}
+	if len(v.Buckets) != len(DefaultLatencyBuckets)+1 {
+		t.Errorf("buckets = %d, want %d", len(v.Buckets), len(DefaultLatencyBuckets)+1)
+	}
+}
+
+func TestHistogramObserve(t *testing.T) {
+	h := NewHistogram(10, 100, 1000)
+	for _, v := range []int64{5, 10, 11, 500, 5000} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("count = %d", h.Count())
+	}
+	if h.Sum() != 5526 {
+		t.Errorf("sum = %d", h.Sum())
+	}
+	if h.Min() != 5 || h.Max() != 5000 {
+		t.Errorf("min/max = %d/%d", h.Min(), h.Max())
+	}
+	var out struct {
+		Buckets []struct {
+			Le    any    `json:"le"`
+			Count uint64 `json:"count"`
+		} `json:"buckets"`
+	}
+	if err := json.Unmarshal([]byte(h.String()), &out); err != nil {
+		t.Fatalf("String() not JSON: %v\n%s", err, h.String())
+	}
+	// Cumulative: <=10 → 2, <=100 → 3, <=1000 → 4, +Inf → 5.
+	wantCum := []uint64{2, 3, 4, 5}
+	if len(out.Buckets) != len(wantCum) {
+		t.Fatalf("buckets = %d, want %d", len(out.Buckets), len(wantCum))
+	}
+	for i, b := range out.Buckets {
+		if b.Count != wantCum[i] {
+			t.Errorf("bucket %d count = %d, want %d", i, b.Count, wantCum[i])
+		}
+	}
+	if out.Buckets[len(out.Buckets)-1].Le != "+Inf" {
+		t.Errorf("last bucket le = %v, want +Inf", out.Buckets[len(out.Buckets)-1].Le)
+	}
+}
+
+func TestHistogramBoundsValidated(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("non-ascending bounds must panic")
+		}
+	}()
+	NewHistogram(10, 10)
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram(100, 1000)
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(int64(w*per + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Count() != workers*per {
+		t.Errorf("count = %d, want %d", h.Count(), workers*per)
+	}
+	if h.Min() != 0 || h.Max() != workers*per-1 {
+		t.Errorf("min/max = %d/%d", h.Min(), h.Max())
+	}
+}

@@ -1,0 +1,20 @@
+package obs
+
+import (
+	"context"
+	"runtime/pprof"
+)
+
+// labelKey is the pprof label the pipeline stages run under; CPU profiles
+// taken while tracing is enabled attribute samples per stage
+// (`go tool pprof -tagfocus formext_stage=parse ...`).
+const labelKey = "formext_stage"
+
+// Labeled runs f with a pprof label naming the pipeline stage. Callers gate
+// this on the tracer being enabled: label propagation is cheap but not
+// free, and the disabled path must stay at nil-check cost.
+func Labeled(stage string, f func()) {
+	pprof.Do(context.Background(), pprof.Labels(labelKey, stage), func(context.Context) {
+		f()
+	})
+}

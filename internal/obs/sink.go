@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// Sink receives completed traces. Implementations must be safe for
+// concurrent Emit calls: one Tracer serves every goroutine of a server.
+// Emit must not block on slow consumers longer than it wants every
+// extraction to wait.
+type Sink interface {
+	Emit(tr *Trace)
+}
+
+// NopSink builds full traces and discards them. It exists to measure the
+// cost of the instrumentation itself (BenchmarkTraceOverhead); a service
+// that wants tracing off should attach no tracer at all, which skips span
+// construction entirely.
+type NopSink struct{}
+
+// Emit discards the trace.
+func (NopSink) Emit(*Trace) {}
+
+// RingSink keeps the most recent traces in a fixed-capacity ring buffer —
+// the "flight recorder" sink formserve exposes at /traces. Older traces are
+// overwritten; Dropped counts them.
+type RingSink struct {
+	mu      sync.Mutex
+	buf     []*Trace
+	next    int
+	full    bool
+	dropped uint64
+}
+
+// NewRingSink returns a ring buffer holding the last capacity traces
+// (minimum 1).
+func NewRingSink(capacity int) *RingSink {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &RingSink{buf: make([]*Trace, capacity)}
+}
+
+// Emit stores the trace, overwriting the oldest once full.
+func (r *RingSink) Emit(tr *Trace) {
+	r.mu.Lock()
+	if r.buf[r.next] != nil {
+		r.dropped++
+	}
+	r.buf[r.next] = tr
+	r.next = (r.next + 1) % len(r.buf)
+	if r.next == 0 {
+		r.full = true
+	}
+	r.mu.Unlock()
+}
+
+// Traces returns the buffered traces, oldest first.
+func (r *RingSink) Traces() []*Trace {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []*Trace
+	if r.full {
+		for i := 0; i < len(r.buf); i++ {
+			if tr := r.buf[(r.next+i)%len(r.buf)]; tr != nil {
+				out = append(out, tr)
+			}
+		}
+		return out
+	}
+	for i := 0; i < r.next; i++ {
+		out = append(out, r.buf[i])
+	}
+	return out
+}
+
+// Find returns the buffered trace with the given ID, or nil.
+func (r *RingSink) Find(id string) *Trace {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, tr := range r.buf {
+		if tr != nil && tr.ID == id {
+			return tr
+		}
+	}
+	return nil
+}
+
+// Len reports how many traces are currently buffered.
+func (r *RingSink) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.full {
+		return len(r.buf)
+	}
+	return r.next
+}
+
+// Dropped reports how many traces were overwritten.
+func (r *RingSink) Dropped() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// JSONLSink writes each completed trace as one JSON line. Writes are
+// serialized; the writer is the caller's (a file, a network pipe, a
+// buffer).
+type JSONLSink struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+}
+
+// NewJSONLSink returns a sink writing JSON lines to w.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{enc: json.NewEncoder(w)}
+}
+
+// Emit writes the trace as one JSON line. Encoding errors are swallowed:
+// tracing must never fail an extraction.
+func (s *JSONLSink) Emit(tr *Trace) {
+	s.mu.Lock()
+	_ = s.enc.Encode(tr)
+	s.mu.Unlock()
+}

@@ -1,0 +1,29 @@
+package token
+
+// SetStats summarizes a token set for the observability layer: counts per
+// broad class and per terminal type, the numbers the tokenize trace span
+// reports.
+type SetStats struct {
+	Total   int
+	Texts   int // text runs and link texts
+	Widgets int // form-input widgets
+	Rules   int
+	ByType  map[Type]int
+}
+
+// StatsOf tallies the token set in one pass.
+func StatsOf(toks []*Token) SetStats {
+	st := SetStats{Total: len(toks), ByType: make(map[Type]int, 8)}
+	for _, t := range toks {
+		st.ByType[t.Type]++
+		switch {
+		case t.Type == Rule:
+			st.Rules++
+		case t.IsWidget():
+			st.Widgets++
+		default:
+			st.Texts++
+		}
+	}
+	return st
+}

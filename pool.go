@@ -17,6 +17,11 @@ var newExtractor = func(o Options) (*Extractor, error) { return New(o) }
 // allocation-free and the pool shrinks under memory pressure like any
 // sync.Pool.
 //
+// Observability composes with pooling: when Options.Tracer is set, every
+// pooled extractor records through that one tracer (tracers are safe for
+// concurrent use and issue process-unique trace IDs), so a server attaches
+// a tracer to the pool once and gets a per-request Trace.
+//
 // A Pool is safe for concurrent use; it is the serving-path primitive that
 // cmd/formserve and ExtractAll build on.
 type Pool struct {
