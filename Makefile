@@ -1,9 +1,10 @@
-# Tier-1 verification: everything must build, vet clean, and pass the
+# Tier-1 verification: everything must build, vet clean, pass the
 # full test suite under the race detector (the concurrent serving path —
-# pool, batch, formserve — is exercised by design).
-.PHONY: check build vet test bench
+# pool, batch, formserve — is exercised by design), and keep the compiled
+# evaluation plan differentially equal to the interpreted oracle.
+.PHONY: check build vet test parity bench bench-smoke
 
-check: build vet test
+check: build vet test parity
 
 build:
 	go build ./...
@@ -14,7 +15,19 @@ vet:
 test:
 	go test -race ./...
 
-# Regenerate the paper's evaluation numbers and the serving-path
-# benchmarks (BENCH_pool.json records the before/after of PR 1).
+# Differential gate for the parser's two evaluation modes: the compiled
+# per-grammar plan must match the interpreted Expr walker instance-for-
+# instance on the example corpus and on fuzz-generated token sets.
+parity:
+	go test -run TestCompiledParity -count=1 ./internal/core/
+
+# Regenerate the paper's evaluation numbers and the serving/parsing
+# benchmarks (BENCH_pool.json records the before/after of PR 1,
+# BENCH_parser.json the parser hot-path rewrite of PR 3).
 bench:
 	go test -bench=. -benchmem ./...
+
+# One-iteration pass over every benchmark: cheap CI proof that the bench
+# harnesses still compile and run.
+bench-smoke:
+	go test -bench . -benchtime=1x ./...

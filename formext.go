@@ -219,6 +219,11 @@ type Options struct {
 	DisableScheduling bool
 	// MaxInstances caps instance creation (0 = core.DefaultMaxInstances).
 	MaxInstances int
+	// InterpretedEval evaluates grammar expressions by walking their ASTs
+	// instead of through the compiled per-grammar evaluation plan. The two
+	// modes produce identical results; the interpreter survives as the
+	// semantic reference (and differential-test oracle) for the compiler.
+	InterpretedEval bool
 	// Tracer, when non-nil and enabled, records a Trace per extraction:
 	// per-stage spans with structured events (fix-point groups, prunes,
 	// merge conflicts) delivered to the tracer's sink, plus pprof stage
@@ -272,6 +277,7 @@ func New(opts ...Options) (*Extractor, error) {
 		DisablePreferences: o.DisablePreferences,
 		DisableScheduling:  o.DisableScheduling,
 		MaxInstances:       o.MaxInstances,
+		Interpreted:        o.InterpretedEval,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("formext: %w", err)

@@ -1,0 +1,48 @@
+package bitset
+
+// Arena hands out same-universe Sets whose word storage is sliced from
+// large shared slabs, so a parse that creates thousands of instance covers
+// pays one heap allocation per slab instead of one per cover. Sets created
+// by an Arena are ordinary Sets in every way except provenance; they stay
+// valid for as long as the slab they point into is referenced (each Set
+// keeps its slab alive on its own).
+//
+// An Arena is single-owner scratch state — the parser engine that holds it
+// — and must not be shared across goroutines.
+type Arena struct {
+	universe int
+	wpn      int // words per set
+	slab     []uint64
+}
+
+// slabSets is how many sets one slab holds. 128 keeps slabs around 1-4 KiB
+// for typical token universes — small enough not to strand memory when a
+// parse creates few instances, large enough to amortize allocation when it
+// creates thousands.
+const slabSets = 128
+
+// Reset prepares the arena to allocate sets over the universe [0, n),
+// dropping any reference to previous slabs (their sets keep them alive).
+func (a *Arena) Reset(n int) {
+	if n < 0 {
+		n = 0
+	}
+	a.universe = n
+	a.wpn = (n + wordBits - 1) / wordBits
+	a.slab = nil
+}
+
+// New returns an empty set over the arena's universe, carved from the
+// current slab.
+func (a *Arena) New() Set {
+	if a.wpn == 0 {
+		return Set{n: a.universe}
+	}
+	if len(a.slab)+a.wpn > cap(a.slab) {
+		a.slab = make([]uint64, 0, a.wpn*slabSets)
+	}
+	start := len(a.slab)
+	a.slab = a.slab[:start+a.wpn]
+	// Three-index slice: a set must never grow into its neighbor's words.
+	return Set{words: a.slab[start : start+a.wpn : start+a.wpn], n: a.universe}
+}

@@ -93,6 +93,73 @@ func (s Set) Clone() Set {
 	return c
 }
 
+// CopyFrom overwrites s's members with t's. The two sets must share a
+// universe size.
+func (s Set) CopyFrom(t Set) {
+	s.checkUniverse(t)
+	copy(s.words, t.words)
+}
+
+// Reset reinitializes s in place to an empty set over [0, n), reusing the
+// word storage when capacity allows — the scratch-set idiom of the parser
+// engine, which resizes one spare set to the instance universe of the
+// moment instead of allocating a fresh set per use.
+func (s *Set) Reset(n int) {
+	if n < 0 {
+		n = 0
+	}
+	w := (n + wordBits - 1) / wordBits
+	if cap(s.words) < w {
+		s.words = make([]uint64, w)
+	} else {
+		s.words = s.words[:w]
+		for i := range s.words {
+			s.words[i] = 0
+		}
+	}
+	s.n = n
+}
+
+// Compare orders sets by their member sequences, exactly like comparing
+// Members() slices lexicographically but without allocating: the set whose
+// member at the first divergence is smaller precedes, a proper prefix
+// precedes its extension, and equal sets compare 0. The two sets must share
+// a universe size.
+func (s Set) Compare(t Set) int {
+	s.checkUniverse(t)
+	for i, w := range s.words {
+		tw := t.words[i]
+		if w == tw {
+			continue
+		}
+		diff := w ^ tw
+		low := diff & -diff
+		rest := ^(low | (low - 1)) // bits strictly above the divergence
+		if w&low != 0 {
+			// s contains the divergent member, so s precedes — unless t
+			// has no member beyond it, making t a proper prefix of s.
+			if tw&rest != 0 || anyNonzero(t.words[i+1:]) {
+				return -1
+			}
+			return 1
+		}
+		if w&rest != 0 || anyNonzero(s.words[i+1:]) {
+			return 1
+		}
+		return -1
+	}
+	return 0
+}
+
+func anyNonzero(words []uint64) bool {
+	for _, w := range words {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
 // Union returns s ∪ t as a new set. The two sets must share a universe size.
 func (s Set) Union(t Set) Set {
 	s.checkUniverse(t)

@@ -28,7 +28,12 @@ func TestStructuralKey(t *testing.T) {
 }
 
 func TestAppendInt(t *testing.T) {
-	cases := map[int]string{0: "0", 7: "7", 10: "10", 123456: "123456"}
+	cases := map[int]string{
+		0: "0", 7: "7", 10: "10", 123456: "123456",
+		// Regression: the pre-rewrite digit loop ran `for v > 0` after
+		// appending '-', so negatives rendered as a bare "-".
+		-1: "-1", -10: "-10", -123456: "-123456",
+	}
 	for v, want := range cases {
 		if got := string(appendInt(nil, v)); got != want {
 			t.Errorf("appendInt(%d) = %q", v, got)

@@ -3,10 +3,10 @@ package core
 import (
 	"fmt"
 	"sort"
-	"strings"
 	"sync"
 	"time"
 
+	"formext/internal/bitset"
 	"formext/internal/geom"
 	"formext/internal/grammar"
 	"formext/internal/obs"
@@ -14,7 +14,8 @@ import (
 )
 
 // Options tunes the parser. The zero value asks for the paper's algorithm:
-// scheduled symbol-by-symbol instantiation with just-in-time pruning.
+// scheduled symbol-by-symbol instantiation with just-in-time pruning,
+// evaluated through the compiled per-grammar form.
 type Options struct {
 	// Thresholds parameterizes the spatial relations; zero value means
 	// geom.DefaultThresholds.
@@ -30,6 +31,11 @@ type Options struct {
 	// MaxInstances caps total instance creation as a safety valve for the
 	// exponential worst case; 0 means DefaultMaxInstances.
 	MaxInstances int
+	// Interpreted evaluates constraints and preferences through the
+	// interpreted Expr tree (the DSL tools' semantics) instead of the
+	// compiled per-grammar evaluation; it exists as the differential-test
+	// oracle and as an operational escape hatch.
+	Interpreted bool
 }
 
 // DefaultMaxInstances bounds instance creation (the membership problem for
@@ -76,39 +82,20 @@ type Result struct {
 }
 
 // Parser parses token sets against one grammar. A Parser is immutable
-// after construction — the grammar, the 2P schedule and the options are
-// all read-only — and every call to Parse allocates a fresh engine for
-// its mutable state, so one Parser is safe for concurrent use by multiple
-// goroutines.
+// after construction — the compiled plan (grammar, 2P schedule, compiled
+// constraints) and the options are all read-only — and every call to Parse
+// checks out a pooled engine for its mutable state, so one Parser is safe
+// for concurrent use by multiple goroutines.
 type Parser struct {
-	g     *grammar.Grammar
-	sched *Schedule
-	opt   Options
+	pl   *plan
+	opt  Options
+	pool sync.Pool // *engine
 }
 
-// schedCache memoizes the 2P schedule per grammar, keyed by the *Grammar
-// pointer. Grammars are immutable after construction (see grammar.Grammar),
-// so a schedule computed once is valid for the grammar's lifetime; the
-// cache makes NewParser on a shared grammar — the serving path's default —
-// allocation-light.
-var schedCache sync.Map // *grammar.Grammar → *Schedule
-
-// scheduleFor returns the (possibly cached) 2P schedule of g.
-func scheduleFor(g *grammar.Grammar) (*Schedule, error) {
-	if s, ok := schedCache.Load(g); ok {
-		return s.(*Schedule), nil
-	}
-	s, err := BuildSchedule(g)
-	if err != nil {
-		return nil, err
-	}
-	actual, _ := schedCache.LoadOrStore(g, s)
-	return actual.(*Schedule), nil
-}
-
-// NewParser builds a parser for the grammar. The 2P schedule is computed
-// once per grammar and cached, so repeated construction over a shared
-// grammar costs only the Parser allocation.
+// NewParser builds a parser for the grammar. The plan — 2P schedule plus
+// compiled constraint evaluation — is computed once per grammar and cached,
+// so repeated construction over a shared grammar costs only the Parser
+// allocation.
 func NewParser(g *grammar.Grammar, opt Options) (*Parser, error) {
 	if opt.Thresholds == (geom.Thresholds{}) {
 		opt.Thresholds = geom.DefaultThresholds
@@ -116,15 +103,15 @@ func NewParser(g *grammar.Grammar, opt Options) (*Parser, error) {
 	if opt.MaxInstances <= 0 {
 		opt.MaxInstances = DefaultMaxInstances
 	}
-	sched, err := scheduleFor(g)
+	pl, err := planFor(g)
 	if err != nil {
 		return nil, err
 	}
-	return &Parser{g: g, sched: sched, opt: opt}, nil
+	return &Parser{pl: pl, opt: opt}, nil
 }
 
 // Schedule exposes the computed 2P schedule (for diagnostics and tests).
-func (p *Parser) Schedule() *Schedule { return p.sched }
+func (p *Parser) Schedule() *Schedule { return p.pl.sched }
 
 // Parse runs best-effort parsing over the token set.
 func (p *Parser) Parse(toks []*token.Token) (*Result, error) {
@@ -137,24 +124,28 @@ func (p *Parser) Parse(toks []*token.Token) (*Result, error) {
 // for maximization. A nil span costs only the nil checks inside obs; the
 // counters in Stats are recorded either way.
 func (p *Parser) ParseSpan(toks []*token.Token, sp *obs.Span) (*Result, error) {
-	start := time.Now()
-	e := &engine{
-		g:     p.g,
-		opt:   p.opt,
-		bySym: map[string][]*grammar.Instance{},
-		dedup: map[string]bool{},
-		ctx:   &grammar.EvalCtx{Bind: map[string]*grammar.Instance{}, Th: p.opt.Thresholds},
-	}
-	// Terminal instances.
 	for i, t := range toks {
 		if t.ID != i {
 			return nil, fmt.Errorf("core: token IDs must be dense and ordered (token %d has ID %d)", i, t.ID)
 		}
-		in := grammar.NewTerminal(t, len(toks))
+	}
+	start := time.Now()
+	e := p.engine()
+	defer p.release(e)
+	e.begin(p.pl, p.opt, len(toks))
+
+	// Terminal instances.
+	for _, t := range toks {
+		in := e.newInstance()
 		in.ID = e.nextID
 		e.nextID++
-		e.bySym[in.Sym] = append(e.bySym[in.Sym], in)
-		e.stats.TotalCreated++
+		in.Sym = string(t.Type)
+		in.Token = t
+		in.Pos = t.Pos
+		cover := e.arena.New()
+		cover.Add(t.ID)
+		in.Cover = cover
+		e.track(in)
 		e.stats.Terminals++
 	}
 	e.stats.Tokens = len(toks)
@@ -162,21 +153,15 @@ func (p *Parser) ParseSpan(toks []*token.Token, sp *obs.Span) (*Result, error) {
 	if p.opt.DisableScheduling {
 		// Late pruning: one global fix point, then preference enforcement
 		// with rollback until no more kills.
-		all := []string{}
-		for n := range p.g.Nonterminals {
-			all = append(all, n)
-		}
-		sort.Strings(all)
 		e.stats.Groups++
 		gsp := sp.Span("fixpoint")
 		gsp.SetStr("mode", "global")
-		e.fixpoint(gsp, all)
+		e.fixpoint(gsp, p.pl.globalProds)
 		if !p.opt.DisablePreferences {
-			prefs := ByPriority(p.g.Prefs)
 			for {
 				killed := 0
-				for _, pref := range prefs {
-					killed += e.enforce(gsp, pref)
+				for _, pi := range p.pl.prefsByPriority {
+					killed += e.enforce(gsp, pi)
 				}
 				if killed == 0 {
 					break
@@ -188,16 +173,16 @@ func (p *Parser) ParseSpan(toks []*token.Token, sp *obs.Span) (*Result, error) {
 		gsp.SetInt("rolledBack", int64(e.stats.RolledBack))
 		gsp.End()
 	} else {
-		for gi, group := range p.sched.Groups {
+		for gi := range p.pl.sched.Groups {
 			e.stats.Groups++
 			gsp := sp.Span("fixpoint")
-			gsp.SetStr("symbols", strings.Join(group, " "))
+			gsp.SetStr("symbols", p.pl.groupLabels[gi])
 			c0, f0 := e.stats.TotalCreated, e.stats.FixpointIters
 			p0, r0 := e.stats.Pruned, e.stats.RolledBack
-			e.fixpoint(gsp, group)
+			e.fixpoint(gsp, p.pl.groupProds[gi])
 			if !p.opt.DisablePreferences {
-				for _, pref := range p.sched.EnforceAfter[gi] {
-					e.enforce(gsp, pref)
+				for _, pi := range p.pl.enforceAfter[gi] {
+					e.enforce(gsp, pi)
 				}
 			}
 			gsp.SetInt("created", int64(e.stats.TotalCreated-c0))
@@ -210,17 +195,22 @@ func (p *Parser) ParseSpan(toks []*token.Token, sp *obs.Span) (*Result, error) {
 
 	msp := sp.Span("maximize")
 	res := &Result{Tokens: toks}
-	res.Maximal = e.maximize(p.g.Start)
+	res.Maximal = e.maximize(p.pl.g.Start)
 	msp.SetInt("trees", int64(len(res.Maximal)))
 	msp.End()
-	for _, list := range e.bySym {
-		for _, in := range list {
-			if !in.Dead {
-				res.Alive = append(res.Alive, in)
-			}
+	// e.all is in creation (ID) order, so Alive needs no sort.
+	alive := 0
+	for _, in := range e.all {
+		if !in.Dead {
+			alive++
 		}
 	}
-	sort.Slice(res.Alive, func(i, j int) bool { return res.Alive[i].ID < res.Alive[j].ID })
+	res.Alive = make([]*grammar.Instance, 0, alive)
+	for _, in := range e.all {
+		if !in.Dead {
+			res.Alive = append(res.Alive, in)
+		}
+	}
 	e.stats.Alive = len(res.Alive)
 	e.stats.MaximalTrees = len(res.Maximal)
 	// Complete parses are counted over all alive start-symbol instances:
@@ -228,7 +218,7 @@ func (p *Parser) ParseSpan(toks []*token.Token, sp *obs.Span) (*Result, error) {
 	// interpretations (Figure 9), even though maximization keeps one
 	// representative per cover.
 	for _, in := range res.Alive {
-		if in.Sym == p.g.Start && in.Cover.Count() == len(toks) {
+		if in.Sym == p.pl.g.Start && in.Cover.Count() == len(toks) {
 			e.stats.CompleteParses++
 		}
 	}
@@ -245,7 +235,9 @@ func (p *Parser) ParseSpan(toks []*token.Token, sp *obs.Span) (*Result, error) {
 }
 
 // structuralKey identifies a derivation by head symbol and component
-// instance IDs.
+// instance IDs. The live dedup path uses dedupTable over the same identity;
+// structuralKey remains the readable rendering of it and the oracle the
+// table is differential-tested against.
 func structuralKey(head string, children []*grammar.Instance) string {
 	buf := make([]byte, 0, len(head)+8*len(children))
 	buf = append(buf, head...)
@@ -257,66 +249,237 @@ func structuralKey(head string, children []*grammar.Instance) string {
 }
 
 func appendInt(buf []byte, v int) []byte {
-	if v == 0 {
+	u := uint(v)
+	if v < 0 {
+		buf = append(buf, '-')
+		// Negation in uint space renders the magnitude correctly even for
+		// the minimum int, which has no positive counterpart.
+		u = -u
+	}
+	if u == 0 {
 		return append(buf, '0')
 	}
 	var tmp [20]byte
 	i := len(tmp)
-	for v > 0 {
+	for u > 0 {
 		i--
-		tmp[i] = byte('0' + v%10)
-		v /= 10
+		tmp[i] = byte('0' + u%10)
+		u /= 10
 	}
 	return append(buf, tmp[i:]...)
 }
 
-// engine holds the mutable state of one parse.
+// instSlabSize is how many instances one engine slab holds; childSlabSize
+// how many child pointers. Slabs are dropped (not reused) at release time
+// because the returned Result owns the instances carved from them.
+const (
+	instSlabSize  = 512
+	childSlabSize = 2048
+)
+
+// engine holds the mutable state of one parse. Engines are pooled per
+// Parser: scratch structures that hold no instance pointers (dedup table,
+// bitset scratch, join buffers, list headers) survive between parses, while
+// instance storage is carved from per-parse slabs the Result keeps alive.
 type engine struct {
-	g      *grammar.Grammar
-	opt    Options
-	bySym  map[string][]*grammar.Instance
-	dedup  map[string]bool // (symbol, cover) pairs ever created
+	pl  *plan
+	opt Options
+
+	bySym [][]*grammar.Instance // alive+dead instances by dense symbol ID
+	all   []*grammar.Instance   // every instance, in creation (ID) order
+
+	dedup  dedupTable
 	nextID int
 	stats  Stats
-	ctx    *grammar.EvalCtx
+
+	// Compiled evaluation state: the slot frame, and the winner/loser pair
+	// backing array for preference frames.
+	frame *grammar.Frame
+	pair  [2]*grammar.Instance
+	// Interpreted-oracle evaluation state.
+	ctx *grammar.EvalCtx
+
+	// Fix-point scratch: per-symbol frontier marks and round snapshots.
+	marks []int
+	snap  []int
+
+	// Join scratch, sized to the grammar's maximum production arity.
+	children  []*grammar.Instance
+	joinLists [][]*grammar.Instance
+	joinOld   []int
+
+	// Dedup key scratch.
+	keyBuf []int32
+
+	// Enforcement scratch: the memoized winner-subtree spare set and the
+	// winner cover-union prefilter.
+	spare      bitset.Set
+	spareFor   *grammar.Instance
+	coverUnion bitset.Set
+
+	// Maximization scratch.
+	maxCands []*grammar.Instance
+
+	// Per-parse storage slabs (see release).
+	arena     bitset.Arena
+	instSlab  []grammar.Instance
+	childSlab []*grammar.Instance
 }
 
-// fixpoint instantiates the symbols of one schedule group together: it
-// repeatedly applies their productions until no new instance appears
-// (procedure instantiate of Figure 11). The iteration is semi-naive: a
-// component assignment is joined only in the first round where all its
-// instances exist — at least one component must be "new" (created since
-// the previous round), so recursive symbols pay per new instance instead
-// of re-evaluating the whole cross product every round.
-func (e *engine) fixpoint(sp *obs.Span, group []string) {
-	var prods []*grammar.Production
-	inGroup := map[string]bool{}
-	for _, s := range group {
-		inGroup[s] = true
+// engine checks an engine out of the pool, constructing one on first use.
+func (p *Parser) engine() *engine {
+	if v := p.pool.Get(); v != nil {
+		return v.(*engine)
 	}
-	for _, p := range e.g.Prods {
-		if inGroup[p.Head] {
-			prods = append(prods, p)
+	return &engine{
+		frame: grammar.NewFrame(p.opt.Thresholds),
+		ctx:   &grammar.EvalCtx{Bind: map[string]*grammar.Instance{}, Th: p.opt.Thresholds},
+	}
+}
+
+// release clears every reference the engine holds into the finished parse —
+// the Result owns those instances now — and returns it to the pool.
+func (e *engine) forgetInstances() {
+	for i := range e.bySym {
+		clear(e.bySym[i])
+		e.bySym[i] = e.bySym[i][:0]
+	}
+	clear(e.all)
+	e.all = e.all[:0]
+	clear(e.children)
+	clear(e.joinLists)
+	clear(e.maxCands)
+	e.maxCands = e.maxCands[:0]
+	e.pair = [2]*grammar.Instance{}
+	e.frame.Bind(nil)
+	clear(e.ctx.Bind)
+	e.spareFor = nil
+	e.arena.Reset(0)
+	e.instSlab = nil
+	e.childSlab = nil
+}
+
+func (p *Parser) release(e *engine) {
+	e.forgetInstances()
+	p.pool.Put(e)
+}
+
+// begin readies the engine for one parse over `universe` tokens.
+func (e *engine) begin(pl *plan, opt Options, universe int) {
+	e.pl = pl
+	e.opt = opt
+	ns := len(pl.syms)
+	if cap(e.bySym) < ns {
+		e.bySym = make([][]*grammar.Instance, ns)
+	}
+	e.bySym = e.bySym[:ns]
+	e.marks = resizeInts(e.marks, ns)
+	e.snap = resizeInts(e.snap, ns)
+	if cap(e.children) < pl.maxArity {
+		e.children = make([]*grammar.Instance, pl.maxArity)
+		e.joinLists = make([][]*grammar.Instance, pl.maxArity)
+		e.joinOld = make([]int, pl.maxArity)
+	}
+	e.dedup.reset()
+	e.nextID = 0
+	e.stats = Stats{}
+	e.arena.Reset(universe)
+}
+
+func resizeInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+// newInstance carves a zeroed instance from the engine's slab.
+func (e *engine) newInstance() *grammar.Instance {
+	if len(e.instSlab) == cap(e.instSlab) {
+		e.instSlab = make([]grammar.Instance, 0, instSlabSize)
+	}
+	e.instSlab = append(e.instSlab, grammar.Instance{})
+	return &e.instSlab[len(e.instSlab)-1]
+}
+
+// copyChildren copies a component assignment into the child-pointer slab
+// (instances need their own children slice; the join buffer is reused).
+func (e *engine) copyChildren(cs []*grammar.Instance) []*grammar.Instance {
+	if len(e.childSlab)+len(cs) > cap(e.childSlab) {
+		n := childSlabSize
+		if len(cs) > n {
+			n = len(cs)
 		}
+		e.childSlab = make([]*grammar.Instance, 0, n)
 	}
-	// mark[sym] = how many instances of sym existed before the current
+	start := len(e.childSlab)
+	e.childSlab = append(e.childSlab, cs...)
+	return e.childSlab[start:len(e.childSlab):len(e.childSlab)]
+}
+
+// appendParent grows an instance's parent list against the child-pointer
+// slab instead of the heap: every instance gains a parent per derivation it
+// feeds, and those one-pointer appends were the parse's dominant residual
+// allocation. Growth carves a doubled region from the slab and abandons the
+// old one — slab space is traded for allocation count, and the Result owns
+// the slabs either way.
+func (e *engine) appendParent(old []*grammar.Instance, in *grammar.Instance) []*grammar.Instance {
+	if len(old) < cap(old) {
+		return append(old, in)
+	}
+	n := 2 * cap(old)
+	if n < 4 {
+		n = 4
+	}
+	if len(e.childSlab)+n > cap(e.childSlab) {
+		sz := childSlabSize
+		if n > sz {
+			sz = n
+		}
+		e.childSlab = make([]*grammar.Instance, 0, sz)
+	}
+	start := len(e.childSlab)
+	e.childSlab = e.childSlab[:start+n]
+	s := e.childSlab[start:start : start+n]
+	s = append(s, old...)
+	return append(s, in)
+}
+
+// track registers a freshly built instance in the engine's indexes. Symbols
+// outside the grammar (token types no production mentions) skip the bySym
+// table — nothing can join over them — but still appear in e.all and hence
+// in Result.Alive.
+func (e *engine) track(in *grammar.Instance) {
+	if sid, ok := e.pl.symID[in.Sym]; ok {
+		e.bySym[sid] = append(e.bySym[sid], in)
+	}
+	e.all = append(e.all, in)
+	e.stats.TotalCreated++
+}
+
+// fixpoint instantiates the productions of one schedule group together: it
+// repeatedly applies them until no new instance appears (procedure
+// instantiate of Figure 11). The iteration is semi-naive: a component
+// assignment is joined only in the first round where all its instances
+// exist — at least one component must be "new" (created since the previous
+// round), so recursive symbols pay per new instance instead of
+// re-evaluating the whole cross product every round.
+func (e *engine) fixpoint(sp *obs.Span, prods []int) {
+	// marks[sym] = how many instances of sym existed before the current
 	// round; indices at or beyond the mark are this round's frontier.
-	// Empty at round 1: everything inherited from earlier groups is new
+	// Zero at round 1: everything inherited from earlier groups is new
 	// to this group.
-	mark := map[string]int{}
+	for i := range e.marks {
+		e.marks[i] = 0
+	}
 	for {
 		e.stats.FixpointIters++
-		snapshot := map[string]int{}
-		for _, p := range prods {
-			for _, c := range p.Components {
-				if _, ok := snapshot[c.Sym]; !ok {
-					snapshot[c.Sym] = len(e.bySym[c.Sym])
-				}
-			}
+		for i := range e.bySym {
+			e.snap[i] = len(e.bySym[i])
 		}
 		added := 0
-		for _, p := range prods {
-			added += e.applyProd(p, mark)
+		for _, pi := range prods {
+			added += e.applyProd(&e.pl.prods[pi])
 			if e.stats.Truncated {
 				sp.Event("truncated", obs.Int("instances", int64(e.stats.TotalCreated)))
 				return
@@ -325,115 +488,252 @@ func (e *engine) fixpoint(sp *obs.Span, group []string) {
 		if added == 0 {
 			return
 		}
-		for sym, n := range snapshot {
-			mark[sym] = n
-		}
+		copy(e.marks, e.snap)
 	}
 }
 
 // applyProd enumerates component assignments for one production, checks
 // cover disjointness and the spatial constraint, and creates the new head
 // instances. Assignments whose components all predate the round's frontier
-// (per mark) were already joined in an earlier round and are skipped.
+// (per marks) were already joined in an earlier round and are skipped.
 // Returns the number of instances added.
-func (e *engine) applyProd(p *grammar.Production, mark map[string]int) int {
-	k := len(p.Components)
-	lists := make([][]*grammar.Instance, k)
-	old := make([]int, k)
-	for i, c := range p.Components {
-		lists[i] = e.bySym[c.Sym]
-		if len(lists[i]) == 0 {
+func (e *engine) applyProd(pp *prodPlan) int {
+	for i, sid := range pp.compSyms {
+		l := e.bySym[sid]
+		if len(l) == 0 {
 			return 0
 		}
-		old[i] = mark[c.Sym]
+		e.joinLists[i] = l
+		e.joinOld[i] = e.marks[sid]
+	}
+	return e.joinSlot(pp, 0, false)
+}
+
+// joinSlot recursively fills component slot `slot` of the production and
+// returns how many instances the completed assignments added. It is a
+// method, not a closure, so the recursion costs no per-production
+// allocation.
+func (e *engine) joinSlot(pp *prodPlan, slot int, hasNew bool) int {
+	k := len(pp.compSyms)
+	if slot == k {
+		if !hasNew {
+			return 0
+		}
+		return e.emit(pp)
 	}
 	added := 0
-	children := make([]*grammar.Instance, k)
-	var rec func(slot int, hasNew bool)
-	rec = func(slot int, hasNew bool) {
-		if e.stats.Truncated {
-			return
+	for idx, cand := range e.joinLists[slot] {
+		if cand.Dead {
+			continue
 		}
-		if slot == k {
-			if !hasNew {
-				return
-			}
-			e.stats.ConstraintEvals++
-			for i, c := range p.Components {
-				e.ctx.Bind[c.Var] = children[i]
-			}
-			if !grammar.EvalBool(p.Constraint, e.ctx) {
-				return
-			}
-			// Structural identity: a derivation is identified by its head
-			// symbol and component instances. Distinct derivations of the
-			// same token set stay distinct — that is exactly the ambiguity
-			// the preferences (not the dedup) must resolve, and what the
-			// brute-force ablation must be able to count.
-			key := structuralKey(p.Head, children)
-			if e.dedup[key] {
-				return
-			}
-			inst := grammar.Build(p, append([]*grammar.Instance(nil), children...))
-			e.dedup[key] = true
-			inst.ID = e.nextID
-			e.nextID++
-			for _, c := range inst.Children {
-				c.Parents = append(c.Parents, inst)
-			}
-			e.bySym[inst.Sym] = append(e.bySym[inst.Sym], inst)
-			e.stats.TotalCreated++
-			if e.stats.TotalCreated >= e.opt.MaxInstances {
-				e.stats.Truncated = true
-			}
-			added++
-			return
-		}
-		for idx, cand := range lists[slot] {
-			if cand.Dead {
-				continue
-			}
-			// Prune early: if no new component has been chosen yet and no
-			// later slot can supply one, the whole branch is stale.
-			candNew := idx >= old[slot]
-			if !hasNew && !candNew {
-				stale := true
-				for j := slot + 1; j < k; j++ {
-					if len(lists[j]) > old[j] {
-						stale = false
-						break
-					}
-				}
-				if stale {
-					continue
-				}
-			}
-			// Components must not compete for tokens within one instance.
-			overlap := false
-			for i := 0; i < slot; i++ {
-				if children[i].Cover.Intersects(cand.Cover) {
-					overlap = true
+		// Prune early: if no new component has been chosen yet and no
+		// later slot can supply one, the whole branch is stale.
+		candNew := idx >= e.joinOld[slot]
+		if !hasNew && !candNew {
+			stale := true
+			for j := slot + 1; j < k; j++ {
+				if len(e.joinLists[j]) > e.joinOld[j] {
+					stale = false
 					break
 				}
 			}
-			if overlap {
+			if stale {
 				continue
 			}
-			children[slot] = cand
-			rec(slot+1, hasNew || candNew)
-			if e.stats.Truncated {
-				return
+		}
+		// Components must not compete for tokens within one instance.
+		overlap := false
+		for i := 0; i < slot; i++ {
+			if e.children[i].Cover.Intersects(cand.Cover) {
+				overlap = true
+				break
 			}
 		}
+		if overlap {
+			continue
+		}
+		e.children[slot] = cand
+		added += e.joinSlot(pp, slot+1, hasNew || candNew)
+		if e.stats.Truncated {
+			return added
+		}
 	}
-	rec(0, false)
 	return added
+}
+
+// emit evaluates the production constraint over the completed assignment
+// and, if it holds and the derivation is new, builds the head instance.
+func (e *engine) emit(pp *prodPlan) int {
+	k := len(pp.compSyms)
+	children := e.children[:k]
+	e.stats.ConstraintEvals++
+	if e.opt.Interpreted {
+		// The oracle path. Bind is cleared first so entries from other
+		// productions (or preference evaluations) cannot leak into this
+		// constraint's environment when variable names are reused.
+		clear(e.ctx.Bind)
+		for i, c := range pp.p.Components {
+			e.ctx.Bind[c.Var] = children[i]
+		}
+		if !grammar.EvalBool(pp.p.Constraint, e.ctx) {
+			return 0
+		}
+	} else {
+		e.frame.Bind(children)
+		if !pp.constraint.EvalBool(e.frame) {
+			return 0
+		}
+	}
+	// Structural identity: a derivation is identified by its head symbol
+	// and component instances. Distinct derivations of the same token set
+	// stay distinct — that is exactly the ambiguity the preferences (not
+	// the dedup) must resolve, and what the brute-force ablation must be
+	// able to count.
+	e.keyBuf = append(e.keyBuf[:0], int32(pp.headID))
+	for _, c := range children {
+		e.keyBuf = append(e.keyBuf, int32(c.ID))
+	}
+	if !e.dedup.insert(e.keyBuf) {
+		return 0
+	}
+	inst := e.newInstance()
+	inst.ID = e.nextID
+	e.nextID++
+	inst.Sym = pp.p.Head
+	inst.Prod = pp.p
+	inst.Children = e.copyChildren(children)
+	// The universal constructor, against slab storage: pos is the
+	// components' bounding box, cover the union of their covers (the same
+	// computation as grammar.Build).
+	cover := e.arena.New()
+	cover.CopyFrom(children[0].Cover)
+	inst.Pos = children[0].Pos
+	for _, c := range children[1:] {
+		cover.UnionWith(c.Cover)
+		inst.Pos = inst.Pos.Union(c.Pos)
+	}
+	inst.Cover = cover
+	for _, c := range inst.Children {
+		c.Parents = e.appendParent(c.Parents, inst)
+	}
+	e.track(inst)
+	if e.stats.TotalCreated >= e.opt.MaxInstances {
+		e.stats.Truncated = true
+	}
+	return 1
 }
 
 // enforce applies one preference (procedure enforce of Figure 11): for
 // every alive loser instance, if some alive winner instance conflicts with
 // it under U and satisfies the winning criteria W, the loser is invalidated
 // and its ancestors rolled back. Returns the number of direct kills.
+//
+// When the preference uses the default conflicting condition (cover
+// intersection), losers are prefiltered against the union of the winners'
+// covers: a loser disjoint from every winner cannot be killed, and the
+// one-bitset test skips the whole winner scan for it. The prefilter is
+// conservative — winners that die mid-enforcement stay in the union — so
+// the alive checks in the inner loop still decide every kill.
+func (e *engine) enforce(sp *obs.Span, pi int) int {
+	pp := &e.pl.prefs[pi]
+	losers := e.bySym[pp.loserID]
+	winners := e.bySym[pp.winnerID]
+	if len(losers) == 0 || len(winners) == 0 {
+		return 0
+	}
+	defaultCond := pp.p.Cond == nil
+	if defaultCond {
+		e.coverUnion.Reset(e.stats.Tokens)
+		live := false
+		for _, w := range winners {
+			if !w.Dead {
+				e.coverUnion.UnionWith(w.Cover)
+				live = true
+			}
+		}
+		if !live {
+			return 0
+		}
+	}
+	rolled0 := e.stats.RolledBack
+	kills := 0
+	e.spareFor = nil
+	for _, l := range losers {
+		if l.Dead {
+			continue
+		}
+		if defaultCond && !l.Cover.Intersects(e.coverUnion) {
+			continue
+		}
+		for _, w := range winners {
+			if w.Dead || w == l {
+				continue
+			}
+			if !e.prefHolds(pp, w, l) {
+				continue
+			}
+			// See the kill comment for why the winner's own subtree is
+			// spared from rollback. The spare set is memoized: consecutive
+			// losers usually fall to the same winner.
+			if e.spareFor != w {
+				e.spare.Reset(e.nextID)
+				markSubtree(w, e.spare)
+				e.spareFor = w
+			}
+			e.kill(l, e.spare, true)
+			kills++
+			break
+		}
+	}
+	if kills > 0 && sp != nil {
+		sp.Event("prune", obs.Str("pref", pp.p.Name),
+			obs.Int("killed", int64(kills)),
+			obs.Int("rolledBack", int64(e.stats.RolledBack-rolled0)))
+	}
+	return kills
+}
+
+// prefHolds evaluates one preference over a winner/loser pair: the
+// conflicting condition U (cover intersection by default), then the winning
+// criteria W.
+func (e *engine) prefHolds(pp *prefPlan, w, l *grammar.Instance) bool {
+	if e.opt.Interpreted {
+		clear(e.ctx.Bind)
+		e.ctx.Bind[pp.p.WinnerVar] = w
+		e.ctx.Bind[pp.p.LoserVar] = l
+		if pp.p.Cond == nil {
+			if !w.Cover.Intersects(l.Cover) {
+				return false
+			}
+		} else if !grammar.EvalBool(pp.p.Cond, e.ctx) {
+			return false
+		}
+		return pp.p.Win == nil || grammar.EvalBool(pp.p.Win, e.ctx)
+	}
+	e.pair[0], e.pair[1] = w, l
+	e.frame.Bind(e.pair[:])
+	if pp.p.Cond == nil {
+		if !w.Cover.Intersects(l.Cover) {
+			return false
+		}
+	} else if !pp.cond.EvalBool(e.frame) {
+		return false
+	}
+	return pp.p.Win == nil || pp.win.EvalBool(e.frame)
+}
+
+// markSubtree adds the IDs of every node of in's subtree to the set.
+func markSubtree(in *grammar.Instance, s bitset.Set) {
+	s.Add(in.ID)
+	for _, c := range in.Children {
+		markSubtree(c, s)
+	}
+}
+
+// kill invalidates an instance and rolls back every alive ancestor built on
+// top of it (procedure Rollback of Figure 11) — false instances may have
+// participated in further instantiations, producing false parents that must
+// be erased too.
 //
 // A subtlety the subsume-type preferences (the paper's R2: the longer list
 // wins) force on rollback: the winner is often BUILT FROM the loser — the
@@ -444,65 +744,7 @@ func (e *engine) applyProd(p *grammar.Production, mark map[string]int) int {
 // instantiations or stand as a parse tree) while the winner's derivation
 // through it stays intact. Parents outside the winner's subtree — e.g. an
 // EnumRB reading of the short list — are rolled back as usual.
-func (e *engine) enforce(sp *obs.Span, pref *grammar.Preference) int {
-	losers := e.bySym[pref.Loser]
-	winners := e.bySym[pref.Winner]
-	if len(losers) == 0 || len(winners) == 0 {
-		return 0
-	}
-	rolled0 := e.stats.RolledBack
-	kills := 0
-	subtreeCache := map[*grammar.Instance]map[int]bool{}
-	for _, l := range losers {
-		if l.Dead {
-			continue
-		}
-		for _, w := range winners {
-			if w.Dead || w == l {
-				continue
-			}
-			e.ctx.Bind[pref.WinnerVar] = w
-			e.ctx.Bind[pref.LoserVar] = l
-			if pref.Cond == nil {
-				// Default conflicting condition: the interpretations
-				// compete for at least one token.
-				if !w.Cover.Intersects(l.Cover) {
-					continue
-				}
-			} else if !grammar.EvalBool(pref.Cond, e.ctx) {
-				continue
-			}
-			if pref.Win != nil && !grammar.EvalBool(pref.Win, e.ctx) {
-				continue
-			}
-			spare := subtreeCache[w]
-			if spare == nil {
-				spare = map[int]bool{}
-				w.Walk(func(x *grammar.Instance) bool {
-					spare[x.ID] = true
-					return true
-				})
-				subtreeCache[w] = spare
-			}
-			e.kill(l, spare, true)
-			kills++
-			break
-		}
-	}
-	if kills > 0 && sp != nil {
-		sp.Event("prune", obs.Str("pref", pref.Name),
-			obs.Int("killed", int64(kills)),
-			obs.Int("rolledBack", int64(e.stats.RolledBack-rolled0)))
-	}
-	return kills
-}
-
-// kill invalidates an instance and rolls back every alive ancestor built on
-// top of it (procedure Rollback of Figure 11) — false instances may have
-// participated in further instantiations, producing false parents that must
-// be erased too. Ancestors inside the sparing winner's subtree are kept
-// (see enforce).
-func (e *engine) kill(in *grammar.Instance, spare map[int]bool, direct bool) {
+func (e *engine) kill(in *grammar.Instance, spare bitset.Set, direct bool) {
 	if in.Dead {
 		return
 	}
@@ -513,7 +755,7 @@ func (e *engine) kill(in *grammar.Instance, spare map[int]bool, direct bool) {
 		e.stats.RolledBack++
 	}
 	for _, parent := range in.Parents {
-		if spare != nil && spare[parent.ID] {
+		if spare.Has(parent.ID) {
 			continue
 		}
 		e.kill(parent, spare, false)
@@ -526,65 +768,55 @@ func (e *engine) kill(in *grammar.Instance, spare map[int]bool, direct bool) {
 // candidates — an instance with an alive parent is subsumed by that
 // parent's tree. Among equal covers the instance closest to the start
 // symbol (then the larger, then the earlier) represents the interpretation.
+//
+// One sort orders candidates by descending cover size, then member order,
+// then representative quality; equal covers are then adjacent (first is the
+// representative) and every proper subsumer of a candidate precedes it, so
+// a single sweep against the kept maximal set finishes the job.
 func (e *engine) maximize(startSym string) []*grammar.Instance {
-	var roots []*grammar.Instance
-	for _, list := range e.bySym {
-		for _, in := range list {
-			if in.Dead || in.IsTerminal() {
-				continue
-			}
-			hasLiveParent := false
-			for _, p := range in.Parents {
-				if !p.Dead {
-					hasLiveParent = true
-					break
-				}
-			}
-			if !hasLiveParent {
-				roots = append(roots, in)
+	cands := e.maxCands[:0]
+	for _, in := range e.all {
+		if in.Dead || in.IsTerminal() {
+			continue
+		}
+		hasLiveParent := false
+		for _, p := range in.Parents {
+			if !p.Dead {
+				hasLiveParent = true
+				break
 			}
 		}
+		if !hasLiveParent {
+			cands = append(cands, in)
+		}
 	}
-	// Representative per distinct cover.
-	better := func(a, b *grammar.Instance) bool {
+	sort.Slice(cands, func(i, j int) bool {
+		a, b := cands[i], cands[j]
+		ca, cb := a.Cover.Count(), b.Cover.Count()
+		if ca != cb {
+			return ca > cb
+		}
+		if c := a.Cover.Compare(b.Cover); c != 0 {
+			return c < 0
+		}
+		// Equal covers: the better representative first.
 		if (a.Sym == startSym) != (b.Sym == startSym) {
 			return a.Sym == startSym
 		}
-		if a.Size() != b.Size() {
-			return a.Size() > b.Size()
+		if as, bs := a.Size(), b.Size(); as != bs {
+			return as > bs
 		}
 		return a.ID < b.ID
-	}
-	byCover := map[string]*grammar.Instance{}
-	for _, r := range roots {
-		key := r.Cover.Key()
-		if cur, ok := byCover[key]; !ok || better(r, cur) {
-			byCover[key] = r
-		}
-	}
-	var cands []*grammar.Instance
-	for _, r := range byCover {
-		cands = append(cands, r)
-	}
-	// Deterministic order: larger covers first, then document order.
-	sort.Slice(cands, func(i, j int) bool {
-		ci, cj := cands[i].Cover.Count(), cands[j].Cover.Count()
-		if ci != cj {
-			return ci > cj
-		}
-		mi, mj := cands[i].Cover.Members(), cands[j].Cover.Members()
-		for k := 0; k < len(mi) && k < len(mj); k++ {
-			if mi[k] != mj[k] {
-				return mi[k] < mj[k]
-			}
-		}
-		return cands[i].ID < cands[j].ID
 	})
+	e.maxCands = cands // keep grown capacity for the next parse
 	var maximal []*grammar.Instance
 	for i, c := range cands {
+		if i > 0 && c.Cover.Equal(cands[i-1].Cover) {
+			continue // duplicate cover; the representative came first
+		}
 		subsumed := false
-		for j := 0; j < i; j++ {
-			if c.Cover.ProperSubsetOf(cands[j].Cover) {
+		for _, m := range maximal {
+			if c.Cover.ProperSubsetOf(m.Cover) {
 				subsumed = true
 				break
 			}

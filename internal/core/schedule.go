@@ -4,6 +4,16 @@
 // rejects an input form; when no single perfect parse exists it resolves
 // ambiguities through preferences and returns the maximal partial parse
 // trees.
+//
+// The parser has two evaluation modes with identical semantics. The
+// default compiles each grammar once into an indexed plan (see plan):
+// symbols are interned to dense IDs, constraints and preferences become
+// closure trees over slot-indexed component frames (grammar.Compile), and
+// the engine's inner loops run over pooled, allocation-free scratch —
+// integer dedup table, bitset arenas, instance slabs. Options.Interpreted
+// instead walks the grammar's Expr ASTs through a map-bound EvalCtx; it
+// is the semantic reference the DSL tools define, and TestCompiledParity
+// holds the two modes instance-for-instance equal on every configuration.
 package core
 
 import (

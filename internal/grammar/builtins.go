@@ -2,8 +2,8 @@ package grammar
 
 import (
 	"fmt"
-	"strconv"
 	"strings"
+	"unicode"
 
 	"formext/internal/token"
 )
@@ -46,32 +46,11 @@ func init() {
 	// association matching the id of b's first widget — the page author's
 	// declared pairing, independent of geometry.
 	reg2("labelfor", func(_ *EvalCtx, a, b *Instance) Value {
-		forID := ""
-		a.Walk(func(x *Instance) bool {
-			if forID != "" {
-				return false
-			}
-			if x.Token != nil && x.Token.ForID != "" {
-				forID = x.Token.ForID
-				return false
-			}
-			return true
-		})
+		forID := findForID(a)
 		if forID == "" {
 			return VBool(false)
 		}
-		match := false
-		b.Walk(func(x *Instance) bool {
-			if match {
-				return false
-			}
-			if x.Token != nil && x.Token.ElemID == forID {
-				match = true
-				return false
-			}
-			return true
-		})
-		return VBool(match)
+		return VBool(hasElemID(b, forID))
 	})
 
 	// Accessors on one instance.
@@ -95,7 +74,7 @@ func init() {
 	})
 	reg1("sval", func(_ *EvalCtx, a *Instance) Value { return VStr(instText(a)) })
 	reg1("wordcount", func(_ *EvalCtx, a *Instance) Value {
-		return VNum(float64(len(strings.Fields(instText(a)))))
+		return VNum(float64(countFields(instText(a))))
 	})
 	reg1("textlen", func(_ *EvalCtx, a *Instance) Value {
 		return VNum(float64(len(instText(a))))
@@ -168,7 +147,7 @@ func varArgsStringTest(name string, args []Value, pred func(text, lit string) bo
 	if len(args) < 2 || args[0].Kind != InstVal || args[0].I == nil {
 		return Value{}, fmt.Errorf("%s expects (instance, string...)", name)
 	}
-	text := normText(instText(args[0].I))
+	text := args[0].I.NormText()
 	for _, a := range args[1:] {
 		if a.Kind != StrVal {
 			return Value{}, fmt.Errorf("%s literal arguments must be strings", name)
@@ -181,29 +160,52 @@ func varArgsStringTest(name string, args []Value, pred func(text, lit string) bo
 }
 
 // widgetName returns the control name of the first named widget token in
-// the subtree, or "".
+// the subtree, or "". Recursion instead of Walk: the closure Walk needs
+// escapes to the heap, and this runs once per samename evaluation.
 func widgetName(in *Instance) string {
-	name := ""
-	in.Walk(func(x *Instance) bool {
-		if name != "" {
-			return false
+	if in.Token != nil {
+		if in.Token.IsWidget() && in.Token.Name != "" {
+			return in.Token.Name
 		}
-		if x.Token != nil && x.Token.IsWidget() && x.Token.Name != "" {
-			name = x.Token.Name
-			return false
+		return ""
+	}
+	for _, c := range in.Children {
+		if n := widgetName(c); n != "" {
+			return n
 		}
-		return true
-	})
-	return name
+	}
+	return ""
 }
 
 // instText returns the text of an instance: the token string for text
-// terminals, otherwise the concatenated text of the yield.
-func instText(in *Instance) string {
+// terminals, otherwise the (memoized) concatenated text of the yield.
+func instText(in *Instance) string { return in.Text() }
+
+// findForID returns the first explicit <label for="..."> target in the
+// subtree, in preorder, or "".
+func findForID(in *Instance) string {
 	if in.Token != nil {
-		return in.Token.SVal
+		return in.Token.ForID
 	}
-	return in.Texts()
+	for _, c := range in.Children {
+		if id := findForID(c); id != "" {
+			return id
+		}
+	}
+	return ""
+}
+
+// hasElemID reports whether any token in the subtree carries the element id.
+func hasElemID(in *Instance, id string) bool {
+	if in.Token != nil {
+		return in.Token.ElemID == id
+	}
+	for _, c := range in.Children {
+		if hasElemID(c, id) {
+			return true
+		}
+	}
+	return false
 }
 
 func normText(s string) string {
@@ -220,7 +222,7 @@ func attrLike(s string) bool {
 	if s == "" || len(s) > 60 {
 		return false
 	}
-	if len(strings.Fields(s)) > 6 {
+	if countFields(s) > 6 {
 		return false
 	}
 	for _, r := range s {
@@ -229,6 +231,77 @@ func attrLike(s string) bool {
 		}
 	}
 	return false
+}
+
+// countFields is len(strings.Fields(s)) without materializing the fields:
+// the constraint evaluators call the word-count heuristics once per
+// candidate instance, and the slice was a top allocation site.
+func countFields(s string) int {
+	n := 0
+	inField := false
+	for _, r := range s {
+		if unicode.IsSpace(r) {
+			inField = false
+		} else if !inField {
+			inField = true
+			n++
+		}
+	}
+	return n
+}
+
+// containsFold is strings.Contains(strings.ToLower(s), sub) for a
+// lowercase-ASCII needle, without allocating the lowered copy.
+func containsFold(s, sub string) bool {
+	if len(sub) == 0 {
+		return true
+	}
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if foldEqASCII(s[i:i+len(sub)], sub) {
+			return true
+		}
+	}
+	return false
+}
+
+// foldEqASCII compares equal-length byte strings ignoring ASCII case (the
+// right-hand side is already lowercase).
+func foldEqASCII(s, lower string) bool {
+	for j := 0; j < len(lower); j++ {
+		c := s[j]
+		if c >= 'A' && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		if c != lower[j] {
+			return false
+		}
+	}
+	return true
+}
+
+// parseIntFast parses a decimal integer with optional sign. Unlike
+// strconv.Atoi it does not allocate a NumError on failure — and failure is
+// the common case when probing selection-list options for numbers.
+func parseIntFast(s string) (int, bool) {
+	if len(s) > 0 && (s[0] == '+' || s[0] == '-') {
+		n, ok := parseIntFast(s[1:])
+		if s[0] == '-' {
+			n = -n
+		}
+		return n, ok
+	}
+	if s == "" || len(s) > 18 {
+		return 0, false
+	}
+	n := 0
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n, true
 }
 
 // opKeywords are the operator vocabulary observed across query forms.
@@ -244,9 +317,8 @@ var opKeywords = []string{
 
 // opLike reports whether a text reads like an operator/modifier label.
 func opLike(s string) bool {
-	s = strings.ToLower(s)
 	for _, k := range opKeywords {
-		if strings.Contains(s, k) {
+		if containsFold(s, k) {
 			return true
 		}
 	}
@@ -260,7 +332,7 @@ func capLike(s string) bool {
 	if s == "" {
 		return false
 	}
-	if len(strings.Fields(s)) >= 5 || len(s) > 45 {
+	if countFields(s) >= 5 || len(s) > 45 {
 		return true
 	}
 	return strings.HasSuffix(s, ".") || strings.HasSuffix(s, "!")
@@ -294,17 +366,18 @@ func dateish(t *token.Token) bool {
 	if t == nil || t.Type != token.SelectList || len(t.Options) < 2 {
 		return false
 	}
-	months, days, years, numeric := 0, 0, 0, 0
+	months, days, years := 0, 0, 0
 	for _, o := range t.Options {
-		o = strings.ToLower(strings.TrimSpace(o))
+		o = strings.TrimSpace(o)
 		for _, m := range monthNames {
-			if o == m || strings.HasPrefix(o, m+" ") {
+			// Case-folded "jan" or "jan ..." match without lowering a copy.
+			if len(o) >= len(m) && foldEqASCII(o[:len(m)], m) &&
+				(len(o) == len(m) || o[len(m)] == ' ') {
 				months++
 				break
 			}
 		}
-		if n, err := strconv.Atoi(o); err == nil {
-			numeric++
+		if n, ok := parseIntFast(o); ok {
 			if n >= 1 && n <= 31 {
 				days++
 			}
@@ -332,7 +405,7 @@ func numList(t *token.Token) bool {
 	}
 	numeric := 0
 	for _, o := range t.Options {
-		if _, err := strconv.Atoi(strings.TrimSpace(o)); err == nil {
+		if _, ok := parseIntFast(strings.TrimSpace(o)); ok {
 			numeric++
 		}
 	}

@@ -1,0 +1,340 @@
+package grammar
+
+import (
+	"errors"
+	"strings"
+
+	"formext/internal/geom"
+)
+
+// The expression compiler. The interpreted Expr tree (expr.go) binds
+// component variables through a map[string]*Instance per evaluation and
+// resolves builtins through a map lookup per call — fine for DSL tooling,
+// far too slow for the parser's inner loop, which evaluates constraints
+// once per candidate component assignment and preferences once per
+// winner×loser pair. Compile resolves every variable to a slot index into
+// a []*Instance frame and every builtin to its function pointer once per
+// grammar; evaluation then allocates nothing (builtin argument vectors are
+// carved from a per-frame scratch stack).
+//
+// Semantics are identical to the interpreted path by construction:
+// evaluation errors — type mismatches, unknown names — still make EvalBool
+// false, and expressions that cannot compile (a variable outside the slot
+// map, an unknown builtin) compile to a node that always errors, which is
+// exactly what the interpreter does at evaluation time. The parser keeps
+// the interpreted path alive as a differential-test oracle
+// (core.Options.Interpreted).
+
+// Frame is the slot-indexed evaluation environment of compiled
+// expressions: the instances bound to each compiled slot, the spatial
+// thresholds, and the scratch stack for builtin argument vectors. One
+// Frame belongs to one parse engine; it is not safe for concurrent use.
+type Frame struct {
+	slots []*Instance
+	ctx   EvalCtx // Th for builtins; Bind stays nil on this path
+	args  []Value // scratch stack for builtin calls
+}
+
+// NewFrame returns a frame evaluating under the given thresholds.
+func NewFrame(th geom.Thresholds) *Frame {
+	return &Frame{ctx: EvalCtx{Th: th}, args: make([]Value, 0, 16)}
+}
+
+// Bind points the frame's slots at the given instances. The slice is
+// borrowed, not copied: the caller may rebind between evaluations.
+func (fr *Frame) Bind(slots []*Instance) { fr.slots = slots }
+
+// compiledFn evaluates one compiled node against a frame.
+type compiledFn func(fr *Frame) (Value, error)
+
+// CompiledExpr is a compiled constraint or preference expression.
+type CompiledExpr struct {
+	fn compiledFn
+}
+
+// EvalBool evaluates the compiled expression with the interpreter's
+// forgiving semantics: nil expressions hold, errors and non-boolean
+// results do not. The compiled twin of EvalBool.
+func (c *CompiledExpr) EvalBool(fr *Frame) bool {
+	if c == nil {
+		return true
+	}
+	v, err := c.fn(fr)
+	return err == nil && v.Kind == BoolVal && v.B
+}
+
+// Eval evaluates the compiled expression (for tests and tooling; the
+// parser only uses EvalBool).
+func (c *CompiledExpr) Eval(fr *Frame) (Value, error) { return c.fn(fr) }
+
+// Static error values, so the failure paths of compiled evaluation do not
+// allocate. EvalBool discards errors; their text only surfaces through
+// CompiledExpr.Eval in tests.
+var (
+	errUnbound  = errors.New("variable not bound to a compiled slot")
+	errBuiltin  = errors.New("unknown builtin")
+	errNonBool  = errors.New("non-boolean operand")
+	errBadCmp   = errors.New("incomparable operands")
+	errNilInst  = errors.New("nil instance in slot")
+	errCannotEv = errors.New("inexpressible node")
+)
+
+// CompiledProd is the compiled form of one production: its constraint with
+// component variables resolved to component indices (slot i is component
+// i). Nil Constraint means unconditionally applicable.
+type CompiledProd struct {
+	Constraint *CompiledExpr
+}
+
+// CompiledPref is the compiled form of one preference: slot 0 is the
+// winner, slot 1 the loser. Nil Cond keeps the default conflicting
+// condition (cover intersection); nil Win means the winner always wins.
+type CompiledPref struct {
+	Cond *CompiledExpr
+	Win  *CompiledExpr
+}
+
+// CompiledGrammar holds the compiled productions and preferences of one
+// grammar, index-parallel to Grammar.Prods and Grammar.Prefs. Like the
+// Grammar it derives from, it is immutable after construction and safe to
+// share across parsers and goroutines (all mutable evaluation state lives
+// in the Frame).
+type CompiledGrammar struct {
+	Prods []CompiledProd
+	Prefs []CompiledPref
+}
+
+// Compile compiles every production constraint and preference
+// condition/criterion of g. Compilation is total: malformed expressions
+// (which a validated grammar cannot contain) compile to always-false
+// nodes, mirroring the interpreter's error-means-false semantics.
+func Compile(g *Grammar) *CompiledGrammar {
+	cg := &CompiledGrammar{
+		Prods: make([]CompiledProd, len(g.Prods)),
+		Prefs: make([]CompiledPref, len(g.Prefs)),
+	}
+	for i, p := range g.Prods {
+		slot := make(map[string]int, len(p.Components))
+		for j, c := range p.Components {
+			slot[c.Var] = j
+		}
+		cg.Prods[i].Constraint = CompileExpr(p.Constraint, slot)
+	}
+	for i, r := range g.Prefs {
+		// Winner first: if the two variables collide, the loser binding
+		// wins, exactly as the interpreter's last map write does.
+		slot := map[string]int{r.WinnerVar: 0}
+		slot[r.LoserVar] = 1
+		cg.Prefs[i].Cond = CompileExpr(r.Cond, slot)
+		cg.Prefs[i].Win = CompileExpr(r.Win, slot)
+	}
+	return cg
+}
+
+// CompileExpr compiles one expression against a variable→slot mapping.
+// A nil expression compiles to nil (EvalBool then holds, like the
+// interpreter).
+func CompileExpr(e Expr, slot map[string]int) *CompiledExpr {
+	if e == nil {
+		return nil
+	}
+	return &CompiledExpr{fn: compileNode(e, slot)}
+}
+
+func compileNode(e Expr, slot map[string]int) compiledFn {
+	switch n := e.(type) {
+	case *VarExpr:
+		i, ok := slot[n.Name]
+		if !ok {
+			return errNode(errUnbound)
+		}
+		return func(fr *Frame) (Value, error) { return VInst(fr.slots[i]), nil }
+	case *NumLit:
+		v := VNum(n.V)
+		return func(*Frame) (Value, error) { return v, nil }
+	case *StrLit:
+		v := VStr(n.V)
+		return func(*Frame) (Value, error) { return v, nil }
+	case *BoolLit:
+		v := VBool(n.V)
+		return func(*Frame) (Value, error) { return v, nil }
+	case *NotExpr:
+		x := compileNode(n.X, slot)
+		return func(fr *Frame) (Value, error) {
+			v, err := x(fr)
+			if err != nil {
+				return Value{}, err
+			}
+			if v.Kind != BoolVal {
+				return Value{}, errNonBool
+			}
+			return VBool(!v.B), nil
+		}
+	case *AndExpr:
+		l, r := compileNode(n.L, slot), compileNode(n.R, slot)
+		return func(fr *Frame) (Value, error) {
+			lv, err := l(fr)
+			if err != nil {
+				return Value{}, err
+			}
+			if lv.Kind != BoolVal {
+				return Value{}, errNonBool
+			}
+			if !lv.B {
+				return VBool(false), nil
+			}
+			rv, err := r(fr)
+			if err != nil {
+				return Value{}, err
+			}
+			if rv.Kind != BoolVal {
+				return Value{}, errNonBool
+			}
+			return rv, nil
+		}
+	case *OrExpr:
+		l, r := compileNode(n.L, slot), compileNode(n.R, slot)
+		return func(fr *Frame) (Value, error) {
+			lv, err := l(fr)
+			if err != nil {
+				return Value{}, err
+			}
+			if lv.Kind != BoolVal {
+				return Value{}, errNonBool
+			}
+			if lv.B {
+				return VBool(true), nil
+			}
+			rv, err := r(fr)
+			if err != nil {
+				return Value{}, err
+			}
+			if rv.Kind != BoolVal {
+				return Value{}, errNonBool
+			}
+			return rv, nil
+		}
+	case *CmpExpr:
+		l, r := compileNode(n.L, slot), compileNode(n.R, slot)
+		op := n.Op
+		return func(fr *Frame) (Value, error) {
+			lv, err := l(fr)
+			if err != nil {
+				return Value{}, err
+			}
+			rv, err := r(fr)
+			if err != nil {
+				return Value{}, err
+			}
+			if lv.Kind == NumVal && rv.Kind == NumVal {
+				return VBool(cmpNum(op, lv.N, rv.N)), nil
+			}
+			if lv.Kind == StrVal && rv.Kind == StrVal {
+				switch op {
+				case "==":
+					return VBool(strings.EqualFold(lv.S, rv.S)), nil
+				case "!=":
+					return VBool(!strings.EqualFold(lv.S, rv.S)), nil
+				}
+			}
+			if lv.Kind == BoolVal && rv.Kind == BoolVal {
+				switch op {
+				case "==":
+					return VBool(lv.B == rv.B), nil
+				case "!=":
+					return VBool(lv.B != rv.B), nil
+				}
+			}
+			return Value{}, errBadCmp
+		}
+	case *CallExpr:
+		return compileCall(n, slot)
+	}
+	return errNode(errCannotEv)
+}
+
+// compileCall compiles a builtin invocation: the builtin is resolved once,
+// and argument vectors are carved from the frame's scratch stack so a call
+// allocates nothing. The text-matching builtins with literal arguments get
+// a specialized node with the literals pre-normalized.
+func compileCall(n *CallExpr, slot map[string]int) compiledFn {
+	if fn := compileTextMatch(n, slot); fn != nil {
+		return fn
+	}
+	bi, ok := builtins[n.Name]
+	if !ok {
+		return errNode(errBuiltin)
+	}
+	argFns := make([]compiledFn, len(n.Args))
+	for i, a := range n.Args {
+		argFns[i] = compileNode(a, slot)
+	}
+	return func(fr *Frame) (Value, error) {
+		base := len(fr.args)
+		for _, af := range argFns {
+			v, err := af(fr)
+			if err != nil {
+				fr.args = fr.args[:base]
+				return Value{}, err
+			}
+			fr.args = append(fr.args, v)
+		}
+		v, err := bi(&fr.ctx, fr.args[base:])
+		fr.args = fr.args[:base]
+		return v, err
+	}
+}
+
+// compileTextMatch specializes textis/contains calls whose first argument
+// is a variable and whose remaining arguments are string literals — the
+// shape every DSL use has — normalizing the literals at compile time
+// instead of on every evaluation. Returns nil when the call does not fit
+// the shape (the generic path then reproduces interpreter semantics,
+// errors included).
+func compileTextMatch(n *CallExpr, slot map[string]int) compiledFn {
+	var pred func(text, lit string) bool
+	switch n.Name {
+	case "textis":
+		pred = func(text, lit string) bool { return text == lit }
+	case "contains":
+		pred = strings.Contains
+	default:
+		return nil
+	}
+	if len(n.Args) < 2 {
+		return nil
+	}
+	v, ok := n.Args[0].(*VarExpr)
+	if !ok {
+		return nil
+	}
+	i, ok := slot[v.Name]
+	if !ok {
+		return errNode(errUnbound)
+	}
+	lits := make([]string, 0, len(n.Args)-1)
+	for _, a := range n.Args[1:] {
+		s, ok := a.(*StrLit)
+		if !ok {
+			return nil
+		}
+		lits = append(lits, normText(s.V))
+	}
+	return func(fr *Frame) (Value, error) {
+		in := fr.slots[i]
+		if in == nil {
+			return Value{}, errNilInst
+		}
+		text := in.NormText()
+		for _, lit := range lits {
+			if pred(text, lit) {
+				return VBool(true), nil
+			}
+		}
+		return VBool(false), nil
+	}
+}
+
+func errNode(err error) compiledFn {
+	return func(*Frame) (Value, error) { return Value{}, err }
+}

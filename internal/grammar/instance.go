@@ -42,6 +42,14 @@ type Instance struct {
 	Dead bool
 	// Parents records the instances built on top of this one, for rollback.
 	Parents []*Instance
+
+	// Lazily memoized text of the subtree (the yield never changes after
+	// Build, so the first computation is definitive). Single-parse state,
+	// like Dead and Parents: not synchronized.
+	text    string
+	hasText bool
+	norm    string
+	hasNorm bool
 }
 
 // NewTerminal wraps an input token as a terminal instance. The universe is
@@ -125,6 +133,31 @@ func (in *Instance) Texts() string {
 		return true
 	})
 	return strings.Join(parts, " ")
+}
+
+// Text returns instText semantics with memoization: the token string for
+// terminals, otherwise the concatenated yield text, computed once. The
+// constraint evaluators call this instead of Texts so repeated evaluations
+// over the same instance (one per candidate production, per preference
+// pair) do not re-join the yield.
+func (in *Instance) Text() string {
+	if in.Token != nil {
+		return in.Token.SVal
+	}
+	if !in.hasText {
+		in.text = in.Texts()
+		in.hasText = true
+	}
+	return in.text
+}
+
+// NormText returns normText(in.Text()), computed once per instance.
+func (in *Instance) NormText() string {
+	if !in.hasNorm {
+		in.norm = normText(in.Text())
+		in.hasNorm = true
+	}
+	return in.norm
 }
 
 // String renders the instance as Sym[cover] for diagnostics.
