@@ -2,7 +2,7 @@
 # full test suite under the race detector (the concurrent serving path —
 # pool, batch, formserve — is exercised by design), and keep the compiled
 # evaluation plan differentially equal to the interpreted oracle.
-.PHONY: check build vet test parity bench bench-smoke
+.PHONY: check build vet test parity hostile bench bench-smoke
 
 check: build vet test parity
 
@@ -20,6 +20,15 @@ test:
 # instance on the example corpus and on fuzz-generated token sets.
 parity:
 	go test -run TestCompiledParity -count=1 ./internal/core/
+
+# Containment gate: the hostile-page corpus (adversarial nesting, token
+# floods, pathological tables, injected panics and stalls) must be survived
+# under the race detector, with a hard timeout so a containment regression
+# fails fast instead of hanging the build.
+hostile:
+	go test -race -timeout 120s -count=1 \
+		-run 'TestHostile|TestPanic|TestPool|TestParseBudget|TestCancelled|TestConcurrent|TestExtractAll|TestExtractTokens|TestDeep|TestDepth|TestParseContext|TestLayoutContext|TestDeadline|TestClientGone|TestDegraded' \
+		. ./internal/htmlparse/ ./internal/layout/ ./cmd/formserve/
 
 # Regenerate the paper's evaluation numbers and the serving/parsing
 # benchmarks (BENCH_pool.json records the before/after of PR 1,

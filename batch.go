@@ -1,8 +1,11 @@
 package formext
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"strings"
 	"sync"
@@ -14,6 +17,11 @@ type BatchOptions struct {
 	Options Options
 	// Workers is the number of concurrent extractors (default: GOMAXPROCS).
 	Workers int
+	// Context, when non-nil, cancels the whole batch: in-flight extractions
+	// are cut short (their partial results reported as page errors wrapping
+	// the context's error) and pages not yet started fail immediately with
+	// the same error. Nil means the batch runs to completion.
+	Context context.Context
 }
 
 // PageError reports the failure of one page in a batch.
@@ -63,7 +71,22 @@ func (e *BatchError) Error() string {
 // total and never fails on well-formed configurations). It uses the
 // internal entry point whose Result is non-nil even on error, carrying the
 // stage timings accumulated before the failure.
-var extractPage = func(ex *Extractor, src string) (*Result, error) { return ex.extractHTML(src) }
+var extractPage = func(ctx context.Context, ex *Extractor, src string) (*Result, error) {
+	return ex.extractHTML(ctx, src)
+}
+
+// safeExtractPage runs one page with a worker-local panic boundary: a panic
+// that escapes the extractor's own containment (or an injected fault)
+// becomes a *PanicError instead of killing the worker goroutine — and with
+// it the process.
+func safeExtractPage(ctx context.Context, ex *Extractor, src string) (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return extractPage(ctx, ex, src)
+}
 
 // ExtractAll extracts every page concurrently and returns the results in
 // input order. Workers draw pooled extractors that share one compiled
@@ -110,23 +133,45 @@ func ExtractAll(pages []string, opt BatchOptions) ([]*Result, error) {
 		pageErrs  []PageError
 		workerErr error
 	)
+	ctx := opt.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			ex, err := pool.Get()
-			if err != nil {
-				mu.Lock()
-				if workerErr == nil {
-					workerErr = err
-				}
-				mu.Unlock()
-				return
-			}
-			defer pool.Put(ex)
+			var ex *Extractor
+			defer func() { pool.Put(ex) }()
 			for i := range jobs {
-				res, err := extractPage(ex, pages[i])
+				if cerr := ctx.Err(); cerr != nil {
+					// The batch is cancelled: drain the queue, charging each
+					// unstarted page to the cancellation.
+					mu.Lock()
+					pageErrs = append(pageErrs, PageError{Page: i, Err: cerr})
+					mu.Unlock()
+					continue
+				}
+				// The extractor is drawn lazily and redrawn after a panic:
+				// a panicking parse may leave the extractor torn, so it is
+				// abandoned rather than reused or pooled.
+				if ex == nil {
+					var err error
+					if ex, err = pool.Get(); err != nil {
+						mu.Lock()
+						if workerErr == nil {
+							workerErr = err
+						}
+						mu.Unlock()
+						return
+					}
+				}
+				res, err := safeExtractPage(ctx, ex, pages[i])
 				if err != nil {
+					var panicErr *PanicError
+					if errors.As(err, &panicErr) {
+						ex = nil
+					}
 					pe := PageError{Page: i, Err: err}
 					if res != nil {
 						pe.Stats = res.Stats

@@ -15,6 +15,7 @@ package formext
 // second on the discarded results) and pass with the pooled rewrite.
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -28,7 +29,7 @@ import (
 // deadlock, where validation passed but every worker's New failed.
 func failingFactory(t *testing.T) {
 	t.Helper()
-	orig := newExtractor
+	origNew, origPooled := newExtractor, newPooledExtractor
 	var calls atomic.Int64
 	newExtractor = func(o Options) (*Extractor, error) {
 		if n := calls.Add(1); n > 1 {
@@ -36,7 +37,12 @@ func failingFactory(t *testing.T) {
 		}
 		return New(o)
 	}
-	t.Cleanup(func() { newExtractor = orig })
+	// Pool misses construct through the cached-grammar factory; those must
+	// fail too for the seed deadlock shape.
+	newPooledExtractor = func(g *Grammar, o Options) (*Extractor, error) {
+		return nil, fmt.Errorf("injected: construction failure %d", calls.Add(1))
+	}
+	t.Cleanup(func() { newExtractor, newPooledExtractor = origNew, origPooled })
 }
 
 func TestExtractAllWorkerFactoryFailureDoesNotDeadlock(t *testing.T) {
@@ -93,7 +99,7 @@ func TestExtractAllWorkerFactoryFailureDoesNotDeadlock(t *testing.T) {
 
 func TestExtractAllReturnsPartialResultsOnPageError(t *testing.T) {
 	orig := extractPage
-	extractPage = func(ex *Extractor, src string) (*Result, error) {
+	extractPage = func(ctx context.Context, ex *Extractor, src string) (*Result, error) {
 		if src == "FAIL" {
 			return nil, errors.New("injected page failure")
 		}
@@ -147,8 +153,8 @@ func TestExtractAllReturnsPartialResultsOnPageError(t *testing.T) {
 // guarantees, exactly as extractHTML does on a mid-pipeline error.
 func TestExtractAllPageErrorCarriesStageTimings(t *testing.T) {
 	orig := extractPage
-	extractPage = func(ex *Extractor, src string) (*Result, error) {
-		res, err := ex.extractHTML(src)
+	extractPage = func(ctx context.Context, ex *Extractor, src string) (*Result, error) {
+		res, err := ex.extractHTML(ctx, src)
 		if err != nil {
 			return res, err
 		}

@@ -15,6 +15,14 @@
 //	-grammar FILE    parse against a custom 2P grammar (DSL source)
 //	-explain N       explain how token N was interpreted
 //	-print-grammar   print the embedded derived grammar and exit
+//	-budget D        wall-clock parse budget (e.g. 2s); expiry degrades to a
+//	                 partial result instead of failing
+//	-max-depth N     HTML nesting cap (0 = default, -1 = unlimited)
+//	-max-tokens N    token-count cap (0 = default, -1 = unlimited)
+//
+// Budget or cap degradations are listed on standard error, one line each,
+// and the exit status stays 0: a degraded extraction is still the
+// best-effort answer.
 //
 // The trace is one JSON object per extraction: a span tree with one child
 // per pipeline stage (htmlparse, layout, tokenize, parse, merge) carrying
@@ -28,6 +36,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"formext"
 )
@@ -43,6 +52,9 @@ type cliOptions struct {
 	printGrammar bool
 	explain      int
 	traceFile    string // "-" = stdout
+	budget       time.Duration
+	maxDepth     int
+	maxTokens    int
 }
 
 func main() {
@@ -55,6 +67,9 @@ func main() {
 	flag.BoolVar(&o.printGrammar, "print-grammar", false, "print the embedded derived grammar and exit")
 	flag.IntVar(&o.explain, "explain", -1, "explain how the given token id was interpreted")
 	flag.StringVar(&o.traceFile, "trace", "", "write a JSON trace of the extraction to `file` (\"-\" = stdout)")
+	flag.DurationVar(&o.budget, "budget", 0, "wall-clock parse budget; expiry degrades to a partial result (0 = none)")
+	flag.IntVar(&o.maxDepth, "max-depth", 0, "HTML nesting cap (0 = default, negative = unlimited)")
+	flag.IntVar(&o.maxTokens, "max-tokens", 0, "token-count cap (0 = default, negative = unlimited)")
 	flag.Parse()
 	if err := run(o, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "formext:", err)
@@ -68,7 +83,11 @@ func run(o cliOptions, args []string) error {
 		return nil
 	}
 
-	var opts formext.Options
+	opts := formext.Options{
+		ParseBudget: o.budget,
+		MaxDepth:    o.maxDepth,
+		MaxTokens:   o.maxTokens,
+	}
 	if o.grammarFile != "" {
 		src, err := os.ReadFile(o.grammarFile)
 		if err != nil {
@@ -110,6 +129,9 @@ func run(o cliOptions, args []string) error {
 	res, err := ex.ExtractHTML(string(src))
 	if err != nil {
 		return err
+	}
+	for _, d := range res.Stats.Degraded {
+		fmt.Fprintln(os.Stderr, "formext: degraded:", d)
 	}
 
 	if o.showTokens {

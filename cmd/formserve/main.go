@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	formserve [-addr :8080] [-trace-buffer 64]
+//	formserve [-addr :8080] [-trace-buffer 64] [-parse-budget 0] [-extract-timeout 30s]
 //
 // Endpoints:
 //
@@ -40,6 +40,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime/debug"
 	"syscall"
 	"time"
 
@@ -80,6 +81,18 @@ var (
 	// mConflicts and mMissing accumulate the merger's two error classes.
 	mConflicts = expvar.NewInt("formserve_merge_conflicts_total")
 	mMissing   = expvar.NewInt("formserve_merge_missing_total")
+	// mPanics counts extractions that panicked and were contained; each one
+	// is a bug worth a bug report, but none of them is an outage.
+	mPanics = expvar.NewInt("formserve_panics_total")
+	// mDeadline counts extractions cut off by the -extract-timeout deadline
+	// (answered 503 + Retry-After).
+	mDeadline = expvar.NewInt("formserve_deadline_total")
+	// mClientGone counts extractions abandoned because the client hung up;
+	// they are neither successes nor extraction errors.
+	mClientGone = expvar.NewInt("formserve_client_gone_total")
+	// mDegraded counts successful extractions that were degraded by an input
+	// budget (depth cap, token cap, instance cap, parse budget).
+	mDegraded = expvar.NewInt("formserve_degraded_total")
 )
 
 func init() {
@@ -89,8 +102,16 @@ func init() {
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	traceBuf := flag.Int("trace-buffer", 64, "recent traces kept for /traces (0 disables tracing)")
+	budget := flag.Duration("parse-budget", 0,
+		"per-extraction wall-clock budget; expiry degrades to a partial result (0 disables)")
+	timeout := flag.Duration("extract-timeout", 30*time.Second,
+		"hard per-request extraction deadline; exceeding it answers 503 (0 disables)")
 	flag.Parse()
-	h, err := newHandler(*traceBuf)
+	h, err := newHandler(config{
+		traceBuffer:    *traceBuf,
+		parseBudget:    *budget,
+		extractTimeout: *timeout,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -123,31 +144,44 @@ func main() {
 	}
 }
 
+// config is the service configuration newHandler builds from.
+type config struct {
+	// traceBuffer sizes the ring of recent traces behind /traces; 0 serves
+	// untraced (stage timings and counters still flow — only span trees are
+	// skipped).
+	traceBuffer int
+	// parseBudget is Options.ParseBudget: expiry degrades the extraction to
+	// a partial result. 0 disables.
+	parseBudget time.Duration
+	// extractTimeout is the hard per-request deadline; exceeding it answers
+	// 503 with Retry-After. 0 disables.
+	extractTimeout time.Duration
+}
+
 // server is the service state: one extractor pool shared by all requests,
 // plus the flight-recorder sink the pool's tracer feeds.
 type server struct {
-	pool *formext.Pool
-	sink *formext.RingSink // nil when tracing is disabled
-	mux  *http.ServeMux
+	pool           *formext.Pool
+	sink           *formext.RingSink // nil when tracing is disabled
+	mux            *http.ServeMux
+	extractTimeout time.Duration
 }
 
 // newHandler builds the service. Extraction is served from a pool of
 // extractors over the shared parse-once grammar; the pool constructor also
-// validates the configuration once at startup. traceBuffer sizes the ring
-// of recent traces behind /traces; 0 serves untraced (stage timings and
-// counters still flow — only span trees are skipped).
-func newHandler(traceBuffer int) (http.Handler, error) {
-	var opts formext.Options
+// validates the configuration once at startup.
+func newHandler(cfg config) (http.Handler, error) {
+	opts := formext.Options{ParseBudget: cfg.parseBudget}
 	var sink *formext.RingSink
-	if traceBuffer > 0 {
-		sink = formext.NewRingSink(traceBuffer)
+	if cfg.traceBuffer > 0 {
+		sink = formext.NewRingSink(cfg.traceBuffer)
 		opts.Tracer = formext.NewTracer(sink)
 	}
 	pool, err := formext.NewPool(opts)
 	if err != nil {
 		return nil, err
 	}
-	s := &server{pool: pool, sink: sink, mux: http.NewServeMux()}
+	s := &server{pool: pool, sink: sink, mux: http.NewServeMux(), extractTimeout: cfg.extractTimeout}
 	s.mux.HandleFunc("/extract", s.handleExtract)
 	s.mux.HandleFunc("/grammar", s.handleGrammar)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
@@ -185,6 +219,28 @@ type extractResponse struct {
 		Stages           formext.StageTimings `json:"stages"`
 	} `json:"stats"`
 	Trees []string `json:"trees,omitempty"`
+	// Degraded lists how the extraction was cut short by input budgets, if
+	// at all; clients distinguishing "this form has two conditions" from
+	// "this form has two conditions we got to" need it.
+	Degraded []string `json:"degraded,omitempty"`
+}
+
+// extract is the pooled extraction the handler runs; a package variable so
+// tests can inject panics and stalls behind the serving boundary.
+var extract = func(ctx context.Context, p *formext.Pool, src string) (*formext.Result, error) {
+	return p.ExtractContext(ctx, src)
+}
+
+// safeExtract is the handler's own panic boundary, behind the pool's: even
+// a panic escaping the library's containment (or injected by a test) is
+// contained to the request that caused it.
+func (s *server) safeExtract(ctx context.Context, src string) (res *formext.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &formext.PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return extract(ctx, s.pool, src)
 }
 
 func (s *server) handleExtract(w http.ResponseWriter, r *http.Request) {
@@ -205,21 +261,44 @@ func (s *server) handleExtract(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
-	ex, err := s.pool.Get()
-	if err != nil {
-		mExtractErrors.Add(1)
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return
+	// The extraction runs under the request context — a client that hangs
+	// up stops burning CPU at the next pipeline checkpoint — tightened by
+	// the configured hard deadline.
+	ctx := r.Context()
+	if s.extractTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.extractTimeout)
+		defer cancel()
 	}
-	defer s.pool.Put(ex)
 	start := time.Now()
-	res, err := ex.ExtractHTML(string(src))
+	res, err := s.safeExtract(ctx, string(src))
 	if err != nil {
-		mExtractErrors.Add(1)
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		var pe *formext.PanicError
+		switch {
+		case errors.As(err, &pe):
+			mExtractErrors.Add(1)
+			mPanics.Add(1)
+			log.Printf("formserve: contained extraction panic: %v\n%s", pe.Value, pe.Stack)
+			http.Error(w, "extraction failed", http.StatusInternalServerError)
+		case r.Context().Err() != nil:
+			// The client is gone; nobody will read an answer. Not a success,
+			// not an extraction error.
+			mClientGone.Add(1)
+		case errors.Is(err, context.DeadlineExceeded):
+			mExtractErrors.Add(1)
+			mDeadline.Add(1)
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "extraction exceeded the server deadline", http.StatusServiceUnavailable)
+		default:
+			mExtractErrors.Add(1)
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
 		return
 	}
 	mExtractions.Add(1)
+	if len(res.Stats.Degraded) > 0 {
+		mDegraded.Add(1)
+	}
 	lat := time.Since(start).Nanoseconds()
 	mLatencyNs.Add(lat)
 	mLatency.Observe(lat)
@@ -253,6 +332,7 @@ func (s *server) handleExtract(w http.ResponseWriter, r *http.Request) {
 			resp.Trees = append(resp.Trees, tr.Dump())
 		}
 	}
+	resp.Degraded = res.Stats.Degraded
 	writeJSON(w, resp)
 }
 
@@ -322,11 +402,20 @@ func (s *server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprint(w, indexPage)
 }
 
+// writeJSON marshals v in full before touching the ResponseWriter, so a
+// marshalling failure can still answer 500: encoding straight into w commits
+// the 200 status on the first byte, after which an error response would be
+// appended to a half-written body.
 func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(v); err != nil {
+	buf, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if _, err := w.Write(append(buf, '\n')); err != nil {
+		// The response is already committed; the write error (a gone client,
+		// usually) can only be logged.
+		log.Printf("formserve: writing response: %v", err)
 	}
 }

@@ -12,7 +12,7 @@ import (
 
 func newTestServer(t *testing.T) *httptest.Server {
 	t.Helper()
-	h, err := newHandler(16)
+	h, err := newHandler(config{traceBuffer: 16})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +101,7 @@ type brokenReader struct{}
 func (brokenReader) Read([]byte) (int, error) { return 0, errors.New("connection reset") }
 
 func TestExtractBodyReadErrorIs400(t *testing.T) {
-	h, err := newHandler(16)
+	h, err := newHandler(config{traceBuffer: 16})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -392,7 +392,7 @@ func TestTracesUnknownIDIs404(t *testing.T) {
 }
 
 func TestTracesDisabled(t *testing.T) {
-	h, err := newHandler(0)
+	h, err := newHandler(config{})
 	if err != nil {
 		t.Fatal(err)
 	}

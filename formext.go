@@ -21,8 +21,11 @@
 package formext
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
+	"runtime/debug"
 	"strings"
 	"time"
 
@@ -128,6 +131,41 @@ type Stats struct {
 	// TraceID identifies this extraction's trace, when a tracer was
 	// attached ("" otherwise).
 	TraceID string `json:",omitempty"`
+	// Degraded lists, in pipeline order, every way this extraction was cut
+	// short by an input budget, the parse budget, or cancellation: depth
+	// caps, token caps, interrupted stages, instance truncation. Empty means
+	// the page was processed in full. A degraded extraction is still a
+	// successful one — the result holds the best partial interpretation, per
+	// the paper's best-effort contract.
+	Degraded []string `json:",omitempty"`
+}
+
+// Default input budgets. They bound work on hostile pages while staying far
+// above anything a real query interface needs; see Options.MaxDepth and
+// Options.MaxTokens for the degradation semantics.
+const (
+	// DefaultMaxDepth is the default HTML element nesting cap.
+	DefaultMaxDepth = htmlparse.DefaultMaxDepth
+	// DefaultMaxTokens is the default cap on tokens fed to the parser.
+	DefaultMaxTokens = 20000
+)
+
+// PanicError reports a panic recovered during extraction. The extraction
+// that panicked is lost, but the process is not: serving layers map it to
+// an internal error response and every other extraction proceeds. Stats
+// snapshots the counters accumulated before the failure, and Stack is the
+// panicking goroutine's stack for diagnosis.
+type PanicError struct {
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the stack trace captured at recovery.
+	Stack []byte
+	// Stats are the per-extraction statistics up to the point of failure.
+	Stats Stats
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("formext: extraction panicked: %v", e.Value)
 }
 
 // Domain kind constants, re-exported.
@@ -219,6 +257,23 @@ type Options struct {
 	DisableScheduling bool
 	// MaxInstances caps instance creation (0 = core.DefaultMaxInstances).
 	MaxInstances int
+	// MaxDepth caps HTML element nesting: elements opened beyond the cap
+	// are flattened onto the capped level instead of deepening the tree, so
+	// adversarially nested pages cannot exhaust the stack. 0 means
+	// DefaultMaxDepth; negative means unlimited. A capped parse records a
+	// Stats.Degraded entry.
+	MaxDepth int
+	// MaxTokens caps how many tokens the tokenizer hands to the parser; the
+	// surplus (in render order, so the page tail) is dropped and recorded in
+	// Stats.Degraded. 0 means DefaultMaxTokens; negative means unlimited.
+	MaxTokens int
+	// ParseBudget bounds one extraction's wall time. When it expires the
+	// pipeline stops where it is and returns the partial result with
+	// Stats.Degraded entries — no error, because a degraded result is the
+	// best-effort answer, not a failure. 0 means no budget. Cancellation of
+	// the caller's context, by contrast, is an error: the caller asked the
+	// work to stop, so nobody is waiting for the partial answer.
+	ParseBudget time.Duration
 	// InterpretedEval evaluates grammar expressions by walking their ASTs
 	// instead of through the compiled per-grammar evaluation plan. The two
 	// modes produce identical results; the interpreter survives as the
@@ -242,12 +297,15 @@ type Options struct {
 // The one caveat: the Grammar returned by Grammar() is shared (for the
 // default options it is shared process-wide) and must not be mutated.
 type Extractor struct {
-	grammar   *grammar.Grammar
-	parser    *core.Parser
-	merger    *merger.Merger
-	layout    *layout.Engine
-	tokenizer *token.Tokenizer
-	tracer    *Tracer
+	grammar     *grammar.Grammar
+	parser      *core.Parser
+	merger      *merger.Merger
+	layout      *layout.Engine
+	tokenizer   *token.Tokenizer
+	tracer      *Tracer
+	maxDepth    int           // htmlparse.Limits semantics: 0 default, <0 unlimited
+	maxTokens   int           // resolved: 0 means unlimited
+	parseBudget time.Duration // 0 means no budget
 }
 
 // New builds an extractor. With no options it uses the embedded derived
@@ -265,13 +323,29 @@ func New(opts ...Options) (*Extractor, error) {
 	if len(opts) == 1 {
 		o = opts[0]
 	}
-	var g *grammar.Grammar
-	var err error
+	g, err := grammarFor(o)
+	if err != nil {
+		return nil, err
+	}
+	return newWithGrammar(g, o)
+}
+
+// grammarFor resolves the options' grammar: the process-wide compiled
+// default, or the custom DSL source parsed fresh. Pool caches this result so
+// its miss path never re-parses the DSL.
+func grammarFor(o Options) (*grammar.Grammar, error) {
 	if o.GrammarSource == "" {
-		g = grammar.Default()
-	} else if g, err = grammar.ParseDSL(o.GrammarSource); err != nil {
+		return grammar.Default(), nil
+	}
+	g, err := grammar.ParseDSL(o.GrammarSource)
+	if err != nil {
 		return nil, fmt.Errorf("formext: %w", err)
 	}
+	return g, nil
+}
+
+// newWithGrammar builds an extractor around an already-compiled grammar.
+func newWithGrammar(g *grammar.Grammar, o Options) (*Extractor, error) {
 	parser, err := core.NewParser(g, core.Options{
 		Thresholds:         o.Thresholds,
 		DisablePreferences: o.DisablePreferences,
@@ -286,13 +360,22 @@ func New(opts ...Options) (*Extractor, error) {
 	if o.Viewport > 0 {
 		eng.Viewport = o.Viewport
 	}
+	maxTokens := o.MaxTokens
+	if maxTokens == 0 {
+		maxTokens = DefaultMaxTokens
+	} else if maxTokens < 0 {
+		maxTokens = 0 // unlimited
+	}
 	return &Extractor{
-		grammar:   g,
-		parser:    parser,
-		merger:    merger.New(g),
-		layout:    eng,
-		tokenizer: token.NewTokenizer(),
-		tracer:    o.Tracer,
+		grammar:     g,
+		parser:      parser,
+		merger:      merger.New(g),
+		layout:      eng,
+		tokenizer:   token.NewTokenizer(),
+		tracer:      o.Tracer,
+		maxDepth:    o.MaxDepth,
+		maxTokens:   maxTokens,
+		parseBudget: o.ParseBudget,
 	}, nil
 }
 
@@ -301,25 +384,41 @@ func (e *Extractor) Grammar() *Grammar { return e.grammar }
 
 // ExtractHTML runs the full pipeline on HTML source.
 func (e *Extractor) ExtractHTML(src string) (*Result, error) {
-	res, err := e.extractHTML(src)
-	if err != nil {
-		return nil, err
-	}
-	return res, nil
+	return e.ExtractHTMLContext(context.Background(), src)
 }
 
-// extractHTML is ExtractHTML with the batch path's diagnosability
-// contract: the returned Result is always non-nil, carrying the tokens and
-// stage timings accumulated up to the point of failure, so a failed page
-// in a batch still reports where its time went.
-func (e *Extractor) extractHTML(src string) (*Result, error) {
+// ExtractHTMLContext is ExtractHTML under caller cancellation. The context
+// is checked at coarse checkpoints throughout every stage; when it ends,
+// the pipeline stops where it is and returns the partial Result it
+// accumulated — tokens, trees, stats, Stats.Degraded — together with an
+// error wrapping the context's. The Result is non-nil even on error, so
+// servers can log where a cancelled page's time went.
+//
+// Options.ParseBudget composes with ctx (whichever ends first wins), but a
+// budget expiry is not an error: the partial result is returned with nil
+// error and Stats.Degraded populated.
+func (e *Extractor) ExtractHTMLContext(ctx context.Context, src string) (*Result, error) {
+	return e.extractHTML(ctx, src)
+}
+
+// extractHTML is ExtractHTMLContext with the batch path's diagnosability
+// contract made explicit: the returned Result is always non-nil, carrying
+// the tokens and stage timings accumulated up to the point of failure, so a
+// failed page in a batch still reports where its time went. Panics anywhere
+// in the pipeline are recovered into a *PanicError carrying the pre-failure
+// stats.
+func (e *Extractor) extractHTML(ctx context.Context, src string) (res *Result, err error) {
+	budgetCtx, cancel := e.budgetContext(ctx)
+	defer cancel()
 	tr := e.tracer.Start("extract")
 	defer tr.End()
-	res := &Result{Stats: Stats{TraceID: tr.TraceID()}}
+	res = &Result{Stats: Stats{TraceID: tr.TraceID()}}
+	defer e.contain(tr, res, &err)
 
 	var doc *htmlparse.Node
+	var trunc htmlparse.Trunc
 	runStage(tr, obs.StageHTMLParse, &res.Stats.Stages.HTMLParse, func(sp *Span) {
-		doc = htmlparse.Parse(src)
+		doc, trunc = htmlparse.ParseContext(budgetCtx, src, htmlparse.Limits{MaxDepth: e.maxDepth})
 		if sp != nil {
 			ds := htmlparse.StatsOf(doc)
 			sp.SetInt("bytes", int64(len(src)))
@@ -328,10 +427,24 @@ func (e *Extractor) extractHTML(src string) (*Result, error) {
 			sp.SetInt("maxDepth", int64(ds.MaxDepth))
 		}
 	})
+	// The submission envelope comes from the document, which exists from
+	// here on — fill it now so even cut-short extractions report it.
+	res.Form = submit.FormInfoOf(doc)
+	if trunc.DepthCapped {
+		e.degrade(tr, res, "htmlparse: nesting depth capped")
+	}
+	if trunc.Err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			e.degrade(tr, res, "htmlparse: cancelled")
+			return res, fmt.Errorf("formext: html parse interrupted: %w", cerr)
+		}
+		e.degrade(tr, res, "htmlparse: parse budget exhausted")
+	}
 
 	var boxes *layout.Box
+	var lerr error
 	runStage(tr, obs.StageLayout, &res.Stats.Stages.Layout, func(sp *Span) {
-		boxes = e.layout.Layout(doc)
+		boxes, lerr = e.layout.LayoutContext(budgetCtx, doc)
 		if sp != nil {
 			bs := layout.StatsOf(boxes)
 			sp.SetInt("boxes", int64(bs.Total()))
@@ -340,6 +453,13 @@ func (e *Extractor) extractHTML(src string) (*Result, error) {
 			sp.SetInt("pageHeight", int64(bs.Height))
 		}
 	})
+	if lerr != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			e.degrade(tr, res, "layout: cancelled")
+			return res, fmt.Errorf("formext: layout interrupted: %w", cerr)
+		}
+		e.degrade(tr, res, "layout: parse budget exhausted")
+	}
 
 	runStage(tr, obs.StageTokenize, &res.Stats.Stages.Tokenize, func(sp *Span) {
 		res.Tokens = e.tokenizer.Tokenize(boxes)
@@ -350,38 +470,103 @@ func (e *Extractor) extractHTML(src string) (*Result, error) {
 			sp.SetInt("widgets", int64(ts.Widgets))
 		}
 	})
-
-	if err := e.parseAndMerge(tr, res); err != nil {
-		tr.Root().SetStr("error", err.Error())
-		return res, err
+	if e.maxTokens > 0 && len(res.Tokens) > e.maxTokens {
+		// Tokens are ID-dense in render order; keeping the prefix preserves
+		// density, so the parser sees a well-formed (smaller) sentence.
+		res.Tokens = res.Tokens[:e.maxTokens]
+		e.degrade(tr, res, fmt.Sprintf("tokenize: token count capped at %d", e.maxTokens))
 	}
-	res.Form = submit.FormInfoOf(doc)
-	return res, nil
+
+	return e.finish(ctx, budgetCtx, tr, res)
 }
 
 // ExtractTokens runs parsing and merging over an already-tokenized form.
-// Token IDs must be dense and in render order.
+// Token IDs must be dense and in render order; malformed token sets
+// (nil entries, sparse, duplicated or out-of-range IDs) are rejected up
+// front with a descriptive error rather than crashing the parse.
 func (e *Extractor) ExtractTokens(toks []*Token) (*Result, error) {
+	return e.ExtractTokensContext(context.Background(), toks)
+}
+
+// ExtractTokensContext is ExtractTokens under caller cancellation, with the
+// same partial-result and budget semantics as ExtractHTMLContext.
+func (e *Extractor) ExtractTokensContext(ctx context.Context, toks []*Token) (res *Result, err error) {
+	if verr := core.ValidateTokens(toks); verr != nil {
+		return nil, fmt.Errorf("formext: %w", verr)
+	}
+	budgetCtx, cancel := e.budgetContext(ctx)
+	defer cancel()
 	tr := e.tracer.Start("extract-tokens")
 	defer tr.End()
-	res := &Result{Tokens: toks, Stats: Stats{TraceID: tr.TraceID()}}
-	if err := e.parseAndMerge(tr, res); err != nil {
-		tr.Root().SetStr("error", err.Error())
-		return nil, err
+	res = &Result{Tokens: toks, Stats: Stats{TraceID: tr.TraceID()}}
+	defer e.contain(tr, res, &err)
+	return e.finish(ctx, budgetCtx, tr, res)
+}
+
+// finish runs the back half of the pipeline over res.Tokens and classifies
+// any interruption: caller cancellation surfaces as an error alongside the
+// partial result, budget expiry degrades silently.
+func (e *Extractor) finish(ctx, budgetCtx context.Context, tr *Trace, res *Result) (*Result, error) {
+	merr := e.parseAndMerge(budgetCtx, tr, res)
+	if res.Stats.Truncated {
+		e.degrade(tr, res, "parse: instance budget exhausted")
 	}
+	if merr == nil {
+		return res, nil
+	}
+	if !errors.Is(merr, context.Canceled) && !errors.Is(merr, context.DeadlineExceeded) {
+		tr.Root().SetStr("error", merr.Error())
+		return res, merr
+	}
+	if cerr := ctx.Err(); cerr != nil {
+		e.degrade(tr, res, "parse: cancelled")
+		return res, fmt.Errorf("formext: parse interrupted: %w", cerr)
+	}
+	e.degrade(tr, res, "parse: parse budget exhausted")
 	return res, nil
+}
+
+// budgetContext derives the deadline context the pipeline stages run under:
+// the caller's ctx, tightened by Options.ParseBudget when one is set.
+func (e *Extractor) budgetContext(ctx context.Context) (context.Context, context.CancelFunc) {
+	if e.parseBudget > 0 {
+		return context.WithTimeout(ctx, e.parseBudget)
+	}
+	return ctx, func() {}
+}
+
+// degrade records one way the extraction was cut short, in the stats and as
+// a trace event.
+func (e *Extractor) degrade(tr *Trace, res *Result, reason string) {
+	res.Stats.Degraded = append(res.Stats.Degraded, reason)
+	tr.Root().Event(obs.EventDegraded, obs.Str("reason", reason))
+}
+
+// contain is the facade's panic boundary, installed by the deferred frames
+// of both extraction entry points. A recovered panic becomes a *PanicError
+// snapshotting the stats accumulated before the failure; the partial Result
+// stays non-nil so serving layers can report where the page got to.
+func (e *Extractor) contain(tr *Trace, res *Result, errp *error) {
+	if r := recover(); r != nil {
+		pe := &PanicError{Value: r, Stack: debug.Stack(), Stats: res.Stats}
+		tr.Root().Event(obs.EventPanic, obs.Str("value", fmt.Sprint(r)))
+		tr.Root().SetStr("error", pe.Error())
+		*errp = pe
+	}
 }
 
 // parseAndMerge runs the back half of the pipeline (best-effort parse,
 // then merge) over res.Tokens, filling the result's trees, model and
-// statistics.
-func (e *Extractor) parseAndMerge(tr *Trace, res *Result) error {
+// statistics. A parse cut short by ctx still merges — the partial instance
+// population yields a partial model — and the context's error is returned
+// for the caller to classify.
+func (e *Extractor) parseAndMerge(ctx context.Context, tr *Trace, res *Result) error {
 	var pres *core.Result
 	var perr error
 	runStage(tr, obs.StageParse, &res.Stats.Stages.Parse, func(sp *Span) {
-		pres, perr = e.parser.ParseSpan(res.Tokens, sp)
+		pres, perr = e.parser.ParseContext(ctx, res.Tokens, sp)
 	})
-	if perr != nil {
+	if pres == nil {
 		return fmt.Errorf("formext: %w", perr)
 	}
 	res.Trees = pres.Maximal
@@ -395,14 +580,22 @@ func (e *Extractor) parseAndMerge(tr *Trace, res *Result) error {
 		Conflicts:  len(res.Model.Conflicts),
 		Missing:    len(res.Model.Missing),
 	}
-	return nil
+	return perr
 }
+
+// stageHook, when non-nil, runs at the start of every pipeline stage. It is
+// a fault-injection seam for containment tests (injected panics and stalls)
+// and is never set outside tests.
+var stageHook func(stage string)
 
 // runStage runs one pipeline stage, always measuring its wall time into
 // *d. Under an enabled trace the stage additionally gets a span (passed to
 // f for stage-specific attributes) and a pprof label, so CPU profiles
 // taken during traced extractions attribute samples per stage.
 func runStage(tr *Trace, name string, d *time.Duration, f func(sp *Span)) {
+	if stageHook != nil {
+		stageHook(name)
+	}
 	sp := tr.Span(name)
 	start := time.Now()
 	if sp != nil {

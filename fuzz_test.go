@@ -1,6 +1,7 @@
 package formext_test
 
 import (
+	"strings"
 	"testing"
 
 	"formext"
@@ -24,6 +25,12 @@ func FuzzExtractHTML(f *testing.F) {
 		`<table><tr><td colspan=3>wide</td></tr><tr><td>a<td>b<td>c</table>`,
 		`<form>from <input type=text size=8> to <input type=text size=8></form>`,
 		`<a href="/x">link</a><hr><input type=submit>`,
+		// Hostile shapes: adversarial nesting, unclosed-tag floods, and
+		// recursive tables — the containment layer's fuzz frontier.
+		strings.Repeat("<div>", 600) + "x" + strings.Repeat("</div>", 600),
+		strings.Repeat("<table><tr><td>", 40) + "x",
+		strings.Repeat("<p>w <input type=text name=q>", 40),
+		strings.Repeat("<select>", 100) + "<option>v",
 	}
 	for _, s := range seeds {
 		f.Add(s)

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"formext/internal/geom"
+	"formext/internal/token"
+)
+
+// TestParseContextCancelled verifies that a parse started under an already
+// cancelled context still returns a usable partial result: terminals are
+// instantiated, Stats.Interrupted is set, and the context's error is
+// surfaced rather than swallowed or panicked.
+func TestParseContextCancelled(t *testing.T) {
+	p := mustParser(t, figure6Grammar, Options{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := p.ParseContext(ctx, qamFragmentTokens(), nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if res == nil {
+		t.Fatal("cancelled parse must still return a partial result")
+	}
+	if !res.Stats.Interrupted {
+		t.Error("Stats.Interrupted must be set on a cancelled parse")
+	}
+	if res.Stats.Terminals == 0 {
+		t.Error("partial result should still contain terminal instances")
+	}
+}
+
+// TestParseContextBackground verifies that ParseContext with a background
+// context behaves exactly like Parse.
+func TestParseContextBackground(t *testing.T) {
+	p := mustParser(t, figure6Grammar, Options{})
+	toks := qamFragmentTokens()
+	want, err := p.Parse(toks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.ParseContext(context.Background(), toks, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Stats.Interrupted {
+		t.Error("uncancelled parse must not report Interrupted")
+	}
+	if len(got.Maximal) != len(want.Maximal) || got.Stats.Alive != want.Stats.Alive {
+		t.Errorf("ParseContext(Background) diverged from Parse: %d/%d maximal, %d/%d alive",
+			len(got.Maximal), len(want.Maximal), got.Stats.Alive, want.Stats.Alive)
+	}
+}
+
+// TestValidateTokens exercises the up-front token validation that replaced
+// scattered panics on malformed caller-supplied token sets.
+func TestValidateTokens(t *testing.T) {
+	mk := func(id int) *token.Token {
+		return &token.Token{ID: id, Type: token.Text, SVal: "x", Pos: geom.R(0, 10, 0, 10)}
+	}
+	cases := []struct {
+		name string
+		toks []*token.Token
+		ok   bool
+	}{
+		{"empty", nil, true},
+		{"dense", []*token.Token{mk(0), mk(1), mk(2)}, true},
+		{"nil entry", []*token.Token{mk(0), nil, mk(2)}, false},
+		{"sparse", []*token.Token{mk(0), mk(5)}, false},
+		{"duplicate", []*token.Token{mk(0), mk(0)}, false},
+		{"negative", []*token.Token{mk(-1), mk(0)}, false},
+		{"out of range", []*token.Token{mk(1), mk(2)}, false},
+	}
+	for _, tc := range cases {
+		err := ValidateTokens(tc.toks)
+		if tc.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("%s: want validation error, got nil", tc.name)
+		}
+	}
+}

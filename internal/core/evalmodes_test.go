@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"formext/internal/geom"
@@ -83,7 +84,7 @@ func TestEnforceSteadyStateNoAlloc(t *testing.T) {
 	toks := qamFragmentTokens()
 	e := p.engine()
 	defer p.release(e)
-	e.begin(p.pl, p.opt, len(toks))
+	e.begin(context.Background(), p.pl, p.opt, len(toks))
 	for _, tk := range toks {
 		in := e.newInstance()
 		in.ID = e.nextID

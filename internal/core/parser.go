@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -62,6 +63,7 @@ type Stats struct {
 	FixpointIters   int           // fix-point rounds summed over all groups
 	Groups          int           // schedule groups executed (1 when scheduling is off)
 	Truncated       bool          // hit MaxInstances
+	Interrupted     bool          // cut short by context cancellation or deadline
 	Duration        time.Duration // parse construction + maximization time
 }
 
@@ -115,7 +117,7 @@ func (p *Parser) Schedule() *Schedule { return p.pl.sched }
 
 // Parse runs best-effort parsing over the token set.
 func (p *Parser) Parse(toks []*token.Token) (*Result, error) {
-	return p.ParseSpan(toks, nil)
+	return p.ParseContext(context.Background(), toks, nil)
 }
 
 // ParseSpan runs best-effort parsing, recording per-group span events on sp
@@ -124,15 +126,57 @@ func (p *Parser) Parse(toks []*token.Token) (*Result, error) {
 // for maximization. A nil span costs only the nil checks inside obs; the
 // counters in Stats are recorded either way.
 func (p *Parser) ParseSpan(toks []*token.Token, sp *obs.Span) (*Result, error) {
+	return p.ParseContext(context.Background(), toks, sp)
+}
+
+// ValidateTokens checks that a token set is parseable: no nil entries, and
+// IDs dense in slice order (token i must carry ID i — covers are bit sets
+// over those indices, so sparse, duplicated or out-of-range IDs would index
+// outside the cover universe). The error names the first offending token.
+func ValidateTokens(toks []*token.Token) error {
 	for i, t := range toks {
-		if t.ID != i {
-			return nil, fmt.Errorf("core: token IDs must be dense and ordered (token %d has ID %d)", i, t.ID)
+		if t == nil {
+			return fmt.Errorf("core: token at index %d is nil", i)
 		}
+		if t.ID != i {
+			why := "sparse or out of order"
+			switch {
+			case t.ID < 0 || t.ID >= len(toks):
+				why = "out of range"
+			case i > 0 && toks[i-1].ID == t.ID:
+				why = "duplicated"
+			}
+			return fmt.Errorf("core: token IDs must be dense and ordered: token at index %d has ID %d, want %d (%s)",
+				i, t.ID, i, why)
+		}
+	}
+	return nil
+}
+
+// ParseContext runs best-effort parsing under a context. Cancellation is
+// checked at fix-point round boundaries and every few thousand constraint
+// evaluations inside a round; when the context ends mid-parse, the parser
+// stops instantiating, still runs maximization over the instances built so
+// far, and returns that partial Result together with the context's error —
+// the caller gets the largest interpretation the time budget allowed, with
+// Stats.Interrupted set. A validation failure returns a nil Result.
+func (p *Parser) ParseContext(ctx context.Context, toks []*token.Token, sp *obs.Span) (res *Result, err error) {
+	if err := ValidateTokens(toks); err != nil {
+		return nil, err
 	}
 	start := time.Now()
 	e := p.engine()
-	defer p.release(e)
-	e.begin(p.pl, p.opt, len(toks))
+	defer func() {
+		// A panicking parse abandons its engine: half-mutated scratch
+		// state (dedup table, join buffers, bitset arena) must never be
+		// pooled for the next request. The panic continues to the caller's
+		// isolation boundary.
+		if r := recover(); r != nil {
+			panic(r)
+		}
+		p.release(e)
+	}()
+	e.begin(ctx, p.pl, p.opt, len(toks))
 
 	// Terminal instances.
 	for _, t := range toks {
@@ -158,7 +202,7 @@ func (p *Parser) ParseSpan(toks []*token.Token, sp *obs.Span) (*Result, error) {
 		gsp.SetStr("mode", "global")
 		e.fixpoint(gsp, p.pl.globalProds)
 		if !p.opt.DisablePreferences {
-			for {
+			for !e.cancelled() {
 				killed := 0
 				for _, pi := range p.pl.prefsByPriority {
 					killed += e.enforce(gsp, pi)
@@ -174,13 +218,16 @@ func (p *Parser) ParseSpan(toks []*token.Token, sp *obs.Span) (*Result, error) {
 		gsp.End()
 	} else {
 		for gi := range p.pl.sched.Groups {
+			if e.cancelled() {
+				break
+			}
 			e.stats.Groups++
 			gsp := sp.Span("fixpoint")
 			gsp.SetStr("symbols", p.pl.groupLabels[gi])
 			c0, f0 := e.stats.TotalCreated, e.stats.FixpointIters
 			p0, r0 := e.stats.Pruned, e.stats.RolledBack
 			e.fixpoint(gsp, p.pl.groupProds[gi])
-			if !p.opt.DisablePreferences {
+			if !p.opt.DisablePreferences && !e.cancelled() {
 				for _, pi := range p.pl.enforceAfter[gi] {
 					e.enforce(gsp, pi)
 				}
@@ -194,7 +241,7 @@ func (p *Parser) ParseSpan(toks []*token.Token, sp *obs.Span) (*Result, error) {
 	}
 
 	msp := sp.Span("maximize")
-	res := &Result{Tokens: toks}
+	res = &Result{Tokens: toks}
 	res.Maximal = e.maximize(p.pl.g.Start)
 	msp.SetInt("trees", int64(len(res.Maximal)))
 	msp.End()
@@ -222,6 +269,7 @@ func (p *Parser) ParseSpan(toks []*token.Token, sp *obs.Span) (*Result, error) {
 			e.stats.CompleteParses++
 		}
 	}
+	e.stats.Interrupted = e.interrupted
 	e.stats.Duration = time.Since(start)
 	res.Stats = e.stats
 
@@ -231,6 +279,10 @@ func (p *Parser) ParseSpan(toks []*token.Token, sp *obs.Span) (*Result, error) {
 	sp.SetInt("rolledBack", int64(e.stats.RolledBack))
 	sp.SetInt("fixpointIters", int64(e.stats.FixpointIters))
 	sp.SetInt("completeParses", int64(e.stats.CompleteParses))
+	if e.interrupted {
+		sp.Event("interrupted", obs.Int("instances", int64(e.stats.TotalCreated)))
+		return res, ctx.Err()
+	}
 	return res, nil
 }
 
@@ -285,6 +337,14 @@ type engine struct {
 	pl  *plan
 	opt Options
 
+	// Cancellation state for one parse: the context, a countdown between
+	// in-round checks (consulting the context every constraint evaluation
+	// would put an atomic load on the hottest path), and the latched
+	// verdict once the context has ended.
+	ctx             context.Context
+	evalsUntilCheck int
+	interrupted     bool
+
 	bySym [][]*grammar.Instance // alive+dead instances by dense symbol ID
 	all   []*grammar.Instance   // every instance, in creation (ID) order
 
@@ -297,7 +357,7 @@ type engine struct {
 	frame *grammar.Frame
 	pair  [2]*grammar.Instance
 	// Interpreted-oracle evaluation state.
-	ctx *grammar.EvalCtx
+	evalCtx *grammar.EvalCtx
 
 	// Fix-point scratch: per-symbol frontier marks and round snapshots.
 	marks []int
@@ -332,8 +392,8 @@ func (p *Parser) engine() *engine {
 		return v.(*engine)
 	}
 	return &engine{
-		frame: grammar.NewFrame(p.opt.Thresholds),
-		ctx:   &grammar.EvalCtx{Bind: map[string]*grammar.Instance{}, Th: p.opt.Thresholds},
+		frame:   grammar.NewFrame(p.opt.Thresholds),
+		evalCtx: &grammar.EvalCtx{Bind: map[string]*grammar.Instance{}, Th: p.opt.Thresholds},
 	}
 }
 
@@ -352,7 +412,8 @@ func (e *engine) forgetInstances() {
 	e.maxCands = e.maxCands[:0]
 	e.pair = [2]*grammar.Instance{}
 	e.frame.Bind(nil)
-	clear(e.ctx.Bind)
+	clear(e.evalCtx.Bind)
+	e.ctx = nil
 	e.spareFor = nil
 	e.arena.Reset(0)
 	e.instSlab = nil
@@ -364,10 +425,31 @@ func (p *Parser) release(e *engine) {
 	p.pool.Put(e)
 }
 
+// ctxCheckEvery is how many constraint evaluations run between context
+// checks inside a fix-point round. Round boundaries always check; the
+// in-round checkpoint bounds how long one pathological round (a quadratic
+// join over a hostile token set) can outlive its deadline.
+const ctxCheckEvery = 4096
+
+// cancelled reports whether the parse's context has ended, latching the
+// verdict so later checks are branch-only.
+func (e *engine) cancelled() bool {
+	if e.interrupted {
+		return true
+	}
+	if e.ctx != nil && e.ctx.Err() != nil {
+		e.interrupted = true
+	}
+	return e.interrupted
+}
+
 // begin readies the engine for one parse over `universe` tokens.
-func (e *engine) begin(pl *plan, opt Options, universe int) {
+func (e *engine) begin(ctx context.Context, pl *plan, opt Options, universe int) {
 	e.pl = pl
 	e.opt = opt
+	e.ctx = ctx
+	e.evalsUntilCheck = ctxCheckEvery
+	e.interrupted = false
 	ns := len(pl.syms)
 	if cap(e.bySym) < ns {
 		e.bySym = make([][]*grammar.Instance, ns)
@@ -473,6 +555,13 @@ func (e *engine) fixpoint(sp *obs.Span, prods []int) {
 		e.marks[i] = 0
 	}
 	for {
+		// The round boundary is the primary cancellation checkpoint
+		// (rounds are the unit of fix-point progress); emit checks again
+		// every few thousand constraint evaluations so one pathological
+		// round cannot outlive its deadline unboundedly.
+		if e.cancelled() {
+			return
+		}
 		e.stats.FixpointIters++
 		for i := range e.bySym {
 			e.snap[i] = len(e.bySym[i])
@@ -482,6 +571,9 @@ func (e *engine) fixpoint(sp *obs.Span, prods []int) {
 			added += e.applyProd(&e.pl.prods[pi])
 			if e.stats.Truncated {
 				sp.Event("truncated", obs.Int("instances", int64(e.stats.TotalCreated)))
+				return
+			}
+			if e.interrupted {
 				return
 			}
 		}
@@ -554,7 +646,7 @@ func (e *engine) joinSlot(pp *prodPlan, slot int, hasNew bool) int {
 		}
 		e.children[slot] = cand
 		added += e.joinSlot(pp, slot+1, hasNew || candNew)
-		if e.stats.Truncated {
+		if e.stats.Truncated || e.interrupted {
 			return added
 		}
 	}
@@ -567,15 +659,22 @@ func (e *engine) emit(pp *prodPlan) int {
 	k := len(pp.compSyms)
 	children := e.children[:k]
 	e.stats.ConstraintEvals++
+	e.evalsUntilCheck--
+	if e.evalsUntilCheck <= 0 {
+		e.evalsUntilCheck = ctxCheckEvery
+		if e.cancelled() {
+			return 0
+		}
+	}
 	if e.opt.Interpreted {
 		// The oracle path. Bind is cleared first so entries from other
 		// productions (or preference evaluations) cannot leak into this
 		// constraint's environment when variable names are reused.
-		clear(e.ctx.Bind)
+		clear(e.evalCtx.Bind)
 		for i, c := range pp.p.Components {
-			e.ctx.Bind[c.Var] = children[i]
+			e.evalCtx.Bind[c.Var] = children[i]
 		}
-		if !grammar.EvalBool(pp.p.Constraint, e.ctx) {
+		if !grammar.EvalBool(pp.p.Constraint, e.evalCtx) {
 			return 0
 		}
 	} else {
@@ -635,6 +734,9 @@ func (e *engine) emit(pp *prodPlan) int {
 // conservative — winners that die mid-enforcement stay in the union — so
 // the alive checks in the inner loop still decide every kill.
 func (e *engine) enforce(sp *obs.Span, pi int) int {
+	if e.cancelled() {
+		return 0
+	}
 	pp := &e.pl.prefs[pi]
 	losers := e.bySym[pp.loserID]
 	winners := e.bySym[pp.winnerID]
@@ -698,17 +800,17 @@ func (e *engine) enforce(sp *obs.Span, pi int) int {
 // criteria W.
 func (e *engine) prefHolds(pp *prefPlan, w, l *grammar.Instance) bool {
 	if e.opt.Interpreted {
-		clear(e.ctx.Bind)
-		e.ctx.Bind[pp.p.WinnerVar] = w
-		e.ctx.Bind[pp.p.LoserVar] = l
+		clear(e.evalCtx.Bind)
+		e.evalCtx.Bind[pp.p.WinnerVar] = w
+		e.evalCtx.Bind[pp.p.LoserVar] = l
 		if pp.p.Cond == nil {
 			if !w.Cover.Intersects(l.Cover) {
 				return false
 			}
-		} else if !grammar.EvalBool(pp.p.Cond, e.ctx) {
+		} else if !grammar.EvalBool(pp.p.Cond, e.evalCtx) {
 			return false
 		}
-		return pp.p.Win == nil || grammar.EvalBool(pp.p.Win, e.ctx)
+		return pp.p.Win == nil || grammar.EvalBool(pp.p.Win, e.evalCtx)
 	}
 	e.pair[0], e.pair[1] = w, l
 	e.frame.Bind(e.pair[:])

@@ -20,6 +20,9 @@ func FuzzParse(f *testing.F) {
 		"<input type=\"radio\" name='n' checked value=v/>text",
 		strings.Repeat("<div>", 50) + "deep" + strings.Repeat("</div>", 30),
 		"<td>stray cell</td></p></div>",
+		// Past the depth cap: the builder must flatten, not deepen.
+		strings.Repeat("<span>", DefaultMaxDepth+50) + "x",
+		strings.Repeat("<table><tr><td>", DefaultMaxDepth/2),
 	}
 	for _, s := range seeds {
 		f.Add(s)

@@ -1,0 +1,90 @@
+package htmlparse
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestDeepChainDoesNotOverflow is the regression test for the seed stack
+// overflow: a page of two million nested <div>s crashed the process (the
+// recursive layout walk ran out of goroutine stack) before nesting was
+// capped at parse time. With the cap, parsing and walking the tree must
+// both survive.
+func TestDeepChainDoesNotOverflow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	const depth = 2_000_000
+	src := strings.Repeat("<div>", depth) + "x" + strings.Repeat("</div>", depth)
+	doc := Parse(src)
+	ds := StatsOf(doc)
+	if ds.MaxDepth > DefaultMaxDepth+1 {
+		t.Errorf("tree depth %d exceeds the cap %d", ds.MaxDepth, DefaultMaxDepth)
+	}
+	if got := doc.InnerText(); got != "x" {
+		t.Errorf("content lost under the depth cap: %q", got)
+	}
+}
+
+// TestDepthCapFlattens pins the cap's degradation semantics: elements past
+// the cap are kept as children at the capped level — their content and
+// attributes survive — but the tree stops deepening, and the truncation is
+// reported.
+func TestDepthCapFlattens(t *testing.T) {
+	src := "<div><div><div><div><span id=deep>inner</span></div></div></div></div>"
+	doc, trunc := ParseContext(context.Background(), src, Limits{MaxDepth: 2})
+	if !trunc.DepthCapped {
+		t.Fatal("Trunc.DepthCapped not set")
+	}
+	// Flattened elements are attached as children of cap-level nodes, so
+	// the tree bottoms out one level past the cap no matter the input depth.
+	if ds := StatsOf(doc); ds.MaxDepth > 3 {
+		t.Errorf("depth %d exceeds cap+1 = 3", ds.MaxDepth)
+	}
+	if doc.InnerText() != "inner" {
+		t.Errorf("flattened content lost: %q", doc.InnerText())
+	}
+	if sp := doc.FindTag("span"); sp == nil || sp.AttrOr("id", "") != "deep" {
+		t.Error("capped element lost its attributes")
+	}
+}
+
+// TestDepthCapDefaultAndUnlimited checks the Limits zero-value and negative
+// semantics.
+func TestDepthCapDefaultAndUnlimited(t *testing.T) {
+	deep := strings.Repeat("<div>", DefaultMaxDepth+10) + "x"
+	_, trunc := ParseContext(context.Background(), deep, Limits{})
+	if !trunc.DepthCapped {
+		t.Error("zero Limits must apply DefaultMaxDepth")
+	}
+	doc, trunc := ParseContext(context.Background(), deep, Limits{MaxDepth: -1})
+	if trunc.DepthCapped {
+		t.Error("negative MaxDepth must disable the cap")
+	}
+	if ds := StatsOf(doc); ds.MaxDepth < DefaultMaxDepth+9 {
+		t.Errorf("uncapped depth = %d, want ≥ %d", ds.MaxDepth, DefaultMaxDepth+9)
+	}
+}
+
+// TestParseContextCancelled verifies the parser checkpoints: a cancelled
+// context stops lexing mid-document and returns the partial tree built so
+// far plus the context's error.
+func TestParseContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	// Enough markup to guarantee at least one checkpoint (every 4096 lexer
+	// tokens).
+	src := strings.Repeat("<p>word</p>", 5000)
+	doc, trunc := ParseContext(ctx, src, Limits{})
+	if trunc.Err == nil {
+		t.Fatal("cancelled parse must report Trunc.Err")
+	}
+	if doc == nil {
+		t.Fatal("cancelled parse must still return the partial document")
+	}
+	full := Parse(src)
+	if got, want := len(doc.FindAllTags("p")), len(full.FindAllTags("p")); got >= want {
+		t.Errorf("cancelled parse produced %d of %d paragraphs; expected a partial tree", got, want)
+	}
+}

@@ -88,13 +88,19 @@ func (n *Node) AppendChild(c *Node) {
 
 // Walk visits n and all descendants in document order. Returning false from
 // the visitor prunes the subtree below the current node (the walk continues
-// with siblings).
+// with siblings). The traversal uses an explicit stack so trees of any
+// depth are walked without growing the goroutine stack.
 func (n *Node) Walk(visit func(*Node) bool) {
-	if !visit(n) {
-		return
-	}
-	for _, c := range n.Children {
-		c.Walk(visit)
+	stack := []*Node{n}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if !visit(cur) {
+			continue
+		}
+		for i := len(cur.Children) - 1; i >= 0; i-- {
+			stack = append(stack, cur.Children[i])
+		}
 	}
 }
 

@@ -1,5 +1,7 @@
 package htmlparse
 
+import "context"
+
 // Tree construction. The builder follows the pragmatic subset of the HTML5
 // tree-construction rules that matters for form pages: void elements,
 // implied end tags (</p>, </li>, </option>, </tr>, </td>, ...), recovery
@@ -50,20 +52,80 @@ var tableScoped = map[string]bool{
 	"tr": true, "td": true, "th": true, "thead": true, "tbody": true, "tfoot": true,
 }
 
+// DefaultMaxDepth is the element nesting depth applied by Parse and by
+// ParseContext when Limits.MaxDepth is zero. Real query forms nest a few
+// dozen levels at most; the cap exists so that an adversarial page (a 50k-
+// deep <div> chain) cannot drive the recursive consumers of the tree —
+// layout, rendering, form-info extraction — into a stack overflow.
+const DefaultMaxDepth = 512
+
+// checkEvery is how many lexer tokens are consumed between context
+// checkpoints in ParseContext. The check is one atomic load on the common
+// context implementations, so the interval just keeps it off the per-token
+// path.
+const checkEvery = 4096
+
+// Limits bounds what a parse will accept from hostile input.
+type Limits struct {
+	// MaxDepth caps element nesting depth. Elements deeper than the cap
+	// are appended as children of the node at the cap but never opened, so
+	// the rest of the page flattens onto that level instead of nesting.
+	// 0 means DefaultMaxDepth; negative means unlimited.
+	MaxDepth int
+}
+
+// Trunc reports what, if anything, a parse cut short. The zero value means
+// the whole input was consumed with no limit hit.
+type Trunc struct {
+	// DepthCapped is set when at least one element was flattened at the
+	// depth cap.
+	DepthCapped bool
+	// Err is the context's error when cancellation ended the parse early;
+	// the returned tree holds everything built up to that point.
+	Err error
+}
+
 // Parse builds a document tree from HTML source. It never fails: malformed
 // input produces a best-effort tree, matching the error recovery a browser
-// performs.
+// performs. Nesting is bounded by DefaultMaxDepth (deeper structure is
+// flattened, not dropped); use ParseContext to tune the cap or to parse
+// under a deadline.
 func Parse(src string) *Node {
+	doc, _ := ParseContext(context.Background(), src, Limits{})
+	return doc
+}
+
+// ParseContext is Parse under explicit failure containment: the nesting
+// cap of lim is enforced while building, and ctx is checked every few
+// thousand lexer tokens so a hung or adversarial page stops within one
+// checkpoint interval of cancellation. The returned tree is always
+// non-nil and valid — on cancellation it simply ends at the last token
+// consumed — and the Trunc return describes what was cut short.
+func ParseContext(ctx context.Context, src string, lim Limits) (*Node, Trunc) {
+	maxDepth := lim.MaxDepth
+	if maxDepth == 0 {
+		maxDepth = DefaultMaxDepth
+	}
+	var trunc Trunc
 	doc := &Node{Type: DocumentNode}
 	lx := newLexer(src)
 	stack := []*Node{doc}
 	top := func() *Node { return stack[len(stack)-1] }
 
+	countdown := checkEvery
 	for {
+		countdown--
+		if countdown <= 0 {
+			countdown = checkEvery
+			if err := ctx.Err(); err != nil {
+				trunc.Err = err
+				return doc, trunc
+			}
+		}
 		tok := lx.next()
 		switch tok.kind {
 		case tokEOF:
-			return doc
+			return doc, trunc
 		case tokText:
 			if tok.data == "" {
 				continue
@@ -78,7 +140,13 @@ func Parse(src string) *Node {
 			el := &Node{Type: ElementNode, Tag: tok.data, Attrs: tok.attrs}
 			stack[len(stack)-1].AppendChild(el)
 			if !voidElements[tok.data] && !tok.selfClosing {
-				stack = append(stack, el)
+				// The document root occupies one stack slot, so the
+				// element depth equals len(stack) after a push.
+				if maxDepth < 0 || len(stack) <= maxDepth {
+					stack = append(stack, el)
+				} else {
+					trunc.DepthCapped = true
+				}
 			}
 		case tokEndTag:
 			closeTo(&stack, tok.data)

@@ -11,12 +11,23 @@ type DocStats struct {
 }
 
 // StatsOf walks the tree once and tallies it. The document root itself is
-// depth 0 and not counted as a node.
+// depth 0 and not counted as a node. The walk uses an explicit stack, so
+// a tree of any depth (ParseContext can be asked for an unlimited cap) is
+// tallied without growing the goroutine stack.
 func StatsOf(root *Node) DocStats {
 	var st DocStats
-	var walk func(n *Node, depth int)
-	walk = func(n *Node, depth int) {
-		switch n.Type {
+	if root == nil {
+		return st
+	}
+	type frame struct {
+		n     *Node
+		depth int
+	}
+	stack := []frame{{root, 0}}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		switch f.n.Type {
 		case ElementNode:
 			st.Elements++
 		case TextNode:
@@ -24,15 +35,12 @@ func StatsOf(root *Node) DocStats {
 		case CommentNode:
 			st.Comments++
 		}
-		if depth > st.MaxDepth {
-			st.MaxDepth = depth
+		if f.depth > st.MaxDepth {
+			st.MaxDepth = f.depth
 		}
-		for _, c := range n.Children {
-			walk(c, depth+1)
+		for i := len(f.n.Children) - 1; i >= 0; i-- {
+			stack = append(stack, frame{f.n.Children[i], f.depth + 1})
 		}
-	}
-	if root != nil {
-		walk(root, 0)
 	}
 	return st
 }

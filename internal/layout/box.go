@@ -68,13 +68,20 @@ func (b *Box) Translate(dx, dy float64) {
 	}
 }
 
-// Walk visits b and all descendants in render order.
+// Walk visits b and all descendants in render order. The traversal uses an
+// explicit stack so render trees of any depth are walked without growing
+// the goroutine stack.
 func (b *Box) Walk(visit func(*Box) bool) {
-	if !visit(b) {
-		return
-	}
-	for _, c := range b.Children {
-		c.Walk(visit)
+	stack := []*Box{b}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if !visit(cur) {
+			continue
+		}
+		for i := len(cur.Children) - 1; i >= 0; i-- {
+			stack = append(stack, cur.Children[i])
+		}
 	}
 }
 

@@ -1,0 +1,53 @@
+package layout
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"formext/internal/htmlparse"
+)
+
+// TestLayoutContextCancelled verifies the engine's checkpoints: a cancelled
+// context stops the box walk mid-document and returns a valid partial
+// render tree plus the context's error.
+func TestLayoutContextCancelled(t *testing.T) {
+	src := strings.Repeat("<p>word <input type=text name=q></p>", 4000)
+	doc := htmlparse.Parse(src)
+	e := New()
+
+	full, err := e.LayoutContext(context.Background(), doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	partial, err := e.LayoutContext(ctx, doc)
+	if err == nil {
+		t.Fatal("cancelled layout must return the context's error")
+	}
+	if partial == nil {
+		t.Fatal("cancelled layout must still return a partial render tree")
+	}
+	if got, want := StatsOf(partial).Total(), StatsOf(full).Total(); got >= want {
+		t.Errorf("cancelled layout produced %d of %d boxes; expected a partial tree", got, want)
+	}
+}
+
+// TestLayoutMatchesLayoutContext pins that the uncancelled context path is
+// the same computation as Layout.
+func TestLayoutMatchesLayoutContext(t *testing.T) {
+	doc := htmlparse.Parse(`<form><table>
+		<tr><td>Author</td><td><input type=text name=a></td></tr>
+		<tr><td>Title</td><td><input type=text name=t></td></tr>
+	</table></form>`)
+	e := New()
+	a := e.Layout(doc)
+	b, err := e.LayoutContext(context.Background(), doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if StatsOf(a) != StatsOf(b) || a.Rect != b.Rect {
+		t.Errorf("Layout and LayoutContext diverge: %+v vs %+v", StatsOf(a), StatsOf(b))
+	}
+}

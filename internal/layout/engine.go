@@ -1,6 +1,7 @@
 package layout
 
 import (
+	"context"
 	"strings"
 
 	"formext/internal/geom"
@@ -22,14 +23,29 @@ func New() *Engine { return &Engine{Viewport: 800, M: DefaultMetrics} }
 
 const bodyMargin = 8
 
+// checkEvery is how many DOM nodes a layout run processes between context
+// checkpoints.
+const checkEvery = 4096
+
 // Layout renders the document and returns the root box. The root's
 // children are the top-level block and inline boxes in render order.
 func (e *Engine) Layout(doc *htmlparse.Node) *Box {
+	b, _ := e.LayoutContext(context.Background(), doc)
+	return b
+}
+
+// LayoutContext is Layout under cancellation: ctx is checked every few
+// thousand DOM nodes, and when it ends the engine stops descending and
+// returns the boxes laid out so far (a valid, partial render tree) along
+// with the context's error. A nil error means the document was laid out
+// in full.
+func (e *Engine) LayoutContext(ctx context.Context, doc *htmlparse.Node) (*Box, error) {
 	root := doc
 	if body := doc.FindTag("body"); body != nil {
 		root = body
 	}
-	f := &flow{e: e, x0: bodyMargin, width: e.Viewport - 2*bodyMargin, y: bodyMargin}
+	r := &run{ctx: ctx, countdown: checkEvery}
+	f := &flow{e: e, r: r, x0: bodyMargin, width: e.Viewport - 2*bodyMargin, y: bodyMargin}
 	for _, c := range root.Children {
 		f.node(c)
 	}
@@ -39,13 +55,51 @@ func (e *Engine) Layout(doc *htmlparse.Node) *Box {
 	if b.Rect == (geom.Rect{}) {
 		b.Rect = geom.R(0, e.Viewport, 0, 0)
 	}
-	return b
+	if r.aborted {
+		return b, ctx.Err()
+	}
+	return b, nil
+}
+
+// run is the per-layout cancellation state shared by every flow of one
+// LayoutContext call (nested blocks and table cells all lay out through
+// sub-flows; aborting must stop them all).
+type run struct {
+	ctx       context.Context
+	countdown int
+	aborted   bool
+	// measure memoizes unconstrained cell content widths (table sizing's
+	// first pass). Without it, nested tables re-measure their entire
+	// subtree once per enclosing measurement — exponential in nesting
+	// depth, which adversarial pages exploit. The measurement depends only
+	// on the node and the engine's metrics, so one entry per node is exact.
+	measure map[*htmlparse.Node]float64
+}
+
+// step counts one processed node and reports whether the run is aborted.
+// The context is consulted only at checkpoint intervals.
+func (r *run) step() bool {
+	if r == nil {
+		return false
+	}
+	if r.aborted {
+		return true
+	}
+	r.countdown--
+	if r.countdown <= 0 {
+		r.countdown = checkEvery
+		if r.ctx.Err() != nil {
+			r.aborted = true
+		}
+	}
+	return r.aborted
 }
 
 // flow is one block-formatting context: a vertical cursor plus an open line
 // box of inline-level boxes.
 type flow struct {
 	e       *Engine
+	r       *run    // shared cancellation state (nil in tests that build flows directly)
 	x0      float64 // content left edge
 	width   float64 // content width
 	y       float64 // vertical cursor (top of the open line)
@@ -78,6 +132,9 @@ var widgetTags = map[string]bool{
 }
 
 func (f *flow) node(n *htmlparse.Node) {
+	if f.r.step() {
+		return
+	}
 	switch n.Type {
 	case htmlparse.TextNode:
 		f.text(n)
@@ -236,7 +293,7 @@ func (f *flow) block(n *htmlparse.Node) {
 	gap := f.blockGapFor(n.Tag)
 	indent := blockIndent(n.Tag)
 	f.y += gap
-	sub := &flow{e: f.e, x0: f.x0 + indent, width: f.width - indent, y: f.y, align: alignOf(n, f.align)}
+	sub := &flow{e: f.e, r: f.r, x0: f.x0 + indent, width: f.width - indent, y: f.y, align: alignOf(n, f.align)}
 	if sub.width < 40 {
 		sub.width = 40
 	}

@@ -58,14 +58,28 @@ func cellsOf(row *htmlparse.Node) []tableCell {
 }
 
 // measureWidth lays out the cell's content at an effectively unbounded
-// width and returns the resulting content width.
+// width and returns the resulting content width. Results are memoized on
+// the run (see run.measure): nested tables would otherwise make the
+// measurement pass exponential in nesting depth.
 func (f *flow) measureWidth(cell *htmlparse.Node) float64 {
-	sub := &flow{e: f.e, x0: 0, width: 1e7, y: 0}
+	if f.r != nil {
+		if w, ok := f.r.measure[cell]; ok {
+			return w
+		}
+	}
+	sub := &flow{e: f.e, r: f.r, x0: 0, width: 1e7, y: 0}
 	for _, c := range cell.Children {
 		sub.node(c)
 	}
 	sub.flushLine()
-	return unionRects(sub.out).Width()
+	w := unionRects(sub.out).Width()
+	if f.r != nil {
+		if f.r.measure == nil {
+			f.r.measure = make(map[*htmlparse.Node]float64)
+		}
+		f.r.measure[cell] = w
+	}
+	return w
 }
 
 // table lays out a table element and appends its box tree to the flow.
@@ -160,7 +174,7 @@ func (f *flow) table(n *htmlparse.Node) {
 			}
 			cw := colX[spanEnd] - colX[c.col] - m.CellSpace
 			cx := f.x0 + colX[c.col]
-			sub := &flow{e: f.e, x0: cx + m.CellPad, width: cw - 2*m.CellPad, y: y + m.CellPad,
+			sub := &flow{e: f.e, r: f.r, x0: cx + m.CellPad, width: cw - 2*m.CellPad, y: y + m.CellPad,
 				align: alignOf(c.node, "")}
 			if sub.width < 20 {
 				sub.width = 20

@@ -37,6 +37,14 @@ const (
 // Stages lists the pipeline stage names in execution order.
 var Stages = []string{StageHTMLParse, StageLayout, StageTokenize, StageParse, StageMerge}
 
+// Canonical event names for failure-containment outcomes. Degraded events
+// record an input budget or deadline cutting a stage short (one event per
+// Stats.Degraded entry); panic events record a recovered extraction panic.
+const (
+	EventDegraded = "degraded"
+	EventPanic    = "panic"
+)
+
 // StageTimings records per-stage wall time for one extraction. It is
 // populated on every extraction — tracer or not — because reading the
 // clock ten times is noise next to a parse, and batch diagnostics need the

@@ -1,21 +1,33 @@
 package formext
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"runtime/debug"
 	"sync"
 )
 
-// newExtractor is the factory behind Pool and ExtractAll; a package
-// variable so tests can inject construction failures (the batch path's
-// regression tests need workers whose extractor construction fails after
-// the up-front validation succeeded).
+// newExtractor is the factory behind Pool validation and ExtractAll; a
+// package variable so tests can inject construction failures (the batch
+// path's regression tests need workers whose extractor construction fails
+// after the up-front validation succeeded).
 var newExtractor = func(o Options) (*Extractor, error) { return New(o) }
+
+// newPooledExtractor builds the pool's miss-path extractors around the
+// pool's cached compiled grammar, so a custom GrammarSource is parsed once
+// at NewPool rather than on every pool miss. A package variable for the
+// same fault-injection reason as newExtractor.
+var newPooledExtractor = func(g *Grammar, o Options) (*Extractor, error) {
+	return newWithGrammar(g, o)
+}
 
 // Pool keeps ready-to-use extractors for one Options value, backed by
 // sync.Pool. All pooled extractors share the same compiled grammar and 2P
-// schedule (both immutable), so Get after a warm-up is amortized
-// allocation-free and the pool shrinks under memory pressure like any
-// sync.Pool.
+// schedule (both immutable; the grammar is compiled once at NewPool and
+// cached, so misses never re-parse a custom GrammarSource), so Get after a
+// warm-up is amortized allocation-free and the pool shrinks under memory
+// pressure like any sync.Pool.
 //
 // Observability composes with pooling: when Options.Tracer is set, every
 // pooled extractor records through that one tracer (tracers are safe for
@@ -26,11 +38,13 @@ var newExtractor = func(o Options) (*Extractor, error) { return New(o) }
 // cmd/formserve and ExtractAll build on.
 type Pool struct {
 	opts Options
+	g    *Grammar
 	pool sync.Pool
 }
 
 // NewPool validates the options by building one extractor and returns a
-// pool keyed to them. The validation extractor primes the pool.
+// pool keyed to them. The validation extractor primes the pool, and its
+// compiled grammar is cached for every later construction.
 func NewPool(opts ...Options) (*Pool, error) {
 	var o Options
 	if len(opts) > 1 {
@@ -43,7 +57,7 @@ func NewPool(opts ...Options) (*Pool, error) {
 	if err != nil {
 		return nil, err
 	}
-	p := &Pool{opts: o}
+	p := &Pool{opts: o, g: ex.Grammar()}
 	p.pool.Put(ex)
 	return p, nil
 }
@@ -57,7 +71,7 @@ func (p *Pool) Get() (*Extractor, error) {
 	if v := p.pool.Get(); v != nil {
 		return v.(*Extractor), nil
 	}
-	return newExtractor(p.opts)
+	return newPooledExtractor(p.g, p.opts)
 }
 
 // Put returns an extractor to the pool. Only extractors obtained from Get
@@ -73,10 +87,34 @@ func (p *Pool) Put(ex *Extractor) {
 // Extract runs the full pipeline on HTML source using a pooled extractor:
 // Get, ExtractHTML, Put.
 func (p *Pool) Extract(src string) (*Result, error) {
-	ex, err := p.Get()
-	if err != nil {
-		return nil, err
+	return p.ExtractContext(context.Background(), src)
+}
+
+// ExtractContext is Extract under caller cancellation, with the partial
+// result and budget semantics of Extractor.ExtractHTMLContext.
+//
+// It is also a containment boundary: an extraction that panics (a
+// *PanicError from the pipeline, or a raw panic escaping it) never returns
+// its extractor to the pool — a panic mid-parse can leave the extractor's
+// internals torn, and reusing it would poison an unrelated later request.
+// The extractor is abandoned to the collector and the pool stays healthy.
+func (p *Pool) ExtractContext(ctx context.Context, src string) (res *Result, err error) {
+	ex, gerr := p.Get()
+	if gerr != nil {
+		return nil, gerr
 	}
-	defer p.Put(ex)
-	return ex.ExtractHTML(src)
+	healthy := false
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Value: r, Stack: debug.Stack()}
+			return
+		}
+		if healthy {
+			p.Put(ex)
+		}
+	}()
+	res, err = ex.ExtractHTMLContext(ctx, src)
+	var pe *PanicError
+	healthy = !errors.As(err, &pe)
+	return res, err
 }
