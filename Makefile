@@ -2,7 +2,7 @@
 # full test suite under the race detector (the concurrent serving path —
 # pool, batch, formserve — is exercised by design), and keep the compiled
 # evaluation plan differentially equal to the interpreted oracle.
-.PHONY: check build vet test parity hostile bench bench-smoke
+.PHONY: check build vet test parity hostile bench bench-smoke bench-cache
 
 check: build vet test parity
 
@@ -40,3 +40,10 @@ bench:
 # harnesses still compile and run.
 bench-smoke:
 	go test -bench . -benchtime=1x ./...
+
+# Extraction-cache benchmarks: the source of BENCH_cache.json (warm hit,
+# cold miss, 16-goroutine Zipf mix). The cache correctness tests themselves
+# run under -race as part of `make check`.
+bench-cache:
+	go test -bench 'BenchmarkCachedExtract|BenchmarkCacheColdMiss|BenchmarkCacheParallel' \
+		-benchmem -benchtime=2s -run '^$$' .

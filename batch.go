@@ -72,7 +72,7 @@ func (e *BatchError) Error() string {
 // internal entry point whose Result is non-nil even on error, carrying the
 // stage timings accumulated before the failure.
 var extractPage = func(ctx context.Context, ex *Extractor, src string) (*Result, error) {
-	return ex.extractHTML(ctx, src)
+	return ex.ExtractHTMLContext(ctx, src)
 }
 
 // safeExtractPage runs one page with a worker-local panic boundary: a panic
@@ -93,6 +93,14 @@ func safeExtractPage(ctx context.Context, ex *Extractor, src string) (res *Resul
 // grammar and schedule; this is the crawl-scale entry point the paper's
 // integration scenario needs (10^5 sources, Section 1).
 //
+// Byte-identical pages are extracted once per batch: the first occurrence
+// is the canonical extraction, and every later duplicate receives its own
+// Result view of the canonical page's frozen trees and model at the
+// duplicate's original index, with Stats.Coalesced set on the duplicate
+// entries. With Options.Cache set, workers additionally consult the cache,
+// so identical pages across batches (or concurrent with server traffic
+// sharing the cache) also extract once.
+//
 // Configuration problems (an invalid grammar, for instance) fail the whole
 // batch up front with nil results. After that, the results slice is always
 // returned in full: a page that fails to extract leaves a nil entry and is
@@ -103,12 +111,27 @@ func ExtractAll(pages []string, opt BatchOptions) ([]*Result, error) {
 	if len(pages) == 0 {
 		return nil, nil
 	}
+	// In-batch deduplication: the first index holding each distinct page
+	// string is canonical and becomes a job; duplicates are fanned out from
+	// the canonical outcome after the workers finish.
+	canon := make(map[string]int, len(pages))
+	uniq := make([]int, 0, len(pages))
+	var dups []int
+	for i, p := range pages {
+		if _, ok := canon[p]; ok {
+			dups = append(dups, i)
+			continue
+		}
+		canon[p] = i
+		uniq = append(uniq, i)
+	}
+
 	workers := opt.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(pages) {
-		workers = len(pages)
+	if workers > len(uniq) {
+		workers = len(uniq)
 	}
 	// Validates the configuration once, up front, and primes the pool.
 	pool, err := NewPool(opt.Options)
@@ -121,8 +144,8 @@ func ExtractAll(pages []string, opt BatchOptions) ([]*Result, error) {
 	// the workers start, so no sender can ever block: even if every worker
 	// exits without receiving (say, extractor construction fails), the
 	// batch still terminates instead of deadlocking on an unbuffered send.
-	jobs := make(chan int, len(pages))
-	for i := range pages {
+	jobs := make(chan int, len(uniq))
+	for _, i := range uniq {
 		jobs <- i
 	}
 	close(jobs)
@@ -186,6 +209,31 @@ func ExtractAll(pages []string, opt BatchOptions) ([]*Result, error) {
 		}()
 	}
 	wg.Wait()
+
+	// Duplicate fan-out: each duplicate page gets a caller-owned Result view
+	// of its canonical page's frozen trees (marked Coalesced — never an
+	// aliased mutable struct), or a copy of the canonical failure. This runs
+	// after every worker has finished, so the single Freeze here
+	// happens-before any caller reads the shared graph.
+	if len(dups) > 0 {
+		errByPage := make(map[int]PageError, len(pageErrs))
+		for _, pe := range pageErrs {
+			errByPage[pe.Page] = pe
+		}
+		for _, i := range dups {
+			c := canon[pages[i]]
+			if res := results[c]; res != nil {
+				results[i] = res.Freeze().share(false, true, "")
+				continue
+			}
+			if pe, ok := errByPage[c]; ok {
+				pageErrs = append(pageErrs, PageError{Page: i, Err: pe.Err, Stats: pe.Stats})
+			}
+			// Otherwise the canonical page was never processed (worker
+			// construction failure); the accounting below charges the
+			// duplicate the same workerErr.
+		}
+	}
 
 	// Pages no worker processed (possible only when every worker failed to
 	// obtain an extractor) are failures too: every nil entry of the results

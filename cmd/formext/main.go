@@ -3,9 +3,13 @@
 //
 // Usage:
 //
-//	formext [flags] [file.html]
+//	formext [flags] [file.html ...]
 //
-// With no file argument, HTML is read from standard input.
+// With no file argument, HTML is read from standard input. With several
+// files, the pages are extracted concurrently through the batch path; a
+// "== file ==" header precedes each page's output, and byte-identical
+// files are extracted once and share the result (marked "coalesced" in
+// -stats output).
 //
 //	-json            emit the semantic model as JSON instead of text
 //	-tokens          also list the tokenized form
@@ -32,6 +36,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -107,6 +112,10 @@ func run(o cliOptions, args []string) error {
 		}
 		opts.Tracer = formext.NewTracer(formext.NewJSONLSink(w))
 	}
+	if len(args) > 1 {
+		return runBatch(o, opts, args)
+	}
+
 	ex, err := formext.New(opts)
 	if err != nil {
 		return err
@@ -122,14 +131,57 @@ func run(o cliOptions, args []string) error {
 		if src, err = os.ReadFile(args[0]); err != nil {
 			return err
 		}
-	default:
-		return fmt.Errorf("at most one input file")
 	}
 
 	res, err := ex.ExtractHTML(string(src))
 	if err != nil {
 		return err
 	}
+	return printResult(o, res)
+}
+
+// runBatch extracts several files through ExtractAll: pages run
+// concurrently, byte-identical files extract once (the duplicates share the
+// frozen result), and every page's output appears under its own header in
+// argument order.
+func runBatch(o cliOptions, opts formext.Options, args []string) error {
+	pages := make([]string, len(args))
+	for i, name := range args {
+		src, err := os.ReadFile(name)
+		if err != nil {
+			return err
+		}
+		pages[i] = string(src)
+	}
+	results, err := formext.ExtractAll(pages, formext.BatchOptions{Options: opts})
+	var batchErr *formext.BatchError
+	if err != nil && !errors.As(err, &batchErr) {
+		return err
+	}
+	failed := make(map[int]error)
+	if batchErr != nil {
+		for _, pe := range batchErr.Pages {
+			failed[pe.Page] = pe.Err
+		}
+	}
+	for i, name := range args {
+		fmt.Printf("== %s ==\n", name)
+		if results[i] == nil {
+			fmt.Fprintf(os.Stderr, "formext: %s: %v\n", name, failed[i])
+			continue
+		}
+		if perr := printResult(o, results[i]); perr != nil {
+			return perr
+		}
+	}
+	if batchErr != nil {
+		return fmt.Errorf("%d of %d pages failed", len(batchErr.Pages), len(args))
+	}
+	return nil
+}
+
+// printResult renders one extraction according to the output flags.
+func printResult(o cliOptions, res *formext.Result) error {
 	for _, d := range res.Stats.Degraded {
 		fmt.Fprintln(os.Stderr, "formext: degraded:", d)
 	}
@@ -178,6 +230,12 @@ func run(o cliOptions, args []string) error {
 		fmt.Printf("stats: %d tokens, %d instances created, %d pruned, %d rolled back, %d alive, %d complete parses, %d fix-point rounds, %v\n",
 			s.Tokens, s.TotalCreated, s.Pruned, s.RolledBack, s.Alive, s.CompleteParses, s.FixpointIters, s.Duration)
 		fmt.Printf("stages: %s\n", s.Stages)
+		if s.Coalesced {
+			fmt.Println("coalesced: shares an identical page's extraction")
+		}
+		if s.CacheHit {
+			fmt.Println("cache: hit")
+		}
 		if s.TraceID != "" {
 			fmt.Printf("trace: %s\n", s.TraceID)
 		}

@@ -1,0 +1,140 @@
+package main
+
+// Tests for the two caching layers of the server: conditional GET on the
+// static endpoints (content-hash ETag, If-None-Match → 304) and the
+// content-addressed extraction cache behind /extract.
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestStaticEndpointsRevalidate(t *testing.T) {
+	srv := newTestServer(t)
+	for _, path := range []string{"/", "/grammar"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || len(body) == 0 {
+			t.Fatalf("GET %s = %d with %d bytes", path, resp.StatusCode, len(body))
+		}
+		etag := resp.Header.Get("ETag")
+		if etag == "" || !strings.HasPrefix(etag, `"`) {
+			t.Fatalf("GET %s ETag = %q, want a quoted content hash", path, etag)
+		}
+		if cc := resp.Header.Get("Cache-Control"); cc == "" {
+			t.Errorf("GET %s has no Cache-Control", path)
+		}
+
+		req, _ := http.NewRequest(http.MethodGet, srv.URL+path, nil)
+		req.Header.Set("If-None-Match", etag)
+		resp, err = http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ = io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotModified {
+			t.Errorf("GET %s with matching If-None-Match = %d, want 304", path, resp.StatusCode)
+		}
+		if len(body) != 0 {
+			t.Errorf("304 for %s carried %d body bytes", path, len(body))
+		}
+		if got := resp.Header.Get("ETag"); got != etag {
+			t.Errorf("304 for %s ETag = %q, want %q", path, got, etag)
+		}
+
+		// A stale validator must get the full representation again.
+		req, _ = http.NewRequest(http.MethodGet, srv.URL+path, nil)
+		req.Header.Set("If-None-Match", `"0000"`)
+		resp, err = http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s with stale If-None-Match = %d, want 200", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestEtagMatches(t *testing.T) {
+	const tag = `"abc123"`
+	cases := []struct {
+		header string
+		want   bool
+	}{
+		{"", false},
+		{`"abc123"`, true},
+		{`W/"abc123"`, true},
+		{`"zzz", "abc123"`, true},
+		{`"zzz", "yyy"`, false},
+		{"*", true},
+	}
+	for _, c := range cases {
+		if got := etagMatches(c.header, tag); got != c.want {
+			t.Errorf("etagMatches(%q) = %v, want %v", c.header, got, c.want)
+		}
+	}
+}
+
+func TestExtractServedFromCache(t *testing.T) {
+	h, err := newHandler(config{traceBuffer: 16, cacheBytes: 32 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(h)
+	t.Cleanup(srv.Close)
+
+	form := `<form action="/s"><table>
+	<tr><td>Author</td><td><input type="text" name="a" size="30"></td></tr>
+	</table></form>`
+	post := func() map[string]any {
+		t.Helper()
+		resp, err := http.Post(srv.URL+"/extract", "text/html", strings.NewReader(form))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d", resp.StatusCode)
+		}
+		var out map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	first := post()
+	second := post()
+	if hit, _ := first["stats"].(map[string]any)["cacheHit"].(bool); hit {
+		t.Error("first request must not be a cache hit")
+	}
+	if hit, _ := second["stats"].(map[string]any)["cacheHit"].(bool); !hit {
+		t.Error("second identical request must be a cache hit")
+	}
+	if a, b := first["model"], second["model"]; a == nil || b == nil {
+		t.Fatal("missing model in response")
+	}
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	metrics := string(body)
+	if !strings.Contains(metrics, `"formserve_cache"`) ||
+		!strings.Contains(metrics, `"cache_hits":1`) ||
+		!strings.Contains(metrics, `"cache_misses":1`) {
+		t.Errorf("metrics missing cache counters:\n%s", metrics)
+	}
+}

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	formserve [-addr :8080] [-trace-buffer 64] [-parse-budget 0] [-extract-timeout 30s]
+//	          [-cache-bytes 0] [-cache-ttl 0]
 //
 // Endpoints:
 //
@@ -21,6 +22,15 @@
 // SIGINT/SIGTERM, and serves every extraction from a shared extractor pool
 // over the parse-once default grammar.
 //
+// With -cache-bytes > 0 the server keeps a content-addressed cache of frozen
+// extraction results: byte-identical pages are answered without re-running
+// the pipeline, a stampede of identical requests coalesces into one
+// extraction, and -cache-ttl bounds entry lifetime (0 = until evicted by
+// byte pressure). /metrics exposes the cache counters under formserve_cache
+// (cache_hits, cache_misses, cache_evictions, cache_bytes, coalesced). The
+// static endpoints (/ and /grammar) carry a content-hash ETag and answer
+// If-None-Match revalidations with 304.
+//
 // Every extraction is traced into an in-memory ring buffer (-trace-buffer
 // traces, 0 disables tracing): the response carries the trace ID in its
 // body and the X-Trace-Id header, and GET /traces?id=<id> replays the full
@@ -30,6 +40,7 @@ package main
 
 import (
 	"context"
+	"crypto/sha256"
 	"encoding/json"
 	"errors"
 	"expvar"
@@ -41,6 +52,8 @@ import (
 	"os"
 	"os/signal"
 	"runtime/debug"
+	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -95,8 +108,29 @@ var (
 	mDegraded = expvar.NewInt("formserve_degraded_total")
 )
 
+// activeCache holds the handler's extraction cache for the formserve_cache
+// expvar below. An atomic pointer (rather than a field read by a closure
+// created in newHandler) because expvar registration is process-global and
+// must happen exactly once, while tests construct many handlers.
+var activeCache atomic.Pointer[formext.Cache]
+
 func init() {
 	expvar.Publish("formserve_extract_latency_ns", mLatency)
+	expvar.Publish("formserve_cache", expvar.Func(func() any {
+		c := activeCache.Load()
+		if c == nil {
+			return nil
+		}
+		st := c.Stats()
+		return map[string]int64{
+			"cache_hits":      int64(st.Hits),
+			"cache_misses":    int64(st.Misses),
+			"cache_evictions": int64(st.Evictions),
+			"cache_bytes":     st.Bytes,
+			"cache_entries":   int64(st.Entries),
+			"coalesced":       int64(st.Coalesced),
+		}
+	}))
 }
 
 func main() {
@@ -106,11 +140,17 @@ func main() {
 		"per-extraction wall-clock budget; expiry degrades to a partial result (0 disables)")
 	timeout := flag.Duration("extract-timeout", 30*time.Second,
 		"hard per-request extraction deadline; exceeding it answers 503 (0 disables)")
+	cacheBytes := flag.Int64("cache-bytes", 0,
+		"byte budget for the content-addressed extraction-result cache (0 disables)")
+	cacheTTL := flag.Duration("cache-ttl", 0,
+		"lifetime bound for cached extraction results (0 = until evicted)")
 	flag.Parse()
 	h, err := newHandler(config{
 		traceBuffer:    *traceBuf,
 		parseBudget:    *budget,
 		extractTimeout: *timeout,
+		cacheBytes:     *cacheBytes,
+		cacheTTL:       *cacheTTL,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -156,6 +196,11 @@ type config struct {
 	// extractTimeout is the hard per-request deadline; exceeding it answers
 	// 503 with Retry-After. 0 disables.
 	extractTimeout time.Duration
+	// cacheBytes is the byte budget of the extraction-result cache; 0 serves
+	// every request through the full pipeline.
+	cacheBytes int64
+	// cacheTTL bounds cached-result lifetime; 0 means until evicted.
+	cacheTTL time.Duration
 }
 
 // server is the service state: one extractor pool shared by all requests,
@@ -165,6 +210,8 @@ type server struct {
 	sink           *formext.RingSink // nil when tracing is disabled
 	mux            *http.ServeMux
 	extractTimeout time.Duration
+	grammarETag    string
+	indexETag      string
 }
 
 // newHandler builds the service. Extraction is served from a pool of
@@ -177,11 +224,31 @@ func newHandler(cfg config) (http.Handler, error) {
 		sink = formext.NewRingSink(cfg.traceBuffer)
 		opts.Tracer = formext.NewTracer(sink)
 	}
+	if cfg.cacheBytes > 0 {
+		cache, err := formext.NewCache(formext.CacheConfig{
+			MaxBytes: cfg.cacheBytes,
+			TTL:      cfg.cacheTTL,
+		})
+		if err != nil {
+			return nil, err
+		}
+		opts.Cache = cache
+		activeCache.Store(cache)
+	} else {
+		activeCache.Store(nil)
+	}
 	pool, err := formext.NewPool(opts)
 	if err != nil {
 		return nil, err
 	}
-	s := &server{pool: pool, sink: sink, mux: http.NewServeMux(), extractTimeout: cfg.extractTimeout}
+	s := &server{
+		pool:           pool,
+		sink:           sink,
+		mux:            http.NewServeMux(),
+		extractTimeout: cfg.extractTimeout,
+		grammarETag:    etagFor(formext.DefaultGrammarSource()),
+		indexETag:      etagFor(indexPage),
+	}
 	s.mux.HandleFunc("/extract", s.handleExtract)
 	s.mux.HandleFunc("/grammar", s.handleGrammar)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
@@ -217,6 +284,10 @@ type extractResponse struct {
 		Missing          int                  `json:"missing"`
 		Duration         string               `json:"duration"`
 		Stages           formext.StageTimings `json:"stages"`
+		// CacheHit and Coalesced report how the extraction cache answered
+		// this request; both false means the pipeline ran for it alone.
+		CacheHit  bool `json:"cacheHit,omitempty"`
+		Coalesced bool `json:"coalesced,omitempty"`
 	} `json:"stats"`
 	Trees []string `json:"trees,omitempty"`
 	// Degraded lists how the extraction was cut short by input budgets, if
@@ -302,13 +373,19 @@ func (s *server) handleExtract(w http.ResponseWriter, r *http.Request) {
 	lat := time.Since(start).Nanoseconds()
 	mLatencyNs.Add(lat)
 	mLatency.Observe(lat)
-	mTokens.Add(int64(len(res.Tokens)))
-	mInstances.Add(int64(res.Stats.TotalCreated))
-	mPrunes.Add(int64(res.Stats.Pruned))
-	mRollbacks.Add(int64(res.Stats.RolledBack))
-	mFixpoint.Add(int64(res.Stats.FixpointIters))
-	mConflicts.Add(int64(res.Stats.Merge.Conflicts))
-	mMissing.Add(int64(res.Stats.Merge.Missing))
+	// Parser-work totals accumulate once per extraction, not once per
+	// request: a cached or coalesced answer carries the original run's
+	// Stats, and re-adding them would inflate the totals with work that
+	// never happened.
+	if !res.Stats.CacheHit && !res.Stats.Coalesced {
+		mTokens.Add(int64(len(res.Tokens)))
+		mInstances.Add(int64(res.Stats.TotalCreated))
+		mPrunes.Add(int64(res.Stats.Pruned))
+		mRollbacks.Add(int64(res.Stats.RolledBack))
+		mFixpoint.Add(int64(res.Stats.FixpointIters))
+		mConflicts.Add(int64(res.Stats.Merge.Conflicts))
+		mMissing.Add(int64(res.Stats.Merge.Missing))
+	}
 
 	var resp extractResponse
 	resp.Model = res.Model
@@ -324,6 +401,8 @@ func (s *server) handleExtract(w http.ResponseWriter, r *http.Request) {
 	resp.Stats.Missing = res.Stats.Merge.Missing
 	resp.Stats.Duration = res.Stats.Duration.String()
 	resp.Stats.Stages = res.Stats.Stages
+	resp.Stats.CacheHit = res.Stats.CacheHit
+	resp.Stats.Coalesced = res.Stats.Coalesced
 	if resp.TraceID != "" {
 		w.Header().Set("X-Trace-Id", resp.TraceID)
 	}
@@ -375,8 +454,54 @@ func (s *server) handleGrammar(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "GET /grammar", http.StatusMethodNotAllowed)
 		return
 	}
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprint(w, formext.DefaultGrammarSource())
+	serveStatic(w, r, s.grammarETag, "text/plain; charset=utf-8", formext.DefaultGrammarSource())
+}
+
+// etagFor derives a strong content-hash ETag: identical bytes revalidate
+// against any formserve instance or restart, because nothing but the content
+// is hashed.
+func etagFor(body string) string {
+	sum := sha256.Sum256([]byte(body))
+	return fmt.Sprintf(`"%x"`, sum[:16])
+}
+
+// serveStatic answers a static endpoint with conditional-GET support: the
+// content-hash ETag always goes out, and an If-None-Match that covers it is
+// answered 304 without a body, so clients stop re-downloading bytes they
+// already hold.
+func serveStatic(w http.ResponseWriter, r *http.Request, etag, contentType, body string) {
+	h := w.Header()
+	h.Set("ETag", etag)
+	h.Set("Cache-Control", "public, max-age=300, must-revalidate")
+	if etagMatches(r.Header.Get("If-None-Match"), etag) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	h.Set("Content-Type", contentType)
+	if r.Method == http.MethodHead {
+		return
+	}
+	fmt.Fprint(w, body)
+}
+
+// etagMatches implements the If-None-Match comparison (RFC 9110 §13.1.2):
+// "*" matches anything, otherwise the comma-separated candidate list is
+// compared weakly — a W/ prefix on either side is ignored, since a 304
+// carries no body for strength to matter.
+func etagMatches(ifNoneMatch, etag string) bool {
+	if ifNoneMatch == "" {
+		return false
+	}
+	if strings.TrimSpace(ifNoneMatch) == "*" {
+		return true
+	}
+	etag = strings.TrimPrefix(etag, "W/")
+	for _, cand := range strings.Split(ifNoneMatch, ",") {
+		if strings.TrimPrefix(strings.TrimSpace(cand), "W/") == etag {
+			return true
+		}
+	}
+	return false
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -398,8 +523,7 @@ func (s *server) handleIndex(w http.ResponseWriter, r *http.Request) {
 		http.NotFound(w, r)
 		return
 	}
-	w.Header().Set("Content-Type", "text/html; charset=utf-8")
-	fmt.Fprint(w, indexPage)
+	serveStatic(w, r, s.indexETag, "text/html; charset=utf-8", indexPage)
 }
 
 // writeJSON marshals v in full before touching the ResponseWriter, so a

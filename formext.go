@@ -131,6 +131,14 @@ type Stats struct {
 	// TraceID identifies this extraction's trace, when a tracer was
 	// attached ("" otherwise).
 	TraceID string `json:",omitempty"`
+	// CacheHit marks a result served from Options.Cache: no pipeline stage
+	// ran, the Stages timings are those of the extraction that populated
+	// the cache, and the result shares that extraction's frozen artifacts.
+	CacheHit bool `json:",omitempty"`
+	// Coalesced marks a result obtained by waiting on an identical
+	// in-flight extraction (a cache singleflight, or a byte-identical page
+	// deduplicated within one ExtractAll batch) instead of running one.
+	Coalesced bool `json:",omitempty"`
 	// Degraded lists, in pipeline order, every way this extraction was cut
 	// short by an input budget, the parse budget, or cancellation: depth
 	// caps, token caps, interrupted stages, instance truncation. Empty means
@@ -180,6 +188,15 @@ const (
 // Result is everything one extraction produces: the semantic model plus the
 // intermediate artifacts (tokens, maximal parse trees, parser statistics)
 // for clients that want to inspect or post-process them.
+//
+// Ownership rule: a Result returned by an uncached extraction is owned by
+// its caller — it holds the per-parse slabs the instances were carved from,
+// and its parse trees memoize text lazily, so it must be confined to one
+// goroutine unless frozen first. A Result served from a Cache (or a
+// deduplicated ExtractAll page) is a caller-owned Result struct over shared
+// frozen artifacts: Model, Tokens, Trees and Form are immutable and safe
+// for any number of concurrent readers, and must not be mutated. Freeze
+// converts the former into the latter.
 type Result struct {
 	// Model is the extracted semantic model: conditions, conflicts,
 	// missing elements.
@@ -193,6 +210,11 @@ type Result struct {
 	// Form is the submission envelope of the extracted form (zero when
 	// extraction started from tokens rather than HTML).
 	Form FormInfo
+
+	// frozen marks a result whose lazy state has been materialized by
+	// Freeze; cost is its approximate byte footprint, for cache accounting.
+	frozen bool
+	cost   int64
 }
 
 // NewQuery starts a submittable query over the extracted form; bind
@@ -285,6 +307,16 @@ type Options struct {
 	// labels. Nil (the default) keeps the pipeline on the untraced path,
 	// whose only added cost is the per-stage wall clock reads.
 	Tracer *Tracer
+	// Cache, when non-nil, is consulted by ExtractHTML/ExtractHTMLContext
+	// (and by Pool.Extract and ExtractAll when the options flow through
+	// them): results are addressed by the content hash of the page bytes
+	// plus the grammar and options fingerprints, a hit skips the whole
+	// pipeline, and concurrent identical requests coalesce into a single
+	// extraction. Cached results are frozen and shared — see the Result
+	// ownership rule. One Cache may back any number of extractors with
+	// different options. ExtractTokens is never cached (there are no raw
+	// page bytes to address it by).
+	Cache *Cache
 }
 
 // Extractor is the form extractor of Figure 2. It is safe to reuse across
@@ -306,6 +338,8 @@ type Extractor struct {
 	maxDepth    int           // htmlparse.Limits semantics: 0 default, <0 unlimited
 	maxTokens   int           // resolved: 0 means unlimited
 	parseBudget time.Duration // 0 means no budget
+	cache       *Cache        // nil: caching off
+	keyPrefix   [32]byte      // grammar + options fingerprint (set iff cache != nil)
 }
 
 // New builds an extractor. With no options it uses the embedded derived
@@ -366,7 +400,7 @@ func newWithGrammar(g *grammar.Grammar, o Options) (*Extractor, error) {
 	} else if maxTokens < 0 {
 		maxTokens = 0 // unlimited
 	}
-	return &Extractor{
+	e := &Extractor{
 		grammar:     g,
 		parser:      parser,
 		merger:      merger.New(g),
@@ -376,7 +410,12 @@ func newWithGrammar(g *grammar.Grammar, o Options) (*Extractor, error) {
 		maxDepth:    o.MaxDepth,
 		maxTokens:   maxTokens,
 		parseBudget: o.ParseBudget,
-	}, nil
+		cache:       o.Cache,
+	}
+	if e.cache != nil {
+		e.keyPrefix = cachePrefix(g, o, eng.Viewport, maxTokens, o.ParseBudget > 0)
+	}
+	return e, nil
 }
 
 // Grammar returns the grammar the extractor parses against.
@@ -392,26 +431,54 @@ func (e *Extractor) ExtractHTML(src string) (*Result, error) {
 // the pipeline stops where it is and returns the partial Result it
 // accumulated — tokens, trees, stats, Stats.Degraded — together with an
 // error wrapping the context's. The Result is non-nil even on error, so
-// servers can log where a cancelled page's time went.
+// servers can log where a cancelled page's time went. (One exception: with
+// a cache attached, a request whose context ends while waiting on another
+// request's identical in-flight extraction returns a nil Result — it never
+// started a pipeline of its own.)
 //
 // Options.ParseBudget composes with ctx (whichever ends first wins), but a
 // budget expiry is not an error: the partial result is returned with nil
 // error and Stats.Degraded populated.
+//
+// With Options.Cache set, the raw page bytes are hashed first: a hit
+// returns a shared frozen result without running any stage, and concurrent
+// identical misses coalesce into one extraction.
 func (e *Extractor) ExtractHTMLContext(ctx context.Context, src string) (*Result, error) {
+	if e.cache != nil {
+		return cachedExtract(ctx, e.cache, e.keyPrefix, src, e.tracer, e)
+	}
 	return e.extractHTML(ctx, src)
 }
 
-// extractHTML is ExtractHTMLContext with the batch path's diagnosability
-// contract made explicit: the returned Result is always non-nil, carrying
-// the tokens and stage timings accumulated up to the point of failure, so a
-// failed page in a batch still reports where its time went. Panics anywhere
-// in the pipeline are recovered into a *PanicError carrying the pre-failure
-// stats.
-func (e *Extractor) extractHTML(ctx context.Context, src string) (res *Result, err error) {
+// runExtract implements cacheRunner: the uncached pipeline, stamping the
+// cache outcome event into the extraction's trace.
+func (e *Extractor) runExtract(ctx context.Context, src, cacheEvent string) (*Result, error) {
+	return e.extractHTMLEvent(ctx, src, cacheEvent)
+}
+
+// extractHTML is ExtractHTMLContext without the cache in front: the
+// returned Result is always non-nil, carrying the tokens and stage timings
+// accumulated up to the point of failure, so a failed page in a batch still
+// reports where its time went. Panics anywhere in the pipeline are
+// recovered into a *PanicError carrying the pre-failure stats.
+func (e *Extractor) extractHTML(ctx context.Context, src string) (*Result, error) {
+	return e.extractHTMLEvent(ctx, src, "")
+}
+
+// extractHTMLEvent is extractHTML with the cache outcome recorded on the
+// trace: a non-empty cacheEvent (obs.EventCacheMiss on a flight leader)
+// becomes a cache span ahead of the pipeline stages, so /traces shows why
+// this request ran the pipeline at all.
+func (e *Extractor) extractHTMLEvent(ctx context.Context, src, cacheEvent string) (res *Result, err error) {
 	budgetCtx, cancel := e.budgetContext(ctx)
 	defer cancel()
 	tr := e.tracer.Start("extract")
 	defer tr.End()
+	if cacheEvent != "" {
+		csp := tr.Span(obs.StageCache)
+		csp.Event(cacheEvent)
+		csp.End()
+	}
 	res = &Result{Stats: Stats{TraceID: tr.TraceID()}}
 	defer e.contain(tr, res, &err)
 

@@ -1,0 +1,383 @@
+package cache
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func key(b byte) Key {
+	var k Key
+	k[0] = b
+	return k
+}
+
+// put inserts k with the given cost through Do.
+func put(t *testing.T, c *Cache, k Key, v any, cost int64) {
+	t.Helper()
+	got, out, err := c.Do(context.Background(), k, func() (any, int64, bool, error) {
+		return v, cost, true, nil
+	})
+	if err != nil || out != OutcomeLeader || got != v {
+		t.Fatalf("put %v: got (%v, %v, %v)", k[0], got, out, err)
+	}
+}
+
+func TestLookupAndLRUEvictionOrder(t *testing.T) {
+	c, err := New(Config{MaxBytes: 100, Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	put(t, c, key(1), "a", 40)
+	put(t, c, key(2), "b", 40)
+	// Touch a: b becomes the LRU victim.
+	if v, ok := c.Lookup(key(1)); !ok || v != "a" {
+		t.Fatalf("lookup a = %v, %v", v, ok)
+	}
+	put(t, c, key(3), "c", 40) // 120 > 100: evict b
+	if _, ok := c.Lookup(key(2)); ok {
+		t.Fatal("b should have been evicted (LRU under cost pressure)")
+	}
+	for _, k := range []Key{key(1), key(3)} {
+		if _, ok := c.Lookup(k); !ok {
+			t.Fatalf("entry %d missing after eviction", k[0])
+		}
+	}
+	s := c.Stats()
+	if s.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", s.Evictions)
+	}
+	if s.Bytes != 80 || s.Entries != 2 {
+		t.Errorf("bytes=%d entries=%d, want 80/2", s.Bytes, s.Entries)
+	}
+}
+
+func TestCostPressureEvictsMultiple(t *testing.T) {
+	c, err := New(Config{MaxBytes: 100, Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	put(t, c, key(1), "a", 30)
+	put(t, c, key(2), "b", 30)
+	put(t, c, key(3), "c", 30)
+	put(t, c, key(4), "big", 90) // must evict a, b and c
+	s := c.Stats()
+	if s.Entries != 1 || s.Bytes != 90 || s.Evictions != 3 {
+		t.Fatalf("stats after big insert: %+v", s)
+	}
+	if _, ok := c.Lookup(key(4)); !ok {
+		t.Fatal("big entry missing")
+	}
+}
+
+func TestOversizedEntryNotCached(t *testing.T) {
+	c, err := New(Config{MaxBytes: 100, Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	put(t, c, key(1), "small", 10)
+	put(t, c, key(2), "huge", 1000) // over the whole budget: skip insert
+	if _, ok := c.Lookup(key(2)); ok {
+		t.Fatal("oversized entry should not be cached")
+	}
+	if _, ok := c.Lookup(key(1)); !ok {
+		t.Fatal("oversized insert must not evict residents")
+	}
+}
+
+func TestTTLExpiry(t *testing.T) {
+	now := time.Unix(1000, 0)
+	var mu sync.Mutex
+	clock := func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		return now
+	}
+	c, err := New(Config{MaxBytes: 100, Shards: 1, TTL: time.Minute, Now: clock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	put(t, c, key(1), "a", 10)
+	if _, ok := c.Lookup(key(1)); !ok {
+		t.Fatal("fresh entry missing")
+	}
+	mu.Lock()
+	now = now.Add(time.Minute + time.Second)
+	mu.Unlock()
+	if _, ok := c.Lookup(key(1)); ok {
+		t.Fatal("entry survived its TTL")
+	}
+	s := c.Stats()
+	if s.Entries != 0 || s.Bytes != 0 || s.Evictions != 1 {
+		t.Fatalf("stats after expiry: %+v", s)
+	}
+	// Re-inserting after expiry works (the key is not poisoned).
+	put(t, c, key(1), "a2", 10)
+	if v, ok := c.Lookup(key(1)); !ok || v != "a2" {
+		t.Fatalf("reinsert after expiry: %v, %v", v, ok)
+	}
+}
+
+func TestSingleflightCoalesces(t *testing.T) {
+	c, err := New(Config{MaxBytes: 1 << 20, Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var calls atomic.Int32
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	k := key(7)
+
+	const waiters = 32
+	var wg sync.WaitGroup
+	results := make([]Outcome, waiters+1)
+	run := func(i int) {
+		defer wg.Done()
+		v, out, err := c.Do(context.Background(), k, func() (any, int64, bool, error) {
+			if calls.Add(1) == 1 {
+				close(entered)
+			}
+			<-release
+			return "shared", 8, true, nil
+		})
+		if err != nil || v != "shared" {
+			t.Errorf("caller %d: (%v, %v)", i, v, err)
+		}
+		results[i] = out
+	}
+	wg.Add(1)
+	go run(0)
+	<-entered // the leader is inside fn; everyone else must coalesce or hit
+	for i := 1; i <= waiters; i++ {
+		wg.Add(1)
+		go run(i)
+	}
+	// Give the waiters a moment to reach the flight; any that haven't yet
+	// will find the cached entry instead — either way fn runs once.
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	wg.Wait()
+
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("fn ran %d times, want 1", got)
+	}
+	leaders := 0
+	for _, out := range results {
+		if out == OutcomeLeader {
+			leaders++
+		}
+	}
+	if leaders != 1 {
+		t.Fatalf("%d leaders, want 1", leaders)
+	}
+	s := c.Stats()
+	if s.Misses != 1 || s.Coalesced+s.Hits != waiters {
+		t.Fatalf("stats: %+v, want 1 miss and %d coalesced+hits", s, waiters)
+	}
+}
+
+func TestFlightErrorNotCachedAndWaitersRetry(t *testing.T) {
+	c, err := New(Config{MaxBytes: 1 << 20, Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := key(9)
+	boom := errors.New("boom")
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var calls atomic.Int32
+
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, _, err := c.Do(context.Background(), k, func() (any, int64, bool, error) {
+			calls.Add(1)
+			close(entered)
+			<-release
+			return nil, 0, false, boom
+		})
+		leaderDone <- err
+	}()
+	<-entered
+
+	// A waiter joins the failing flight; when it resolves without a value,
+	// the waiter must retry and lead its own (successful) computation.
+	waiterDone := make(chan struct{})
+	go func() {
+		defer close(waiterDone)
+		v, out, err := c.Do(context.Background(), k, func() (any, int64, bool, error) {
+			calls.Add(1)
+			return "ok", 2, true, nil
+		})
+		if err != nil || v != "ok" || out != OutcomeLeader {
+			t.Errorf("waiter retry: (%v, %v, %v)", v, out, err)
+		}
+	}()
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	if err := <-leaderDone; !errors.Is(err, boom) {
+		t.Fatalf("leader error = %v, want boom", err)
+	}
+	<-waiterDone
+	if calls.Load() != 2 {
+		t.Fatalf("fn calls = %d, want 2 (failed leader + retried waiter)", calls.Load())
+	}
+	// The error was never cached.
+	if v, ok := c.Lookup(k); !ok || v != "ok" {
+		t.Fatalf("cache holds %v, %v; want the retried value", v, ok)
+	}
+}
+
+func TestFlightPanicDoesNotPoison(t *testing.T) {
+	c, err := New(Config{MaxBytes: 1 << 20, Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := key(11)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("panic did not propagate to the leader")
+			}
+		}()
+		c.Do(context.Background(), k, func() (any, int64, bool, error) {
+			panic("kaboom")
+		})
+	}()
+	// The key is usable again: no stuck flight, nothing cached.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		v, _, err := c.Do(context.Background(), k, func() (any, int64, bool, error) {
+			return "fine", 1, true, nil
+		})
+		if err != nil || v != "fine" {
+			t.Errorf("post-panic Do: (%v, %v)", v, err)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Do blocked after a panicking flight: waiters poisoned")
+	}
+}
+
+func TestWaiterHonorsOwnContext(t *testing.T) {
+	c, err := New(Config{MaxBytes: 1 << 20, Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := key(13)
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	defer close(release)
+	go func() {
+		c.Do(context.Background(), k, func() (any, int64, bool, error) {
+			close(entered)
+			<-release
+			return "late", 1, true, nil
+		})
+	}()
+	<-entered
+	ctx, cancel := context.WithCancel(context.Background())
+	waiting := make(chan error, 1)
+	go func() {
+		_, _, err := c.Do(ctx, k, func() (any, int64, bool, error) {
+			t.Error("cancelled waiter must not run fn")
+			return nil, 0, false, nil
+		})
+		waiting <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-waiting:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("waiter error = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled waiter did not return")
+	}
+}
+
+func TestCancelledLeaderDoesNotPoisonLaterCallers(t *testing.T) {
+	c, err := New(Config{MaxBytes: 1 << 20, Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := key(15)
+	// Leader resolves with a cancellation error: nothing cached.
+	_, _, derr := c.Do(context.Background(), k, func() (any, int64, bool, error) {
+		return nil, 0, false, context.Canceled
+	})
+	if !errors.Is(derr, context.Canceled) {
+		t.Fatalf("leader error = %v", derr)
+	}
+	if _, ok := c.Lookup(k); ok {
+		t.Fatal("cancelled flight was cached")
+	}
+	// A later caller computes fresh and succeeds.
+	v, out, err := c.Do(context.Background(), k, func() (any, int64, bool, error) {
+		return "fresh", 1, true, nil
+	})
+	if err != nil || v != "fresh" || out != OutcomeLeader {
+		t.Fatalf("later caller: (%v, %v, %v)", v, out, err)
+	}
+}
+
+func TestShardRoundingAndDistribution(t *testing.T) {
+	c, err := New(Config{MaxBytes: 1 << 20, Shards: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(c.shards); got != 8 {
+		t.Fatalf("shards = %d, want 8 (rounded up to a power of two)", got)
+	}
+	for i := 0; i < 64; i++ {
+		put(t, c, key(byte(i)), i, 1)
+	}
+	if s := c.Stats(); s.Entries != 64 {
+		t.Fatalf("entries = %d, want 64", s.Entries)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("MaxBytes 0 must be rejected")
+	}
+	if _, err := New(Config{MaxBytes: 1, TTL: -time.Second}); err == nil {
+		t.Error("negative TTL must be rejected")
+	}
+}
+
+func TestConcurrentMixedTraffic(t *testing.T) {
+	c, err := New(Config{MaxBytes: 4096, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := key(byte((g*7 + i) % 32))
+				v, _, err := c.Do(context.Background(), k, func() (any, int64, bool, error) {
+					return fmt.Sprintf("v%d", k[0]), 64, true, nil
+				})
+				if err != nil {
+					t.Errorf("Do: %v", err)
+					return
+				}
+				if want := fmt.Sprintf("v%d", k[0]); v != want {
+					t.Errorf("Do(%d) = %v, want %s", k[0], v, want)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

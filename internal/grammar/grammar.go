@@ -10,9 +10,12 @@
 package grammar
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Role classifies the semantic role a symbol tags its subtree with; the
@@ -119,6 +122,27 @@ type Grammar struct {
 	Prods        []*Production
 	Prefs        []*Preference
 	Roles        map[string]Role
+
+	// Fingerprint memoization (see Fingerprint). The sync.Once also makes
+	// the struct uncopyable under vet, which matches the sharing contract:
+	// a Grammar is referenced, never copied.
+	fpOnce sync.Once
+	fp     string
+}
+
+// Fingerprint returns a stable content hash of the grammar: the SHA-256 of
+// its canonical Print rendering, hex-encoded. Two grammars with the same
+// symbols, productions, preferences and roles fingerprint identically
+// regardless of how they were built (embedded default, parsed DSL, induced),
+// so caches can address extraction results by grammar content rather than
+// by pointer identity. Computed once per grammar and memoized; safe for
+// concurrent use, like every read of an immutable Grammar.
+func (g *Grammar) Fingerprint() string {
+	g.fpOnce.Do(func() {
+		sum := sha256.Sum256([]byte(g.Print()))
+		g.fp = hex.EncodeToString(sum[:])
+	})
+	return g.fp
 }
 
 // NewGrammar returns an empty grammar.

@@ -3,6 +3,7 @@ package grammar
 import (
 	"fmt"
 	"strings"
+	"unsafe"
 
 	"formext/internal/bitset"
 	"formext/internal/geom"
@@ -158,6 +159,31 @@ func (in *Instance) NormText() string {
 		in.hasNorm = true
 	}
 	return in.norm
+}
+
+// FreezeMemos prepares the subtree for concurrent readers: it
+// pre-materializes the lazily memoized text caches of every instance
+// reachable through Children (the only remaining lazy writes), severs
+// Parents — the rollback edges only the parser needs, whose far ends are
+// the parse's dead-instance majority — and returns the approximate byte
+// footprint of the visited subtree. After FreezeMemos any number of
+// goroutines may read the subtree concurrently (Walk, Text, NormText,
+// Dump, Explain). The seen set deduplicates shared nodes across calls;
+// pass one set per result.
+func (in *Instance) FreezeMemos(seen map[*Instance]bool) int64 {
+	if seen[in] {
+		return 0
+	}
+	seen[in] = true
+	in.Parents = nil
+	// The struct, its slot in whatever index holds it, and the cover words.
+	cost := int64(unsafe.Sizeof(Instance{})) + int64(in.Cover.Len()/8+16)
+	cost += int64(len(in.Text()) + len(in.NormText()))
+	cost += int64(8 * len(in.Children))
+	for _, c := range in.Children {
+		cost += c.FreezeMemos(seen)
+	}
+	return cost
 }
 
 // String renders the instance as Sym[cover] for diagnostics.

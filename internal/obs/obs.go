@@ -34,6 +34,24 @@ const (
 	StageMerge     = "merge"
 )
 
+// StageCache is the span recorded by the extraction cache in front of the
+// pipeline. It is not part of Stages: a cache hit's trace holds only this
+// span, while a miss's trace leads with it (carrying the miss event) before
+// the pipeline stages.
+const StageCache = "cache"
+
+// Cache span event names: how the extraction cache answered a request.
+const (
+	// EventCacheHit: the frozen result was already cached; no pipeline ran.
+	EventCacheHit = "hit"
+	// EventCacheMiss: this request ran the pipeline (and, when the result
+	// was cacheable, populated the cache for later requests).
+	EventCacheMiss = "miss"
+	// EventCacheCoalesced: the request waited on an identical in-flight
+	// extraction and shares its result; no pipeline ran.
+	EventCacheCoalesced = "coalesced"
+)
+
 // Stages lists the pipeline stage names in execution order.
 var Stages = []string{StageHTMLParse, StageLayout, StageTokenize, StageParse, StageMerge}
 

@@ -40,6 +40,12 @@ type Pool struct {
 	opts Options
 	g    *Grammar
 	pool sync.Pool
+	// cache and keyPrefix are copied from the validation extractor when
+	// Options.Cache is set, so the pool consults the cache before drawing
+	// an extractor at all: a hit (or a coalesced wait) costs no pool
+	// traffic and no pipeline work.
+	cache     *Cache
+	keyPrefix [32]byte
 }
 
 // NewPool validates the options by building one extractor and returns a
@@ -57,7 +63,7 @@ func NewPool(opts ...Options) (*Pool, error) {
 	if err != nil {
 		return nil, err
 	}
-	p := &Pool{opts: o, g: ex.Grammar()}
+	p := &Pool{opts: o, g: ex.Grammar(), cache: ex.cache, keyPrefix: ex.keyPrefix}
 	p.pool.Put(ex)
 	return p, nil
 }
@@ -98,7 +104,20 @@ func (p *Pool) Extract(src string) (*Result, error) {
 // its extractor to the pool — a panic mid-parse can leave the extractor's
 // internals torn, and reusing it would poison an unrelated later request.
 // The extractor is abandoned to the collector and the pool stays healthy.
-func (p *Pool) ExtractContext(ctx context.Context, src string) (res *Result, err error) {
+//
+// With Options.Cache set, the cache is consulted before any extractor is
+// drawn: hits and coalesced requests return a shared frozen result without
+// touching the pool, and only the flight leader of a miss checks an
+// extractor out.
+func (p *Pool) ExtractContext(ctx context.Context, src string) (*Result, error) {
+	if p.cache != nil {
+		return cachedExtract(ctx, p.cache, p.keyPrefix, src, p.opts.Tracer, p)
+	}
+	return p.runExtract(ctx, src, "")
+}
+
+// runExtract implements cacheRunner: the uncached pooled extraction.
+func (p *Pool) runExtract(ctx context.Context, src, cacheEvent string) (res *Result, err error) {
 	ex, gerr := p.Get()
 	if gerr != nil {
 		return nil, gerr
@@ -113,7 +132,7 @@ func (p *Pool) ExtractContext(ctx context.Context, src string) (res *Result, err
 			p.Put(ex)
 		}
 	}()
-	res, err = ex.ExtractHTMLContext(ctx, src)
+	res, err = ex.extractHTMLEvent(ctx, src, cacheEvent)
 	var pe *PanicError
 	healthy = !errors.As(err, &pe)
 	return res, err
