@@ -2,7 +2,7 @@
 # full test suite under the race detector (the concurrent serving path —
 # pool, batch, formserve — is exercised by design), and keep the compiled
 # evaluation plan differentially equal to the interpreted oracle.
-.PHONY: check build vet test parity hostile bench bench-smoke bench-cache
+.PHONY: check build vet test parity hostile bench bench-smoke bench-cache bench-stream
 
 check: build vet test parity
 
@@ -47,3 +47,14 @@ bench-smoke:
 bench-cache:
 	go test -bench 'BenchmarkCachedExtract|BenchmarkCacheColdMiss|BenchmarkCacheParallel' \
 		-benchmem -benchtime=2s -run '^$$' .
+
+# Streaming-ingest gate: race-gated soak of the ExtractStream path (the
+# bounded in-flight, backpressure, dedup and differential ExtractAll tests),
+# then a 100k-page synthetic crawl through cmd/formcrawl proving the
+# admission bound and a flat memory ceiling — its report is BENCH_stream.json.
+bench-stream:
+	go test -race -timeout 300s -count=1 \
+		-run 'TestExtractStream|TestExtractAll' . ./cmd/formcrawl/
+	go run ./cmd/formcrawl -synthetic 100000 -max-inflight 32 \
+		-mem-ceiling 1024 -progress 20000 > BENCH_stream.json
+	cat BENCH_stream.json

@@ -8,7 +8,6 @@ import (
 	"runtime/debug"
 	"sort"
 	"strings"
-	"sync"
 )
 
 // BatchOptions configures ExtractAll.
@@ -33,8 +32,12 @@ type PageError struct {
 	// Stats carries the observability snapshot accumulated before the
 	// failure — in particular the per-stage wall times of the stages that
 	// did run — so a failed page in a crawl is diagnosable without
-	// re-extracting it. Zero when the failure preceded the pipeline (an
-	// extractor that could not be constructed).
+	// re-extracting it. It is zero when the failure preceded the pipeline:
+	// an extractor that could not be constructed, or a page the batch
+	// cancellation failed before its extraction started. A page cancelled
+	// mid-extraction instead carries the partial Stats (stage timings,
+	// parser counters, Degraded entries) accumulated up to the checkpoint
+	// that observed the cancellation.
 	Stats Stats
 }
 
@@ -44,8 +47,8 @@ func (e *PageError) Error() string { return fmt.Sprintf("page %d: %v", e.Page, e
 func (e *PageError) Unwrap() error { return e.Err }
 
 // BatchError aggregates the per-page failures of one ExtractAll call. The
-// pages it names are exactly the nil entries of the returned results;
-// every other page was extracted successfully.
+// pages it names are exactly the nil entries of the returned results, each
+// named exactly once; every other page was extracted successfully.
 type BatchError struct {
 	// Pages lists the failed pages in ascending page order.
 	Pages []PageError
@@ -66,7 +69,7 @@ func (e *BatchError) Error() string {
 	return b.String()
 }
 
-// extractPage is the per-page extraction the batch workers run; a package
+// extractPage is the per-page extraction the stream workers run; a package
 // variable so tests can inject per-page failures (the real pipeline is
 // total and never fails on well-formed configurations). It uses the
 // internal entry point whose Result is non-nil even on error, carrying the
@@ -89,9 +92,12 @@ func safeExtractPage(ctx context.Context, ex *Extractor, src string) (res *Resul
 }
 
 // ExtractAll extracts every page concurrently and returns the results in
-// input order. Workers draw pooled extractors that share one compiled
-// grammar and schedule; this is the crawl-scale entry point the paper's
-// integration scenario needs (10^5 sources, Section 1).
+// input order. It is a collect wrapper over ExtractStream — the unique
+// pages are fed through the streaming pipeline and reassembled by arrival
+// index — so the two paths share workers, pooled extractors, containment
+// and caching; ExtractAll is the fixed-slice convenience, ExtractStream
+// the crawl-scale entry point the paper's integration scenario needs
+// (10^5 sources, Section 1).
 //
 // Byte-identical pages are extracted once per batch: the first occurrence
 // is the canonical extraction, and every later duplicate receives its own
@@ -104,16 +110,26 @@ func safeExtractPage(ctx context.Context, ex *Extractor, src string) (res *Resul
 // Configuration problems (an invalid grammar, for instance) fail the whole
 // batch up front with nil results. After that, the results slice is always
 // returned in full: a page that fails to extract leaves a nil entry and is
-// reported in a *BatchError listing every failed page, while all other
-// pages keep their results. With the default pipeline individual pages
-// never fail, so the error is nil in normal operation.
+// reported in a *BatchError naming exactly the nil entries, each exactly
+// once, while all other pages keep their results. With the default
+// pipeline individual pages never fail, so the error is nil in normal
+// operation.
 func ExtractAll(pages []string, opt BatchOptions) ([]*Result, error) {
 	if len(pages) == 0 {
 		return nil, nil
 	}
+	// Validates the configuration once, up front; the pool it builds is the
+	// one the stream workers draw from.
+	pool, err := NewPool(opt.Options)
+	if err != nil {
+		return nil, err
+	}
 	// In-batch deduplication: the first index holding each distinct page
-	// string is canonical and becomes a job; duplicates are fanned out from
-	// the canonical outcome after the workers finish.
+	// string is canonical and is the only one streamed; duplicates fan out
+	// from the canonical outcome after the stream closes. (The stream
+	// coalesces in-flight duplicates on its own, but batch dedup is total:
+	// a duplicate arriving after its canonical completed must coalesce too,
+	// and the batch holds every page in memory anyway.)
 	canon := make(map[string]int, len(pages))
 	uniq := make([]int, 0, len(pages))
 	var dups []int
@@ -133,88 +149,75 @@ func ExtractAll(pages []string, opt BatchOptions) ([]*Result, error) {
 	if workers > len(uniq) {
 		workers = len(uniq)
 	}
-	// Validates the configuration once, up front, and primes the pool.
-	pool, err := NewPool(opt.Options)
-	if err != nil {
-		return nil, err
-	}
-
-	results := make([]*Result, len(pages))
-	// The jobs channel is buffered to hold every index and filled before
-	// the workers start, so no sender can ever block: even if every worker
-	// exits without receiving (say, extractor construction fails), the
-	// batch still terminates instead of deadlocking on an unbuffered send.
-	jobs := make(chan int, len(uniq))
-	for _, i := range uniq {
-		jobs <- i
-	}
-	close(jobs)
-
-	var (
-		wg        sync.WaitGroup
-		mu        sync.Mutex
-		pageErrs  []PageError
-		workerErr error
-	)
 	ctx := opt.Context
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			var ex *Extractor
-			defer func() { pool.Put(ex) }()
-			for i := range jobs {
-				if cerr := ctx.Err(); cerr != nil {
-					// The batch is cancelled: drain the queue, charging each
-					// unstarted page to the cancellation.
-					mu.Lock()
-					pageErrs = append(pageErrs, PageError{Page: i, Err: cerr})
-					mu.Unlock()
-					continue
-				}
-				// The extractor is drawn lazily and redrawn after a panic:
-				// a panicking parse may leave the extractor torn, so it is
-				// abandoned rather than reused or pooled.
-				if ex == nil {
-					var err error
-					if ex, err = pool.Get(); err != nil {
-						mu.Lock()
-						if workerErr == nil {
-							workerErr = err
-						}
-						mu.Unlock()
-						return
-					}
-				}
-				res, err := safeExtractPage(ctx, ex, pages[i])
-				if err != nil {
-					var panicErr *PanicError
-					if errors.As(err, &panicErr) {
-						ex = nil
-					}
-					pe := PageError{Page: i, Err: err}
-					if res != nil {
-						pe.Stats = res.Stats
-					}
-					mu.Lock()
-					pageErrs = append(pageErrs, pe)
-					mu.Unlock()
-					continue
-				}
-				results[i] = res
-			}
-		}()
-	}
-	wg.Wait()
 
-	// Duplicate fan-out: each duplicate page gets a caller-owned Result view
-	// of its canonical page's frozen trees (marked Coalesced — never an
-	// aliased mutable struct), or a copy of the canonical failure. This runs
-	// after every worker has finished, so the single Freeze here
-	// happens-before any caller reads the shared graph.
+	// Feed the unique pages through the streaming pipeline. The feeder
+	// stops when the batch context ends; the stream then drains and closes
+	// its output, and every page it never reported is charged the context
+	// error in one append pass below — no per-page lock traffic on the
+	// cancellation path.
+	in := make(chan Page)
+	go func() {
+		defer close(in)
+		done := ctx.Done()
+		for _, idx := range uniq {
+			select {
+			case in <- Page{HTML: pages[idx]}:
+			case <-done:
+				return
+			}
+		}
+	}()
+	out := extractStream(ctx, in, StreamOptions{
+		Options:     opt.Options,
+		Workers:     workers,
+		MaxInFlight: 2 * workers,
+	}, pool)
+
+	results := make([]*Result, len(pages))
+	var pageErrs []PageError
+	reported := make([]bool, len(uniq))
+	for pr := range out {
+		idx := uniq[pr.Seq]
+		reported[pr.Seq] = true
+		if pr.Err != nil {
+			pe := PageError{Page: idx, Err: pr.Err}
+			if pr.Result != nil {
+				pe.Stats = pr.Result.Stats
+			}
+			pageErrs = append(pageErrs, pe)
+			continue
+		}
+		results[idx] = pr.Result
+	}
+	// Pages the stream never reported — not fed before the cancellation, or
+	// shed after it — are failures too: every nil results entry must be
+	// accounted for, exactly once. Without a cancellation the stream
+	// reports every page, so the fallback error can only surface on a
+	// stream bug, never silently.
+	var unreported error
+	for k, ok := range reported {
+		if ok {
+			continue
+		}
+		if unreported == nil {
+			if unreported = ctx.Err(); unreported == nil {
+				unreported = errors.New("formext: internal: stream lost a page result")
+			}
+		}
+		pageErrs = append(pageErrs, PageError{Page: uniq[k], Err: unreported})
+	}
+
+	// Duplicate fan-out: each duplicate page gets a caller-owned Result
+	// view of its canonical page's frozen trees (marked Coalesced — never
+	// an aliased mutable struct), or a copy of the canonical failure. This
+	// runs after the stream has closed, so the Freeze here happens-before
+	// any caller reads the shared graph. Every canonical page holds exactly
+	// one outcome by now — a result or a PageError — so the replication
+	// below can never double-charge an index.
 	if len(dups) > 0 {
 		errByPage := make(map[int]PageError, len(pageErrs))
 		for _, pe := range pageErrs {
@@ -226,29 +229,14 @@ func ExtractAll(pages []string, opt BatchOptions) ([]*Result, error) {
 				results[i] = res.Freeze().share(false, true, "")
 				continue
 			}
-			if pe, ok := errByPage[c]; ok {
-				pageErrs = append(pageErrs, PageError{Page: i, Err: pe.Err, Stats: pe.Stats})
+			pe, ok := errByPage[c]
+			if !ok {
+				pe = PageError{Err: errors.New("formext: internal: canonical page unaccounted")}
 			}
-			// Otherwise the canonical page was never processed (worker
-			// construction failure); the accounting below charges the
-			// duplicate the same workerErr.
+			pageErrs = append(pageErrs, PageError{Page: i, Err: pe.Err, Stats: pe.Stats})
 		}
 	}
 
-	// Pages no worker processed (possible only when every worker failed to
-	// obtain an extractor) are failures too: every nil entry of the results
-	// must be accounted for in the error.
-	if workerErr != nil {
-		reported := make(map[int]bool, len(pageErrs))
-		for _, pe := range pageErrs {
-			reported[pe.Page] = true
-		}
-		for i := range pages {
-			if results[i] == nil && !reported[i] {
-				pageErrs = append(pageErrs, PageError{Page: i, Err: workerErr})
-			}
-		}
-	}
 	if len(pageErrs) > 0 {
 		sort.Slice(pageErrs, func(i, j int) bool { return pageErrs[i].Page < pageErrs[j].Page })
 		return results, &BatchError{Pages: pageErrs}

@@ -145,6 +145,113 @@ func TestExtractAllReturnsPartialResultsOnPageError(t *testing.T) {
 	}
 }
 
+// TestExtractAllRetriesTransientConstructionFailure is the regression test
+// for worker stranding: historically a worker whose pool.Get failed exited
+// permanently, charging every page it had yet to draw a construction error
+// a retry could have avoided — with Workers=1 that stranded the whole rest
+// of the batch. Here the single worker loses its extractor to a panicking
+// page, the replacement construction fails transiently, and every healthy
+// page must still succeed via the retry-with-backoff path.
+func TestExtractAllRetriesTransientConstructionFailure(t *testing.T) {
+	origNew, origPooled := newExtractor, newPooledExtractor
+	var pooledCalls atomic.Int64
+	newPooledExtractor = func(g *Grammar, o Options) (*Extractor, error) {
+		if n := pooledCalls.Add(1); n <= 2 {
+			return nil, fmt.Errorf("injected: transient construction failure %d", n)
+		}
+		return origPooled(g, o)
+	}
+	t.Cleanup(func() { newExtractor, newPooledExtractor = origNew, origPooled })
+
+	origExtract := extractPage
+	extractPage = func(ctx context.Context, ex *Extractor, src string) (*Result, error) {
+		if strings.Contains(src, "PANIC") {
+			panic("injected page panic")
+		}
+		return ex.ExtractHTML(src)
+	}
+	t.Cleanup(func() { extractPage = origExtract })
+
+	// Page 0 panics, abandoning the worker's extractor; pages 1..3 force the
+	// worker through the transiently-failing replacement construction.
+	pages := []string{
+		"<form>PANIC <input type=text name=p></form>",
+		"<form>B <input type=text name=b></form>",
+		"<form>C <input type=text name=c></form>",
+		"<form>D <input type=text name=d></form>",
+	}
+	res, err := ExtractAll(pages, BatchOptions{Workers: 1})
+	var be *BatchError
+	if !errors.As(err, &be) {
+		t.Fatalf("err = %v, want a BatchError naming only the panicked page", err)
+	}
+	if len(be.Pages) != 1 || be.Pages[0].Page != 0 {
+		t.Fatalf("failed pages = %+v, want exactly page 0 (the stranded-worker bug charges 1..3 too)", be.Pages)
+	}
+	var pe *PanicError
+	if !errors.As(be.Pages[0].Err, &pe) {
+		t.Fatalf("page 0 error = %v, want a *PanicError", be.Pages[0].Err)
+	}
+	for i := 1; i < len(pages); i++ {
+		if res[i] == nil {
+			t.Errorf("page %d lost to a transient construction failure", i)
+		}
+	}
+	if pooledCalls.Load() < 3 {
+		t.Fatalf("pooled factory called %d times; the transient-failure path never ran", pooledCalls.Load())
+	}
+}
+
+// TestExtractStreamMixedHealthyAndFailingWorkers covers the concurrent
+// shape of the same bug: several workers racing a factory that fails
+// intermittently. Every worker must keep draining (retrying construction
+// per page rather than exiting), so all pages complete.
+func TestExtractStreamMixedHealthyAndFailingWorkers(t *testing.T) {
+	pool, err := NewPool()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drain the primed validation extractor so every worker goes through the
+	// flaky miss-path factory.
+	if _, err := pool.Get(); err != nil {
+		t.Fatal(err)
+	}
+	// The first three constructions fail, landing on whichever workers race
+	// there first; later constructions succeed. Three failures fit every
+	// worker's retry budget (getExtractorAttempts = 4), so no page may be
+	// lost no matter how the failures distribute.
+	origPooled := newPooledExtractor
+	var calls atomic.Int64
+	newPooledExtractor = func(g *Grammar, o Options) (*Extractor, error) {
+		if n := calls.Add(1); n <= 3 {
+			return nil, fmt.Errorf("injected: intermittent construction failure %d", n)
+		}
+		return origPooled(g, o)
+	}
+	t.Cleanup(func() { newPooledExtractor = origPooled })
+
+	const n = 16
+	in := make(chan Page)
+	go func() {
+		defer close(in)
+		for i := 0; i < n; i++ {
+			in <- Page{HTML: fmt.Sprintf("<form>F%02d <input type=text name=f%d></form>", i, i)}
+		}
+	}()
+	out := extractStream(context.Background(), in,
+		StreamOptions{Workers: 4, MaxInFlight: 8}, pool)
+	delivered := 0
+	for pr := range out {
+		if pr.Err != nil {
+			t.Errorf("seq %d failed despite retry: %v", pr.Seq, pr.Err)
+		}
+		delivered++
+	}
+	if delivered != n {
+		t.Fatalf("delivered %d of %d pages", delivered, n)
+	}
+}
+
 // TestExtractAllPageErrorCarriesStageTimings is the regression test for
 // the batch-diagnosability contract: a failed page's PageError must carry
 // the observability snapshot accumulated before the failure, so a crawl

@@ -123,6 +123,77 @@ func TestDeadlineIs503WithRetryAfter(t *testing.T) {
 	}
 }
 
+// TestRetryAfterConfigurable pins the -retry-after knob: the configured
+// seconds value is what 503 deadline responses advertise, and the zero
+// value (an unset config) keeps the historical 1-second default.
+func TestRetryAfterConfigurable(t *testing.T) {
+	injectExtract(t, func(ctx context.Context, p *formext.Pool, src string) (*formext.Result, error) {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+	for _, tc := range []struct {
+		retryAfter int
+		want       string
+	}{
+		{retryAfter: 7, want: "7"},
+		{retryAfter: 0, want: "1"},  // zero-value config keeps the old behavior
+		{retryAfter: -3, want: "1"}, // nonsense clamps rather than emitting garbage
+	} {
+		h, err := newHandler(config{extractTimeout: 20 * time.Millisecond, retryAfter: tc.retryAfter})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/extract",
+			strings.NewReader("<form>slow</form>")))
+		if rec.Code != http.StatusServiceUnavailable {
+			t.Errorf("retryAfter=%d: status = %d, want 503", tc.retryAfter, rec.Code)
+		}
+		if got := rec.Header().Get("Retry-After"); got != tc.want {
+			t.Errorf("retryAfter=%d: Retry-After = %q, want %q", tc.retryAfter, got, tc.want)
+		}
+	}
+}
+
+// TestClientGoneNotCountedAsDeadline pins the branch order of the error
+// mapping: an extraction that surfaces context.DeadlineExceeded after its
+// client already hung up is a client-gone drop, not a deadline 503 — the
+// deadline counter (and its alerting) must not move for requests nobody is
+// waiting on.
+func TestClientGoneNotCountedAsDeadline(t *testing.T) {
+	injectExtract(t, func(ctx context.Context, p *formext.Pool, src string) (*formext.Result, error) {
+		<-ctx.Done()
+		// Surface the deadline error even though the cause was the client
+		// cancelling — the shape a racing timeout produces.
+		return nil, context.DeadlineExceeded
+	})
+	h, err := newHandler(config{extractTimeout: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	req := httptest.NewRequest(http.MethodPost, "/extract",
+		strings.NewReader("<form>gone</form>")).WithContext(ctx)
+	deadlineBefore, goneBefore, errorsBefore :=
+		mDeadline.Value(), mClientGone.Value(), mExtractErrors.Value()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		h.ServeHTTP(httptest.NewRecorder(), req)
+	}()
+	cancel()
+	<-done
+	if mClientGone.Value() != goneBefore+1 {
+		t.Error("formserve_client_gone_total did not advance")
+	}
+	if mDeadline.Value() != deadlineBefore {
+		t.Error("client-gone request counted in formserve_deadline_total")
+	}
+	if mExtractErrors.Value() != errorsBefore {
+		t.Error("client-gone request counted as an extraction error")
+	}
+}
+
 // TestClientGoneIsDropped verifies that a disconnected client's extraction
 // is neither answered nor counted as a success or an extraction error.
 func TestClientGoneIsDropped(t *testing.T) {

@@ -52,6 +52,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime/debug"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"syscall"
@@ -144,6 +145,8 @@ func main() {
 		"byte budget for the content-addressed extraction-result cache (0 disables)")
 	cacheTTL := flag.Duration("cache-ttl", 0,
 		"lifetime bound for cached extraction results (0 = until evicted)")
+	retryAfter := flag.Int("retry-after", 1,
+		"Retry-After seconds advertised on 503 deadline responses")
 	flag.Parse()
 	h, err := newHandler(config{
 		traceBuffer:    *traceBuf,
@@ -151,6 +154,7 @@ func main() {
 		extractTimeout: *timeout,
 		cacheBytes:     *cacheBytes,
 		cacheTTL:       *cacheTTL,
+		retryAfter:     *retryAfter,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -201,6 +205,11 @@ type config struct {
 	cacheBytes int64
 	// cacheTTL bounds cached-result lifetime; 0 means until evicted.
 	cacheTTL time.Duration
+	// retryAfter is the Retry-After value (in seconds) advertised on 503
+	// deadline responses, steering client backoff to the server's actual
+	// recovery horizon. Values below 1 (the zero value included) fall back
+	// to 1 second, the historical behavior.
+	retryAfter int
 }
 
 // server is the service state: one extractor pool shared by all requests,
@@ -210,6 +219,7 @@ type server struct {
 	sink           *formext.RingSink // nil when tracing is disabled
 	mux            *http.ServeMux
 	extractTimeout time.Duration
+	retryAfter     string // preformatted seconds for the Retry-After header
 	grammarETag    string
 	indexETag      string
 }
@@ -241,11 +251,16 @@ func newHandler(cfg config) (http.Handler, error) {
 	if err != nil {
 		return nil, err
 	}
+	retryAfter := cfg.retryAfter
+	if retryAfter < 1 {
+		retryAfter = 1
+	}
 	s := &server{
 		pool:           pool,
 		sink:           sink,
 		mux:            http.NewServeMux(),
 		extractTimeout: cfg.extractTimeout,
+		retryAfter:     strconv.Itoa(retryAfter),
 		grammarETag:    etagFor(formext.DefaultGrammarSource()),
 		indexETag:      etagFor(indexPage),
 	}
@@ -358,7 +373,7 @@ func (s *server) handleExtract(w http.ResponseWriter, r *http.Request) {
 		case errors.Is(err, context.DeadlineExceeded):
 			mExtractErrors.Add(1)
 			mDeadline.Add(1)
-			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Retry-After", s.retryAfter)
 			http.Error(w, "extraction exceeded the server deadline", http.StatusServiceUnavailable)
 		default:
 			mExtractErrors.Add(1)

@@ -44,25 +44,58 @@ type Config struct {
 	SampleSchemas bool
 }
 
-// Generate renders a dataset.
+// Generate renders a dataset. It is the collect form of NewStream: the two
+// share one generator, so streaming a configuration yields byte-identical
+// sources in the same order.
 func Generate(cfg Config) []Source {
-	r := rand.New(rand.NewSource(cfg.Seed))
+	st := NewStream(cfg)
+	out := make([]Source, 0, cfg.Sources)
+	for {
+		src, ok := st.Next()
+		if !ok {
+			break
+		}
+		out = append(out, src)
+	}
+	return out
+}
+
+// Stream generates a dataset one source at a time, so crawl-scale corpora
+// (10^5 sources and beyond) never exist in memory at once — the ingest
+// shape cmd/formcrawl's synthetic mode feeds into ExtractStream.
+type Stream struct {
+	cfg Config
+	r   *rand.Rand
+	i   int
+}
+
+// NewStream starts a streaming generation of cfg. The sequence of sources
+// is exactly what Generate(cfg) returns: both draw from one seeded
+// generator in the same call order.
+func NewStream(cfg Config) *Stream {
 	if cfg.MinConds <= 0 {
 		cfg.MinConds = 3
 	}
 	if cfg.MaxConds < cfg.MinConds {
 		cfg.MaxConds = cfg.MinConds + 3
 	}
-	out := make([]Source, 0, cfg.Sources)
-	for i := 0; i < cfg.Sources; i++ {
-		schema := cfg.Schemas[i%len(cfg.Schemas)]
-		if cfg.SampleSchemas {
-			schema = cfg.Schemas[r.Intn(len(cfg.Schemas))]
-		}
-		src := generateOne(r, schema, cfg, fmt.Sprintf("%s-%03d", schema.Name, i))
-		out = append(out, src)
+	return &Stream{cfg: cfg, r: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Next renders the next source; ok is false once cfg.Sources have been
+// produced. Not safe for concurrent use — wrap with a feeding goroutine to
+// fan out.
+func (s *Stream) Next() (src Source, ok bool) {
+	if s.i >= s.cfg.Sources {
+		return Source{}, false
 	}
-	return out
+	schema := s.cfg.Schemas[s.i%len(s.cfg.Schemas)]
+	if s.cfg.SampleSchemas {
+		schema = s.cfg.Schemas[s.r.Intn(len(s.cfg.Schemas))]
+	}
+	src = generateOne(s.r, schema, s.cfg, fmt.Sprintf("%s-%03d", schema.Name, s.i))
+	s.i++
+	return src, true
 }
 
 // generateOne renders a single interface. Hardness is drawn per source:

@@ -62,6 +62,41 @@ func TestGenerateDeterministic(t *testing.T) {
 	}
 }
 
+// TestStreamMatchesGenerate pins the NewStream contract: streaming a
+// configuration yields byte-identical sources in the same order as the
+// collect form, so crawl-scale corpora can be generated incrementally
+// without changing what any consumer sees.
+func TestStreamMatchesGenerate(t *testing.T) {
+	cfg := Config{
+		Seed: 61, Sources: 80, Schemas: AllSchemas,
+		MinConds: 2, MaxConds: 6, Hardness: 0.35, SampleSchemas: true,
+	}
+	want := Generate(cfg)
+	st := NewStream(cfg)
+	for i := 0; ; i++ {
+		src, ok := st.Next()
+		if !ok {
+			if i != len(want) {
+				t.Fatalf("stream ended after %d sources, Generate made %d", i, len(want))
+			}
+			break
+		}
+		if i >= len(want) {
+			t.Fatalf("stream produced more than the configured %d sources", len(want))
+		}
+		if src.ID != want[i].ID || src.Domain != want[i].Domain || src.HTML != want[i].HTML {
+			t.Fatalf("source %d differs between Stream and Generate", i)
+		}
+		if len(src.Truth) != len(want[i].Truth) {
+			t.Fatalf("source %d truth differs between Stream and Generate", i)
+		}
+	}
+	// Exhausted streams stay exhausted.
+	if _, ok := st.Next(); ok {
+		t.Fatal("Next returned a source after exhaustion")
+	}
+}
+
 func TestSourcesAreWellFormed(t *testing.T) {
 	for _, s := range NewSource() {
 		if len(s.Truth) == 0 {
