@@ -2,7 +2,7 @@
 # full test suite under the race detector (the concurrent serving path —
 # pool, batch, formserve — is exercised by design), and keep the compiled
 # evaluation plan differentially equal to the interpreted oracle.
-.PHONY: check build vet test parity hostile bench bench-smoke bench-cache bench-stream
+.PHONY: check build vet test parity hostile bench bench-smoke bench-cache bench-stream cluster-smoke bench-cluster
 
 check: build vet test parity
 
@@ -58,3 +58,29 @@ bench-stream:
 	go run ./cmd/formcrawl -synthetic 100000 -max-inflight 32 \
 		-mem-ceiling 1024 -progress 20000 > BENCH_stream.json
 	cat BENCH_stream.json
+
+# Cluster gate: the sharded-fleet tier under the race detector — ring
+# distribution and stability, peer-fetch retry/ejection/revival, the
+# 3-peer in-process fleet (exactly-one-extraction routing, readiness
+# drain) and the peer-kill smoke scenario, with a hard timeout so a
+# dead-peer regression fails fast instead of hanging the build. The
+# golden-key test rides along: sharding is only sound while every build
+# derives byte-identical cache keys.
+cluster-smoke:
+	go test -race -timeout 300s -count=1 \
+		-run 'TestCluster|TestReadyz|TestPeersRequireSelf|TestGoldenKey' \
+		./cmd/formserve/ .
+	go test -race -timeout 300s -count=1 ./internal/cluster/
+
+# Cluster benchmark: launch a real 3-process formserve fleet on local
+# ports, drive a Zipf-skewed corpus through it (stampede phase), then
+# SIGKILL one peer mid-run and keep driving the survivors — the report
+# (fleet-wide hit rate, per-phase tail latency, fallback/ejection counts)
+# is BENCH_cluster.json.
+# Sized so each phase sends >100 requests per corpus page: the floor on
+# the fleet-wide hit rate is 1 - corpus/requests, and the acceptance bar
+# is >= 0.99.
+bench-cluster:
+	go run ./cmd/formbench -fleet 3 -corpus 256 -requests 60000 \
+		-concurrency 32 > BENCH_cluster.json
+	cat BENCH_cluster.json

@@ -61,6 +61,27 @@ func NewCache(cfg CacheConfig) (*Cache, error) {
 // Stats returns a snapshot of the cache counters.
 func (c *Cache) Stats() CacheStats { return c.c.Stats() }
 
+// CacheKey is the content address of one extraction: SHA-256 over the page
+// bytes, the grammar fingerprint and the canonical extraction-relevant
+// options. Two processes built from the same source derive byte-identical
+// keys for the same (page, grammar, options) — the property consistent-hash
+// sharding stands on (a golden-key test pins it against drift).
+type CacheKey = cache.Key
+
+// ExtractKey returns the content-addressed key an extraction of src would
+// be cached under. It is derived without running any pipeline stage (two
+// SHA-256 passes over the page bytes), so serving layers can route a
+// request — to a cache shard, to a cluster peer — before doing any work.
+func (e *Extractor) ExtractKey(src string) CacheKey {
+	return pageKey(e.keyPrefix, src)
+}
+
+// ExtractKey returns the content-addressed key an extraction of src through
+// this pool would be cached under; see Extractor.ExtractKey.
+func (p *Pool) ExtractKey(src string) CacheKey {
+	return pageKey(p.keyPrefix, src)
+}
+
 // cachePrefix derives the per-extractor half of the cache key: a hash over
 // the grammar fingerprint and a canonical rendering of every option that
 // can change an extraction's outcome. Defaulted and explicit spellings of

@@ -1,0 +1,489 @@
+// Command formbench launches an N-peer formserve fleet on one box and
+// drives it with a Zipf-distributed request load — the cluster tier's
+// benchmark harness, and the source of BENCH_cluster.json.
+//
+// Usage:
+//
+//	formbench [-fleet 3] [-corpus 512] [-requests 100000] [-concurrency 64]
+//	          [-zipf-s 1.1] [-kill-at 0.5] [-base-port 9301] [-bin PATH]
+//
+// The run has two phases. The stampede phase drives -requests×kill-at
+// requests from every client at once over a Zipf corpus and proves the
+// sharded cache works fleet-wide: the hit rate (1 − extractions/requests)
+// and the invariant that each unique (page, grammar) key was extracted
+// exactly once anywhere in the fleet (the owner's singleflight collapses
+// the stampede). Then one peer is killed (SIGKILL, no drain) and the
+// remaining requests continue against the survivors: the acceptance
+// criterion is zero request errors — keys owned by the dead peer fall back
+// to local extraction while the failure detector ejects it from the ring.
+//
+// The report is one JSON object on stdout: per-phase request counts, fleet
+// hit rates, tail latency (p50/p90/p99/p999), per-peer metrics scraped
+// from /metrics, and the ring's recovery counters.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"formext/internal/dataset"
+)
+
+func main() {
+	if err := run(context.Background(), os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "formbench:", err)
+		os.Exit(1)
+	}
+}
+
+type benchConfig struct {
+	fleet       int
+	corpus      int
+	requests    int
+	concurrency int
+	zipfS       float64
+	killAt      float64
+	basePort    int
+	bin         string
+	cacheBytes  int64
+	hotBytes    int64
+	seed        int64
+	timeout     time.Duration
+}
+
+func parseFlags(args []string, errw io.Writer) benchConfig {
+	fs := flag.NewFlagSet("formbench", flag.ExitOnError)
+	fs.SetOutput(errw)
+	var cfg benchConfig
+	fs.IntVar(&cfg.fleet, "fleet", 3, "number of formserve peers to launch")
+	fs.IntVar(&cfg.corpus, "corpus", 512, "distinct pages in the Zipf corpus")
+	fs.IntVar(&cfg.requests, "requests", 100000, "total requests to drive")
+	fs.IntVar(&cfg.concurrency, "concurrency", 64, "concurrent clients")
+	fs.Float64Var(&cfg.zipfS, "zipf-s", 1.1, "Zipf skew (s > 1; larger = hotter head)")
+	fs.Float64Var(&cfg.killAt, "kill-at", 0.5, "kill one peer after this fraction of requests (0 disables)")
+	fs.IntVar(&cfg.basePort, "base-port", 9301, "first peer port; peer i listens on base-port+i")
+	fs.StringVar(&cfg.bin, "bin", "", "formserve binary (default: go build ./cmd/formserve to a temp dir)")
+	fs.Int64Var(&cfg.cacheBytes, "cache-bytes", 256<<20, "per-peer extraction cache budget")
+	// Hot copies default OFF in the bench: with them on, survivors serve a
+	// dead peer's entire key range from local copies and the kill phase
+	// records no degradation at all — impressive, but the scenario exists
+	// to measure the fallback and ejection path.
+	fs.Int64Var(&cfg.hotBytes, "hot-bytes", 0, "per-peer hot-copy cache budget (0 disables)")
+	fs.Int64Var(&cfg.seed, "seed", 1, "corpus generation and Zipf sampling seed")
+	fs.DurationVar(&cfg.timeout, "request-timeout", 30*time.Second, "per-request client timeout")
+	fs.Parse(args)
+	return cfg
+}
+
+// phaseReport is one load phase's measurements.
+type phaseReport struct {
+	Requests    int   `json:"requests"`
+	Errors      int64 `json:"errors"`
+	UniquePages int   `json:"unique_pages"`
+	// FleetExtractions is the number of pipeline runs anywhere in the
+	// fleet during this phase (the sum of every peer's cache misses).
+	FleetExtractions int64   `json:"fleet_extractions"`
+	HitRate          float64 `json:"hit_rate"`
+	// OneExtractionPerKey holds when FleetExtractions == UniquePages: the
+	// ring concentrated each key on one owner and that owner's singleflight
+	// collapsed the stampede to a single extraction.
+	OneExtractionPerKey bool             `json:"one_extraction_per_key"`
+	ElapsedSec          float64          `json:"elapsed_sec"`
+	RequestsPerSec      float64          `json:"requests_per_sec"`
+	LatencyUs           map[string]int64 `json:"latency_us"`
+}
+
+type report struct {
+	Description string       `json:"description"`
+	Fleet       int          `json:"fleet"`
+	Corpus      int          `json:"corpus"`
+	Requests    int          `json:"requests"`
+	Concurrency int          `json:"concurrency"`
+	ZipfS       float64      `json:"zipf_s"`
+	Stampede    phaseReport  `json:"stampede"`
+	KilledPeer  string       `json:"killed_peer,omitempty"`
+	PostKill    *phaseReport `json:"post_kill,omitempty"`
+	// PeerFallbacks counts post-kill requests the survivors served by local
+	// extraction because the dead owner was unreachable; Ejections is the
+	// failure detector removing it from the rings.
+	PeerFallbacks int64            `json:"peer_fallbacks"`
+	Ejections     int64            `json:"ejections"`
+	PeerMetrics   []map[string]any `json:"peer_metrics"`
+}
+
+func run(ctx context.Context, args []string, out, errw io.Writer) error {
+	cfg := parseFlags(args, errw)
+	if cfg.fleet < 2 {
+		return fmt.Errorf("-fleet must be at least 2")
+	}
+
+	bin := cfg.bin
+	if bin == "" {
+		dir, err := os.MkdirTemp("", "formbench")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		bin = filepath.Join(dir, "formserve")
+		fmt.Fprintln(errw, "formbench: building formserve...")
+		build := exec.Command("go", "build", "-o", bin, "./cmd/formserve")
+		build.Stderr = errw
+		if err := build.Run(); err != nil {
+			return fmt.Errorf("building formserve: %w", err)
+		}
+	}
+
+	// Launch the fleet: peer i on basePort+i, every peer told the full list.
+	addrs := make([]string, cfg.fleet)
+	for i := range addrs {
+		addrs[i] = fmt.Sprintf("http://127.0.0.1:%d", cfg.basePort+i)
+	}
+	peersArg := strings.Join(addrs, ",")
+	procs := make([]*exec.Cmd, cfg.fleet)
+	defer func() {
+		for _, p := range procs {
+			if p != nil && p.Process != nil {
+				p.Process.Kill()
+				p.Wait()
+			}
+		}
+	}()
+	for i := range procs {
+		cmd := exec.Command(bin,
+			"-addr", fmt.Sprintf("127.0.0.1:%d", cfg.basePort+i),
+			"-self", addrs[i],
+			"-peers", peersArg,
+			"-cache-bytes", fmt.Sprint(cfg.cacheBytes),
+			"-peer-hot-bytes", fmt.Sprint(cfg.hotBytes),
+			"-trace-buffer", "0",
+		)
+		cmd.Stderr = errw
+		if err := cmd.Start(); err != nil {
+			return fmt.Errorf("starting peer %d: %w", i, err)
+		}
+		procs[i] = cmd
+	}
+	client := &http.Client{
+		Timeout: cfg.timeout,
+		Transport: &http.Transport{
+			MaxIdleConns:        4 * cfg.concurrency,
+			MaxIdleConnsPerHost: 2 * cfg.concurrency,
+		},
+	}
+	for _, a := range addrs {
+		if err := waitReady(ctx, client, a, 15*time.Second); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(errw, "formbench: %d peers ready\n", cfg.fleet)
+
+	// The corpus: distinct generated query interfaces, requested with Zipf
+	// frequencies — the head pages are requested thousands of times, the
+	// tail once or never, like a real deep-web workload.
+	corpus := buildCorpus(cfg.corpus, cfg.seed)
+
+	rep := report{
+		Description: fmt.Sprintf(
+			"%d-peer consistent-hash fleet, %d-page Zipf corpus (s=%.2f), %d requests from %d clients; one peer SIGKILLed mid-run",
+			cfg.fleet, cfg.corpus, cfg.zipfS, cfg.requests, cfg.concurrency),
+		Fleet:       cfg.fleet,
+		Corpus:      cfg.corpus,
+		Requests:    cfg.requests,
+		Concurrency: cfg.concurrency,
+		ZipfS:       cfg.zipfS,
+	}
+
+	killIdx := -1
+	phase1 := cfg.requests
+	if cfg.killAt > 0 && cfg.killAt < 1 {
+		killIdx = cfg.fleet - 1
+		phase1 = int(float64(cfg.requests) * cfg.killAt)
+	}
+
+	// Stampede phase: all peers, all clients, from a cold fleet.
+	p1, err := drive(ctx, client, addrs, corpus, cfg, phase1, 0)
+	if err != nil {
+		return err
+	}
+	base, err := scrapeFleet(client, addrs)
+	if err != nil {
+		return err
+	}
+	fillPhase(&p1, base, nil)
+	rep.Stampede = p1
+
+	if killIdx >= 0 {
+		rep.KilledPeer = addrs[killIdx]
+		fmt.Fprintf(errw, "formbench: killing %s\n", rep.KilledPeer)
+		if err := procs[killIdx].Process.Kill(); err != nil {
+			return fmt.Errorf("killing peer: %w", err)
+		}
+		procs[killIdx].Wait()
+		procs[killIdx] = nil
+		survivors := append(append([]string{}, addrs[:killIdx]...), addrs[killIdx+1:]...)
+		p2, err := drive(ctx, client, survivors, corpus, cfg, cfg.requests-phase1, int64(phase1))
+		if err != nil {
+			return err
+		}
+		after, err := scrapeFleet(client, survivors)
+		if err != nil {
+			return err
+		}
+		// The killed peer's counters died with it: its baseline must not be
+		// subtracted from a survivor-only snapshot, and the extractions it
+		// performed pre-kill are simply gone from the post-kill delta.
+		baseSurvivors := append(append([]map[string]any{}, base[:killIdx]...), base[killIdx+1:]...)
+		fillPhase(&p2, after, baseSurvivors)
+		rep.PostKill = &p2
+		for _, m := range after {
+			rep.PeerFallbacks += metricInt(m, "formserve_peer_fallback_total")
+			if cl, ok := m["formserve_cluster"].(map[string]any); ok {
+				rep.Ejections += int64(floatOf(cl["ejections"]))
+			}
+		}
+		rep.PeerMetrics = summarizePeers(after)
+	} else {
+		rep.PeerMetrics = summarizePeers(base)
+	}
+
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// page is one corpus entry.
+type page struct {
+	html []byte
+}
+
+func buildCorpus(n int, seed int64) []page {
+	srcs := dataset.Generate(dataset.Config{
+		Seed:          seed,
+		Sources:       n,
+		Schemas:       dataset.AllSchemas,
+		MinConds:      2,
+		MaxConds:      6,
+		Hardness:      0.35,
+		SampleSchemas: true,
+	})
+	corpus := make([]page, len(srcs))
+	for i, s := range srcs {
+		corpus[i] = page{html: []byte(s.HTML)}
+	}
+	return corpus
+}
+
+// driveResult carries one phase's client-side measurements.
+type driveResult struct {
+	errors    atomic.Int64
+	unique    sync.Map // page index -> struct{}
+	latencies [][]int64
+	elapsed   time.Duration
+}
+
+// drive sends n requests from cfg.concurrency clients, peers chosen
+// round-robin per request, pages by Zipf rank. seqBase offsets the Zipf
+// stream so the post-kill phase continues the distribution rather than
+// replaying the head.
+func drive(ctx context.Context, client *http.Client, addrs []string, corpus []page, cfg benchConfig, n int, seqBase int64) (phaseReport, error) {
+	var pr phaseReport
+	pr.Requests = n
+	var res driveResult
+	res.latencies = make([][]int64, cfg.concurrency)
+	var next atomic.Int64
+	next.Store(seqBase)
+	limit := seqBase + int64(n)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Each worker gets its own deterministic Zipf stream; rank
+			// selection is what matters, not which worker sends it.
+			rng := rand.New(rand.NewSource(cfg.seed + int64(w)*7919))
+			zipf := rand.NewZipf(rng, cfg.zipfS, 1, uint64(len(corpus)-1))
+			lats := make([]int64, 0, n/cfg.concurrency+1)
+			for {
+				seq := next.Add(1) - 1
+				if seq >= limit || ctx.Err() != nil {
+					break
+				}
+				idx := int(zipf.Uint64())
+				res.unique.Store(idx, struct{}{})
+				addr := addrs[int(seq)%len(addrs)]
+				t0 := time.Now()
+				ok := post(ctx, client, addr, corpus[idx].html)
+				lats = append(lats, time.Since(t0).Microseconds())
+				if !ok {
+					res.errors.Add(1)
+				}
+			}
+			res.latencies[w] = lats
+		}(w)
+	}
+	wg.Wait()
+	res.elapsed = time.Since(start)
+
+	pr.Errors = res.errors.Load()
+	res.unique.Range(func(_, _ any) bool { pr.UniquePages++; return true })
+	pr.ElapsedSec = res.elapsed.Seconds()
+	if pr.ElapsedSec > 0 {
+		pr.RequestsPerSec = float64(n) / pr.ElapsedSec
+	}
+	var all []int64
+	for _, l := range res.latencies {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	pr.LatencyUs = percentiles(all)
+	return pr, nil
+}
+
+func post(ctx context.Context, client *http.Client, addr string, body []byte) bool {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, addr+"/extract", bytes.NewReader(body))
+	if err != nil {
+		return false
+	}
+	req.Header.Set("Content-Type", "text/html")
+	resp, err := client.Do(req)
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+func percentiles(sorted []int64) map[string]int64 {
+	if len(sorted) == 0 {
+		return nil
+	}
+	at := func(q float64) int64 {
+		i := int(q * float64(len(sorted)-1))
+		return sorted[i]
+	}
+	return map[string]int64{
+		"p50":  at(0.50),
+		"p90":  at(0.90),
+		"p99":  at(0.99),
+		"p999": at(0.999),
+		"max":  sorted[len(sorted)-1],
+	}
+}
+
+// fillPhase computes the fleet-side numbers for a phase from /metrics
+// snapshots: extractions are each peer's cache misses, summed, minus the
+// baseline snapshot from the previous phase.
+func fillPhase(pr *phaseReport, now, base []map[string]any) {
+	var misses int64
+	for _, m := range now {
+		misses += cacheMisses(m)
+	}
+	for _, m := range base {
+		misses -= cacheMisses(m)
+	}
+	pr.FleetExtractions = misses
+	if pr.Requests > 0 {
+		pr.HitRate = 1 - float64(misses)/float64(pr.Requests)
+	}
+	pr.OneExtractionPerKey = misses == int64(pr.UniquePages)
+}
+
+func cacheMisses(m map[string]any) int64 {
+	c, ok := m["formserve_cache"].(map[string]any)
+	if !ok {
+		return 0
+	}
+	return int64(floatOf(c["cache_misses"]))
+}
+
+func metricInt(m map[string]any, key string) int64 { return int64(floatOf(m[key])) }
+
+func floatOf(v any) float64 {
+	f, _ := v.(float64)
+	return f
+}
+
+// scrapeFleet fetches and decodes /metrics from every address.
+func scrapeFleet(client *http.Client, addrs []string) ([]map[string]any, error) {
+	var out []map[string]any
+	for _, a := range addrs {
+		resp, err := client.Get(a + "/metrics")
+		if err != nil {
+			return nil, fmt.Errorf("scraping %s: %w", a, err)
+		}
+		var m map[string]any
+		err = json.NewDecoder(resp.Body).Decode(&m)
+		resp.Body.Close()
+		if err != nil {
+			return nil, fmt.Errorf("decoding %s/metrics: %w", a, err)
+		}
+		m["addr"] = a
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// summarizePeers keeps the report readable: per peer, just the serving and
+// cluster counters the acceptance criteria read.
+func summarizePeers(metrics []map[string]any) []map[string]any {
+	var out []map[string]any
+	for _, m := range metrics {
+		s := map[string]any{
+			"addr":        m["addr"],
+			"extractions": metricInt(m, "formserve_extractions_total"),
+			"errors":      metricInt(m, "formserve_extract_errors_total"),
+			"forwarded":   metricInt(m, "formserve_forwarded_total"),
+			"fallbacks":   metricInt(m, "formserve_peer_fallback_total"),
+		}
+		if c, ok := m["formserve_cache"].(map[string]any); ok {
+			s["cache_hits"] = int64(floatOf(c["cache_hits"]))
+			s["cache_misses"] = int64(floatOf(c["cache_misses"]))
+			s["coalesced"] = int64(floatOf(c["coalesced"]))
+		}
+		if cl, ok := m["formserve_cluster"].(map[string]any); ok {
+			s["live_peers"] = int64(floatOf(cl["live_peers"]))
+			s["hot_hits"] = int64(floatOf(cl["hot_hits"]))
+			s["ejections"] = int64(floatOf(cl["ejections"]))
+		}
+		if g, ok := m["formserve_inflight"].(map[string]any); ok {
+			s["peak_inflight"] = int64(floatOf(g["peak"]))
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// waitReady polls a peer's readiness endpoint until it answers or the
+// deadline passes.
+func waitReady(ctx context.Context, client *http.Client, addr string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		req, _ := http.NewRequestWithContext(ctx, http.MethodGet, addr+"/readyz", nil)
+		resp, err := client.Do(req)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	return fmt.Errorf("peer %s never became ready", addr)
+}

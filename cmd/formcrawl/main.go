@@ -56,6 +56,8 @@ type crawlConfig struct {
 	burst      int
 	memCeilMB  int
 	progressEv int
+	cacheBytes int64
+	cacheTTL   time.Duration
 }
 
 func parseFlags(args []string, errw io.Writer) crawlConfig {
@@ -73,6 +75,9 @@ func parseFlags(args []string, errw io.Writer) crawlConfig {
 	fs.IntVar(&cfg.burst, "burst", 4, "per-source burst allowance for -rate")
 	fs.IntVar(&cfg.memCeilMB, "mem-ceiling", 0, "abort the crawl when heap exceeds this many MiB (0 = no ceiling)")
 	fs.IntVar(&cfg.progressEv, "progress", 0, "log progress to stderr every N pages (0 = quiet)")
+	fs.Int64Var(&cfg.cacheBytes, "cache-bytes", 0,
+		"content-addressed extraction cache budget: byte-identical pages recurring across sources are answered without re-extraction (0 disables)")
+	fs.DurationVar(&cfg.cacheTTL, "cache-ttl", 0, "lifetime bound for cached extraction results (0 = until evicted)")
 	fs.Parse(args)
 	return cfg
 }
@@ -82,13 +87,18 @@ func parseFlags(args []string, errw io.Writer) crawlConfig {
 // bounded-memory evidence: the former is read from the stream's own gauge,
 // the latter sampled from runtime.ReadMemStats over the whole run.
 type report struct {
-	Description     string  `json:"description"`
-	Mode            string  `json:"mode"`
-	Pages           int64   `json:"pages"`
-	FormsDetected   int64   `json:"forms_detected"`
-	Extracted       int64   `json:"extracted"`
-	Failed          int64   `json:"failed"`
-	Coalesced       int64   `json:"coalesced"`
+	Description   string `json:"description"`
+	Mode          string `json:"mode"`
+	Pages         int64  `json:"pages"`
+	FormsDetected int64  `json:"forms_detected"`
+	Extracted     int64  `json:"extracted"`
+	Failed        int64  `json:"failed"`
+	Coalesced     int64  `json:"coalesced"`
+	// CacheHits counts pages answered from the content-addressed cache —
+	// byte-identical pages recurring across (or within) sources, beyond the
+	// simultaneous in-flight duplicates Coalesced already collapses. Only
+	// nonzero with -cache-bytes > 0.
+	CacheHits       int64   `json:"cache_hits"`
 	Degraded        int64   `json:"degraded"`
 	Conditions      int64   `json:"conditions"`
 	ElapsedSec      float64 `json:"elapsed_sec"`
@@ -205,7 +215,19 @@ func run(ctx context.Context, cfg crawlConfig, out, errw io.Writer) error {
 	}()
 
 	start := time.Now()
+	var opts formext.Options
+	if cfg.cacheBytes > 0 {
+		cache, err := formext.NewCache(formext.CacheConfig{
+			MaxBytes: cfg.cacheBytes,
+			TTL:      cfg.cacheTTL,
+		})
+		if err != nil {
+			return err
+		}
+		opts.Cache = cache
+	}
 	results := formext.ExtractStream(ctx, pages, formext.StreamOptions{
+		Options:     opts,
 		Workers:     workers,
 		MaxInFlight: maxInFlight,
 		Gauge:       gauge,
@@ -216,6 +238,9 @@ func run(ctx context.Context, cfg crawlConfig, out, errw io.Writer) error {
 			rep.Failed++
 		} else {
 			rep.Extracted++
+			if pr.Result.Stats.CacheHit {
+				rep.CacheHits++
+			}
 			if pr.Result.Stats.Coalesced {
 				rep.Coalesced++
 			}

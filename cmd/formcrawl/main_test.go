@@ -159,3 +159,47 @@ func TestMemCeilingAborts(t *testing.T) {
 		t.Error("crawl claims to have finished all pages despite the abort")
 	}
 }
+
+func TestCrawlCacheHitsReported(t *testing.T) {
+	// A crawl tree with four byte-identical pages and one distinct one:
+	// with a cache, the identical pages cost one extraction and three
+	// cache answers, and the summary says so.
+	dir := t.TempDir()
+	dup := `<form action="/s">Title <input type="text" name="t" size="30"></form>`
+	for i := 0; i < 4; i++ {
+		if err := os.WriteFile(filepath.Join(dir, "dup"+strings.Repeat("x", i)+".html"), []byte(dup), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.WriteFile(filepath.Join(dir, "other.html"),
+		[]byte(`<form>X <input type=text name=x></form>`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	crawl := func(cacheBytes int64) report {
+		var out bytes.Buffer
+		cfg := crawlConfig{root: dir, workers: 1, maxInFly: 2, cacheBytes: cacheBytes}
+		if err := run(context.Background(), cfg, &out, os.Stderr); err != nil {
+			t.Fatal(err)
+		}
+		var rep report
+		if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+			t.Fatalf("report is not valid JSON: %v\n%s", err, out.String())
+		}
+		return rep
+	}
+
+	rep := crawl(32 << 20)
+	if rep.Pages != 5 || rep.Failed != 0 {
+		t.Fatalf("pages = %d failed = %d, want 5/0", rep.Pages, rep.Failed)
+	}
+	// A single sequential worker gives a deterministic split: one miss,
+	// three answers from the cache layer (hit or coalesced).
+	if rep.CacheHits+rep.Coalesced != 3 {
+		t.Errorf("cache_hits %d + coalesced %d = %d, want 3", rep.CacheHits, rep.Coalesced, rep.CacheHits+rep.Coalesced)
+	}
+
+	if rep := crawl(0); rep.CacheHits != 0 {
+		t.Errorf("cache_hits = %d with caching disabled, want 0", rep.CacheHits)
+	}
+}

@@ -7,20 +7,45 @@
 //
 //	formserve [-addr :8080] [-trace-buffer 64] [-parse-budget 0] [-extract-timeout 30s]
 //	          [-cache-bytes 0] [-cache-ttl 0]
+//	          [-self URL] [-peers URL,URL,...] [-peers-file PATH]
 //
 // Endpoints:
 //
 //	POST /extract            body: HTML    → JSON semantic model
 //	POST /extract?trees=1    also include rendered parse trees
+//	POST /cluster/fetch      peer-internal: always-local extraction
 //	GET  /grammar            the derived 2P grammar (DSL text)
-//	GET  /healthz            liveness probe
+//	GET  /healthz            liveness probe (is the process alive?)
+//	GET  /readyz             readiness probe (should peers route here?)
 //	GET  /metrics            expvar counters, parser totals, latency histogram
 //	GET  /traces             recent extraction traces (?id=... for one)
 //	GET  /                   paste-a-form demo page
 //
 // The server reads and writes with timeouts, drains in-flight requests on
-// SIGINT/SIGTERM, and serves every extraction from a shared extractor pool
-// over the parse-once default grammar.
+// SIGINT/SIGTERM (flipping /readyz to 503 first, so cluster peers stop
+// routing here before the listener closes), and serves every extraction
+// from a shared extractor pool over the parse-once default grammar.
+//
+// Cluster mode (-self plus -peers or -peers-file) turns N formserve
+// processes into one sharded service: every request's content-addressed
+// cache key is mapped through a consistent-hash ring to its owning peer.
+// The owner serves locally — its cache and singleflight collapse a
+// fleet-wide stampede on one key into one extraction — and non-owners
+// forward the page to the owner's /cluster/fetch, relaying the response
+// (and keeping a bounded hot copy, -peer-hot-bytes, so hot keys stop
+// costing a round trip; responses are content-addressed and immutable, so
+// hot copies cannot be stale). A peer that stops answering is ejected from
+// the ring after consecutive fetch failures and its keys re-map to the
+// survivors; requests that lose their peer mid-flight fall back to local
+// extraction — degraded locality, never an error. Ejected peers are probed
+// on /readyz and rejoin when they answer. The peer list reloads from
+// -peers-file on SIGHUP. /metrics exposes ring membership and per-peer
+// counters under formserve_cluster.
+//
+// Every /extract response for a fully-processed page carries an ETag
+// derived from the content-addressed key, and an If-None-Match that covers
+// it is answered 304 before any extraction work — the same content-hash
+// revalidation machinery the static endpoints use.
 //
 // With -cache-bytes > 0 the server keeps a content-addressed cache of frozen
 // extraction results: byte-identical pages are answered without re-running
@@ -41,6 +66,7 @@ package main
 import (
 	"context"
 	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"expvar"
@@ -59,6 +85,7 @@ import (
 	"time"
 
 	"formext"
+	"formext/internal/cluster"
 )
 
 // maxBody bounds the request body of /extract.
@@ -107,13 +134,30 @@ var (
 	// mDegraded counts successful extractions that were degraded by an input
 	// budget (depth cap, token cap, instance cap, parse budget).
 	mDegraded = expvar.NewInt("formserve_degraded_total")
+	// mForwarded counts requests answered by forwarding to the key's owning
+	// peer (hot-copy answers included); the owner's own counters record the
+	// extraction work.
+	mForwarded = expvar.NewInt("formserve_forwarded_total")
+	// mPeerFallback counts requests whose owning peer could not be reached
+	// and were served by local extraction instead — the graceful-degradation
+	// path. Nonzero here with zero request errors is the cluster working as
+	// designed around a dead peer.
+	mPeerFallback = expvar.NewInt("formserve_peer_fallback_total")
+	// mNotModified counts /extract requests answered 304 from the
+	// content-hash ETag before any extraction work ran.
+	mNotModified = expvar.NewInt("formserve_not_modified_total")
 )
 
-// activeCache holds the handler's extraction cache for the formserve_cache
-// expvar below. An atomic pointer (rather than a field read by a closure
-// created in newHandler) because expvar registration is process-global and
-// must happen exactly once, while tests construct many handlers.
-var activeCache atomic.Pointer[formext.Cache]
+// activeCache, activeCluster and activeGauge hold the handler's extraction
+// cache, cluster view and in-flight gauge for the expvars below. Atomic
+// pointers (rather than fields read by closures created in newHandler)
+// because expvar registration is process-global and must happen exactly
+// once, while tests construct many handlers.
+var (
+	activeCache   atomic.Pointer[formext.Cache]
+	activeCluster atomic.Pointer[cluster.Cluster]
+	activeGauge   atomic.Pointer[formext.StreamGauge]
+)
 
 func init() {
 	expvar.Publish("formserve_extract_latency_ns", mLatency)
@@ -132,6 +176,38 @@ func init() {
 			"coalesced":       int64(st.Coalesced),
 		}
 	}))
+	// formserve_inflight is the serving-side StreamGauge: extractions (local
+	// and forwarded) currently in flight, and the high-water mark.
+	expvar.Publish("formserve_inflight", expvar.Func(func() any {
+		g := activeGauge.Load()
+		if g == nil {
+			return nil
+		}
+		return map[string]int64{"live": g.InFlight(), "peak": g.Peak()}
+	}))
+	// formserve_cluster is the cluster tier's view: ring membership, fetch
+	// and hot-copy counters in aggregate and per peer.
+	expvar.Publish("formserve_cluster", expvar.Func(func() any {
+		cl := activeCluster.Load()
+		if cl == nil {
+			return nil
+		}
+		st := cl.Stats()
+		hot := cl.HotStats()
+		return map[string]any{
+			"self":         st.Self,
+			"live_peers":   st.LivePeers,
+			"total_peers":  st.TotalPeers,
+			"fetches":      st.Fetches,
+			"fetch_errors": st.FetchErrors,
+			"hot_hits":     st.HotHits,
+			"hot_bytes":    hot.Bytes,
+			"hot_entries":  hot.Entries,
+			"ejections":    st.Ejections,
+			"revivals":     st.Revivals,
+			"peers":        st.Peers,
+		}
+	}))
 }
 
 func main() {
@@ -147,21 +223,43 @@ func main() {
 		"lifetime bound for cached extraction results (0 = until evicted)")
 	retryAfter := flag.Int("retry-after", 1,
 		"Retry-After seconds advertised on 503 deadline responses")
+	self := flag.String("self", "",
+		"this peer's advertised base URL (e.g. http://10.0.0.1:8080); enables cluster mode")
+	peersFlag := flag.String("peers", "",
+		"comma-separated peer base URLs, self included (cluster mode)")
+	peersFile := flag.String("peers-file", "",
+		"file of peer base URLs, one per line; reloaded on SIGHUP")
+	peerTimeout := flag.Duration("peer-timeout", cluster.DefaultFetchTimeout,
+		"per-attempt deadline for peer fetches")
+	hotBytes := flag.Int64("peer-hot-bytes", 32<<20,
+		"byte budget for the local cache of peer-fetched responses (0 disables)")
+	drainGrace := flag.Duration("drain-grace", 500*time.Millisecond,
+		"cluster mode: pause between flipping /readyz and closing the listener, so peers stop routing here")
 	flag.Parse()
-	h, err := newHandler(config{
+
+	peers, err := resolvePeers(*peersFlag, *peersFile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s, err := newHandler(config{
 		traceBuffer:    *traceBuf,
 		parseBudget:    *budget,
 		extractTimeout: *timeout,
 		cacheBytes:     *cacheBytes,
 		cacheTTL:       *cacheTTL,
 		retryAfter:     *retryAfter,
+		self:           *self,
+		peers:          peers,
+		peerTimeout:    *peerTimeout,
+		peerHotBytes:   *hotBytes,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer s.Close()
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           h,
+		Handler:           s,
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		WriteTimeout:      60 * time.Second,
@@ -169,6 +267,23 @@ func main() {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if s.cluster != nil && *peersFile != "" {
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		go func() {
+			for range hup {
+				data, err := os.ReadFile(*peersFile)
+				if err != nil {
+					log.Printf("formserve: reloading %s: %v", *peersFile, err)
+					continue
+				}
+				ps := cluster.ParsePeersFile(data)
+				s.cluster.SetPeers(ps)
+				log.Printf("formserve: reloaded %d peers from %s", len(ps), *peersFile)
+			}
+		}()
+	}
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
@@ -180,12 +295,37 @@ func main() {
 	case <-ctx.Done():
 		stop() // a second signal kills immediately
 		log.Print("formserve: signal received, draining")
+		// Flip readiness first: peers probing /readyz (and load balancers)
+		// stop routing here while in-flight requests finish. The grace pause
+		// gives them a window to notice before the listener closes.
+		s.SetReady(false)
+		if s.cluster != nil && *drainGrace > 0 {
+			time.Sleep(*drainGrace)
+		}
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(shutdownCtx); err != nil {
 			log.Printf("formserve: shutdown: %v", err)
 		}
 	}
+}
+
+// resolvePeers merges the -peers flag and -peers-file into one list.
+func resolvePeers(flagVal, file string) ([]string, error) {
+	var peers []string
+	for _, p := range strings.Split(flagVal, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peers = append(peers, p)
+		}
+	}
+	if file != "" {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			return nil, fmt.Errorf("formserve: peers file: %w", err)
+		}
+		peers = append(peers, cluster.ParsePeersFile(data)...)
+	}
+	return peers, nil
 }
 
 // config is the service configuration newHandler builds from.
@@ -210,13 +350,30 @@ type config struct {
 	// recovery horizon. Values below 1 (the zero value included) fall back
 	// to 1 second, the historical behavior.
 	retryAfter int
+	// self is this peer's advertised base URL; non-empty enables cluster
+	// mode (peers may be empty: a single-node cluster owns every key).
+	self string
+	// peers is the fleet membership, self included or not (self is always
+	// added). Requires self.
+	peers []string
+	// peerTimeout bounds each peer-fetch attempt (0 = cluster default).
+	peerTimeout time.Duration
+	// peerHotBytes budgets the local cache of peer-fetched responses.
+	peerHotBytes int64
+	// clusterConfig, when non-nil, overrides the derived cluster.Config
+	// wholesale (tests tighten timeouts and probe intervals through it).
+	clusterConfig *cluster.Config
 }
 
 // server is the service state: one extractor pool shared by all requests,
-// plus the flight-recorder sink the pool's tracer feeds.
+// the flight-recorder sink the pool's tracer feeds, and (in cluster mode)
+// this peer's view of the fleet.
 type server struct {
 	pool           *formext.Pool
-	sink           *formext.RingSink // nil when tracing is disabled
+	sink           *formext.RingSink    // nil when tracing is disabled
+	cluster        *cluster.Cluster     // nil outside cluster mode
+	inflight       *formext.StreamGauge // live/peak extraction concurrency
+	ready          atomic.Bool          // readiness: flipped false during drain
 	mux            *http.ServeMux
 	extractTimeout time.Duration
 	retryAfter     string // preformatted seconds for the Retry-After header
@@ -224,10 +381,23 @@ type server struct {
 	indexETag      string
 }
 
+// SetReady flips the readiness probe. The drain path sets it false before
+// the listener closes, so peers and load balancers stop routing here while
+// in-flight requests finish.
+func (s *server) SetReady(ready bool) { s.ready.Store(ready) }
+
+// Close releases the server's background resources (the cluster prober).
+func (s *server) Close() {
+	if s.cluster != nil {
+		s.cluster.Close()
+	}
+}
+
 // newHandler builds the service. Extraction is served from a pool of
 // extractors over the shared parse-once grammar; the pool constructor also
-// validates the configuration once at startup.
-func newHandler(cfg config) (http.Handler, error) {
+// validates the configuration once at startup. The returned server is an
+// http.Handler; callers that enable cluster mode must Close it.
+func newHandler(cfg config) (*server, error) {
 	opts := formext.Options{ParseBudget: cfg.parseBudget}
 	var sink *formext.RingSink
 	if cfg.traceBuffer > 0 {
@@ -258,15 +428,43 @@ func newHandler(cfg config) (http.Handler, error) {
 	s := &server{
 		pool:           pool,
 		sink:           sink,
+		inflight:       &formext.StreamGauge{},
 		mux:            http.NewServeMux(),
 		extractTimeout: cfg.extractTimeout,
 		retryAfter:     strconv.Itoa(retryAfter),
 		grammarETag:    etagFor(formext.DefaultGrammarSource()),
 		indexETag:      etagFor(indexPage),
 	}
+	s.ready.Store(true)
+	switch {
+	case cfg.clusterConfig != nil:
+		cl, err := cluster.New(*cfg.clusterConfig)
+		if err != nil {
+			return nil, err
+		}
+		s.cluster = cl
+	case cfg.self != "":
+		cl, err := cluster.New(cluster.Config{
+			Self:         cfg.self,
+			Peers:        cfg.peers,
+			FetchTimeout: cfg.peerTimeout,
+			HotBytes:     cfg.peerHotBytes,
+			HotTTL:       cfg.cacheTTL,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.cluster = cl
+	case len(cfg.peers) > 0:
+		return nil, errors.New("formserve: -peers requires -self")
+	}
+	activeCluster.Store(s.cluster)
+	activeGauge.Store(s.inflight)
 	s.mux.HandleFunc("/extract", s.handleExtract)
+	s.mux.HandleFunc("/cluster/fetch", s.handleClusterFetch)
 	s.mux.HandleFunc("/grammar", s.handleGrammar)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	s.mux.Handle("/metrics", expvar.Handler())
 	s.mux.HandleFunc("/traces", s.handleTraces)
 	s.mux.HandleFunc("/", s.handleIndex)
@@ -275,7 +473,7 @@ func newHandler(cfg config) (http.Handler, error) {
 
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	switch r.URL.Path {
-	case "/extract", "/grammar", "/healthz", "/metrics", "/traces", "/":
+	case "/extract", "/cluster/fetch", "/grammar", "/healthz", "/readyz", "/metrics", "/traces", "/":
 		mRequests.Add(r.URL.Path, 1)
 	default:
 		mRequests.Add("other", 1)
@@ -329,11 +527,74 @@ func (s *server) safeExtract(ctx context.Context, src string) (res *formext.Resu
 	return extract(ctx, s.pool, src)
 }
 
+// handleExtract is the public extraction endpoint: content-hash
+// revalidation first (an If-None-Match covering the page's key answers 304
+// with zero work), then — in cluster mode — consistent-hash routing to the
+// key's owner, then local extraction (as the owner, as a single node, or
+// as the fallback for an unreachable owner).
 func (s *server) handleExtract(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST HTML to /extract", http.StatusMethodNotAllowed)
 		return
 	}
+	src, ok := readPage(w, r)
+	if !ok {
+		return
+	}
+	s.inflight.Inc()
+	defer s.inflight.Dec()
+	key := s.pool.ExtractKey(src)
+	etag := extractETag(key, r.URL.Query().Get("trees") != "")
+	if s.revalidate(w, r, etag) {
+		return
+	}
+	if s.cluster != nil {
+		owner, self := s.cluster.Owner(key)
+		if !self {
+			if s.relayPeer(w, r, owner, key, src) {
+				return
+			}
+			// The owner is unreachable: serve this request ourselves. The
+			// key's locality degrades (survivors may each extract it once)
+			// but the request never errors.
+			mPeerFallback.Add(1)
+			w.Header().Set("X-Cluster-Source", "local-fallback")
+		} else {
+			w.Header().Set("X-Cluster-Source", "local")
+		}
+	}
+	s.extractLocal(w, r, src, etag)
+}
+
+// handleClusterFetch is the peer-internal endpoint: the owner-side landing
+// of a forwarded miss. It is handleExtract with routing removed — always
+// local, so forwarding cannot loop — and exists only in cluster mode.
+func (s *server) handleClusterFetch(w http.ResponseWriter, r *http.Request) {
+	if s.cluster == nil {
+		http.Error(w, "not in cluster mode", http.StatusNotFound)
+		return
+	}
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST HTML to /cluster/fetch", http.StatusMethodNotAllowed)
+		return
+	}
+	src, ok := readPage(w, r)
+	if !ok {
+		return
+	}
+	s.inflight.Inc()
+	defer s.inflight.Dec()
+	key := s.pool.ExtractKey(src)
+	etag := extractETag(key, r.URL.Query().Get("trees") != "")
+	if s.revalidate(w, r, etag) {
+		return
+	}
+	s.extractLocal(w, r, src, etag)
+}
+
+// readPage reads the request body under the size cap, answering the error
+// itself when it fails.
+func readPage(w http.ResponseWriter, r *http.Request) (string, bool) {
 	src, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBody))
 	if err != nil {
 		// 413 is only for bodies over the limit; everything else — client
@@ -345,8 +606,68 @@ func (s *server) handleExtract(w http.ResponseWriter, r *http.Request) {
 		} else {
 			http.Error(w, "reading request body: "+err.Error(), http.StatusBadRequest)
 		}
-		return
+		return "", false
 	}
+	return string(src), true
+}
+
+// revalidate answers 304 when the client's If-None-Match covers the page's
+// content-derived ETag — before any extraction, forwarding or cache work,
+// because the key alone determines the answer.
+func (s *server) revalidate(w http.ResponseWriter, r *http.Request, etag string) bool {
+	if !etagMatches(r.Header.Get("If-None-Match"), etag) {
+		return false
+	}
+	w.Header().Set("ETag", etag)
+	mNotModified.Add(1)
+	w.WriteHeader(http.StatusNotModified)
+	return true
+}
+
+// relayPeer forwards the page to its owning peer and relays the response
+// verbatim (plus attribution headers). False means the peer could not be
+// reached — the caller extracts locally; any answer the owner gave, error
+// responses included, is authoritative and relayed.
+func (s *server) relayPeer(w http.ResponseWriter, r *http.Request, owner string, key formext.CacheKey, src string) bool {
+	ctx := r.Context()
+	if s.extractTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.extractTimeout)
+		defer cancel()
+	}
+	query := ""
+	if r.URL.Query().Get("trees") != "" {
+		query = "trees=1"
+	}
+	fr, err := s.cluster.Fetch(ctx, owner, key, []byte(src), query)
+	if err != nil {
+		return false
+	}
+	mForwarded.Add(1)
+	h := w.Header()
+	h.Set("X-Cluster-Owner", owner)
+	if fr.Hot {
+		h.Set("X-Cluster-Source", "peer-hot")
+	} else {
+		h.Set("X-Cluster-Source", "peer")
+	}
+	if fr.ETag != "" {
+		h.Set("ETag", fr.ETag)
+	}
+	if fr.ContentType != "" {
+		h.Set("Content-Type", fr.ContentType)
+	}
+	w.WriteHeader(fr.Status)
+	if _, werr := w.Write(fr.Body); werr != nil {
+		log.Printf("formserve: relaying peer response: %v", werr)
+	}
+	return true
+}
+
+// extractLocal runs the extraction on this process and writes the JSON
+// envelope — the single-node serving path, shared by the owner side of
+// /cluster/fetch and the fallback for unreachable peers.
+func (s *server) extractLocal(w http.ResponseWriter, r *http.Request, src, etag string) {
 	// The extraction runs under the request context — a client that hangs
 	// up stops burning CPU at the next pipeline checkpoint — tightened by
 	// the configured hard deadline.
@@ -357,7 +678,7 @@ func (s *server) handleExtract(w http.ResponseWriter, r *http.Request) {
 		defer cancel()
 	}
 	start := time.Now()
-	res, err := s.safeExtract(ctx, string(src))
+	res, err := s.safeExtract(ctx, src)
 	if err != nil {
 		var pe *formext.PanicError
 		switch {
@@ -427,7 +748,26 @@ func (s *server) handleExtract(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	resp.Degraded = res.Stats.Degraded
+	// A fully-processed page's model is a pure function of its bytes (and
+	// the grammar and options baked into the key), so the content-derived
+	// ETag lets any client — or any peer's hot cache — revalidate it against
+	// any fleet member. Degraded results are this request's circumstances,
+	// not the page's identity, and carry no validator.
+	if len(res.Stats.Degraded) == 0 {
+		w.Header().Set("ETag", etag)
+	}
 	writeJSON(w, resp)
+}
+
+// extractETag derives the /extract validator from the content-addressed
+// key (plus a marker for the trees=1 response shape, which changes the
+// body). Every fleet member derives the same validator for the same page —
+// the golden-key test pins this.
+func extractETag(key formext.CacheKey, trees bool) string {
+	if trees {
+		return `"` + hex.EncodeToString(key[:16]) + `-t"`
+	}
+	return `"` + hex.EncodeToString(key[:16]) + `"`
 }
 
 // tracesResponse is the JSON envelope of GET /traces (without ?id=).
@@ -519,9 +859,26 @@ func etagMatches(ifNoneMatch, etag string) bool {
 	return false
 }
 
+// handleHealthz is the liveness probe: it answers ok for as long as the
+// process can serve HTTP at all. Orchestrators restart on liveness
+// failure, so it must NOT flip during a graceful drain.
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintln(w, "ok")
+}
+
+// handleReadyz is the readiness probe: should traffic be routed here?
+// True from construction until the drain begins; cluster peers probe it to
+// decide when an ejected peer may rejoin the ring, and to avoid routing to
+// a peer that is shutting down.
+func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if !s.ready.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ready")
 }
 
 const indexPage = `<!doctype html><title>formext</title>

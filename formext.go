@@ -339,7 +339,7 @@ type Extractor struct {
 	maxTokens   int           // resolved: 0 means unlimited
 	parseBudget time.Duration // 0 means no budget
 	cache       *Cache        // nil: caching off
-	keyPrefix   [32]byte      // grammar + options fingerprint (set iff cache != nil)
+	keyPrefix   [32]byte      // grammar + options fingerprint (always set; keys route with or without a cache)
 }
 
 // New builds an extractor. With no options it uses the embedded derived
@@ -412,9 +412,10 @@ func newWithGrammar(g *grammar.Grammar, o Options) (*Extractor, error) {
 		parseBudget: o.ParseBudget,
 		cache:       o.Cache,
 	}
-	if e.cache != nil {
-		e.keyPrefix = cachePrefix(g, o, eng.Viewport, maxTokens, o.ParseBudget > 0)
-	}
+	// The key prefix is computed unconditionally — one hash at construction —
+	// because keys are the coordination currency beyond caching: the cluster
+	// tier routes by them (ExtractKey) whether or not a local cache exists.
+	e.keyPrefix = cachePrefix(g, o, eng.Viewport, maxTokens, o.ParseBudget > 0)
 	return e, nil
 }
 

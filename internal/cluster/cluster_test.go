@@ -1,0 +1,325 @@
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestNormalizeAddr(t *testing.T) {
+	cases := []struct {
+		in, want string
+		wantErr  bool
+	}{
+		{in: "127.0.0.1:9301", want: "http://127.0.0.1:9301"},
+		{in: "http://127.0.0.1:9301/", want: "http://127.0.0.1:9301"},
+		{in: " https://peer.example:443/base/ ", want: "https://peer.example:443/base"},
+		{in: "http://peer:80?x=1#frag", want: "http://peer:80"},
+		{in: "", wantErr: true},
+		{in: "http://", wantErr: true},
+	}
+	for _, c := range cases {
+		got, err := NormalizeAddr(c.in)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("NormalizeAddr(%q) = %q, want error", c.in, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("NormalizeAddr(%q): %v", c.in, err)
+		} else if got != c.want {
+			t.Errorf("NormalizeAddr(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParsePeersFile(t *testing.T) {
+	got := ParsePeersFile([]byte("# fleet\nhttp://a:1\n\n  http://b:2  \n# c is retired\n"))
+	want := []string{"http://a:1", "http://b:2"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("ParsePeersFile = %v, want %v", got, want)
+	}
+}
+
+// newTestCluster builds a cluster with the revival prober disabled and
+// test-friendly timings; the caller owns Close.
+func newTestCluster(t *testing.T, cfg Config) *Cluster {
+	t.Helper()
+	if cfg.Self == "" {
+		cfg.Self = "http://127.0.0.1:1"
+	}
+	if cfg.FetchTimeout == 0 {
+		cfg.FetchTimeout = 250 * time.Millisecond
+	}
+	if cfg.Backoff == 0 {
+		cfg.Backoff = time.Millisecond
+	}
+	if cfg.ProbeInterval == 0 {
+		cfg.ProbeInterval = -1
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+func TestFetchRelaysOwnerResponseAndHotCopies(t *testing.T) {
+	var calls atomic.Int32
+	var firstQuery atomic.Value
+	owner := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			firstQuery.Store(r.URL.RawQuery)
+		}
+		if r.Method != http.MethodPost {
+			t.Errorf("owner saw %s, want POST", r.Method)
+		}
+		w.Header().Set("ETag", `"abc"`)
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"ok":true}`))
+	}))
+	defer owner.Close()
+
+	c := newTestCluster(t, Config{Peers: []string{owner.URL}, HotBytes: 1 << 20})
+	key := testKey(7)
+
+	fr, err := c.Fetch(context.Background(), owner.URL, key, []byte("<form>"), "trees=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.Hot || fr.Status != http.StatusOK || fr.ETag != `"abc"` || string(fr.Body) != `{"ok":true}` {
+		t.Fatalf("first fetch = %+v", fr)
+	}
+	if q, _ := firstQuery.Load().(string); q != "trees=1" {
+		t.Errorf("owner saw query %q, want trees=1 passed through", q)
+	}
+
+	// The second fetch for the same key+query is answered from the hot-copy
+	// cache: no HTTP round trip, same payload.
+	fr2, err := c.Fetch(context.Background(), owner.URL, key, []byte("<form>"), "trees=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fr2.Hot || string(fr2.Body) != string(fr.Body) || fr2.ETag != fr.ETag {
+		t.Fatalf("second fetch = %+v, want hot copy of the first", fr2)
+	}
+	// A different query is a different response body — it must miss.
+	if fr3, err := c.Fetch(context.Background(), owner.URL, key, []byte("<form>"), ""); err != nil {
+		t.Fatal(err)
+	} else if fr3.Hot {
+		t.Error("fetch with different query served from hot cache")
+	}
+	if got := calls.Load(); got != 2 {
+		t.Errorf("owner saw %d requests, want 2 (one hot hit)", got)
+	}
+	if s := c.Stats(); s.HotHits != 1 || s.Fetches != 2 {
+		t.Errorf("stats = %+v, want HotHits 1, Fetches 2", s)
+	}
+}
+
+func TestFetchRetriesTransientFailure(t *testing.T) {
+	var calls atomic.Int32
+	owner := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			// 503 means draining/overloaded: a transport-level failure for
+			// retry purposes, even though HTTP-wise the peer answered.
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte("ok"))
+	}))
+	defer owner.Close()
+
+	c := newTestCluster(t, Config{Peers: []string{owner.URL}, Retries: 2})
+	fr, err := c.Fetch(context.Background(), owner.URL, testKey(1), []byte("x"), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.Status != http.StatusOK || string(fr.Body) != "ok" {
+		t.Fatalf("fetch = %+v", fr)
+	}
+	if calls.Load() != 2 {
+		t.Errorf("owner saw %d attempts, want 2", calls.Load())
+	}
+	if s := c.Stats(); s.FetchErrors != 0 || s.LivePeers != 2 {
+		t.Errorf("stats after recovered retry = %+v", s)
+	}
+}
+
+func TestFetchErrorResponsesAreAuthoritative(t *testing.T) {
+	owner := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "bad page", http.StatusBadRequest)
+	}))
+	defer owner.Close()
+
+	c := newTestCluster(t, Config{Peers: []string{owner.URL}})
+	fr, err := c.Fetch(context.Background(), owner.URL, testKey(1), []byte("x"), "")
+	if err != nil {
+		t.Fatalf("a reachable owner's 400 must relay, not error: %v", err)
+	}
+	if fr.Status != http.StatusBadRequest || !strings.Contains(string(fr.Body), "bad page") {
+		t.Fatalf("fetch = %+v", fr)
+	}
+	if s := c.Stats(); s.LivePeers != 2 || s.FetchErrors != 0 {
+		t.Errorf("stats = %+v: a 400 is not a health failure", s)
+	}
+}
+
+func TestFetchFailureEjectsPeerAndRingDegrades(t *testing.T) {
+	owner := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+	}))
+	defer owner.Close()
+
+	c := newTestCluster(t, Config{
+		Peers:         []string{owner.URL},
+		Retries:       -1,
+		FailThreshold: 2,
+	})
+	// Before ejection the peer owns some keys (2 peers, so roughly half).
+	ownedByPeer := -1
+	for i := 0; i < 1000; i++ {
+		if addr, self := c.Owner(testKey(i)); !self && addr == owner.URL {
+			ownedByPeer = i
+			break
+		}
+	}
+	if ownedByPeer < 0 {
+		t.Fatal("peer owns no keys before ejection")
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := c.Fetch(context.Background(), owner.URL, testKey(1), []byte("x"), ""); err == nil {
+			t.Fatal("fetch from a draining peer succeeded")
+		}
+	}
+	s := c.Stats()
+	if s.LivePeers != 1 || s.Ejections != 1 || s.FetchErrors != 2 {
+		t.Fatalf("stats after threshold = %+v, want 1 live peer, 1 ejection", s)
+	}
+	// The ejected peer's keys fall back to the survivors — here, self.
+	if addr, self := c.Owner(testKey(ownedByPeer)); !self || addr != c.Self() {
+		t.Errorf("Owner after ejection = %q self=%v, want self", addr, self)
+	}
+}
+
+func TestProbeRevivesReadyPeer(t *testing.T) {
+	var ready atomic.Bool
+	peer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/readyz" && ready.Load() {
+			w.Write([]byte("ready"))
+			return
+		}
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+	}))
+	defer peer.Close()
+
+	c := newTestCluster(t, Config{
+		Peers:         []string{peer.URL},
+		Retries:       -1,
+		FailThreshold: 1,
+		ProbeInterval: 5 * time.Millisecond,
+	})
+	if _, err := c.Fetch(context.Background(), peer.URL, testKey(1), []byte("x"), ""); err == nil {
+		t.Fatal("fetch from a draining peer succeeded")
+	}
+	if s := c.Stats(); s.LivePeers != 1 {
+		t.Fatalf("peer not ejected: %+v", s)
+	}
+
+	ready.Store(true)
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if s := c.Stats(); s.LivePeers == 2 && s.Revivals == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("peer not revived by prober: %+v", c.Stats())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestFetchContextCancelDoesNotEject(t *testing.T) {
+	stall := make(chan struct{})
+	owner := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-stall:
+		case <-r.Context().Done():
+		}
+	}))
+	defer owner.Close()
+	// LIFO: unblock the stalled handler before Close waits on it.
+	defer close(stall)
+
+	c := newTestCluster(t, Config{
+		Peers:         []string{owner.URL},
+		Retries:       -1,
+		FailThreshold: 1,
+		FetchTimeout:  time.Minute,
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	_, err := c.Fetch(ctx, owner.URL, testKey(1), []byte("x"), "")
+	if err == nil {
+		t.Fatal("fetch under expired context succeeded")
+	}
+	// The caller's deadline expiring says nothing about the peer's health.
+	if s := c.Stats(); s.LivePeers != 2 || s.Ejections != 0 {
+		t.Errorf("stats after caller-side cancel = %+v, want no ejection", s)
+	}
+}
+
+func TestSetPeersPreservesHealthState(t *testing.T) {
+	owner := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+	}))
+	defer owner.Close()
+
+	c := newTestCluster(t, Config{Peers: []string{owner.URL}, Retries: -1, FailThreshold: 1})
+	if _, err := c.Fetch(context.Background(), owner.URL, testKey(1), []byte("x"), ""); err == nil {
+		t.Fatal("fetch from a draining peer succeeded")
+	}
+
+	// A reload that keeps the ejected peer and adds a new one: the ejected
+	// peer must stay ejected (its failure history survives), the new peer
+	// joins live, and a removed peer would be dropped.
+	c.SetPeers([]string{c.Self(), owner.URL, "http://127.0.0.1:2"})
+	s := c.Stats()
+	if s.TotalPeers != 3 || s.LivePeers != 2 {
+		t.Fatalf("stats after reload = %+v, want 3 total / 2 live", s)
+	}
+	for _, p := range s.Peers {
+		if p.Addr == owner.URL && p.Live {
+			t.Error("ejected peer revived by membership reload")
+		}
+	}
+
+	c.SetPeers([]string{c.Self()})
+	if s := c.Stats(); s.TotalPeers != 1 || s.LivePeers != 1 {
+		t.Errorf("stats after shrink = %+v, want self only", s)
+	}
+}
+
+func TestSelfIsNeverEjected(t *testing.T) {
+	c := newTestCluster(t, Config{Retries: -1, FailThreshold: 1})
+	ps := c.peer(c.Self())
+	if ps == nil {
+		t.Fatal("self has no peer state")
+	}
+	for i := 0; i < 5; i++ {
+		c.recordFailure(ps)
+	}
+	if s := c.Stats(); s.LivePeers != 1 || s.Ejections != 0 {
+		t.Errorf("stats = %+v: self must survive any failure count", s)
+	}
+	if addr, self := c.Owner(testKey(1)); !self || addr != c.Self() {
+		t.Errorf("Owner = %q self=%v, want self", addr, self)
+	}
+}

@@ -40,10 +40,11 @@ type Pool struct {
 	opts Options
 	g    *Grammar
 	pool sync.Pool
-	// cache and keyPrefix are copied from the validation extractor when
-	// Options.Cache is set, so the pool consults the cache before drawing
-	// an extractor at all: a hit (or a coalesced wait) costs no pool
-	// traffic and no pipeline work.
+	// cache and keyPrefix are copied from the validation extractor, so the
+	// pool consults the cache (when Options.Cache is set) before drawing an
+	// extractor at all: a hit (or a coalesced wait) costs no pool traffic
+	// and no pipeline work. keyPrefix is always populated — ExtractKey
+	// routes by it with or without a cache.
 	cache     *Cache
 	keyPrefix [32]byte
 }

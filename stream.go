@@ -62,6 +62,15 @@ func (g *StreamGauge) add(d int64) {
 	}
 }
 
+// Inc moves the gauge up by one. Together with Dec it lets serving layers
+// track request concurrency with the same gauge the stream uses — formserve
+// wraps each in-flight extraction in an Inc/Dec pair and publishes
+// live/peak at /metrics.
+func (g *StreamGauge) Inc() { g.add(1) }
+
+// Dec moves the gauge down by one; see Inc.
+func (g *StreamGauge) Dec() { g.add(-1) }
+
 // InFlight returns the number of pages currently admitted but not yet
 // delivered.
 func (g *StreamGauge) InFlight() int64 { return g.cur.Load() }
