@@ -2,9 +2,9 @@
 # full test suite under the race detector (the concurrent serving path —
 # pool, batch, formserve — is exercised by design), and keep the compiled
 # evaluation plan differentially equal to the interpreted oracle.
-.PHONY: check build vet test parity hostile bench bench-smoke bench-cache bench-stream cluster-smoke bench-cluster
+.PHONY: check build vet test parity guards hostile bench bench-smoke bench-cache bench-frontend bench-stream cluster-smoke bench-cluster
 
-check: build vet test parity
+check: build vet test parity guards
 
 build:
 	go build ./...
@@ -20,6 +20,13 @@ test:
 # instance on the example corpus and on fuzz-generated token sets.
 parity:
 	go test -run TestCompiledParity -count=1 ./internal/core/
+
+# Allocation-budget guards (testing.AllocsPerRun): the cold serving path
+# must stay under 100 heap allocations per Qam extraction. Run without
+# -race on purpose — race builds degrade sync.Pool, so the pooled front-end
+# arenas would re-allocate and the counts would stop measuring the code.
+guards:
+	go test -count=1 -run 'AllocationBudget|Allocs' . ./internal/...
 
 # Containment gate: the hostile-page corpus (adversarial nesting, token
 # floods, pathological tables, injected panics and stalls) must be survived
@@ -47,6 +54,22 @@ bench-smoke:
 bench-cache:
 	go test -bench 'BenchmarkCachedExtract|BenchmarkCacheColdMiss|BenchmarkCacheParallel' \
 		-benchmem -benchtime=2s -run '^$$' .
+
+# Front-end hot-path benchmarks: the source of BENCH_frontend.json (PR 8's
+# arena DOM / zero-copy lexer / pooled layout rewrite). Stage benchmarks run
+# in their packages, the end-to-end serving cost at the root; benchjson
+# merges the checked-in pre-rewrite baseline and emits the before/after
+# record.
+bench-frontend:
+	{ go test -run '^$$' -bench 'LexQam|DOMBuildQam|DecodeEntities' -benchmem -count 3 ./internal/htmlparse/ ; \
+	  go test -run '^$$' -bench 'LayoutQam$$' -benchmem -count 3 ./internal/layout/ ; \
+	  go test -run '^$$' -bench 'TokenizeQam' -benchmem -count 3 ./internal/token/ ; \
+	  go test -run '^$$' -bench 'PoolExtract$$' -benchtime 3000x -count 3 -benchmem . ; } \
+	| go run ./cmd/benchjson \
+	  -description "Front-end hot-path benchmarks before/after the arena rewrite (PR 8): byte-based zero-copy lexer with interned tag/attr names, slab-arena DOM nodes, pooled layout boxes and scratch, arena tokens fused with the layout traversal, and []byte plumbed end to end so cache-key hashing and lexing share one buffer. The end-to-end BenchmarkPoolExtract residue is the core 2P parse plus GC on the retained result graph; its allocation budget is guarded by TestColdExtractAllocationBudget (< 100 allocs/op). bytes_per_op rises where slab blocks replace many small allocations: the arenas trade allocation count for block size, and Result.Freeze accounts the retained blocks in cache cost." \
+	  -methodology "make bench-frontend: stage benchmarks with -benchmem -count 3 in their packages, BenchmarkPoolExtract with -benchtime 3000x -count 3 at the root. The before file (testdata/bench_frontend_before.txt) was recorded by running the same benchmarks against the pre-rewrite front end on the same machine; its BenchmarkPoolExtract entries are the PR 3 record from BENCH_parser.json." \
+	  -before testdata/bench_frontend_before.txt > BENCH_frontend.json
+	cat BENCH_frontend.json
 
 # Streaming-ingest gate: race-gated soak of the ExtractStream path (the
 # bounded in-flight, backpressure, dedup and differential ExtractAll tests),

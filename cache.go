@@ -73,12 +73,24 @@ type CacheKey = cache.Key
 // SHA-256 passes over the page bytes), so serving layers can route a
 // request — to a cache shard, to a cluster peer — before doing any work.
 func (e *Extractor) ExtractKey(src string) CacheKey {
+	return pageKey(e.keyPrefix, viewBytes(src))
+}
+
+// ExtractKeyBytes is ExtractKey over a byte buffer, sharing it with the
+// extraction instead of forcing a string conversion first.
+func (e *Extractor) ExtractKeyBytes(src []byte) CacheKey {
 	return pageKey(e.keyPrefix, src)
 }
 
 // ExtractKey returns the content-addressed key an extraction of src through
 // this pool would be cached under; see Extractor.ExtractKey.
 func (p *Pool) ExtractKey(src string) CacheKey {
+	return pageKey(p.keyPrefix, viewBytes(src))
+}
+
+// ExtractKeyBytes is ExtractKey over a byte buffer; see
+// Extractor.ExtractKeyBytes.
+func (p *Pool) ExtractKeyBytes(src []byte) CacheKey {
 	return pageKey(p.keyPrefix, src)
 }
 
@@ -119,10 +131,10 @@ func cachePrefix(g *grammar.Grammar, o Options, viewport float64, maxTokens int,
 // pageKey completes a cache key: the SHA-256 of the raw page bytes, hashed
 // together with the extractor's prefix. The page is hashed before any HTML
 // parsing, so a hit costs two block hashes and a map lookup — no pipeline
-// work and no heap allocation (the string's bytes are read in place; the
-// hash never retains them).
-func pageKey(prefix [32]byte, src string) cache.Key {
-	page := sha256.Sum256(unsafe.Slice(unsafe.StringData(src), len(src)))
+// work and no heap allocation (the buffer is read in place, shared with the
+// lexer; the hash never retains it).
+func pageKey(prefix [32]byte, src []byte) cache.Key {
+	page := sha256.Sum256(src)
 	var buf [64]byte
 	copy(buf[:32], prefix[:])
 	copy(buf[32:], page[:])
@@ -161,6 +173,12 @@ func (r *Result) Freeze() *Result {
 		cost += tokenCost(t)
 	}
 	cost += modelCost(r.Model)
+	// What the front-end arenas handed over (DOM slabs, render text, token
+	// slabs, the aliased source buffer). Token and node string fields were
+	// already counted above, but they alias slab or source memory rather
+	// than own it, so the sum does not double-count by much — and cache
+	// accounting prefers a slight overestimate.
+	cost += r.arenaBytes
 	r.cost = cost
 	r.frozen = true
 	return r
@@ -247,7 +265,7 @@ func modelCost(m *SemanticModel) int64 {
 // cacheEvent names the cache outcome ("miss" on the flight leader's run) so
 // the extraction's trace records why the pipeline ran.
 type cacheRunner interface {
-	runExtract(ctx context.Context, src, cacheEvent string) (*Result, error)
+	runExtract(ctx context.Context, src []byte, cacheEvent string) (*Result, error)
 }
 
 // cachedExtract serves one extraction through the cache: a content-hash
@@ -257,7 +275,7 @@ type cacheRunner interface {
 // budget-cut results belong to the request that suffered them and never
 // poison the key. Waiters whose flight resolves without a shareable result
 // start over under their own context.
-func cachedExtract(ctx context.Context, c *Cache, prefix [32]byte, src string, tracer *Tracer, r cacheRunner) (*Result, error) {
+func cachedExtract(ctx context.Context, c *Cache, prefix [32]byte, src []byte, tracer *Tracer, r cacheRunner) (*Result, error) {
 	key := pageKey(prefix, src)
 	if v, ok := c.c.Lookup(key); ok {
 		return v.(*Result).share(true, false, cacheTrace(tracer, obs.EventCacheHit)), nil
@@ -267,10 +285,11 @@ func cachedExtract(ctx context.Context, c *Cache, prefix [32]byte, src string, t
 		if rerr != nil || res == nil || !res.cacheable() {
 			return res, 0, false, rerr
 		}
+		// Freeze folds in arenaBytes — the exact size of the DOM, text and
+		// token slabs the result retains plus the source buffer it aliases —
+		// which replaced the 2x-page-bytes proxy this charge used to add.
 		res.Freeze()
-		// The result retains the parsed DOM through its tokens' node
-		// references; 2x the page bytes is a coarse proxy for that.
-		return res, res.cost + int64(2*len(src)), true, nil
+		return res, res.cost, true, nil
 	})
 	res, _ := v.(*Result)
 	switch out {

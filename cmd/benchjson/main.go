@@ -1,0 +1,228 @@
+// Command benchjson turns `go test -bench` text into the repo's BENCH_*.json
+// record format: per-benchmark ns/op across -count runs, bytes and allocs
+// per op, the environment header, and — when a baseline file recorded from
+// an earlier tree is supplied with -before — before/after pairs with
+// computed improvement ratios.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem -count 3 ./... \
+//	  | benchjson -description "..." -before testdata/old.txt > BENCH_x.json
+//
+// The baseline file uses the same raw benchmark text format, so a baseline
+// is recorded by simply saving the bench output of the old tree.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+type stats struct {
+	NsPerOp     []float64 `json:"ns_per_op"`
+	BytesPerOp  int64     `json:"bytes_per_op"`
+	AllocsPerOp int64     `json:"allocs_per_op"`
+	MBPerS      []float64 `json:"mb_per_s,omitempty"`
+}
+
+type parsed struct {
+	env   map[string]string
+	order []string
+	bench map[string]*stats
+}
+
+func main() {
+	desc := flag.String("description", "", "free-form description recorded in the output")
+	meth := flag.String("methodology", "", "how the numbers were produced")
+	before := flag.String("before", "", "baseline benchmark text file from the pre-change tree")
+	flag.Parse()
+
+	after, err := parseReader(os.Stdin)
+	if err != nil {
+		fatal(err)
+	}
+	if len(after.order) == 0 {
+		fatal(fmt.Errorf("no benchmark lines on stdin"))
+	}
+
+	var base *parsed
+	if *before != "" {
+		f, err := os.Open(*before)
+		if err != nil {
+			fatal(err)
+		}
+		base, err = parseReader(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	var out bytes.Buffer
+	out.WriteString("{\n")
+	writeField(&out, "description", *desc)
+	env := map[string]string{
+		"goos":   after.env["goos"],
+		"goarch": after.env["goarch"],
+		"cpu":    after.env["cpu"],
+		"go":     runtime.Version(),
+	}
+	envJSON, _ := json.Marshal(env)
+	fmt.Fprintf(&out, "  %q: %s,\n", "environment", envJSON)
+	writeField(&out, "methodology", *meth)
+	out.WriteString("  \"benchmarks\": {\n")
+	for i, name := range after.order {
+		a := after.bench[name]
+		fmt.Fprintf(&out, "    %q: {\n", name)
+		if base != nil {
+			if b, ok := base.bench[name]; ok {
+				writeStats(&out, "before", b, true)
+				writeStats(&out, "after", a, true)
+				impJSON, _ := json.Marshal(improvement(b, a))
+				fmt.Fprintf(&out, "      %q: %s\n", "improvement", impJSON)
+			} else {
+				writeStats(&out, "after", a, false)
+			}
+		} else {
+			writeStats(&out, "after", a, false)
+		}
+		out.WriteString("    }")
+		if i < len(after.order)-1 {
+			out.WriteString(",")
+		}
+		out.WriteString("\n")
+	}
+	out.WriteString("  }\n}\n")
+
+	// Round-trip through Indent to normalize and to fail loudly on any
+	// framing mistake rather than emit broken JSON.
+	var pretty bytes.Buffer
+	if err := json.Indent(&pretty, out.Bytes(), "", "  "); err != nil {
+		fatal(fmt.Errorf("internal: produced invalid JSON: %w", err))
+	}
+	os.Stdout.Write(pretty.Bytes())
+	fmt.Println()
+}
+
+func writeField(out *bytes.Buffer, key, val string) {
+	fmt.Fprintf(out, "  %q: %q,\n", key, val)
+}
+
+func writeStats(out *bytes.Buffer, key string, s *stats, comma bool) {
+	j, _ := json.Marshal(s)
+	fmt.Fprintf(out, "      %q: %s", key, j)
+	if comma {
+		out.WriteString(",")
+	}
+	out.WriteString("\n")
+}
+
+// improvement renders before→after ratios the way the hand-written BENCH
+// records do: "2.1x faster", "9.1x fewer", and honestly "1.3x more" when a
+// metric regressed (arena blocks trade allocation count for size, so bytes
+// can rise while allocs collapse).
+func improvement(b, a *stats) map[string]string {
+	imp := map[string]string{}
+	if tb, ta := mean(b.NsPerOp), mean(a.NsPerOp); tb > 0 && ta > 0 {
+		imp["time"] = ratio(tb, ta, "faster", "slower")
+	}
+	if b.AllocsPerOp > 0 && a.AllocsPerOp > 0 {
+		imp["allocs"] = ratio(float64(b.AllocsPerOp), float64(a.AllocsPerOp), "fewer", "more")
+	}
+	if b.BytesPerOp > 0 && a.BytesPerOp > 0 {
+		imp["bytes"] = ratio(float64(b.BytesPerOp), float64(a.BytesPerOp), "fewer", "more")
+	}
+	return imp
+}
+
+func ratio(before, after float64, down, up string) string {
+	if before >= after {
+		return fmt.Sprintf("%.1fx %s", before/after, down)
+	}
+	return fmt.Sprintf("%.1fx %s", after/before, up)
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+func parseReader(r io.Reader) (*parsed, error) {
+	p := &parsed{env: map[string]string{}, bench: map[string]*stats{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		for _, key := range [...]string{"goos", "goarch", "cpu", "pkg"} {
+			if v, ok := strings.CutPrefix(line, key+": "); ok {
+				if p.env[key] == "" {
+					p.env[key] = strings.TrimSpace(v)
+				}
+			}
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		name := trimProcs(fields[0])
+		s := p.bench[name]
+		if s == nil {
+			s = &stats{}
+			p.bench[name] = s
+			p.order = append(p.order, name)
+		}
+		// fields[1] is the iteration count; the rest are value/unit pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad value %q in %q", fields[i], line)
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				s.NsPerOp = append(s.NsPerOp, v)
+			case "MB/s":
+				s.MBPerS = append(s.MBPerS, v)
+			case "B/op":
+				s.BytesPerOp = int64(v)
+			case "allocs/op":
+				s.AllocsPerOp = int64(v)
+			}
+		}
+	}
+	return p, sc.Err()
+}
+
+// trimProcs strips the -GOMAXPROCS suffix go test appends to benchmark
+// names ("BenchmarkX-8" → "BenchmarkX").
+func trimProcs(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

@@ -511,14 +511,14 @@ type extractResponse struct {
 
 // extract is the pooled extraction the handler runs; a package variable so
 // tests can inject panics and stalls behind the serving boundary.
-var extract = func(ctx context.Context, p *formext.Pool, src string) (*formext.Result, error) {
-	return p.ExtractContext(ctx, src)
+var extract = func(ctx context.Context, p *formext.Pool, src []byte) (*formext.Result, error) {
+	return p.ExtractBytes(ctx, src)
 }
 
 // safeExtract is the handler's own panic boundary, behind the pool's: even
 // a panic escaping the library's containment (or injected by a test) is
 // contained to the request that caused it.
-func (s *server) safeExtract(ctx context.Context, src string) (res *formext.Result, err error) {
+func (s *server) safeExtract(ctx context.Context, src []byte) (res *formext.Result, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = &formext.PanicError{Value: r, Stack: debug.Stack()}
@@ -543,7 +543,7 @@ func (s *server) handleExtract(w http.ResponseWriter, r *http.Request) {
 	}
 	s.inflight.Inc()
 	defer s.inflight.Dec()
-	key := s.pool.ExtractKey(src)
+	key := s.pool.ExtractKeyBytes(src)
 	etag := extractETag(key, r.URL.Query().Get("trees") != "")
 	if s.revalidate(w, r, etag) {
 		return
@@ -584,7 +584,7 @@ func (s *server) handleClusterFetch(w http.ResponseWriter, r *http.Request) {
 	}
 	s.inflight.Inc()
 	defer s.inflight.Dec()
-	key := s.pool.ExtractKey(src)
+	key := s.pool.ExtractKeyBytes(src)
 	etag := extractETag(key, r.URL.Query().Get("trees") != "")
 	if s.revalidate(w, r, etag) {
 		return
@@ -594,7 +594,7 @@ func (s *server) handleClusterFetch(w http.ResponseWriter, r *http.Request) {
 
 // readPage reads the request body under the size cap, answering the error
 // itself when it fails.
-func readPage(w http.ResponseWriter, r *http.Request) (string, bool) {
+func readPage(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
 	src, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBody))
 	if err != nil {
 		// 413 is only for bodies over the limit; everything else — client
@@ -606,9 +606,9 @@ func readPage(w http.ResponseWriter, r *http.Request) (string, bool) {
 		} else {
 			http.Error(w, "reading request body: "+err.Error(), http.StatusBadRequest)
 		}
-		return "", false
+		return nil, false
 	}
-	return string(src), true
+	return src, true
 }
 
 // revalidate answers 304 when the client's If-None-Match covers the page's
@@ -628,7 +628,7 @@ func (s *server) revalidate(w http.ResponseWriter, r *http.Request, etag string)
 // verbatim (plus attribution headers). False means the peer could not be
 // reached — the caller extracts locally; any answer the owner gave, error
 // responses included, is authoritative and relayed.
-func (s *server) relayPeer(w http.ResponseWriter, r *http.Request, owner string, key formext.CacheKey, src string) bool {
+func (s *server) relayPeer(w http.ResponseWriter, r *http.Request, owner string, key formext.CacheKey, src []byte) bool {
 	ctx := r.Context()
 	if s.extractTimeout > 0 {
 		var cancel context.CancelFunc
@@ -639,7 +639,7 @@ func (s *server) relayPeer(w http.ResponseWriter, r *http.Request, owner string,
 	if r.URL.Query().Get("trees") != "" {
 		query = "trees=1"
 	}
-	fr, err := s.cluster.Fetch(ctx, owner, key, []byte(src), query)
+	fr, err := s.cluster.Fetch(ctx, owner, key, src, query)
 	if err != nil {
 		return false
 	}
@@ -667,7 +667,7 @@ func (s *server) relayPeer(w http.ResponseWriter, r *http.Request, owner string,
 // extractLocal runs the extraction on this process and writes the JSON
 // envelope — the single-node serving path, shared by the owner side of
 // /cluster/fetch and the fallback for unreachable peers.
-func (s *server) extractLocal(w http.ResponseWriter, r *http.Request, src, etag string) {
+func (s *server) extractLocal(w http.ResponseWriter, r *http.Request, src []byte, etag string) {
 	// The extraction runs under the request context — a client that hangs
 	// up stops burning CPU at the next pipeline checkpoint — tightened by
 	// the configured hard deadline.

@@ -215,6 +215,12 @@ type Result struct {
 	// Freeze; cost is its approximate byte footprint, for cache accounting.
 	frozen bool
 	cost   int64
+	// arenaBytes is what the front end handed over when its arenas were
+	// released: the DOM, render-text and token slabs the result retains,
+	// plus the source buffer the tree aliases. Freeze folds it into cost,
+	// replacing the page-size proxy the cache used before arenas made the
+	// figure exact.
+	arenaBytes int64
 }
 
 // NewQuery starts a submittable query over the extracted form; bind
@@ -445,16 +451,27 @@ func (e *Extractor) ExtractHTML(src string) (*Result, error) {
 // returns a shared frozen result without running any stage, and concurrent
 // identical misses coalesce into one extraction.
 func (e *Extractor) ExtractHTMLContext(ctx context.Context, src string) (*Result, error) {
+	return e.ExtractBytes(ctx, viewBytes(src))
+}
+
+// ExtractBytes is ExtractHTMLContext over a byte buffer. The whole front
+// end — cache-key hashing, lexing, the DOM — reads src in place, and the
+// resulting tree and tokens alias it wherever the syntax allows, so src
+// must not be modified for as long as the Result (or any cache holding it)
+// is alive. Callers that reuse their buffer must copy first; callers
+// serving pages already held as []byte (formserve request bodies, crawler
+// fetches) skip the page-sized string conversion the string API forces.
+func (e *Extractor) ExtractBytes(ctx context.Context, src []byte) (*Result, error) {
 	if e.cache != nil {
 		return cachedExtract(ctx, e.cache, e.keyPrefix, src, e.tracer, e)
 	}
-	return e.extractHTML(ctx, src)
+	return e.extractBytesEvent(ctx, src, "")
 }
 
 // runExtract implements cacheRunner: the uncached pipeline, stamping the
 // cache outcome event into the extraction's trace.
-func (e *Extractor) runExtract(ctx context.Context, src, cacheEvent string) (*Result, error) {
-	return e.extractHTMLEvent(ctx, src, cacheEvent)
+func (e *Extractor) runExtract(ctx context.Context, src []byte, cacheEvent string) (*Result, error) {
+	return e.extractBytesEvent(ctx, src, cacheEvent)
 }
 
 // extractHTML is ExtractHTMLContext without the cache in front: the
@@ -463,14 +480,21 @@ func (e *Extractor) runExtract(ctx context.Context, src, cacheEvent string) (*Re
 // reports where its time went. Panics anywhere in the pipeline are
 // recovered into a *PanicError carrying the pre-failure stats.
 func (e *Extractor) extractHTML(ctx context.Context, src string) (*Result, error) {
-	return e.extractHTMLEvent(ctx, src, "")
+	return e.extractBytesEvent(ctx, viewBytes(src), "")
 }
 
-// extractHTMLEvent is extractHTML with the cache outcome recorded on the
-// trace: a non-empty cacheEvent (obs.EventCacheMiss on a flight leader)
-// becomes a cache span ahead of the pipeline stages, so /traces shows why
-// this request ran the pipeline at all.
-func (e *Extractor) extractHTMLEvent(ctx context.Context, src, cacheEvent string) (res *Result, err error) {
+// extractBytesEvent is the uncached pipeline with the cache outcome
+// recorded on the trace: a non-empty cacheEvent (obs.EventCacheMiss on a
+// flight leader) becomes a cache span ahead of the pipeline stages, so
+// /traces shows why this request ran the pipeline at all.
+//
+// The front half runs on a pooled arena bundle: DOM nodes, layout boxes and
+// tokens are carved from slabs instead of allocated one by one. The
+// deferred release hands the retained blocks to the Result (recording their
+// size for cache accounting) and returns the emptied bundle to the pool —
+// on every exit path, panics included, so a torn extraction can never leak
+// a half-filled arena back into circulation.
+func (e *Extractor) extractBytesEvent(ctx context.Context, src []byte, cacheEvent string) (res *Result, err error) {
 	budgetCtx, cancel := e.budgetContext(ctx)
 	defer cancel()
 	tr := e.tracer.Start("extract")
@@ -482,11 +506,18 @@ func (e *Extractor) extractHTMLEvent(ctx context.Context, src, cacheEvent string
 	}
 	res = &Result{Stats: Stats{TraceID: tr.TraceID()}}
 	defer e.contain(tr, res, &err)
+	fa := frontArenas.Get().(*frontArena)
+	defer func() {
+		// The tree aliases src zero-copy, so the source buffer itself is
+		// part of what the result keeps resident.
+		res.arenaBytes = fa.release() + int64(len(src))
+		frontArenas.Put(fa)
+	}()
 
 	var doc *htmlparse.Node
 	var trunc htmlparse.Trunc
 	runStage(tr, obs.StageHTMLParse, &res.Stats.Stages.HTMLParse, func(sp *Span) {
-		doc, trunc = htmlparse.ParseContext(budgetCtx, src, htmlparse.Limits{MaxDepth: e.maxDepth})
+		doc, trunc = htmlparse.ParseBytes(budgetCtx, src, htmlparse.Limits{MaxDepth: e.maxDepth}, &fa.dom)
 		if sp != nil {
 			ds := htmlparse.StatsOf(doc)
 			sp.SetInt("bytes", int64(len(src)))
@@ -512,7 +543,7 @@ func (e *Extractor) extractHTMLEvent(ctx context.Context, src, cacheEvent string
 	var boxes *layout.Box
 	var lerr error
 	runStage(tr, obs.StageLayout, &res.Stats.Stages.Layout, func(sp *Span) {
-		boxes, lerr = e.layout.LayoutContext(budgetCtx, doc)
+		boxes, lerr = e.layout.LayoutArena(budgetCtx, doc, &fa.lay)
 		if sp != nil {
 			bs := layout.StatsOf(boxes)
 			sp.SetInt("boxes", int64(bs.Total()))
@@ -530,7 +561,7 @@ func (e *Extractor) extractHTMLEvent(ctx context.Context, src, cacheEvent string
 	}
 
 	runStage(tr, obs.StageTokenize, &res.Stats.Stages.Tokenize, func(sp *Span) {
-		res.Tokens = e.tokenizer.Tokenize(boxes)
+		res.Tokens = e.tokenizer.TokenizeArena(boxes, &fa.tok)
 		if sp != nil {
 			ts := token.StatsOf(res.Tokens)
 			sp.SetInt("tokens", int64(ts.Total))

@@ -99,7 +99,7 @@ func TestEnforceSteadyStateNoAlloc(t *testing.T) {
 		e.stats.Terminals++
 	}
 	e.stats.Tokens = len(toks)
-	e.fixpoint(nil, p.pl.globalProds)
+	e.fixpoint(nil, p.pl.globalProds, p.pl.globalSyms)
 	for {
 		killed := 0
 		for _, pi := range p.pl.prefsByPriority {

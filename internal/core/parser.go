@@ -200,7 +200,7 @@ func (p *Parser) ParseContext(ctx context.Context, toks []*token.Token, sp *obs.
 		e.stats.Groups++
 		gsp := sp.Span("fixpoint")
 		gsp.SetStr("mode", "global")
-		e.fixpoint(gsp, p.pl.globalProds)
+		e.fixpoint(gsp, p.pl.globalProds, p.pl.globalSyms)
 		if !p.opt.DisablePreferences {
 			for !e.cancelled() {
 				killed := 0
@@ -226,7 +226,7 @@ func (p *Parser) ParseContext(ctx context.Context, toks []*token.Token, sp *obs.
 			gsp.SetStr("symbols", p.pl.groupLabels[gi])
 			c0, f0 := e.stats.TotalCreated, e.stats.FixpointIters
 			p0, r0 := e.stats.Pruned, e.stats.RolledBack
-			e.fixpoint(gsp, p.pl.groupProds[gi])
+			e.fixpoint(gsp, p.pl.groupProds[gi], p.pl.groupSyms[gi])
 			if !p.opt.DisablePreferences && !e.cancelled() {
 				for _, pi := range p.pl.enforceAfter[gi] {
 					e.enforce(gsp, pi)
@@ -546,13 +546,15 @@ func (e *engine) track(in *grammar.Instance) {
 // exist — at least one component must be "new" (created since the previous
 // round), so recursive symbols pay per new instance instead of
 // re-evaluating the whole cross product every round.
-func (e *engine) fixpoint(sp *obs.Span, prods []int) {
+func (e *engine) fixpoint(sp *obs.Span, prods, syms []int) {
 	// marks[sym] = how many instances of sym existed before the current
 	// round; indices at or beyond the mark are this round's frontier.
 	// Zero at round 1: everything inherited from earlier groups is new
-	// to this group.
-	for i := range e.marks {
-		e.marks[i] = 0
+	// to this group. Only the symbols this group's productions join over
+	// (syms, precomputed in the plan) need bookkeeping — nothing else is
+	// read through marks or snap while this group runs.
+	for _, sid := range syms {
+		e.marks[sid] = 0
 	}
 	for {
 		// The round boundary is the primary cancellation checkpoint
@@ -563,8 +565,8 @@ func (e *engine) fixpoint(sp *obs.Span, prods []int) {
 			return
 		}
 		e.stats.FixpointIters++
-		for i := range e.bySym {
-			e.snap[i] = len(e.bySym[i])
+		for _, sid := range syms {
+			e.snap[sid] = len(e.bySym[sid])
 		}
 		added := 0
 		for _, pi := range prods {
@@ -580,7 +582,9 @@ func (e *engine) fixpoint(sp *obs.Span, prods []int) {
 		if added == 0 {
 			return
 		}
-		copy(e.marks, e.snap)
+		for _, sid := range syms {
+			e.marks[sid] = e.snap[sid]
+		}
 	}
 }
 

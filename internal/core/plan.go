@@ -33,6 +33,13 @@ type plan struct {
 	// same for the single late-pruning fix point: every production.
 	groupProds  [][]int
 	globalProds []int
+	// groupSyms[i] is the deduplicated union of component symbol IDs the
+	// productions of group i join over; globalSyms the same for globalProds.
+	// Fix-point frontier bookkeeping (marks, snapshots) touches only these —
+	// a group typically joins a handful of symbols out of the grammar's
+	// dozens, and the snapshot runs once per round per group.
+	groupSyms  [][]int
+	globalSyms []int
 	// groupLabels[i] is strings.Join(sched.Groups[i], " "), precomputed so
 	// tracing a parse does not allocate the label per group per call.
 	groupLabels []string
@@ -127,6 +134,11 @@ func buildPlan(g *grammar.Grammar) (*plan, error) {
 	for i := range g.Prods {
 		pl.globalProds[i] = i
 	}
+	pl.groupSyms = make([][]int, len(pl.groupProds))
+	for gi, prods := range pl.groupProds {
+		pl.groupSyms[gi] = pl.compSymsOf(prods)
+	}
+	pl.globalSyms = pl.compSymsOf(pl.globalProds)
 
 	pl.enforceAfter = make([][]int, len(sched.EnforceAfter))
 	for gi, prefs := range sched.EnforceAfter {
@@ -138,6 +150,22 @@ func buildPlan(g *grammar.Grammar) (*plan, error) {
 		pl.prefsByPriority = append(pl.prefsByPriority, prefIdx[r])
 	}
 	return pl, nil
+}
+
+// compSymsOf returns the deduplicated component symbol IDs of the given
+// productions, in first-appearance order.
+func (pl *plan) compSymsOf(prods []int) []int {
+	seen := make([]bool, len(pl.syms))
+	var out []int
+	for _, pi := range prods {
+		for _, sid := range pl.prods[pi].compSyms {
+			if !seen[sid] {
+				seen[sid] = true
+				out = append(out, sid)
+			}
+		}
+	}
+	return out
 }
 
 // prodPlan is one production in compiled evaluation form.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 	"unicode"
+	"unicode/utf8"
 
 	"formext/internal/token"
 )
@@ -14,96 +15,106 @@ import (
 // 4.1) is centralized there.
 var builtins = map[string]func(ctx *EvalCtx, args []Value) (Value, error){}
 
+// The typed registries are the compiler's fast path: every registered
+// builtin has a statically known argument shape (one or two instances) and
+// return kind, so compileCall can bind var-argument calls straight to these
+// functions — no Value boxing, no scratch-stack append, no generic arity
+// check per evaluation. The generic builtins map above is derived from
+// these same functions, so both paths share one implementation.
+var (
+	instBool1 = map[string]func(ctx *EvalCtx, a *Instance) bool{}
+	instNum1  = map[string]func(ctx *EvalCtx, a *Instance) float64{}
+	instStr1  = map[string]func(ctx *EvalCtx, a *Instance) string{}
+	instBool2 = map[string]func(ctx *EvalCtx, a, b *Instance) bool{}
+	instNum2  = map[string]func(ctx *EvalCtx, a, b *Instance) float64{}
+)
+
 func init() {
 	// Spatial relations between two instances.
-	reg2("left", func(ctx *EvalCtx, a, b *Instance) Value { return VBool(ctx.Th.Left(a.Pos, b.Pos)) })
-	reg2("right", func(ctx *EvalCtx, a, b *Instance) Value { return VBool(ctx.Th.Right(a.Pos, b.Pos)) })
-	reg2("above", func(ctx *EvalCtx, a, b *Instance) Value { return VBool(ctx.Th.Above(a.Pos, b.Pos)) })
-	reg2("below", func(ctx *EvalCtx, a, b *Instance) Value { return VBool(ctx.Th.Below(a.Pos, b.Pos)) })
-	reg2("alignedleft", func(ctx *EvalCtx, a, b *Instance) Value { return VBool(ctx.Th.AlignedLeft(a.Pos, b.Pos)) })
-	reg2("alignedtop", func(ctx *EvalCtx, a, b *Instance) Value { return VBool(ctx.Th.AlignedTop(a.Pos, b.Pos)) })
-	reg2("alignedmiddle", func(ctx *EvalCtx, a, b *Instance) Value { return VBool(ctx.Th.AlignedMiddle(a.Pos, b.Pos)) })
-	reg2("samerow", func(ctx *EvalCtx, a, b *Instance) Value { return VBool(ctx.Th.SameRow(a.Pos, b.Pos)) })
-	reg2("samecol", func(ctx *EvalCtx, a, b *Instance) Value { return VBool(ctx.Th.SameColumn(a.Pos, b.Pos)) })
-	reg2("hgap", func(_ *EvalCtx, a, b *Instance) Value { return VNum(a.Pos.HGap(b.Pos)) })
-	reg2("vgap", func(_ *EvalCtx, a, b *Instance) Value { return VNum(a.Pos.VGap(b.Pos)) })
-	reg2("distance", func(_ *EvalCtx, a, b *Instance) Value { return VNum(a.Pos.Distance(b.Pos)) })
+	regB2("left", func(ctx *EvalCtx, a, b *Instance) bool { return ctx.Th.Left(a.Pos, b.Pos) })
+	regB2("right", func(ctx *EvalCtx, a, b *Instance) bool { return ctx.Th.Right(a.Pos, b.Pos) })
+	regB2("above", func(ctx *EvalCtx, a, b *Instance) bool { return ctx.Th.Above(a.Pos, b.Pos) })
+	regB2("below", func(ctx *EvalCtx, a, b *Instance) bool { return ctx.Th.Below(a.Pos, b.Pos) })
+	regB2("alignedleft", func(ctx *EvalCtx, a, b *Instance) bool { return ctx.Th.AlignedLeft(a.Pos, b.Pos) })
+	regB2("alignedtop", func(ctx *EvalCtx, a, b *Instance) bool { return ctx.Th.AlignedTop(a.Pos, b.Pos) })
+	regB2("alignedmiddle", func(ctx *EvalCtx, a, b *Instance) bool { return ctx.Th.AlignedMiddle(a.Pos, b.Pos) })
+	regB2("samerow", func(ctx *EvalCtx, a, b *Instance) bool { return ctx.Th.SameRow(a.Pos, b.Pos) })
+	regB2("samecol", func(ctx *EvalCtx, a, b *Instance) bool { return ctx.Th.SameColumn(a.Pos, b.Pos) })
+	regN2("hgap", func(_ *EvalCtx, a, b *Instance) float64 { return a.Pos.HGap(b.Pos) })
+	regN2("vgap", func(_ *EvalCtx, a, b *Instance) float64 { return a.Pos.VGap(b.Pos) })
+	regN2("distance", func(_ *EvalCtx, a, b *Instance) float64 { return a.Pos.Distance(b.Pos) })
 
 	// Cover relations — conflict and subsumption between interpretations.
-	reg2("overlap", func(_ *EvalCtx, a, b *Instance) Value { return VBool(a.Cover.Intersects(b.Cover)) })
-	reg2("subsumes", func(_ *EvalCtx, a, b *Instance) Value { return VBool(b.Cover.SubsetOf(a.Cover)) })
+	regB2("overlap", func(_ *EvalCtx, a, b *Instance) bool { return a.Cover.Intersects(b.Cover) })
+	regB2("subsumes", func(_ *EvalCtx, a, b *Instance) bool { return b.Cover.SubsetOf(a.Cover) })
 
 	// samename holds when both subtrees contain widgets and their first
 	// widgets share a form-control name — the HTML-level glue of a radio
 	// group (the name attribute is part of the token attributes, cf. the
 	// <name, field-0> attribute in Figure 5 of the paper).
-	reg2("samename", func(_ *EvalCtx, a, b *Instance) Value {
+	regB2("samename", func(_ *EvalCtx, a, b *Instance) bool {
 		na, nb := widgetName(a), widgetName(b)
-		return VBool(na != "" && na == nb)
+		return na != "" && na == nb
 	})
 
 	// labelfor holds when a's text carries an explicit <label for="id">
 	// association matching the id of b's first widget — the page author's
 	// declared pairing, independent of geometry.
-	reg2("labelfor", func(_ *EvalCtx, a, b *Instance) Value {
+	regB2("labelfor", func(_ *EvalCtx, a, b *Instance) bool {
 		forID := findForID(a)
-		if forID == "" {
-			return VBool(false)
-		}
-		return VBool(hasElemID(b, forID))
+		return forID != "" && hasElemID(b, forID)
 	})
 
 	// Accessors on one instance.
-	reg1("width", func(_ *EvalCtx, a *Instance) Value { return VNum(a.Pos.Width()) })
-	reg1("height", func(_ *EvalCtx, a *Instance) Value { return VNum(a.Pos.Height()) })
-	reg1("count", func(_ *EvalCtx, a *Instance) Value { return VNum(float64(a.Cover.Count())) })
-	reg1("size", func(_ *EvalCtx, a *Instance) Value { return VNum(float64(a.Size())) })
-	reg1("compdist", func(_ *EvalCtx, a *Instance) Value { return VNum(a.InterComponentDistance()) })
+	regN1("width", func(_ *EvalCtx, a *Instance) float64 { return a.Pos.Width() })
+	regN1("height", func(_ *EvalCtx, a *Instance) float64 { return a.Pos.Height() })
+	regN1("count", func(_ *EvalCtx, a *Instance) float64 { return float64(a.Cover.Count()) })
+	regN1("size", func(_ *EvalCtx, a *Instance) float64 { return float64(a.Size()) })
+	regN1("compdist", func(_ *EvalCtx, a *Instance) float64 { return a.InterComponentDistance() })
 	// rowish holds when the instance's direct components all sit on one
 	// visual row — the test that separates left-bound label readings from
 	// caption-above readings.
-	reg1("rowish", func(ctx *EvalCtx, a *Instance) Value {
+	regB1("rowish", func(ctx *EvalCtx, a *Instance) bool {
 		for i := 0; i < len(a.Children); i++ {
 			for j := i + 1; j < len(a.Children); j++ {
 				if !ctx.Th.SameRow(a.Children[i].Pos, a.Children[j].Pos) {
-					return VBool(false)
+					return false
 				}
 			}
 		}
-		return VBool(true)
+		return true
 	})
-	reg1("sval", func(_ *EvalCtx, a *Instance) Value { return VStr(instText(a)) })
-	reg1("wordcount", func(_ *EvalCtx, a *Instance) Value {
-		return VNum(float64(countFields(instText(a))))
+	regS1("sval", func(_ *EvalCtx, a *Instance) string { return instText(a) })
+	regN1("wordcount", func(_ *EvalCtx, a *Instance) float64 {
+		return float64(countFields(instText(a)))
 	})
-	reg1("textlen", func(_ *EvalCtx, a *Instance) Value {
-		return VNum(float64(len(instText(a))))
+	regN1("textlen", func(_ *EvalCtx, a *Instance) float64 {
+		return float64(len(instText(a)))
 	})
-	reg1("checked", func(_ *EvalCtx, a *Instance) Value {
-		return VBool(a.Token != nil && a.Token.Checked)
+	regB1("checked", func(_ *EvalCtx, a *Instance) bool {
+		return a.Token != nil && a.Token.Checked
 	})
-	reg1("multiple", func(_ *EvalCtx, a *Instance) Value {
-		return VBool(a.Token != nil && a.Token.Multiple)
+	regB1("multiple", func(_ *EvalCtx, a *Instance) bool {
+		return a.Token != nil && a.Token.Multiple
 	})
-	reg1("optioncount", func(_ *EvalCtx, a *Instance) Value {
+	regN1("optioncount", func(_ *EvalCtx, a *Instance) float64 {
 		if a.Token == nil {
-			return VNum(0)
+			return 0
 		}
-		return VNum(float64(len(a.Token.Options)))
+		return float64(len(a.Token.Options))
 	})
 
-	// Text-shape predicates.
-	reg1("attrlike", func(_ *EvalCtx, a *Instance) Value { return VBool(attrLike(instText(a))) })
-	reg1("oplike", func(_ *EvalCtx, a *Instance) Value { return VBool(opLike(instText(a))) })
-	reg1("caplike", func(_ *EvalCtx, a *Instance) Value { return VBool(capLike(instText(a))) })
-	reg1("endscolon", func(_ *EvalCtx, a *Instance) Value {
-		return VBool(strings.HasSuffix(strings.TrimSpace(instText(a)), ":"))
-	})
+	// Text-shape predicates, memoized per instance (shapeBits computes all
+	// four in one pass over the text on first use).
+	regB1("attrlike", func(_ *EvalCtx, a *Instance) bool { return a.shapeBits()&shapeAttr != 0 })
+	regB1("oplike", func(_ *EvalCtx, a *Instance) bool { return a.shapeBits()&shapeOp != 0 })
+	regB1("caplike", func(_ *EvalCtx, a *Instance) bool { return a.shapeBits()&shapeCap != 0 })
+	regB1("endscolon", func(_ *EvalCtx, a *Instance) bool { return a.shapeBits()&shapeColon != 0 })
 
 	// Selection-list content predicates.
-	reg1("oplist", func(_ *EvalCtx, a *Instance) Value { return VBool(opList(a.Token)) })
-	reg1("dateish", func(_ *EvalCtx, a *Instance) Value { return VBool(dateish(a.Token)) })
-	reg1("numlist", func(_ *EvalCtx, a *Instance) Value { return VBool(numList(a.Token)) })
+	regB1("oplist", func(_ *EvalCtx, a *Instance) bool { return opList(a.Token) })
+	regB1("dateish", func(_ *EvalCtx, a *Instance) bool { return dateish(a.Token) })
+	regB1("numlist", func(_ *EvalCtx, a *Instance) bool { return numList(a.Token) })
 
 	// String tests with literal arguments.
 	builtins["textis"] = func(ctx *EvalCtx, args []Value) (Value, error) {
@@ -118,6 +129,34 @@ func init() {
 		}
 		return VBool(args[0].I.Pos.Distance(args[1].I.Pos) <= args[2].N), nil
 	}
+}
+
+// regB1/regN1/regS1/regB2/regN2 register a builtin in its typed registry
+// and derive the generic Value-boxed form, so the interpreter and the
+// compiler's generic path keep their exact argument-validation semantics.
+func regB1(name string, fn func(ctx *EvalCtx, a *Instance) bool) {
+	instBool1[name] = fn
+	reg1(name, func(ctx *EvalCtx, a *Instance) Value { return VBool(fn(ctx, a)) })
+}
+
+func regN1(name string, fn func(ctx *EvalCtx, a *Instance) float64) {
+	instNum1[name] = fn
+	reg1(name, func(ctx *EvalCtx, a *Instance) Value { return VNum(fn(ctx, a)) })
+}
+
+func regS1(name string, fn func(ctx *EvalCtx, a *Instance) string) {
+	instStr1[name] = fn
+	reg1(name, func(ctx *EvalCtx, a *Instance) Value { return VStr(fn(ctx, a)) })
+}
+
+func regB2(name string, fn func(ctx *EvalCtx, a, b *Instance) bool) {
+	instBool2[name] = fn
+	reg2(name, func(ctx *EvalCtx, a, b *Instance) Value { return VBool(fn(ctx, a, b)) })
+}
+
+func regN2(name string, fn func(ctx *EvalCtx, a, b *Instance) float64) {
+	instNum2[name] = fn
+	reg2(name, func(ctx *EvalCtx, a, b *Instance) Value { return VNum(fn(ctx, a, b)) })
 }
 
 // reg1 registers a unary builtin over an instance.
@@ -208,10 +247,81 @@ func hasElemID(in *Instance, id string) bool {
 	return false
 }
 
+// normText lowercases, strips the label punctuation cutset from both ends,
+// and collapses runs of whitespace to single spaces — semantically
+// ToLower/TrimSpace, Trim(":*?.! \t"), Join(Fields(s), " "). It is memoized
+// per instance but still runs once per fresh instance per parse, and the
+// strings.Fields slice was the parser's top residual allocation, so already-
+// normal inputs (the common single-word lowercase label) are detected in one
+// scan and returned as-is, and the rest are rebuilt through one buffer.
 func normText(s string) string {
-	s = strings.ToLower(strings.TrimSpace(s))
-	s = strings.Trim(s, ":*?.! \t")
-	return strings.Join(strings.Fields(s), " ")
+	if normTextClean(s) {
+		return s
+	}
+	var arr [64]byte
+	buf := arr[:0]
+	started := false
+	pendingSpace := false
+	for _, r := range s {
+		if unicode.IsSpace(r) {
+			pendingSpace = started
+			continue
+		}
+		if pendingSpace {
+			buf = append(buf, ' ')
+			pendingSpace = false
+		}
+		started = true
+		buf = utf8.AppendRune(buf, unicode.ToLower(r))
+	}
+	// Trim the cutset (all single-byte ASCII, so byte-wise trimming cannot
+	// split a rune) plus any space it exposes, matching Trim-then-Fields.
+	lo, hi := 0, len(buf)
+	for lo < hi && isCutset(buf[lo]) {
+		lo++
+	}
+	for hi > lo && isCutset(buf[hi-1]) {
+		hi--
+	}
+	return string(buf[lo:hi])
+}
+
+func isCutset(b byte) bool {
+	switch b {
+	case ':', '*', '?', '.', '!', ' ', '\t':
+		return true
+	}
+	return false
+}
+
+// normTextClean reports whether normText(s) == s: ASCII with no uppercase,
+// no cutset character at either end, and single interior spaces only.
+func normTextClean(s string) bool {
+	if s == "" {
+		return true
+	}
+	if isCutset(s[0]) || isCutset(s[len(s)-1]) {
+		return false
+	}
+	prevSpace := false
+	for i := 0; i < len(s); i++ {
+		b := s[i]
+		if b >= 0x80 || b >= 'A' && b <= 'Z' {
+			return false
+		}
+		if b == '\t' || b == '\n' || b == '\v' || b == '\f' || b == '\r' {
+			return false
+		}
+		if b == ' ' {
+			if prevSpace {
+				return false
+			}
+			prevSpace = true
+		} else {
+			prevSpace = false
+		}
+	}
+	return true
 }
 
 // attrLike reports whether a text reads like an attribute label: short,

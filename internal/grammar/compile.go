@@ -47,20 +47,35 @@ func (fr *Frame) Bind(slots []*Instance) { fr.slots = slots }
 // compiledFn evaluates one compiled node against a frame.
 type compiledFn func(fr *Frame) (Value, error)
 
+// The unboxed fast path. boolFn/numFn/strFn evaluate nodes whose runtime
+// result kind is statically known, with ok=false standing for "the generic
+// path would have returned an evaluation error here". EvalBool only ever
+// inspects the final boolean, so folding every error into ok preserves its
+// semantics exactly while skipping Value boxing, the builtin argument
+// stack, and per-call arity validation. Eval (tests, tooling) keeps the
+// generic compiledFn with its full error values.
+type (
+	boolFn func(fr *Frame) (v, ok bool)
+	numFn  func(fr *Frame) (v float64, ok bool)
+	strFn  func(fr *Frame) (v string, ok bool)
+)
+
 // CompiledExpr is a compiled constraint or preference expression.
 type CompiledExpr struct {
-	fn compiledFn
+	fn  compiledFn
+	bfn boolFn
 }
 
 // EvalBool evaluates the compiled expression with the interpreter's
 // forgiving semantics: nil expressions hold, errors and non-boolean
-// results do not. The compiled twin of EvalBool.
+// results do not. The compiled twin of EvalBool. It runs on the unboxed
+// fast path; the boxed fn is retained for Eval.
 func (c *CompiledExpr) EvalBool(fr *Frame) bool {
 	if c == nil {
 		return true
 	}
-	v, err := c.fn(fr)
-	return err == nil && v.Kind == BoolVal && v.B
+	v, ok := c.bfn(fr)
+	return ok && v
 }
 
 // Eval evaluates the compiled expression (for tests and tooling; the
@@ -138,7 +153,7 @@ func CompileExpr(e Expr, slot map[string]int) *CompiledExpr {
 	if e == nil {
 		return nil
 	}
-	return &CompiledExpr{fn: compileNode(e, slot)}
+	return &CompiledExpr{fn: compileNode(e, slot), bfn: compileBool(e, slot)}
 }
 
 func compileNode(e Expr, slot map[string]int) compiledFn {
@@ -337,4 +352,315 @@ func compileTextMatch(n *CallExpr, slot map[string]int) compiledFn {
 
 func errNode(err error) compiledFn {
 	return func(*Frame) (Value, error) { return Value{}, err }
+}
+
+// ---- Unboxed fast path -------------------------------------------------
+//
+// compileBool and its helpers compile the boolean fragment of the
+// expression language into closures that pass raw bool/float64/string
+// values instead of boxed Values. The parser's inner loop (one constraint
+// evaluation per candidate component assignment, one preference evaluation
+// per winner×loser pair) runs entirely on this path: var-argument builtin
+// calls bind directly to the typed registries in builtins.go, so an
+// evaluation touches no Value structs, no scratch stack, and no write
+// barriers.
+//
+// Equivalence with the generic path: ok=false is returned exactly where
+// the generic path returns an error or (at the root) a non-boolean value,
+// and EvalBool collapses both to false. Comparison operands use *static*
+// kinds only — a node compiles into the numeric/string fragment only when
+// its runtime result kind is fixed by its syntax (literals, registry
+// builtins) — so the fast path never mistypes a comparison the generic
+// path would have dispatched differently; any other shape falls back to
+// the boxed evaluator wrapped in wrapBool.
+
+// compileBool compiles e as a boolean node. It is total: shapes outside
+// the fast fragment are evaluated boxed through wrapBool.
+func compileBool(e Expr, slot map[string]int) boolFn {
+	switch n := e.(type) {
+	case *BoolLit:
+		v := n.V
+		return func(*Frame) (bool, bool) { return v, true }
+	case *NotExpr:
+		x := compileBool(n.X, slot)
+		return func(fr *Frame) (bool, bool) {
+			v, ok := x(fr)
+			if !ok {
+				return false, false
+			}
+			return !v, true
+		}
+	case *AndExpr:
+		l, r := compileBool(n.L, slot), compileBool(n.R, slot)
+		return func(fr *Frame) (bool, bool) {
+			v, ok := l(fr)
+			if !ok {
+				return false, false
+			}
+			if !v {
+				return false, true
+			}
+			return r(fr)
+		}
+	case *OrExpr:
+		l, r := compileBool(n.L, slot), compileBool(n.R, slot)
+		return func(fr *Frame) (bool, bool) {
+			v, ok := l(fr)
+			if !ok {
+				return false, false
+			}
+			if v {
+				return true, true
+			}
+			return r(fr)
+		}
+	case *CmpExpr:
+		if fn := compileCmpFast(n, slot); fn != nil {
+			return fn
+		}
+	case *CallExpr:
+		if fn := compileCallBool(n, slot); fn != nil {
+			return fn
+		}
+	}
+	return wrapBool(compileNode(e, slot))
+}
+
+// wrapBool adapts a boxed node: errors and non-boolean results both become
+// ok=false, which is precisely how EvalBool treats them.
+func wrapBool(fn compiledFn) boolFn {
+	return func(fr *Frame) (bool, bool) {
+		v, err := fn(fr)
+		if err != nil || v.Kind != BoolVal {
+			return false, false
+		}
+		return v.B, true
+	}
+}
+
+// compileCmpFast compiles a comparison whose operand kinds are statically
+// known. Returns nil (caller falls back to the boxed comparison) when
+// either side's kind cannot be fixed at compile time.
+func compileCmpFast(n *CmpExpr, slot map[string]int) boolFn {
+	op := n.Op
+	if lf := compileNum(n.L, slot); lf != nil {
+		rf := compileNum(n.R, slot)
+		if rf == nil {
+			return nil
+		}
+		return func(fr *Frame) (bool, bool) {
+			lv, ok := lf(fr)
+			if !ok {
+				return false, false
+			}
+			rv, ok := rf(fr)
+			if !ok {
+				return false, false
+			}
+			return cmpNum(op, lv, rv), true
+		}
+	}
+	if lf := compileStr(n.L, slot); lf != nil {
+		rf := compileStr(n.R, slot)
+		if rf == nil {
+			return nil
+		}
+		var want bool
+		switch op {
+		case "==":
+			want = true
+		case "!=":
+			want = false
+		default:
+			// Statically incomparable: the boxed path returns errBadCmp.
+			return func(*Frame) (bool, bool) { return false, false }
+		}
+		return func(fr *Frame) (bool, bool) {
+			lv, ok := lf(fr)
+			if !ok {
+				return false, false
+			}
+			rv, ok := rf(fr)
+			if !ok {
+				return false, false
+			}
+			return strings.EqualFold(lv, rv) == want, true
+		}
+	}
+	return nil
+}
+
+// compileNum compiles a node whose runtime kind is statically numeric:
+// a literal, or a registered numeric builtin applied to variables. Returns
+// nil for any other shape.
+func compileNum(e Expr, slot map[string]int) numFn {
+	switch n := e.(type) {
+	case *NumLit:
+		v := n.V
+		return func(*Frame) (float64, bool) { return v, true }
+	case *CallExpr:
+		if fn, ok := instNum1[n.Name]; ok && len(n.Args) == 1 {
+			i, ok := varSlot(n.Args[0], slot)
+			if !ok {
+				return nil
+			}
+			return func(fr *Frame) (float64, bool) {
+				in := fr.slots[i]
+				if in == nil {
+					return 0, false
+				}
+				return fn(&fr.ctx, in), true
+			}
+		}
+		if fn, ok := instNum2[n.Name]; ok && len(n.Args) == 2 {
+			i, iok := varSlot(n.Args[0], slot)
+			j, jok := varSlot(n.Args[1], slot)
+			if !iok || !jok {
+				return nil
+			}
+			return func(fr *Frame) (float64, bool) {
+				a, b := fr.slots[i], fr.slots[j]
+				if a == nil || b == nil {
+					return 0, false
+				}
+				return fn(&fr.ctx, a, b), true
+			}
+		}
+	}
+	return nil
+}
+
+// compileStr compiles a node whose runtime kind is statically a string.
+func compileStr(e Expr, slot map[string]int) strFn {
+	switch n := e.(type) {
+	case *StrLit:
+		v := n.V
+		return func(*Frame) (string, bool) { return v, true }
+	case *CallExpr:
+		if fn, ok := instStr1[n.Name]; ok && len(n.Args) == 1 {
+			i, ok := varSlot(n.Args[0], slot)
+			if !ok {
+				return nil
+			}
+			return func(fr *Frame) (string, bool) {
+				in := fr.slots[i]
+				if in == nil {
+					return "", false
+				}
+				return fn(&fr.ctx, in), true
+			}
+		}
+	}
+	return nil
+}
+
+// compileCallBool specializes boolean builtin calls over variables — the
+// shape of every spatial/cover/text predicate in practice — plus the
+// literal-argument text matchers and near. Returns nil when the call does
+// not fit (the boxed call node then takes over).
+func compileCallBool(n *CallExpr, slot map[string]int) boolFn {
+	if fn := compileTextMatchBool(n, slot); fn != nil {
+		return fn
+	}
+	if fn, ok := instBool1[n.Name]; ok && len(n.Args) == 1 {
+		i, ok := varSlot(n.Args[0], slot)
+		if !ok {
+			return nil
+		}
+		return func(fr *Frame) (bool, bool) {
+			in := fr.slots[i]
+			if in == nil {
+				return false, false
+			}
+			return fn(&fr.ctx, in), true
+		}
+	}
+	if fn, ok := instBool2[n.Name]; ok && len(n.Args) == 2 {
+		i, iok := varSlot(n.Args[0], slot)
+		j, jok := varSlot(n.Args[1], slot)
+		if !iok || !jok {
+			return nil
+		}
+		return func(fr *Frame) (bool, bool) {
+			a, b := fr.slots[i], fr.slots[j]
+			if a == nil || b == nil {
+				return false, false
+			}
+			return fn(&fr.ctx, a, b), true
+		}
+	}
+	if n.Name == "near" && len(n.Args) == 3 {
+		i, iok := varSlot(n.Args[0], slot)
+		j, jok := varSlot(n.Args[1], slot)
+		r, rok := n.Args[2].(*NumLit)
+		if !iok || !jok || !rok {
+			return nil
+		}
+		radius := r.V
+		return func(fr *Frame) (bool, bool) {
+			a, b := fr.slots[i], fr.slots[j]
+			if a == nil || b == nil {
+				return false, false
+			}
+			return a.Pos.Distance(b.Pos) <= radius, true
+		}
+	}
+	return nil
+}
+
+// compileTextMatchBool is compileTextMatch on the unboxed path: textis and
+// contains with a variable subject and literal patterns, the literals
+// normalized at compile time.
+func compileTextMatchBool(n *CallExpr, slot map[string]int) boolFn {
+	var pred func(text, lit string) bool
+	switch n.Name {
+	case "textis":
+		pred = func(text, lit string) bool { return text == lit }
+	case "contains":
+		pred = strings.Contains
+	default:
+		return nil
+	}
+	if len(n.Args) < 2 {
+		return nil
+	}
+	if _, ok := n.Args[0].(*VarExpr); !ok {
+		return nil
+	}
+	i, ok := varSlot(n.Args[0], slot)
+	if !ok {
+		// An unbound variable always errors on the boxed path.
+		return func(*Frame) (bool, bool) { return false, false }
+	}
+	lits := make([]string, 0, len(n.Args)-1)
+	for _, a := range n.Args[1:] {
+		s, ok := a.(*StrLit)
+		if !ok {
+			return nil
+		}
+		lits = append(lits, normText(s.V))
+	}
+	return func(fr *Frame) (bool, bool) {
+		in := fr.slots[i]
+		if in == nil {
+			return false, false
+		}
+		text := in.NormText()
+		for _, lit := range lits {
+			if pred(text, lit) {
+				return true, true
+			}
+		}
+		return false, true
+	}
+}
+
+// varSlot resolves e as a bound variable, returning its slot index.
+func varSlot(e Expr, slot map[string]int) (int, bool) {
+	v, ok := e.(*VarExpr)
+	if !ok {
+		return 0, false
+	}
+	i, ok := slot[v.Name]
+	return i, ok
 }

@@ -51,6 +51,47 @@ type Instance struct {
 	hasText bool
 	norm    string
 	hasNorm bool
+	// shape caches the text-shape predicate bits (attrlike/oplike/caplike/
+	// endscolon), computed in one pass on first use. Zero means "not yet
+	// computed" — shapeValid is always set once it is. Same single-parse
+	// discipline as the text memos; FreezeMemos materializes it.
+	shape uint8
+}
+
+// Text-shape memo bits. shapeValid marks the memo as computed; the rest
+// record the four predicate outcomes the grammar's constraints probe
+// repeatedly for the same instance.
+const (
+	shapeValid uint8 = 1 << iota
+	shapeAttr
+	shapeOp
+	shapeCap
+	shapeColon
+)
+
+// shapeBits returns the memoized text-shape predicate bits, computing all
+// four predicates over the instance text on first call. The constraint
+// evaluators ask attrlike/oplike/caplike/endscolon for the same instance
+// across many candidate assignments; one scan amortizes them all.
+func (in *Instance) shapeBits() uint8 {
+	if in.shape == 0 {
+		t := in.Text()
+		b := shapeValid
+		if attrLike(t) {
+			b |= shapeAttr
+		}
+		if opLike(t) {
+			b |= shapeOp
+		}
+		if capLike(t) {
+			b |= shapeCap
+		}
+		if strings.HasSuffix(strings.TrimSpace(t), ":") {
+			b |= shapeColon
+		}
+		in.shape = b
+	}
+	return in.shape
 }
 
 // NewTerminal wraps an input token as a terminal instance. The universe is
@@ -125,15 +166,63 @@ func (in *Instance) Walk(visit func(*Instance) bool) {
 }
 
 // Texts concatenates the string values of all text-terminal descendants.
+// The zero- and one-text cases — most attribute subtrees wrap exactly one
+// text token — return without allocating; multi-text yields are joined
+// through one grown buffer instead of a parts slice.
 func (in *Instance) Texts() string {
-	var parts []string
-	in.Walk(func(x *Instance) bool {
-		if x.Token != nil && x.Token.Type == token.Text {
-			parts = append(parts, x.Token.SVal)
+	first, n := firstText(in, "", 0)
+	if n == 0 {
+		return ""
+	}
+	if n == 1 {
+		return first
+	}
+	var j textJoiner
+	j.walk(in)
+	return string(j.buf)
+}
+
+// firstText finds the first text terminal and counts up to two of them.
+func firstText(in *Instance, first string, n int) (string, int) {
+	if in.Token != nil {
+		if in.Token.Type == token.Text {
+			if n == 0 {
+				first = in.Token.SVal
+			}
+			n++
 		}
-		return true
-	})
-	return strings.Join(parts, " ")
+		return first, n
+	}
+	for _, c := range in.Children {
+		if first, n = firstText(c, first, n); n > 1 {
+			break
+		}
+	}
+	return first, n
+}
+
+// textJoiner joins text-terminal values with single separating spaces
+// (strings.Join semantics: a separator between every adjacent pair, even
+// around empty values).
+type textJoiner struct {
+	buf     []byte
+	started bool
+}
+
+func (j *textJoiner) walk(in *Instance) {
+	if in.Token != nil {
+		if in.Token.Type == token.Text {
+			if j.started {
+				j.buf = append(j.buf, ' ')
+			}
+			j.started = true
+			j.buf = append(j.buf, in.Token.SVal...)
+		}
+		return
+	}
+	for _, c := range in.Children {
+		j.walk(c)
+	}
 }
 
 // Text returns instText semantics with memoization: the token string for
@@ -179,6 +268,7 @@ func (in *Instance) FreezeMemos(seen map[*Instance]bool) int64 {
 	// The struct, its slot in whatever index holds it, and the cover words.
 	cost := int64(unsafe.Sizeof(Instance{})) + int64(in.Cover.Len()/8+16)
 	cost += int64(len(in.Text()) + len(in.NormText()))
+	in.shapeBits()
 	cost += int64(8 * len(in.Children))
 	for _, c := range in.Children {
 		cost += c.FreezeMemos(seen)

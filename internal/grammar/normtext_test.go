@@ -1,0 +1,85 @@
+package grammar
+
+import (
+	"strings"
+	"testing"
+
+	"formext/internal/token"
+)
+
+// normTextRef is the reference composition the optimized normText must
+// match byte for byte.
+func normTextRef(s string) string {
+	s = strings.ToLower(strings.TrimSpace(s))
+	s = strings.Trim(s, ":*?.! \t")
+	return strings.Join(strings.Fields(s), " ")
+}
+
+func TestNormTextMatchesReference(t *testing.T) {
+	cases := []string{
+		"", " ", "\t\n", "author", "Author", "AUTHOR:",
+		"  Publication   Date  ", "Title of Book?", "* required!",
+		"price . range", ". . a", "a . .", "from:  ", ":*?.! \t",
+		"étude", "ÉTUDE", "a b", // NBSP is unicode space
+		"last name*", "what's this?!", "a  b\tc\nd", "x\v\fy",
+		"..mixed.. ends..", "123 456", "  ! leading bang",
+		"trailing bang !  ", "tab\tends\t", "İstanbul",
+	}
+	for _, s := range cases {
+		if got, want := normText(s), normTextRef(s); got != want {
+			t.Errorf("normText(%q) = %q, want %q", s, got, want)
+		}
+	}
+}
+
+func FuzzNormText(f *testing.F) {
+	f.Add("Author: ")
+	f.Add("  two  Words !")
+	f.Add("Étude   mixte")
+	f.Fuzz(func(t *testing.T, s string) {
+		if got, want := normText(s), normTextRef(s); got != want {
+			t.Errorf("normText(%q) = %q, want %q", s, got, want)
+		}
+	})
+}
+
+// textsRef is the parts-and-Join form Texts replaced.
+func textsRef(in *Instance) string {
+	var parts []string
+	in.Walk(func(x *Instance) bool {
+		if x.Token != nil && x.Token.Type == token.Text {
+			parts = append(parts, x.Token.SVal)
+		}
+		return true
+	})
+	return strings.Join(parts, " ")
+}
+
+func TestTextsMatchesReference(t *testing.T) {
+	text := func(s string) *Instance {
+		return &Instance{Token: &token.Token{Type: token.Text, SVal: s}}
+	}
+	widget := func() *Instance {
+		return &Instance{Token: &token.Token{Type: token.Textbox}}
+	}
+	nt := func(children ...*Instance) *Instance {
+		return &Instance{Sym: "x", Children: children}
+	}
+	cases := []*Instance{
+		nt(),
+		nt(widget()),
+		text("solo"),
+		nt(text("one")),
+		nt(text("one"), text("two")),
+		nt(text(""), text("two")),
+		nt(text("one"), text("")),
+		nt(text(""), text("")),
+		nt(nt(text("a")), widget(), nt(nt(text("b"), text("c")))),
+		nt(widget(), nt(text("only"))),
+	}
+	for i, in := range cases {
+		if got, want := in.Texts(), textsRef(in); got != want {
+			t.Errorf("case %d: Texts() = %q, want %q", i, got, want)
+		}
+	}
+}

@@ -1,0 +1,49 @@
+package htmlparse
+
+import (
+	"context"
+	"testing"
+
+	"formext/internal/dataset"
+)
+
+// The benchmarks run over the Qam fixture (the amazon.com-style interface of
+// the paper's Figure 3a) because that is the page the end-to-end extraction
+// targets in BENCH_frontend.json are stated against.
+
+func BenchmarkLexQam(b *testing.B) {
+	src := []byte(dataset.QamHTML)
+	b.ReportAllocs()
+	b.SetBytes(int64(len(src)))
+	var a Arena
+	for i := 0; i < b.N; i++ {
+		lx := newLexer(src, &a)
+		for {
+			tok := lx.next()
+			if tok.kind == tokEOF {
+				break
+			}
+		}
+		a.Release()
+	}
+}
+
+func BenchmarkDOMBuildQam(b *testing.B) {
+	src := []byte(dataset.QamHTML)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.SetBytes(int64(len(src)))
+	var a Arena
+	for i := 0; i < b.N; i++ {
+		ParseBytes(ctx, src, Limits{}, &a)
+		a.Release()
+	}
+}
+
+func BenchmarkDecodeEntities(b *testing.B) {
+	const s = "Tom &amp; Jerry &lt;&#65;&gt; &copy; 2004 &ampersands &unknown; &#x2603;"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		DecodeEntities(s)
+	}
+}

@@ -1,52 +1,92 @@
 package htmlparse
 
 import (
+	"bytes"
 	"strconv"
 	"strings"
+	"unsafe"
+
+	"formext/internal/slab"
 )
 
 // namedEntities maps the named character references that occur in practice
-// on form pages. Exotic references decode to themselves (the reference text
-// is kept literally), which is the behaviour of lenient browsers for unknown
-// entities.
-var namedEntities = map[string]rune{
-	"amp":    '&',
-	"lt":     '<',
-	"gt":     '>',
-	"quot":   '"',
-	"apos":   '\'',
-	"nbsp":   ' ', // plain space: downstream text handling collapses whitespace
-	"copy":   '©',
-	"reg":    '®',
-	"trade":  '™',
-	"hellip": '…',
-	"mdash":  '—',
-	"ndash":  '–',
-	"lsquo":  '‘',
-	"rsquo":  '’',
-	"ldquo":  '“',
-	"rdquo":  '”',
-	"laquo":  '«',
-	"raquo":  '»',
-	"middot": '·',
-	"bull":   '•',
-	"deg":    '°',
-	"plusmn": '±',
-	"frac12": '½',
-	"frac14": '¼',
-	"times":  '×',
-	"divide": '÷',
-	"cent":   '¢',
-	"pound":  '£',
-	"euro":   '€',
-	"yen":    '¥',
-	"sect":   '§',
-	"para":   '¶',
-	"dagger": '†',
-	"larr":   '←',
-	"uarr":   '↑',
-	"rarr":   '→',
-	"darr":   '↓',
+// on form pages to their decoded text. Exotic references decode to
+// themselves (the reference text is kept literally), which is the
+// behaviour of lenient browsers for unknown entities. The values are
+// static strings, so decoding a named reference never allocates.
+var namedEntities = map[string]string{
+	"amp":    "&",
+	"lt":     "<",
+	"gt":     ">",
+	"quot":   `"`,
+	"apos":   "'",
+	"nbsp":   " ", // plain space: downstream text handling collapses whitespace
+	"copy":   "©",
+	"reg":    "®",
+	"trade":  "™",
+	"hellip": "…",
+	"mdash":  "—",
+	"ndash":  "–",
+	"lsquo":  "‘",
+	"rsquo":  "’",
+	"ldquo":  "“",
+	"rdquo":  "”",
+	"laquo":  "«",
+	"raquo":  "»",
+	"middot": "·",
+	"bull":   "•",
+	"deg":    "°",
+	"plusmn": "±",
+	"frac12": "½",
+	"frac14": "¼",
+	"times":  "×",
+	"divide": "÷",
+	"cent":   "¢",
+	"pound":  "£",
+	"euro":   "€",
+	"yen":    "¥",
+	"sect":   "§",
+	"para":   "¶",
+	"dagger": "†",
+	"larr":   "←",
+	"uarr":   "↑",
+	"rarr":   "→",
+	"darr":   "↓",
+}
+
+// asciiStrings holds one static single-byte string per ASCII code point,
+// so numeric references in the ASCII range (&#32;, &#x41; — the common
+// case by far) decode without allocating.
+var asciiStrings [128]string
+
+func init() {
+	const all = "\x00\x01\x02\x03\x04\x05\x06\x07\x08\x09\x0a\x0b\x0c\x0d\x0e\x0f" +
+		"\x10\x11\x12\x13\x14\x15\x16\x17\x18\x19\x1a\x1b\x1c\x1d\x1e\x1f" +
+		" !\"#$%&'()*+,-./0123456789:;<=>?" +
+		"@ABCDEFGHIJKLMNOPQRSTUVWXYZ[\\]^_" +
+		"`abcdefghijklmnopqrstuvwxyz{|}~\x7f"
+	for i := range asciiStrings {
+		asciiStrings[i] = all[i : i+1]
+	}
+}
+
+// runeString returns the UTF-8 text of r, from the static table when r is
+// ASCII.
+func runeString(r rune) string {
+	if r >= 0 && r < 128 {
+		return asciiStrings[r]
+	}
+	return string(r)
+}
+
+// bstr views a byte slice as a string without copying. The callers hold
+// slices of parse input or arena blocks, both immutable for the life of
+// the returned string.
+func bstr(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	return unsafe.String(&b[0], len(b))
 }
 
 // DecodeEntities replaces HTML character references in s with the characters
@@ -73,7 +113,7 @@ func DecodeEntities(s string) string {
 			s = s[next:]
 			continue
 		}
-		r, consumed := decodeOne(s)
+		r, consumed := decodeOne(unsafe.Slice(unsafe.StringData(s), len(s)))
 		if consumed == 0 {
 			b.WriteByte('&')
 			s = s[1:]
@@ -85,10 +125,50 @@ func DecodeEntities(s string) string {
 	return b.String()
 }
 
+// decodeEntitiesArena decodes the character references in src, carving the
+// result from the text slab. When src holds no reference it is returned as
+// a zero-copy view — the dominant case for real pages — so plain text and
+// attribute values share the page buffer. A nil slab falls back to the
+// string decoder.
+func decodeEntitiesArena(src []byte, text *slab.Bytes) string {
+	amp := bytes.IndexByte(src, '&')
+	if amp < 0 {
+		return bstr(src)
+	}
+	if text == nil {
+		return DecodeEntities(string(src))
+	}
+	text.BeginRun()
+	text.AppendBytes(src[:amp])
+	s := src[amp:]
+	for len(s) > 0 {
+		if s[0] != '&' {
+			next := bytes.IndexByte(s, '&')
+			if next < 0 {
+				text.AppendBytes(s)
+				break
+			}
+			text.AppendBytes(s[:next])
+			s = s[next:]
+			continue
+		}
+		r, consumed := decodeOne(s)
+		if consumed == 0 {
+			text.AppendByte('&')
+			s = s[1:]
+			continue
+		}
+		text.AppendString(r)
+		s = s[consumed:]
+	}
+	return text.EndRun()
+}
+
 // decodeOne decodes a single reference at the start of s (which begins with
-// '&'). It returns the replacement text and the number of input bytes
+// '&'). It returns the replacement text — always a shared static string for
+// named and ASCII-numeric references — and the number of input bytes
 // consumed; consumed == 0 means no valid reference was found.
-func decodeOne(s string) (string, int) {
+func decodeOne(s []byte) (string, int) {
 	if len(s) < 2 {
 		return "", 0
 	}
@@ -102,22 +182,22 @@ func decodeOne(s string) (string, int) {
 	}
 	name := s[1:i]
 	hasSemi := i < len(s) && s[i] == ';'
-	if r, ok := namedEntities[name]; ok {
+	if r, ok := namedEntities[string(name)]; ok {
 		if hasSemi {
-			return string(r), i + 1
+			return r, i + 1
 		}
 		// Bare references are accepted for legacy-compatible names.
-		switch name {
+		switch string(name) {
 		case "amp", "lt", "gt", "quot", "nbsp", "copy", "reg":
-			return string(r), i
+			return r, i
 		}
 	}
 	// Try progressively shorter prefixes for run-together text like &ampx.
 	for j := i; j > 1; j-- {
-		if r, ok := namedEntities[s[1:j]]; ok && !hasSemi {
-			switch s[1:j] {
+		if r, ok := namedEntities[string(s[1:j])]; ok && !hasSemi {
+			switch string(s[1:j]) {
 			case "amp", "lt", "gt", "quot", "nbsp":
-				return string(r), j
+				return r, j
 			}
 			_ = r
 		}
@@ -125,7 +205,7 @@ func decodeOne(s string) (string, int) {
 	return "", 0
 }
 
-func decodeNumeric(s string) (string, int) {
+func decodeNumeric(s []byte) (string, int) {
 	// s starts with "&#".
 	i := 2
 	base := 10
@@ -140,14 +220,14 @@ func decodeNumeric(s string) (string, int) {
 	if i == start {
 		return "", 0
 	}
-	v, err := strconv.ParseInt(s[start:i], base, 32)
+	v, err := strconv.ParseInt(bstr(s[start:i]), base, 32)
 	if err != nil || v <= 0 || v > 0x10FFFF {
 		return "", 0
 	}
 	if i < len(s) && s[i] == ';' {
 		i++
 	}
-	return string(rune(v)), i
+	return runeString(rune(v)), i
 }
 
 func isAlnum(c byte) bool {

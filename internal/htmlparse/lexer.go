@@ -1,6 +1,10 @@
 package htmlparse
 
-import "strings"
+import (
+	"bytes"
+
+	"formext/internal/slab"
+)
 
 // tokenKind discriminates lexer output.
 type tokenKind int
@@ -17,23 +21,38 @@ const (
 // lexToken is one lexical unit of the HTML input.
 type lexToken struct {
 	kind        tokenKind
-	data        string // tag name (lower-cased), text content, or comment body
+	data        string // tag name (interned, lower-cased), text content, or comment body
+	info        *nameInfo
 	attrs       []Attr
 	selfClosing bool
 }
 
-// lexer scans HTML input into tokens. It is deliberately forgiving: anything
-// that is not a well-formed tag is treated as text, mirroring browser error
-// recovery.
+// lexer scans HTML input into tokens. It is deliberately forgiving:
+// anything that is not a well-formed tag is treated as text, mirroring
+// browser error recovery.
+//
+// The lexer is zero-copy where the grammar allows: text without character
+// references, comment bodies and raw-text content are views into the input
+// buffer; tag and attribute names come from the intern table; only decoded
+// text and attribute values touch the arena's byte slab. The input buffer
+// must therefore stay unmodified for the lifetime of the produced tokens
+// (and of any tree built from them).
 type lexer struct {
-	src string
+	src []byte
 	pos int
 	// rawTag, when non-empty, makes the lexer consume everything up to the
 	// matching end tag as a single text token (script/style/textarea/title).
 	rawTag string
+	// text backs decoded strings and uncommon names; nil falls back to
+	// plain allocation.
+	text *slab.Bytes
+	// arena additionally backs attribute slices when non-nil.
+	arena *Arena
 }
 
-func newLexer(src string) *lexer { return &lexer{src: src} }
+func newLexer(src []byte, a *Arena) *lexer {
+	return &lexer{src: src, text: a.textBytes(), arena: a}
+}
 
 // next returns the next token.
 func (l *lexer) next() lexToken {
@@ -59,16 +78,17 @@ func (l *lexer) lexText() lexToken {
 	for l.pos < len(l.src) && l.src[l.pos] != '<' {
 		l.pos++
 	}
-	return lexToken{kind: tokText, data: DecodeEntities(l.src[start:l.pos])}
+	return lexToken{kind: tokText, data: decodeEntitiesArena(l.src[start:l.pos], l.text)}
 }
 
 // lexRawText consumes content up to the closing tag of the current raw-text
-// element.
+// element. The closing-tag search folds ASCII case in place instead of
+// lowering a copy of the whole remainder as the string lexer did; the two
+// agree except on pathological non-ASCII input whose Unicode lower-casing
+// changes byte offsets.
 func (l *lexer) lexRawText() lexToken {
-	closing := "</" + l.rawTag
-	lower := strings.ToLower(l.src[l.pos:])
-	idx := strings.Index(lower, closing)
-	var content string
+	idx := indexCloseTag(l.src[l.pos:], l.rawTag)
+	var content []byte
 	if idx < 0 {
 		content = l.src[l.pos:]
 		l.pos = len(l.src)
@@ -77,11 +97,37 @@ func (l *lexer) lexRawText() lexToken {
 		l.pos += idx
 	}
 	l.rawTag = ""
-	if content == "" {
+	if len(content) == 0 {
 		// Nothing between the tags; continue with the end tag itself.
 		return l.next()
 	}
-	return lexToken{kind: tokText, data: content}
+	return lexToken{kind: tokText, data: bstr(content)}
+}
+
+// indexCloseTag finds the first "</tag" in src, ignoring ASCII case; tag is
+// already lowercase.
+func indexCloseTag(src []byte, tag string) int {
+	n := len(tag)
+	for i := 0; i+2+n <= len(src); i++ {
+		if src[i] != '<' || src[i+1] != '/' {
+			continue
+		}
+		match := true
+		for j := 0; j < n; j++ {
+			c := src[i+2+j]
+			if c >= 'A' && c <= 'Z' {
+				c += 'a' - 'A'
+			}
+			if c != tag[j] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return i
+		}
+	}
+	return -1
 }
 
 // lexMarkup attempts to scan a tag, comment or doctype starting at '<'.
@@ -91,7 +137,7 @@ func (l *lexer) lexMarkup() (lexToken, bool) {
 		return lexToken{}, false
 	}
 	switch {
-	case strings.HasPrefix(src[p:], "<!--"):
+	case bytes.HasPrefix(src[p:], commentOpen):
 		return l.lexComment(), true
 	case src[p+1] == '!' || src[p+1] == '?':
 		return l.lexDeclaration(), true
@@ -102,10 +148,15 @@ func (l *lexer) lexMarkup() (lexToken, bool) {
 	}
 }
 
+var (
+	commentOpen  = []byte("<!--")
+	commentClose = []byte("-->")
+)
+
 func (l *lexer) lexComment() lexToken {
 	l.pos += 4 // consume "<!--"
-	end := strings.Index(l.src[l.pos:], "-->")
-	var body string
+	end := bytes.Index(l.src[l.pos:], commentClose)
+	var body []byte
 	if end < 0 {
 		body = l.src[l.pos:]
 		l.pos = len(l.src)
@@ -113,12 +164,12 @@ func (l *lexer) lexComment() lexToken {
 		body = l.src[l.pos : l.pos+end]
 		l.pos += end + 3
 	}
-	return lexToken{kind: tokComment, data: body}
+	return lexToken{kind: tokComment, data: bstr(body)}
 }
 
 func (l *lexer) lexDeclaration() lexToken {
 	// <!DOCTYPE ...> or <?xml ...?> — consume to '>'.
-	end := strings.IndexByte(l.src[l.pos:], '>')
+	end := bytes.IndexByte(l.src[l.pos:], '>')
 	if end < 0 {
 		l.pos = len(l.src)
 	} else {
@@ -136,7 +187,7 @@ func (l *lexer) lexEndTag() (lexToken, bool) {
 	if p == start {
 		return lexToken{}, false
 	}
-	name := strings.ToLower(l.src[start:p])
+	name, info := internName(l.src[start:p], l.text)
 	// Skip to '>' discarding any junk.
 	for p < len(l.src) && l.src[p] != '>' {
 		p++
@@ -145,7 +196,7 @@ func (l *lexer) lexEndTag() (lexToken, bool) {
 		p++
 	}
 	l.pos = p
-	return lexToken{kind: tokEndTag, data: name}, true
+	return lexToken{kind: tokEndTag, data: name, info: info}, true
 }
 
 func (l *lexer) lexStartTag() (lexToken, bool) {
@@ -157,7 +208,8 @@ func (l *lexer) lexStartTag() (lexToken, bool) {
 	if p == start {
 		return lexToken{}, false
 	}
-	tok := lexToken{kind: tokStartTag, data: strings.ToLower(l.src[start:p])}
+	tok := lexToken{kind: tokStartTag}
+	tok.data, tok.info = internName(l.src[start:p], l.text)
 	for {
 		p = skipSpace(l.src, p)
 		if p >= len(l.src) {
@@ -177,23 +229,29 @@ func (l *lexer) lexStartTag() (lexToken, bool) {
 			continue
 		}
 		var attr Attr
-		attr, p = lexAttr(l.src, p)
+		attr, p = lexAttr(l.src, p, l.text)
 		if attr.Name == "" {
 			p++ // junk byte; skip to avoid an infinite loop
 			continue
 		}
-		tok.attrs = append(tok.attrs, attr)
+		tok.attrs = l.arena.appendAttr(tok.attrs, attr)
 	}
 	l.pos = p
-	if isRawTextTag(tok.data) && !tok.selfClosing {
-		l.rawTag = tok.data
+	if !tok.selfClosing {
+		raw := isRawTextTag(tok.data)
+		if tok.info != nil {
+			raw = tok.info.flags&infoRawText != 0
+		}
+		if raw {
+			l.rawTag = tok.data
+		}
 	}
 	return tok, true
 }
 
 // lexAttr scans one attribute at position p and returns it with the new
-// position. The name is lower-cased and the value entity-decoded.
-func lexAttr(src string, p int) (Attr, int) {
+// position. The name is lower-cased (interned) and the value entity-decoded.
+func lexAttr(src []byte, p int, text *slab.Bytes) (Attr, int) {
 	start := p
 	for p < len(src) && isAttrNameByte(src[p]) {
 		p++
@@ -201,7 +259,8 @@ func lexAttr(src string, p int) (Attr, int) {
 	if p == start {
 		return Attr{}, p
 	}
-	attr := Attr{Name: strings.ToLower(src[start:p])}
+	name, _ := internName(src[start:p], text)
+	attr := Attr{Name: name}
 	p = skipSpace(src, p)
 	if p >= len(src) || src[p] != '=' {
 		return attr, p // boolean attribute
@@ -218,7 +277,7 @@ func lexAttr(src string, p int) (Attr, int) {
 		for p < len(src) && src[p] != quote {
 			p++
 		}
-		attr.Value = DecodeEntities(src[vstart:p])
+		attr.Value = decodeEntitiesArena(src[vstart:p], text)
 		if p < len(src) {
 			p++ // closing quote
 		}
@@ -227,7 +286,7 @@ func lexAttr(src string, p int) (Attr, int) {
 		for p < len(src) && !isSpaceByte(src[p]) && src[p] != '>' {
 			p++
 		}
-		attr.Value = DecodeEntities(src[vstart:p])
+		attr.Value = decodeEntitiesArena(src[vstart:p], text)
 	}
 	return attr, p
 }
@@ -252,7 +311,7 @@ func isSpaceByte(c byte) bool {
 	return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f'
 }
 
-func skipSpace(src string, p int) int {
+func skipSpace(src []byte, p int) int {
 	for p < len(src) && isSpaceByte(src[p]) {
 		p++
 	}

@@ -6,7 +6,7 @@ import (
 )
 
 func collect(src string) []lexToken {
-	lx := newLexer(src)
+	lx := newLexer([]byte(src), nil)
 	var toks []lexToken
 	for {
 		t := lx.next()

@@ -7,7 +7,11 @@
 // internal/layout.
 package htmlparse
 
-import "strings"
+import (
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
 
 // NodeType discriminates the kinds of DOM nodes produced by the parser.
 type NodeType int
@@ -141,9 +145,23 @@ func (n *Node) FindAll(pred func(*Node) bool) []*Node {
 }
 
 // FindTag returns the first descendant element with the given tag name.
+// Direct recursion, not Find: layout calls this per table (captions) and per
+// document (body), and the visitor closure plus Walk's explicit stack were
+// measurable per-extraction allocations.
 func (n *Node) FindTag(tag string) *Node {
-	tag = strings.ToLower(tag)
-	return n.Find(func(m *Node) bool { return m.Type == ElementNode && m.Tag == tag })
+	return findTag(n, strings.ToLower(tag))
+}
+
+func findTag(n *Node, tag string) *Node {
+	for _, c := range n.Children {
+		if c.Type == ElementNode && c.Tag == tag {
+			return c
+		}
+		if f := findTag(c, tag); f != nil {
+			return f
+		}
+	}
+	return nil
 }
 
 // FindAllTags returns all descendant elements with the given tag name.
@@ -155,15 +173,81 @@ func (n *Node) FindAllTags(tag string) []*Node {
 // InnerText concatenates all descendant text, collapsing runs of whitespace
 // to single spaces and trimming the result.
 func (n *Node) InnerText() string {
-	var b strings.Builder
-	n.Walk(func(m *Node) bool {
-		if m.Type == TextNode {
-			b.WriteString(m.Data)
-			b.WriteByte(' ')
+	return string(n.AppendInnerText(nil))
+}
+
+// AppendInnerText appends InnerText to dst and returns the extended slice,
+// letting callers that tokenize many nodes reuse one scratch buffer. The
+// output is every whitespace-delimited word of the subtree's text nodes,
+// in document order, joined by single spaces — exactly
+// strings.Join(strings.Fields(<concatenated text>), " ").
+func (n *Node) AppendInnerText(dst []byte) []byte {
+	first := len(dst) == 0
+	return appendTextWords(n, dst, &first)
+}
+
+func appendTextWords(n *Node, dst []byte, first *bool) []byte {
+	if n.Type == TextNode {
+		data := n.Data
+		p := 0
+		for {
+			s, e, ok := nextTextWord(data, p)
+			if !ok {
+				return dst
+			}
+			if !*first {
+				dst = append(dst, ' ')
+			}
+			*first = false
+			dst = append(dst, data[s:e]...)
+			p = e
 		}
-		return true
-	})
-	return strings.Join(strings.Fields(b.String()), " ")
+	}
+	for _, c := range n.Children {
+		dst = appendTextWords(c, dst, first)
+	}
+	return dst
+}
+
+// nextTextWord finds the next strings.Fields word of s at or after p: the
+// same whitespace definition (ASCII space set, unicode.IsSpace beyond).
+func nextTextWord(s string, p int) (start, end int, ok bool) {
+	for p < len(s) {
+		c := s[p]
+		if c < utf8.RuneSelf {
+			if c == ' ' || c == '\t' || c == '\n' || c == '\v' || c == '\f' || c == '\r' {
+				p++
+				continue
+			}
+			break
+		}
+		r, size := utf8.DecodeRuneInString(s[p:])
+		if unicode.IsSpace(r) {
+			p += size
+			continue
+		}
+		break
+	}
+	if p >= len(s) {
+		return 0, 0, false
+	}
+	start = p
+	for p < len(s) {
+		c := s[p]
+		if c < utf8.RuneSelf {
+			if c == ' ' || c == '\t' || c == '\n' || c == '\v' || c == '\f' || c == '\r' {
+				break
+			}
+			p++
+			continue
+		}
+		r, size := utf8.DecodeRuneInString(s[p:])
+		if unicode.IsSpace(r) {
+			break
+		}
+		p += size
+	}
+	return start, p, true
 }
 
 // IsElement reports whether n is an element with the given tag.

@@ -1,6 +1,9 @@
 package htmlparse
 
-import "context"
+import (
+	"context"
+	"unsafe"
+)
 
 // Tree construction. The builder follows the pragmatic subset of the HTML5
 // tree-construction rules that matters for form pages: void elements,
@@ -85,6 +88,14 @@ type Trunc struct {
 	Err error
 }
 
+// openElem is one frame of the tree builder's stack of open elements: the
+// node plus its tag's closer bits (selfBit | bitTable), so implied-closing
+// decisions are bit tests instead of map lookups.
+type openElem struct {
+	n    *Node
+	bits uint16
+}
+
 // Parse builds a document tree from HTML source. It never fails: malformed
 // input produces a best-effort tree, matching the error recovery a browser
 // performs. Nesting is bounded by DefaultMaxDepth (deeper structure is
@@ -102,15 +113,46 @@ func Parse(src string) *Node {
 // non-nil and valid — on cancellation it simply ends at the last token
 // consumed — and the Trunc return describes what was cut short.
 func ParseContext(ctx context.Context, src string, lim Limits) (*Node, Trunc) {
+	return ParseBytes(ctx, strBytes(src), lim, nil)
+}
+
+// strBytes views a string as bytes without copying; safe because the
+// parser never writes to its input.
+func strBytes(s string) []byte {
+	if len(s) == 0 {
+		return nil
+	}
+	return unsafe.Slice(unsafe.StringData(s), len(s))
+}
+
+// ParseBytes parses HTML directly from a byte buffer, carving every node,
+// child slice, attribute and decoded string from the arena (nil runs
+// without one, allocating from the heap). The tree aliases src wherever
+// the syntax allows — plain text runs, raw-text bodies, comment bodies and
+// entity-free attribute values are views into the buffer — so src must not
+// be modified for as long as the tree is alive. Callers that reuse their
+// buffer must copy first; callers serving []byte pages (the facade, the
+// crawler) skip the page-sized string copy the string API used to force.
+func ParseBytes(ctx context.Context, src []byte, lim Limits, a *Arena) (*Node, Trunc) {
 	maxDepth := lim.MaxDepth
 	if maxDepth == 0 {
 		maxDepth = DefaultMaxDepth
 	}
 	var trunc Trunc
-	doc := &Node{Type: DocumentNode}
-	lx := newLexer(src)
-	stack := []*Node{doc}
-	top := func() *Node { return stack[len(stack)-1] }
+	doc := a.newNode()
+	doc.Type = DocumentNode
+	lx := newLexer(src, a)
+	var stack []openElem
+	if a != nil {
+		stack = append(a.stack[:0], openElem{n: doc})
+	} else {
+		stack = []openElem{{n: doc}}
+	}
+	defer func() {
+		if a != nil {
+			a.stack = stack[:0]
+		}
+	}()
 
 	countdown := checkEvery
 	for {
@@ -130,47 +172,51 @@ func ParseContext(ctx context.Context, src string, lim Limits) (*Node, Trunc) {
 			if tok.data == "" {
 				continue
 			}
-			top().AppendChild(&Node{Type: TextNode, Data: tok.data})
+			n := a.newNode()
+			n.Type, n.Data = TextNode, tok.data
+			a.appendChild(stack[len(stack)-1].n, n)
 		case tokComment:
-			top().AppendChild(&Node{Type: CommentNode, Data: tok.data})
+			n := a.newNode()
+			n.Type, n.Data = CommentNode, tok.data
+			a.appendChild(stack[len(stack)-1].n, n)
 		case tokDoctype:
 			// Dropped; the tree does not model doctypes.
 		case tokStartTag:
-			closeImplied(&stack, tok.data)
-			el := &Node{Type: ElementNode, Tag: tok.data, Attrs: tok.attrs}
-			stack[len(stack)-1].AppendChild(el)
-			if !voidElements[tok.data] && !tok.selfClosing {
+			closeImplied(&stack, tok.info)
+			el := a.newNode()
+			el.Type, el.Tag, el.Attrs = ElementNode, tok.data, tok.attrs
+			a.appendChild(stack[len(stack)-1].n, el)
+			void := voidElements[tok.data]
+			var bits uint16
+			if tok.info != nil {
+				void = tok.info.flags&infoVoid != 0
+				bits = tok.info.frame
+			}
+			if !void && !tok.selfClosing {
 				// The document root occupies one stack slot, so the
 				// element depth equals len(stack) after a push.
 				if maxDepth < 0 || len(stack) <= maxDepth {
-					stack = append(stack, el)
+					stack = append(stack, openElem{n: el, bits: bits})
 				} else {
 					trunc.DepthCapped = true
 				}
 			}
 		case tokEndTag:
-			closeTo(&stack, tok.data)
+			closeTo(&stack, tok.data, tok.info)
 		}
 	}
 }
 
 // closeImplied pops elements that the incoming start tag implicitly closes.
-func closeImplied(stack *[]*Node, incoming string) {
-	closers := impliedClosers[incoming]
-	if closers == nil {
+// The frame bits encode everything the decision needs: a frame whose bit is
+// outside the incoming tag's closer mask — including a <table> boundary
+// frame, whose bitTable no mask contains — stops the popping.
+func closeImplied(stack *[]openElem, incoming *nameInfo) {
+	if incoming == nil || incoming.closes == 0 {
 		return
 	}
 	s := *stack
-	for len(s) > 1 {
-		t := s[len(s)-1]
-		if t.Type != ElementNode || !closers[t.Tag] {
-			break
-		}
-		// Respect table scoping: an incoming table-structure tag closes
-		// open rows/cells only up to the nearest table boundary.
-		if tableScoped[incoming] && t.Tag == "table" {
-			break
-		}
+	for len(s) > 1 && incoming.closes&s[len(s)-1].bits != 0 {
 		s = s[:len(s)-1]
 	}
 	*stack = s
@@ -179,19 +225,21 @@ func closeImplied(stack *[]*Node, incoming string) {
 // closeTo handles an explicit end tag: pop up to and including the matching
 // open element. If no matching element is open the end tag is ignored,
 // except for </p> and </br> which browsers synthesize; we simply ignore
-// those too since they do not affect form extraction.
-func closeTo(stack *[]*Node, tag string) {
+// those too since they do not affect form extraction. Tag names are
+// interned, so the == compares are pointer-equality fast paths.
+func closeTo(stack *[]openElem, tag string, info *nameInfo) {
 	s := *stack
+	scoped := info != nil && info.flags&infoTableScoped != 0
 	// Search for a matching open element.
 	match := -1
 	for i := len(s) - 1; i >= 1; i-- {
-		if s[i].Type == ElementNode && s[i].Tag == tag {
+		if s[i].n.Tag == tag {
 			match = i
 			break
 		}
-		// Do not let an end tag close through a table boundary unless it is
-		// the table's own end tag.
-		if s[i].Tag == "table" && tag != "table" && tableScoped[tag] {
+		// Do not let a table-scoped end tag close through a table boundary.
+		// (A </table> itself matches the boundary frame above.)
+		if scoped && s[i].bits&bitTable != 0 {
 			return
 		}
 	}

@@ -1,0 +1,87 @@
+package layout
+
+import (
+	"formext/internal/htmlparse"
+	"formext/internal/slab"
+)
+
+// Arena supplies every allocation a layout run makes. Box structs, the
+// child-pointer slices behind Box.Children, and the joined text behind
+// TextBox.Text are retained by the produced render tree, so Release hands
+// their blocks over (the core slab discipline); everything else — flow
+// structs, table grids, column widths, the cell-measure memo — is scratch
+// that only lives for the run but is carved from the same arena so a run
+// performs no per-node heap allocation at all.
+//
+// One arena serves one layout run at a time. The facade pools arenas per
+// extractor; the zero value is ready to use, and a nil *Arena makes every
+// helper fall back to plain heap allocation, which keeps Engine.Layout
+// usable without one.
+type Arena struct {
+	boxes slab.Slab[Box]
+	ptrs  slab.Slab[*Box]
+	text  slab.Bytes
+
+	// Scratch. Nothing retains objects carved from the slabs below, so
+	// Release resets them — blocks are zeroed and kept for the next run
+	// instead of re-allocated per extraction — and the memo map is cleared
+	// and reused the same way.
+	flows   slab.Slab[flow]
+	rows    slab.Slab[*htmlparse.Node]
+	cells   slab.Slab[tableCell]
+	rowCell slab.Slab[[]tableCell]
+	laid    slab.Slab[laidCell]
+	nums    slab.Slab[float64]
+	spans   []wordSpan
+	measure map[*htmlparse.Node]float64
+}
+
+// boxBytes approximates the retained size of one Box for cache cost
+// accounting (struct plus the child-pointer slot its parent holds).
+const boxBytes = 96
+
+// Release hands the render tree its memory and returns the approximate
+// number of retained bytes. Scratch slabs are reset, not dropped: the tree
+// does not reference them, so their zeroed blocks carry over to the next
+// run (Reset's clearing also unpins the released tree — recycled flow and
+// grid structs hold box pointers until overwritten otherwise).
+func (a *Arena) Release() int64 {
+	if a == nil {
+		return 0
+	}
+	n := a.boxes.Drop()*boxBytes + a.ptrs.Drop()*8 + a.text.Drop()
+	a.flows.Reset()
+	a.rows.Reset()
+	a.cells.Reset()
+	a.rowCell.Reset()
+	a.laid.Reset()
+	a.nums.Reset()
+	a.spans = a.spans[:0]
+	clear(a.measure)
+	return n
+}
+
+func (a *Arena) newBox() *Box {
+	if a == nil {
+		return &Box{}
+	}
+	b := a.boxes.New()
+	*b = Box{}
+	return b
+}
+
+func (a *Arena) appendBox(dst []*Box, b *Box) []*Box {
+	if a == nil {
+		return append(dst, b)
+	}
+	return a.ptrs.Append(dst, b)
+}
+
+func (a *Arena) newFlow() *flow {
+	if a == nil {
+		return &flow{}
+	}
+	f := a.flows.New()
+	*f = flow{}
+	return f
+}

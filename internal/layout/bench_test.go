@@ -1,0 +1,30 @@
+package layout
+
+import (
+	"context"
+	"testing"
+
+	"formext/internal/dataset"
+	"formext/internal/htmlparse"
+)
+
+func BenchmarkLayoutQam(b *testing.B) {
+	doc := htmlparse.Parse(dataset.QamHTML)
+	e := New()
+	ctx := context.Background()
+	b.ReportAllocs()
+	var a Arena
+	for i := 0; i < b.N; i++ {
+		e.LayoutArena(ctx, doc, &a)
+		a.Release()
+	}
+}
+
+func BenchmarkLayoutQamNoArena(b *testing.B) {
+	doc := htmlparse.Parse(dataset.QamHTML)
+	e := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Layout(doc)
+	}
+}

@@ -3,6 +3,8 @@ package layout
 import (
 	"context"
 	"strings"
+	"unicode"
+	"unicode/utf8"
 
 	"formext/internal/geom"
 	"formext/internal/htmlparse"
@@ -40,17 +42,33 @@ func (e *Engine) Layout(doc *htmlparse.Node) *Box {
 // with the context's error. A nil error means the document was laid out
 // in full.
 func (e *Engine) LayoutContext(ctx context.Context, doc *htmlparse.Node) (*Box, error) {
+	return e.LayoutArena(ctx, doc, nil)
+}
+
+// LayoutArena is LayoutContext with every allocation drawn from the arena
+// (nil runs without one). The returned render tree retains arena memory:
+// release the arena after the tree's owner takes it over, and do not reuse
+// the arena while the tree is alive.
+func (e *Engine) LayoutArena(ctx context.Context, doc *htmlparse.Node, a *Arena) (*Box, error) {
 	root := doc
 	if body := doc.FindTag("body"); body != nil {
 		root = body
 	}
-	r := &run{ctx: ctx, countdown: checkEvery}
-	f := &flow{e: e, r: r, x0: bodyMargin, width: e.Viewport - 2*bodyMargin, y: bodyMargin}
+	r := &run{ctx: ctx, countdown: checkEvery, a: a}
+	if a != nil {
+		if a.measure == nil {
+			a.measure = make(map[*htmlparse.Node]float64)
+		}
+		r.measure = a.measure
+	}
+	f := a.newFlow()
+	f.e, f.r, f.x0, f.width, f.y = e, r, bodyMargin, e.Viewport-2*bodyMargin, bodyMargin
 	for _, c := range root.Children {
 		f.node(c)
 	}
 	f.flushLine()
-	b := &Box{Kind: BlockBox, Node: doc, Children: f.out}
+	b := a.newBox()
+	b.Kind, b.Node, b.Children = BlockBox, doc, f.out
 	b.Rect = unionRects(f.out)
 	if b.Rect == (geom.Rect{}) {
 		b.Rect = geom.R(0, e.Viewport, 0, 0)
@@ -68,12 +86,22 @@ type run struct {
 	ctx       context.Context
 	countdown int
 	aborted   bool
+	// a backs every allocation of the run; nil falls back to the heap.
+	a *Arena
 	// measure memoizes unconstrained cell content widths (table sizing's
 	// first pass). Without it, nested tables re-measure their entire
 	// subtree once per enclosing measurement — exponential in nesting
 	// depth, which adversarial pages exploit. The measurement depends only
 	// on the node and the engine's metrics, so one entry per node is exact.
 	measure map[*htmlparse.Node]float64
+}
+
+// arena returns the run's arena; flows built directly by tests have no run.
+func (f *flow) arena() *Arena {
+	if f.r == nil {
+		return nil
+	}
+	return f.r.a
 }
 
 // step counts one processed node and reports whether the run is aborted.
@@ -153,7 +181,9 @@ func (f *flow) element(n *htmlparse.Node) {
 	case widgetTags[n.Tag]:
 		w, h, ok := f.e.M.WidgetSize(n)
 		if ok {
-			f.placeInline(&Box{Kind: WidgetBox, Node: n}, w, h)
+			b := f.arena().newBox()
+			b.Kind, b.Node = WidgetBox, n
+			f.placeInline(b, w, h)
 		}
 	case n.Tag == "table":
 		f.flushLine()
@@ -170,29 +200,133 @@ func (f *flow) element(n *htmlparse.Node) {
 	}
 }
 
-// text flows a text node's words into line boxes, wrapping at the content
-// width. Each maximal on-one-line run becomes a TextBox.
-func (f *flow) text(n *htmlparse.Node) {
-	words := strings.Fields(n.Data)
-	if len(words) == 0 {
-		return
+// wordSpan is one whitespace-delimited word as a byte range of the source
+// text.
+type wordSpan struct{ s, e int }
+
+// nextWord finds the next strings.Fields word of s at or after p. It uses
+// the same whitespace definition (ASCII space set, unicode.IsSpace beyond).
+func nextWord(s string, p int) (start, end int, ok bool) {
+	for p < len(s) {
+		c := s[p]
+		if c < utf8.RuneSelf {
+			if asciiSpace(c) {
+				p++
+				continue
+			}
+			break
+		}
+		r, size := utf8.DecodeRuneInString(s[p:])
+		if unicode.IsSpace(r) {
+			p += size
+			continue
+		}
+		break
 	}
-	m := f.e.M
-	i := 0
-	for i < len(words) {
-		run := words[i]
-		i++
-		for i < len(words) {
-			next := run + " " + words[i]
-			if f.lineAdv+m.TextWidth(next) > f.width {
+	if p >= len(s) {
+		return 0, 0, false
+	}
+	start = p
+	for p < len(s) {
+		c := s[p]
+		if c < utf8.RuneSelf {
+			if asciiSpace(c) {
 				break
 			}
-			run = next
-			i++
+			p++
+			continue
 		}
-		w := m.TextWidth(run)
-		f.placeInline(&Box{Kind: TextBox, Node: n, Text: run}, w, m.TextH)
+		r, size := utf8.DecodeRuneInString(s[p:])
+		if unicode.IsSpace(r) {
+			break
+		}
+		p += size
 	}
+	return start, p, true
+}
+
+func asciiSpace(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\n' || c == '\v' || c == '\f' || c == '\r'
+}
+
+// text flows a text node's words into line boxes, wrapping at the content
+// width. Each maximal on-one-line run becomes a TextBox. Widths are
+// computed arithmetically (TextWidth is rune count × CharW, and joining
+// adds one space per word), so no candidate strings are built; the final
+// run text aliases the source when the words are already single-space
+// separated and is otherwise joined once into the arena.
+func (f *flow) text(n *htmlparse.Node) {
+	data := n.Data
+	m := f.e.M
+	a := f.arena()
+	var spans []wordSpan
+	if a != nil {
+		spans = a.spans[:0]
+		defer func() { a.spans = spans[:0] }()
+	}
+	start, end, ok := nextWord(data, 0)
+	for ok {
+		spans = append(spans[:0], wordSpan{start, end})
+		runes := utf8.RuneCountInString(data[start:end])
+		for {
+			start, end, ok = nextWord(data, end)
+			if !ok {
+				break
+			}
+			next := runes + 1 + utf8.RuneCountInString(data[start:end])
+			if f.lineAdv+float64(next)*m.CharW > f.width {
+				break
+			}
+			runes = next
+			spans = append(spans, wordSpan{start, end})
+		}
+		b := a.newBox()
+		b.Kind, b.Node, b.Text = TextBox, n, joinSpans(data, spans, a)
+		f.placeInline(b, float64(runes)*m.CharW, m.TextH)
+	}
+}
+
+// joinSpans materializes a text run: a zero-copy slice of the source when
+// the words are contiguous with single spaces, otherwise a single arena
+// build.
+func joinSpans(data string, spans []wordSpan, a *Arena) string {
+	first, last := spans[0], spans[len(spans)-1]
+	if last.e-first.s == spanJoinedLen(spans) {
+		// The in-source separators are all exactly one byte; they must also
+		// all be plain spaces for the alias to equal the joined text (words
+		// contain no whitespace, so scanning the whole range checks the gaps).
+		if !strings.ContainsAny(data[first.s:last.e], "\t\n\v\f\r") {
+			return data[first.s:last.e]
+		}
+	}
+	if a == nil {
+		var sb strings.Builder
+		sb.Grow(spanJoinedLen(spans))
+		for i, sp := range spans {
+			if i > 0 {
+				sb.WriteByte(' ')
+			}
+			sb.WriteString(data[sp.s:sp.e])
+		}
+		return sb.String()
+	}
+	a.text.BeginRun()
+	for i, sp := range spans {
+		if i > 0 {
+			a.text.AppendByte(' ')
+		}
+		a.text.AppendString(data[sp.s:sp.e])
+	}
+	return a.text.EndRun()
+}
+
+// spanJoinedLen is the byte length of the spans joined with single spaces.
+func spanJoinedLen(spans []wordSpan) int {
+	n := len(spans) - 1
+	for _, sp := range spans {
+		n += sp.e - sp.s
+	}
+	return n
 }
 
 // placeInline appends an inline-level box of the given size to the open
@@ -203,7 +337,7 @@ func (f *flow) placeInline(b *Box, w, h float64) {
 	}
 	x := f.x0 + f.lineAdv
 	b.Rect = geom.R(x, x+w, f.y, f.y+h)
-	f.line = append(f.line, b)
+	f.line = f.arena().appendBox(f.line, b)
 	f.lineAdv += w + f.e.M.SpaceW
 }
 
@@ -232,14 +366,15 @@ func (f *flow) flushLine() {
 	if dx < 0 {
 		dx = 0
 	}
+	a := f.arena()
 	for _, b := range f.line {
 		dy := (lineH - b.Rect.Height()) / 2
 		if dy > 0 || dx > 0 {
 			b.Translate(dx, dy)
 		}
+		f.out = a.appendBox(f.out, b)
 	}
-	f.out = append(f.out, f.line...)
-	f.line = nil
+	f.line = f.line[:0]
 	f.lineAdv = 0
 	f.y += lineH + f.e.M.LineGap
 }
@@ -258,8 +393,10 @@ func (f *flow) lineBreak() {
 func (f *flow) rule(n *htmlparse.Node) {
 	f.flushLine()
 	f.y += f.e.M.BlockGap / 2
-	b := &Box{Kind: RuleBox, Node: n, Rect: geom.R(f.x0, f.x0+f.width, f.y, f.y+2)}
-	f.out = append(f.out, b)
+	b := f.arena().newBox()
+	b.Kind, b.Node = RuleBox, n
+	b.Rect = geom.R(f.x0, f.x0+f.width, f.y, f.y+2)
+	f.out = f.arena().appendBox(f.out, b)
 	f.y += 2 + f.e.M.BlockGap/2
 }
 
@@ -293,7 +430,10 @@ func (f *flow) block(n *htmlparse.Node) {
 	gap := f.blockGapFor(n.Tag)
 	indent := blockIndent(n.Tag)
 	f.y += gap
-	sub := &flow{e: f.e, r: f.r, x0: f.x0 + indent, width: f.width - indent, y: f.y, align: alignOf(n, f.align)}
+	a := f.arena()
+	sub := a.newFlow()
+	sub.e, sub.r = f.e, f.r
+	sub.x0, sub.width, sub.y, sub.align = f.x0+indent, f.width-indent, f.y, alignOf(n, f.align)
 	if sub.width < 40 {
 		sub.width = 40
 	}
@@ -301,12 +441,13 @@ func (f *flow) block(n *htmlparse.Node) {
 		sub.node(c)
 	}
 	sub.flushLine()
-	b := &Box{Kind: BlockBox, Node: n, Children: sub.out}
+	b := a.newBox()
+	b.Kind, b.Node, b.Children = BlockBox, n, sub.out
 	b.Rect = unionRects(sub.out)
 	if b.Rect == (geom.Rect{}) {
 		b.Rect = geom.R(f.x0, f.x0+f.width, f.y, f.y)
 	}
-	f.out = append(f.out, b)
+	f.out = a.appendBox(f.out, b)
 	f.y = sub.y + gap
 }
 

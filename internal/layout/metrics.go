@@ -3,6 +3,7 @@ package layout
 import (
 	"strconv"
 	"strings"
+	"unicode/utf8"
 
 	"formext/internal/htmlparse"
 )
@@ -51,11 +52,11 @@ func (m Metrics) WidgetSize(n *htmlparse.Node) (w, h float64, rendered bool) {
 		rows := attrInt(n, "rows", 2)
 		return float64(cols)*m.CharW + 12, float64(rows)*m.LineH + 6, true
 	case "button":
-		label := n.InnerText()
-		if label == "" {
-			label = "Button"
+		w, empty := innerTextWidth(m, n)
+		if empty {
+			w = m.TextWidth("Button")
 		}
-		return m.TextWidth(label) + 16, 24, true
+		return w + 16, 24, true
 	case "img":
 		w := float64(attrInt(n, "width", 50))
 		h := float64(attrInt(n, "height", 22))
@@ -85,18 +86,63 @@ func (m Metrics) inputSize(n *htmlparse.Node) (float64, float64, bool) {
 }
 
 func (m Metrics) selectSize(n *htmlparse.Node) (float64, float64, bool) {
-	longest := 4.0
-	for _, opt := range n.FindAllTags("option") {
-		if w := m.TextWidth(opt.InnerText()); w > longest {
-			longest = w
-		}
-	}
+	longest := m.longestOption(n, 4.0)
 	rows := attrInt(n, "size", 1)
 	h := 22.0
 	if rows > 1 {
 		h = float64(rows)*m.LineH + 4
 	}
 	return longest + 28, h, true
+}
+
+// longestOption is max(TextWidth(opt.InnerText())) over every descendant
+// option element, computed without materializing the strings: the sizing
+// runs once per select per layout, and the old FindAllTags + InnerText
+// pair dominated the layout allocation profile.
+func (m Metrics) longestOption(n *htmlparse.Node, longest float64) float64 {
+	for _, c := range n.Children {
+		if c.Type == htmlparse.ElementNode && c.Tag == "option" {
+			if w, _ := innerTextWidth(m, c); w > longest {
+				longest = w
+			}
+		}
+		longest = m.longestOption(c, longest)
+	}
+	return longest
+}
+
+// innerTextWidth is TextWidth(n.InnerText()) without building the string:
+// InnerText is the subtree's text words joined by single spaces, so its
+// width is (total word runes + word count - 1) × CharW.
+func innerTextWidth(m Metrics, n *htmlparse.Node) (w float64, empty bool) {
+	words, runes := innerTextStats(n)
+	if words == 0 {
+		return 0, true
+	}
+	return float64(runes+words-1) * m.CharW, false
+}
+
+// innerTextStats counts the strings.Fields words and their total runes in
+// the subtree's text nodes.
+func innerTextStats(n *htmlparse.Node) (words, runes int) {
+	if n.Type == htmlparse.TextNode {
+		p := 0
+		for {
+			s, e, ok := nextWord(n.Data, p)
+			if !ok {
+				return
+			}
+			words++
+			runes += utf8.RuneCountInString(n.Data[s:e])
+			p = e
+		}
+	}
+	for _, c := range n.Children {
+		w, r := innerTextStats(c)
+		words += w
+		runes += r
+	}
+	return
 }
 
 // attrInt parses an integer attribute with a default and floor of 1.

@@ -22,7 +22,7 @@ type tableCell struct {
 
 // collectRows gathers the tr elements of a table in order, looking through
 // thead/tbody/tfoot wrappers but not into nested tables.
-func collectRows(table *htmlparse.Node) []*htmlparse.Node {
+func collectRows(table *htmlparse.Node, a *Arena) []*htmlparse.Node {
 	var rows []*htmlparse.Node
 	var scan func(n *htmlparse.Node)
 	scan = func(n *htmlparse.Node) {
@@ -32,7 +32,11 @@ func collectRows(table *htmlparse.Node) []*htmlparse.Node {
 			}
 			switch c.Tag {
 			case "tr":
-				rows = append(rows, c)
+				if a == nil {
+					rows = append(rows, c)
+				} else {
+					rows = a.rows.Append(rows, c)
+				}
 			case "thead", "tbody", "tfoot":
 				scan(c)
 			}
@@ -43,7 +47,7 @@ func collectRows(table *htmlparse.Node) []*htmlparse.Node {
 }
 
 // cellsOf gathers the td/th cells of a row.
-func cellsOf(row *htmlparse.Node) []tableCell {
+func cellsOf(row *htmlparse.Node, a *Arena) []tableCell {
 	var cells []tableCell
 	for _, c := range row.Children {
 		if c.Type == htmlparse.ElementNode && (c.Tag == "td" || c.Tag == "th") {
@@ -51,7 +55,12 @@ func cellsOf(row *htmlparse.Node) []tableCell {
 			if span > 20 {
 				span = 20
 			}
-			cells = append(cells, tableCell{node: c, span: span})
+			cell := tableCell{node: c, span: span}
+			if a == nil {
+				cells = append(cells, cell)
+			} else {
+				cells = a.cells.Append(cells, cell)
+			}
 		}
 	}
 	return cells
@@ -67,7 +76,9 @@ func (f *flow) measureWidth(cell *htmlparse.Node) float64 {
 			return w
 		}
 	}
-	sub := &flow{e: f.e, r: f.r, x0: 0, width: 1e7, y: 0}
+	sub := f.arena().newFlow()
+	sub.e, sub.r = f.e, f.r
+	sub.x0, sub.width, sub.y = 0, 1e7, 0
 	for _, c := range cell.Children {
 		sub.node(c)
 	}
@@ -82,9 +93,17 @@ func (f *flow) measureWidth(cell *htmlparse.Node) float64 {
 	return w
 }
 
+// laidCell pairs a laid-out cell box with its content height for the row's
+// vertical centering pass.
+type laidCell struct {
+	box      *Box
+	contentH float64
+}
+
 // table lays out a table element and appends its box tree to the flow.
 func (f *flow) table(n *htmlparse.Node) {
-	rows := collectRows(n)
+	a := f.arena()
+	rows := collectRows(n, a)
 	if len(rows) == 0 {
 		return
 	}
@@ -96,10 +115,15 @@ func (f *flow) table(n *htmlparse.Node) {
 	}
 
 	// Build the grid and assign starting columns.
-	grid := make([][]tableCell, len(rows))
+	var grid [][]tableCell
+	if a == nil {
+		grid = make([][]tableCell, len(rows))
+	} else {
+		grid = a.rowCell.Make(len(rows))
+	}
 	ncols := 0
 	for i, r := range rows {
-		cells := cellsOf(r)
+		cells := cellsOf(r, a)
 		col := 0
 		for j := range cells {
 			cells[j].col = col
@@ -115,7 +139,12 @@ func (f *flow) table(n *htmlparse.Node) {
 	}
 
 	// Pass 1: preferred column widths.
-	colW := make([]float64, ncols)
+	var colW []float64
+	if a == nil {
+		colW = make([]float64, ncols)
+	} else {
+		colW = a.nums.Make(ncols)
+	}
 	for i := range colW {
 		colW[i] = 4
 	}
@@ -150,22 +179,30 @@ func (f *flow) table(n *htmlparse.Node) {
 		}
 	}
 	// Column x offsets.
-	colX := make([]float64, ncols+1)
+	var colX []float64
+	if a == nil {
+		colX = make([]float64, ncols+1)
+	} else {
+		colX = a.nums.Make(ncols + 1)
+	}
 	colX[0] = m.CellSpace
 	for i := 0; i < ncols; i++ {
 		colX[i+1] = colX[i] + colW[i] + m.CellSpace
 	}
 
 	// Pass 2: lay rows out.
-	tbl := &Box{Kind: BlockBox, Node: n}
+	tbl := a.newBox()
+	tbl.Kind, tbl.Node = BlockBox, n
 	y := f.y + m.CellSpace
 	for ri, cells := range grid {
-		rowBox := &Box{Kind: BlockBox, Node: rows[ri]}
-		type laidCell struct {
-			box      *Box
-			contentH float64
+		rowBox := a.newBox()
+		rowBox.Kind, rowBox.Node = BlockBox, rows[ri]
+		var laid []laidCell
+		if a == nil {
+			laid = make([]laidCell, 0, len(cells))
+		} else {
+			laid = a.laid.Make(len(cells))[:0]
 		}
-		laid := make([]laidCell, 0, len(cells))
 		rowH := m.LineH
 		for _, c := range cells {
 			spanEnd := c.col + c.span
@@ -174,8 +211,10 @@ func (f *flow) table(n *htmlparse.Node) {
 			}
 			cw := colX[spanEnd] - colX[c.col] - m.CellSpace
 			cx := f.x0 + colX[c.col]
-			sub := &flow{e: f.e, r: f.r, x0: cx + m.CellPad, width: cw - 2*m.CellPad, y: y + m.CellPad,
-				align: alignOf(c.node, "")}
+			sub := a.newFlow()
+			sub.e, sub.r = f.e, f.r
+			sub.x0, sub.width, sub.y = cx+m.CellPad, cw-2*m.CellPad, y+m.CellPad
+			sub.align = alignOf(c.node, "")
 			if sub.width < 20 {
 				sub.width = 20
 			}
@@ -183,7 +222,8 @@ func (f *flow) table(n *htmlparse.Node) {
 				sub.node(ch)
 			}
 			sub.flushLine()
-			cellBox := &Box{Kind: BlockBox, Node: c.node, Children: sub.out}
+			cellBox := a.newBox()
+			cellBox.Kind, cellBox.Node, cellBox.Children = BlockBox, c.node, sub.out
 			contentH := sub.y - (y + m.CellPad)
 			if contentH < 0 {
 				contentH = 0
@@ -203,13 +243,13 @@ func (f *flow) table(n *htmlparse.Node) {
 				}
 			}
 			lc.box.Rect.Y2 = y + rowH
-			rowBox.Children = append(rowBox.Children, lc.box)
+			rowBox.Children = a.appendBox(rowBox.Children, lc.box)
 		}
 		rowBox.Rect = geom.R(f.x0+colX[0], f.x0+colX[ncols], y, y+rowH)
-		tbl.Children = append(tbl.Children, rowBox)
+		tbl.Children = a.appendBox(tbl.Children, rowBox)
 		y += rowH + m.CellSpace
 	}
 	tbl.Rect = geom.R(f.x0, f.x0+colX[ncols]+m.CellSpace, f.y, y)
-	f.out = append(f.out, tbl)
+	f.out = a.appendBox(f.out, tbl)
 	f.y = y
 }

@@ -8,8 +8,9 @@
 package merger
 
 import (
-	"sort"
+	"slices"
 	"strings"
+	"sync"
 
 	"formext/internal/bitset"
 	"formext/internal/core"
@@ -28,6 +29,28 @@ type Merger struct {
 // New returns a merger for the grammar whose roles tag the parse trees.
 func New(g *grammar.Grammar) *Merger { return &Merger{g: g} }
 
+// mergeScratch holds the transient state of one merge: collection slices,
+// the coverage set, the dedup map, and the conflict owner table. Everything
+// here is either copied out or dead by the time MergeSpan returns, so the
+// scratch is pooled across merges (the merger itself is shared between
+// goroutines and holds no per-call state). Anything a produced Condition
+// retains — token ID slices, operator lists, cloned domain values — is
+// allocated fresh, never from here.
+type mergeScratch struct {
+	conds     []model.Condition
+	attrParts []string
+	freeTexts []string
+	widgets   []*token.Token
+	covered   bitset.Set
+	keyBuf    []byte
+	owner     []int
+	seen      map[string]int
+}
+
+var scratchPool = sync.Pool{New: func() any {
+	return &mergeScratch{seen: make(map[string]int)}
+}}
+
 // Merge combines the maximal parse trees into the semantic model.
 func (m *Merger) Merge(res *core.Result) *model.SemanticModel {
 	return m.MergeSpan(res, nil)
@@ -42,43 +65,41 @@ func (m *Merger) Merge(res *core.Result) *model.SemanticModel {
 func (m *Merger) MergeSpan(res *core.Result, sp *obs.Span) *model.SemanticModel {
 	sm := &model.SemanticModel{}
 	n := len(res.Tokens)
-	covered := bitset.New(n)
+	sc := scratchPool.Get().(*mergeScratch)
+	defer scratchPool.Put(sc)
+	sc.covered.Reset(n)
 
 	// Coverage counts what the semantic reading accounts for: tokens inside
 	// extracted conditions or inside decoration constructs (captions,
 	// action rows). A token grouped only into a semantics-free fragment —
 	// say a selection list absorbed by a value construct that never found
 	// an attribute — is still missing from the model and reported as such.
-	var conds []model.Condition
+	sc.conds = sc.conds[:0]
 	for _, tree := range res.Maximal {
-		m.conditionsOf(tree, &conds)
-		tree.Walk(func(in *grammar.Instance) bool {
-			switch m.g.RoleOf(in.Sym) {
-			case grammar.RoleCondition, grammar.RoleDecoration:
-				covered.UnionWith(in.Cover)
-				return false
-			}
-			return true
-		})
+		m.conditionsOf(tree, sc)
+		m.coverInto(tree, sc.covered)
 	}
 
 	// Union with deduplication: conditions over the same token set are the
 	// same condition extracted from overlapping partial trees.
-	seen := map[string]int{}
-	for _, c := range conds {
-		key := tokenKey(c.TokenIDs)
-		if _, dup := seen[key]; dup {
+	clear(sc.seen)
+	for _, c := range sc.conds {
+		sc.keyBuf = appendTokenKey(sc.keyBuf[:0], c.TokenIDs)
+		if _, dup := sc.seen[string(sc.keyBuf)]; dup {
 			continue
 		}
-		seen[key] = len(sm.Conditions)
+		sc.seen[string(sc.keyBuf)] = len(sm.Conditions)
 		sm.Conditions = append(sm.Conditions, c)
 	}
-	sort.SliceStable(sm.Conditions, func(i, j int) bool {
-		return firstToken(sm.Conditions[i]) < firstToken(sm.Conditions[j])
+	slices.SortStableFunc(sm.Conditions, func(a, b model.Condition) int {
+		return firstToken(a) - firstToken(b)
 	})
 
 	// Conflicts: a token claimed by two different conditions.
-	owner := make([]int, n)
+	if cap(sc.owner) < n {
+		sc.owner = make([]int, n)
+	}
+	owner := sc.owner[:n]
 	for i := range owner {
 		owner[i] = -1
 	}
@@ -95,7 +116,7 @@ func (m *Merger) MergeSpan(res *core.Result, sp *obs.Span) *model.SemanticModel 
 	// Missing elements: tokens not covered by any parse tree. Pure
 	// decorations (rules) are not reported.
 	for _, t := range res.Tokens {
-		if covered.Has(t.ID) || t.Type == token.Rule {
+		if sc.covered.Has(t.ID) || t.Type == token.Rule {
 			continue
 		}
 		sm.Missing = append(sm.Missing, t.ID)
@@ -120,101 +141,112 @@ func (m *Merger) MergeSpan(res *core.Result, sp *obs.Span) *model.SemanticModel 
 
 // conditionsOf extracts the conditions of one parse tree: the outermost
 // condition-role nodes, each compiled into a [attribute; operators; domain]
-// tuple.
-func (m *Merger) conditionsOf(tree *grammar.Instance, out *[]model.Condition) {
-	tree.Walk(func(in *grammar.Instance) bool {
-		if m.g.RoleOf(in.Sym) == grammar.RoleCondition {
-			*out = append(*out, m.compile(in))
-			return false // do not extract nested condition readings
-		}
-		return true
-	})
+// tuple. Direct recursion, not Instance.Walk — the merge runs on every
+// extraction and the closure-per-tree pattern was its dominant allocator.
+func (m *Merger) conditionsOf(in *grammar.Instance, sc *mergeScratch) {
+	if m.g.RoleOf(in.Sym) == grammar.RoleCondition {
+		sc.conds = append(sc.conds, m.compile(in, sc))
+		return // do not extract nested condition readings
+	}
+	for _, ch := range in.Children {
+		m.conditionsOf(ch, sc)
+	}
+}
+
+// coverInto unions the covers of the outermost condition- and
+// decoration-role nodes into the coverage set.
+func (m *Merger) coverInto(in *grammar.Instance, covered bitset.Set) {
+	switch m.g.RoleOf(in.Sym) {
+	case grammar.RoleCondition, grammar.RoleDecoration:
+		covered.UnionWith(in.Cover)
+		return
+	}
+	for _, ch := range in.Children {
+		m.coverInto(ch, covered)
+	}
 }
 
 // compile turns one condition subtree into a Condition using the role tags:
 // attribute text from attribute-role subtrees, operators from operator-role
-// subtrees, and the domain from the remaining widgets.
-func (m *Merger) compile(cond *grammar.Instance) model.Condition {
+// subtrees, and the domain from the remaining widgets. The collection
+// slices live in the scratch; everything the Condition keeps is copied out.
+func (m *Merger) compile(cond *grammar.Instance, sc *mergeScratch) model.Condition {
 	var c model.Condition
-	var attrParts, freeTexts []string
-	var widgets []*token.Token
+	sc.attrParts = sc.attrParts[:0]
+	sc.freeTexts = sc.freeTexts[:0]
+	sc.widgets = sc.widgets[:0]
+	m.compileWalk(cond, &c, sc)
 
-	var walk func(in *grammar.Instance)
-	walk = func(in *grammar.Instance) {
-		switch m.g.RoleOf(in.Sym) {
-		case grammar.RoleAttribute:
-			if s := in.Texts(); s != "" {
-				attrParts = append(attrParts, s)
-			}
-			return
-		case grammar.RoleOperator:
-			labels, field, values := operatorsOf(in)
-			c.Operators = append(c.Operators, labels...)
-			if c.OperatorField == "" {
-				c.OperatorField = field
-			}
-			c.OperatorValues = append(c.OperatorValues, values...)
-			return
-		}
-		if in.Token != nil {
-			switch {
-			case in.Token.Type == token.Text:
-				freeTexts = append(freeTexts, in.Token.SVal)
-			case in.Token.IsWidget():
-				widgets = append(widgets, in.Token)
-			}
-			return
-		}
-		for _, ch := range in.Children {
-			walk(ch)
-		}
-	}
-	walk(cond)
-
-	c.Attribute = strings.Join(attrParts, " ")
+	c.Attribute = strings.Join(sc.attrParts, " ")
 	c.TokenIDs = cond.Cover.Members()
-	for _, w := range widgets {
+	for _, w := range sc.widgets {
 		if w.Name != "" {
 			c.Fields = append(c.Fields, w.Name)
 		}
 	}
-	c.Domain = inferDomain(widgets, freeTexts)
-	c.SubmitValues = submitValuesFor(widgets, c.Domain)
+	c.Domain = inferDomain(sc.widgets, sc.freeTexts)
+	c.SubmitValues = submitValuesFor(sc.widgets, c.Domain)
 	if c.Attribute == "" {
 		// Conditions without an attribute-role subtree (e.g. a single
 		// checkbox) are named by their own label texts.
-		c.Attribute = strings.Join(freeTexts, " ")
+		c.Attribute = strings.Join(sc.freeTexts, " ")
 	}
 	return c
 }
 
-// operatorsOf lists the operator choices of an operator-role subtree — the
-// individual text labels (radio operators) or the options of an operator
-// selection list — together with the control name and the wire values that
-// select each operator.
-func operatorsOf(op *grammar.Instance) (labels []string, field string, values []string) {
-	op.Walk(func(in *grammar.Instance) bool {
-		if in.Token == nil {
-			return true
+func (m *Merger) compileWalk(in *grammar.Instance, c *model.Condition, sc *mergeScratch) {
+	switch m.g.RoleOf(in.Sym) {
+	case grammar.RoleAttribute:
+		// Text, not Texts: the memoized yield is usually already computed by
+		// the parser's constraint evaluations, so this re-joins nothing.
+		if s := in.Text(); s != "" {
+			sc.attrParts = append(sc.attrParts, s)
 		}
-		switch in.Token.Type {
+		return
+	case grammar.RoleOperator:
+		operatorsInto(in, c)
+		return
+	}
+	if in.Token != nil {
+		switch {
+		case in.Token.Type == token.Text:
+			sc.freeTexts = append(sc.freeTexts, in.Token.SVal)
+		case in.Token.IsWidget():
+			sc.widgets = append(sc.widgets, in.Token)
+		}
+		return
+	}
+	for _, ch := range in.Children {
+		m.compileWalk(ch, c, sc)
+	}
+}
+
+// operatorsInto appends the operator choices of an operator-role subtree —
+// the individual text labels (radio operators) or the options of an
+// operator selection list — to the condition, together with the control
+// name (first found wins) and the wire values that select each operator.
+func operatorsInto(op *grammar.Instance, c *model.Condition) {
+	if t := op.Token; t != nil {
+		switch t.Type {
 		case token.Text:
-			labels = append(labels, in.Token.SVal)
+			c.Operators = append(c.Operators, t.SVal)
 		case token.RadioButton, token.Checkbox:
-			if field == "" {
-				field = in.Token.Name
+			if c.OperatorField == "" {
+				c.OperatorField = t.Name
 			}
-			values = append(values, in.Token.Value)
+			c.OperatorValues = append(c.OperatorValues, t.Value)
 		case token.SelectList:
-			labels = append(labels, in.Token.Options...)
-			if field == "" {
-				field = in.Token.Name
+			c.Operators = append(c.Operators, t.Options...)
+			if c.OperatorField == "" {
+				c.OperatorField = t.Name
 			}
-			values = append(values, in.Token.OptionValues...)
+			c.OperatorValues = append(c.OperatorValues, t.OptionValues...)
 		}
-		return true
-	})
-	return labels, field, values
+		return
+	}
+	for _, ch := range op.Children {
+		operatorsInto(ch, c)
+	}
 }
 
 // submitValuesFor maps an enum domain's display values to the wire values
@@ -266,10 +298,16 @@ func inferDomain(widgets []*token.Token, freeTexts []string) model.Domain {
 	switch {
 	case radios > 0 || checks > 1:
 		// Enumeration over labelled buttons; values are the label texts.
+		// freeTexts is merge scratch, so the retained values are copied out
+		// (nil stays nil: an empty domain has no values slice).
 		if radios+checks == 1 {
 			return model.Domain{Kind: model.BoolDomain}
 		}
-		return model.Domain{Kind: model.EnumDomain, Values: freeTexts, Multiple: checks > 0}
+		var vals []string
+		if len(freeTexts) > 0 {
+			vals = slices.Clone(freeTexts)
+		}
+		return model.Domain{Kind: model.EnumDomain, Values: vals, Multiple: checks > 0}
 	case checks == 1:
 		return model.Domain{Kind: model.BoolDomain}
 	case entry >= 2:
@@ -377,18 +415,20 @@ func hasRangeMarks(texts []string) bool {
 	return from && to
 }
 
-func tokenKey(ids []int) string {
-	var b strings.Builder
+// appendTokenKey renders the dedup key of a token ID set into dst. Keys are
+// looked up via string(buf) map indexing, which the compiler keeps
+// allocation-free; only first-seen keys are materialized as strings.
+func appendTokenKey(dst []byte, ids []int) []byte {
 	for _, id := range ids {
-		b.WriteByte(',')
-		b.WriteString(itoa(id))
+		dst = append(dst, ',')
+		dst = appendItoa(dst, id)
 	}
-	return b.String()
+	return dst
 }
 
-func itoa(v int) string {
+func appendItoa(dst []byte, v int) []byte {
 	if v == 0 {
-		return "0"
+		return append(dst, '0')
 	}
 	var buf [20]byte
 	i := len(buf)
@@ -397,7 +437,7 @@ func itoa(v int) string {
 		buf[i] = byte('0' + v%10)
 		v /= 10
 	}
-	return string(buf[i:])
+	return append(dst, buf[i:]...)
 }
 
 func firstToken(c model.Condition) int {

@@ -26,25 +26,51 @@ type FormInfo struct {
 	Hidden url.Values
 }
 
-// FormInfoOf reads the first form element of a parsed document.
+// FormInfoOf reads the first form element of a parsed document. It runs on
+// every extraction, so the scan recurses over the tree directly (no
+// visitor stacks, no materialized node lists) and compares attribute
+// values case-insensitively in place instead of lowering them into fresh
+// strings.
 func FormInfoOf(doc *htmlparse.Node) FormInfo {
 	info := FormInfo{Method: "get", Hidden: url.Values{}}
-	form := doc.FindTag("form")
+	form := findForm(doc)
 	if form == nil {
 		return info
 	}
 	info.Action = form.AttrOr("action", "")
-	if m := strings.ToLower(form.AttrOr("method", "get")); m == "post" {
+	if strings.EqualFold(form.AttrOr("method", "get"), "post") {
 		info.Method = "post"
 	}
-	for _, in := range form.FindAllTags("input") {
-		if strings.ToLower(in.AttrOr("type", "")) == "hidden" {
-			if name, ok := in.Attr("name"); ok && name != "" {
-				info.Hidden.Add(name, in.AttrOr("value", ""))
-			}
+	collectHidden(form, info.Hidden)
+	return info
+}
+
+// findForm returns the first form element in document order, excluding the
+// root itself (matching FindTag).
+func findForm(n *htmlparse.Node) *htmlparse.Node {
+	for _, c := range n.Children {
+		if c.Type == htmlparse.ElementNode && c.Tag == "form" {
+			return c
+		}
+		if f := findForm(c); f != nil {
+			return f
 		}
 	}
-	return info
+	return nil
+}
+
+// collectHidden gathers every descendant hidden input's name/value pair in
+// document order.
+func collectHidden(n *htmlparse.Node, hidden url.Values) {
+	for _, c := range n.Children {
+		if c.Type == htmlparse.ElementNode && c.Tag == "input" &&
+			strings.EqualFold(c.AttrOr("type", ""), "hidden") {
+			if name, ok := c.Attr("name"); ok && name != "" {
+				hidden.Add(name, c.AttrOr("value", ""))
+			}
+		}
+		collectHidden(c, hidden)
+	}
 }
 
 // Query accumulates bound constraints over one form.

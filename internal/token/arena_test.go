@@ -1,0 +1,38 @@
+package token
+
+import (
+	"reflect"
+	"testing"
+
+	"formext/internal/dataset"
+	"formext/internal/htmlparse"
+	"formext/internal/layout"
+)
+
+// TestTokenizeArenaIdentity: the arena path must produce a token set equal
+// field-for-field to the heap path over the fixture and generated corpus.
+func TestTokenizeArenaIdentity(t *testing.T) {
+	corpus := []string{dataset.QamHTML, dataset.QaaHTML, dataset.Figure5Fragment}
+	for _, src := range dataset.Generate(dataset.Config{
+		Seed: 13, Sources: 25, Schemas: dataset.AllSchemas,
+		MinConds: 1, MaxConds: 9, Hardness: 0.7, SampleSchemas: true,
+	}) {
+		corpus = append(corpus, src.HTML)
+	}
+	tz := NewTokenizer()
+	var a Arena
+	for i, src := range corpus {
+		root := layout.New().Layout(htmlparse.Parse(src))
+		want := tz.Tokenize(root)
+		got := tz.TokenizeArena(root, &a)
+		if len(want) != len(got) {
+			t.Fatalf("source %d: %d tokens heap vs %d arena", i, len(want), len(got))
+		}
+		for j := range want {
+			if !reflect.DeepEqual(want[j], got[j]) {
+				t.Fatalf("source %d token %d:\n heap:  %+v\n arena: %+v", i, j, want[j], got[j])
+			}
+		}
+		a.Release()
+	}
+}

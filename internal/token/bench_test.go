@@ -1,0 +1,20 @@
+package token
+
+import (
+	"testing"
+
+	"formext/internal/dataset"
+	"formext/internal/htmlparse"
+	"formext/internal/layout"
+)
+
+func BenchmarkTokenizeQam(b *testing.B) {
+	root := layout.New().Layout(htmlparse.Parse(dataset.QamHTML))
+	tz := NewTokenizer()
+	b.ReportAllocs()
+	var a Arena
+	for i := 0; i < b.N; i++ {
+		tz.TokenizeArena(root, &a)
+		a.Release()
+	}
+}

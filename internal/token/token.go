@@ -112,17 +112,47 @@ func NewTokenizer() *Tokenizer { return &Tokenizer{MergeGap: 12} }
 
 // Tokenize flattens the render tree into the token set, in render order.
 func (tz *Tokenizer) Tokenize(root *layout.Box) []*Token {
+	return tz.TokenizeArena(root, nil)
+}
+
+// TokenizeArena is Tokenize with every allocation drawn from the arena
+// (nil runs without one). The render tree is traversed directly with the
+// arena's scratch stack — the leaf visit is fused into the walk instead of
+// materializing a Leaves slice. The returned tokens retain arena memory:
+// release the arena once the result takes ownership.
+func (tz *Tokenizer) TokenizeArena(root *layout.Box, a *Arena) []*Token {
 	var toks []*Token
-	for _, leaf := range root.Leaves() {
+	var stack []*layout.Box
+	if a != nil {
+		stack = append(a.stack[:0], root)
+	} else {
+		stack = []*layout.Box{root}
+	}
+	defer func() {
+		if a != nil {
+			a.stack = stack[:0]
+		}
+	}()
+	for len(stack) > 0 {
+		leaf := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if len(leaf.Children) > 0 {
+			for i := len(leaf.Children) - 1; i >= 0; i-- {
+				stack = append(stack, leaf.Children[i])
+			}
+			continue
+		}
 		switch leaf.Kind {
 		case layout.TextBox:
-			tz.addText(&toks, leaf)
+			toks = tz.addText(toks, leaf, a)
 		case layout.WidgetBox:
-			if t := widgetToken(leaf); t != nil {
-				toks = append(toks, t)
+			if t := widgetToken(leaf, a); t != nil {
+				toks = a.appendToken(toks, t)
 			}
 		case layout.RuleBox:
-			toks = append(toks, &Token{Type: Rule, Pos: leaf.Rect, Node: leaf.Node})
+			t := a.newToken()
+			t.Type, t.Pos, t.Node = Rule, leaf.Rect, leaf.Node
+			toks = a.appendToken(toks, t)
 		}
 	}
 	for i, t := range toks {
@@ -136,10 +166,10 @@ func (tz *Tokenizer) Tokenize(root *layout.Box) []*Token {
 // in render order (guaranteed because merging only considers the
 // immediately preceding token), and the same containing block — text in
 // adjacent table cells is two labels even when the cells nearly touch.
-func (tz *Tokenizer) addText(toks *[]*Token, leaf *layout.Box) {
+func (tz *Tokenizer) addText(toks []*Token, leaf *layout.Box, a *Arena) []*Token {
 	s := strings.TrimSpace(leaf.Text)
 	if s == "" {
-		return
+		return toks
 	}
 	anchor := enclosingAnchor(leaf.Node)
 	typ := Text
@@ -149,18 +179,20 @@ func (tz *Tokenizer) addText(toks *[]*Token, leaf *layout.Box) {
 		href = anchor.AttrOr("href", "")
 	}
 	forID := enclosingLabelFor(leaf.Node)
-	if n := len(*toks); n > 0 {
-		prev := (*toks)[n-1]
+	if n := len(toks); n > 0 {
+		prev := toks[n-1]
 		if prev.Type == typ && sameLine(prev.Pos, leaf.Rect) &&
 			leaf.Rect.X1-prev.Pos.X2 <= tz.MergeGap && leaf.Rect.X1 >= prev.Pos.X1 &&
 			containingBlock(prev.Node) == containingBlock(leaf.Node) &&
 			(typ != Link || prev.Name == href) && prev.ForID == forID {
-			prev.SVal = prev.SVal + " " + s
+			prev.SVal = a.joinLabel(prev.SVal, s)
 			prev.Pos = prev.Pos.Union(leaf.Rect)
-			return
+			return toks
 		}
 	}
-	*toks = append(*toks, &Token{Type: typ, SVal: s, Name: href, ForID: forID, Pos: leaf.Rect, Node: leaf.Node})
+	t := a.newToken()
+	t.Type, t.SVal, t.Name, t.ForID, t.Pos, t.Node = typ, s, href, forID, leaf.Rect, leaf.Node
+	return a.appendToken(toks, t)
 }
 
 // enclosingLabelFor returns the for attribute of the nearest enclosing
@@ -215,9 +247,10 @@ func sameLine(a, b geom.Rect) bool {
 
 // widgetToken maps a widget render box to a token, or nil for widgets that
 // play no role in query semantics.
-func widgetToken(leaf *layout.Box) *Token {
+func widgetToken(leaf *layout.Box, a *Arena) *Token {
 	n := leaf.Node
-	t := &Token{Pos: leaf.Rect, Node: n, Name: n.AttrOr("name", ""), ElemID: n.AttrOr("id", "")}
+	t := a.newToken()
+	t.Pos, t.Node, t.Name, t.ElemID = leaf.Rect, n, n.AttrOr("name", ""), n.AttrOr("id", "")
 	switch n.Tag {
 	case "input":
 		switch strings.ToLower(n.AttrOr("type", "text")) {
@@ -246,16 +279,12 @@ func widgetToken(leaf *layout.Box) *Token {
 	case "select":
 		t.Type = SelectList
 		t.Multiple = n.HasAttr("multiple")
-		for _, opt := range n.FindAllTags("option") {
-			text := opt.InnerText()
-			t.Options = append(t.Options, text)
-			t.OptionValues = append(t.OptionValues, opt.AttrOr("value", text))
-		}
+		collectOptions(n, t, a)
 	case "textarea":
 		t.Type = Textarea
 	case "button":
 		t.Type = Button
-		t.SVal = n.InnerText()
+		t.SVal = a.innerText(n)
 	case "img":
 		t.Type = Image
 		t.SVal = n.AttrOr("alt", "")
@@ -263,4 +292,18 @@ func widgetToken(leaf *layout.Box) *Token {
 		return nil
 	}
 	return t
+}
+
+// collectOptions gathers the display text and submit value of every
+// descendant option of a select, in document order — the traversal
+// FindAllTags performed, fused and arena-backed.
+func collectOptions(n *htmlparse.Node, t *Token, a *Arena) {
+	for _, c := range n.Children {
+		if c.Type == htmlparse.ElementNode && c.Tag == "option" {
+			text := a.innerText(c)
+			t.Options = a.appendString(t.Options, text)
+			t.OptionValues = a.appendString(t.OptionValues, c.AttrOr("value", text))
+		}
+		collectOptions(c, t, a)
+	}
 }

@@ -111,6 +111,13 @@ func (p *Pool) Extract(src string) (*Result, error) {
 // touching the pool, and only the flight leader of a miss checks an
 // extractor out.
 func (p *Pool) ExtractContext(ctx context.Context, src string) (*Result, error) {
+	return p.ExtractBytes(ctx, viewBytes(src))
+}
+
+// ExtractBytes is ExtractContext over a byte buffer, with the aliasing
+// contract of Extractor.ExtractBytes: the result (and any cache holding it)
+// reads src in place, so the buffer must not be modified afterwards.
+func (p *Pool) ExtractBytes(ctx context.Context, src []byte) (*Result, error) {
 	if p.cache != nil {
 		return cachedExtract(ctx, p.cache, p.keyPrefix, src, p.opts.Tracer, p)
 	}
@@ -118,7 +125,7 @@ func (p *Pool) ExtractContext(ctx context.Context, src string) (*Result, error) 
 }
 
 // runExtract implements cacheRunner: the uncached pooled extraction.
-func (p *Pool) runExtract(ctx context.Context, src, cacheEvent string) (res *Result, err error) {
+func (p *Pool) runExtract(ctx context.Context, src []byte, cacheEvent string) (res *Result, err error) {
 	ex, gerr := p.Get()
 	if gerr != nil {
 		return nil, gerr
@@ -133,7 +140,7 @@ func (p *Pool) runExtract(ctx context.Context, src, cacheEvent string) (res *Res
 			p.Put(ex)
 		}
 	}()
-	res, err = ex.extractHTMLEvent(ctx, src, cacheEvent)
+	res, err = ex.extractBytesEvent(ctx, src, cacheEvent)
 	var pe *PanicError
 	healthy = !errors.As(err, &pe)
 	return res, err
