@@ -2,7 +2,7 @@
 # full test suite under the race detector (the concurrent serving path —
 # pool, batch, formserve — is exercised by design), and keep the compiled
 # evaluation plan differentially equal to the interpreted oracle.
-.PHONY: check build vet test parity guards hostile bench bench-smoke bench-cache bench-frontend bench-stream cluster-smoke bench-cluster
+.PHONY: check build vet test parity guards hostile bench bench-smoke bench-cache bench-frontend bench-parser bench-stream cluster-smoke bench-cluster
 
 check: build vet test parity guards
 
@@ -70,6 +70,26 @@ bench-frontend:
 	  -methodology "make bench-frontend: stage benchmarks with -benchmem -count 3 in their packages, BenchmarkPoolExtract with -benchtime 3000x -count 3 at the root. The before file (testdata/bench_frontend_before.txt) was recorded by running the same benchmarks against the pre-rewrite front end on the same machine; its BenchmarkPoolExtract entries are the PR 3 record from BENCH_parser.json." \
 	  -before testdata/bench_frontend_before.txt > BENCH_frontend.json
 	cat BENCH_frontend.json
+
+# Parser hot-path benchmarks: the source of BENCH_parser.json (PR 9's
+# conjunct-tiered, pair-memoized, slab-compacted parse). The baseline file
+# carries a schema header naming the benchmark set it was recorded with;
+# the gate below fails the target when the header does not match, so a
+# future change to the bench set cannot silently diff against figures from
+# a different era (exactly what happened when PR 3's PoolExtract numbers
+# survived into the post-PR 8 record).
+bench-parser:
+	@head -n 1 testdata/bench_parser_before.txt | grep -qxF '# schema: formext-bench-parser/v2' || { \
+	  echo 'bench-parser: testdata/bench_parser_before.txt does not carry the current "# schema: formext-bench-parser/v2" header;'; \
+	  echo 'the baseline predates the current benchmark set — re-record it from the pre-change tree before comparing.'; \
+	  exit 1; }
+	{ go test -run '^$$' -bench . -benchtime 3x -count 3 -benchmem ./internal/core/ ; \
+	  go test -run '^$$' -bench 'PoolExtract$$' -benchtime 3000x -count 3 -benchmem . ; } \
+	| go run ./cmd/benchjson \
+	  -description "Parser hot-path benchmarks before/after the PR 9 rewrite: compiled constraints decomposed into per-slot conjunct tiers evaluated the moment their last variable binds (predicate pushdown prunes the join enumeration), tiers ordered within each slot by measured reject-rate/cost, preference verdicts memoized per (preference, instance pair) in a pooled epoch-stamped table, join candidate lists trimmed by per-symbol dead counters, and the frozen Result compacted into exact-size storage while the engine recycles its instance/child slabs across parses. The before column is the post-PR 8 tree (arena front end, monolithic compiled constraints); wall time is roughly flat on this box while retained bytes drop ~2x on the full-corpus parse and ~44% on the serving path." \
+	  -methodology "make bench-parser: go test -run '^$$' -bench . -benchtime 3x -count 3 -benchmem ./internal/core/ plus BenchmarkPoolExtract with -benchtime 3000x -count 3 at the package root. The before file (testdata/bench_parser_before.txt) was recorded with the same commands at commit 5e79440, immediately before this rewrite; its first line is a schema header this target verifies before comparing." \
+	  -before testdata/bench_parser_before.txt > BENCH_parser.json
+	cat BENCH_parser.json
 
 # Streaming-ingest gate: race-gated soak of the ExtractStream path (the
 # bounded in-flight, backpressure, dedup and differential ExtractAll tests),

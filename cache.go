@@ -190,10 +190,21 @@ func (r *Result) Freeze() *Result {
 // immutable ones. The hit/coalesced markers and, when the serving layer
 // recorded a cache-span trace, the per-request trace ID are stamped on the
 // copy only.
+//
+// A hit view gets zeroed StageTimings: no pipeline stage ran for THIS
+// request, and handing back the canonical extraction's timings made hits
+// look as slow as the miss that populated them (latency dashboards fed by
+// Result.Stats double-counted the original parse on every hit). The
+// counter-like fields (ParseStats, Merge) still describe the shared
+// artifacts and are kept. Coalesced views keep their timings: the waiter's
+// wall clock really did cover that pipeline run.
 func (r *Result) share(hit, coalesced bool, traceID string) *Result {
 	cp := *r
 	cp.Stats.CacheHit = hit
 	cp.Stats.Coalesced = coalesced
+	if hit {
+		cp.Stats.Stages = StageTimings{}
+	}
 	if traceID != "" {
 		cp.Stats.TraceID = traceID
 	}

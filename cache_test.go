@@ -221,6 +221,42 @@ func TestCachedExtractionDifferential(t *testing.T) {
 	}
 }
 
+// TestCacheHitZeroesStageTimings pins the hit-view timing contract: a
+// cache hit ran no pipeline stage, so its Stats.Stages must be zero —
+// serving the canonical extraction's timings made every hit look as slow
+// as the miss that populated it. The counter stats (tokens, merge output)
+// still describe the shared artifacts and must survive on the hit view.
+func TestCacheHitZeroesStageTimings(t *testing.T) {
+	ex, err := New(Options{Cache: mustCache(t, CacheConfig{})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	miss, err := ex.ExtractHTML(dataset.QamHTML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if miss.Stats.CacheHit {
+		t.Fatal("first extraction reported a cache hit")
+	}
+	if miss.Stats.Stages.Parse == 0 || miss.Stats.Stages.HTMLParse == 0 {
+		t.Fatalf("miss recorded no stage timings: %+v", miss.Stats.Stages)
+	}
+	hit, err := ex.ExtractHTML(dataset.QamHTML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit.Stats.CacheHit {
+		t.Fatal("second extraction was not a cache hit")
+	}
+	if hit.Stats.Stages != (StageTimings{}) {
+		t.Errorf("cache hit carried the canonical extraction's stage timings: %+v", hit.Stats.Stages)
+	}
+	if hit.Stats.Tokens != miss.Stats.Tokens || hit.Stats.Merge != miss.Stats.Merge {
+		t.Errorf("hit view lost counter stats: tokens %d vs %d, merge %+v vs %+v",
+			hit.Stats.Tokens, miss.Stats.Tokens, hit.Stats.Merge, miss.Stats.Merge)
+	}
+}
+
 // TestExtractAllDeduplicatesIdenticalPages checks the batch fan-out
 // contract: byte-identical pages extract once, every index gets its own
 // Result struct (never an alias of the canonical one), duplicates carry the

@@ -132,8 +132,9 @@ type Stats struct {
 	// attached ("" otherwise).
 	TraceID string `json:",omitempty"`
 	// CacheHit marks a result served from Options.Cache: no pipeline stage
-	// ran, the Stages timings are those of the extraction that populated
-	// the cache, and the result shares that extraction's frozen artifacts.
+	// ran, so Stages is zeroed (the populating extraction's timings are
+	// not replayed), while the counter stats still describe the shared
+	// frozen artifacts.
 	CacheHit bool `json:",omitempty"`
 	// Coalesced marks a result obtained by waiting on an identical
 	// in-flight extraction (a cache singleflight, or a byte-identical page

@@ -109,6 +109,12 @@ func TestEnforceSteadyStateNoAlloc(t *testing.T) {
 			break
 		}
 	}
+	// The warm-up must have flowed through the pair memo — otherwise the
+	// zero-alloc loop below would be exercising the unmemoized path and
+	// prove nothing about the table.
+	if e.prefMemo.n == 0 {
+		t.Fatal("pair memo empty after enforcement warm-up")
+	}
 	allocs := testing.AllocsPerRun(10, func() {
 		for _, pi := range p.pl.prefsByPriority {
 			if e.enforce(nil, pi) != 0 {
@@ -117,6 +123,6 @@ func TestEnforceSteadyStateNoAlloc(t *testing.T) {
 		}
 	})
 	if allocs != 0 {
-		t.Errorf("steady-state enforce allocates %.1f/op, want 0", allocs)
+		t.Errorf("steady-state enforce (memoized preference verdicts included) allocates %.1f/op, want 0", allocs)
 	}
 }

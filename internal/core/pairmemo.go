@@ -1,0 +1,144 @@
+package core
+
+// pairMemo memoizes preference verdicts per (preference, winner, loser)
+// triple within one parse. prefHolds depends only on state that is
+// immutable once both instances exist — covers, positions, yield text —
+// and never on Dead (enforce checks liveness outside), so a verdict
+// computed once is valid for the rest of the parse. Scheduled parsing
+// evaluates most pairs exactly once, but late pruning (DisableScheduling)
+// re-runs every preference over the surviving population until a round
+// kills nothing, re-evaluating the same pairs round after round — that loop
+// is where the memo pays.
+//
+// The table is open-addressed with linear probing and lives on the pooled
+// engine. Per-parse invalidation is by epoch stamp instead of clearing:
+// begin() bumps the epoch and slots from earlier parses read as empty, so
+// a parse that never enforces pays nothing and a grown table costs no
+// memclr on the next checkout. The table stops growing at pairMemoMaxSlots;
+// beyond that, misses simply evaluate directly — correctness never depends
+// on an insert landing.
+type pairMemo struct {
+	slots []pairSlot
+	n     int    // entries written this epoch
+	lastN int    // entries the previous parse wrote (shrink heuristic)
+	epoch uint32 // current parse's stamp; 0 is never current
+}
+
+// pairSlot is one entry. pref is the preference index plus one so a zeroed
+// slot (pref 0) can never alias a real entry even when epochs collide;
+// state distinguishes the two memoized verdicts.
+type pairSlot struct {
+	w, l  int32
+	epoch uint32
+	pref  uint16
+	state uint8
+}
+
+const (
+	pairUnknown uint8 = iota
+	pairFails
+	pairHolds
+)
+
+const (
+	pairMemoMinSlots = 1 << 12
+	pairMemoMaxSlots = 1 << 21
+	// pairMemoShrinkAt: a table grown past this many slots whose previous
+	// parse used under 1/8 of them is dropped at begin and re-grown lazily,
+	// so one pathological page cannot pin megabytes in the engine pool.
+	pairMemoShrinkAt = 1 << 16
+)
+
+// begin readies the memo for a new parse.
+func (m *pairMemo) begin() {
+	m.lastN = m.n
+	m.n = 0
+	m.epoch++
+	if m.epoch == 0 {
+		// Epoch wrapped: stale slots could now alias the new stamp. Clearing
+		// once per 2^32 parses is free in any amortized sense.
+		clear(m.slots)
+		m.epoch = 1
+	}
+	if len(m.slots) > pairMemoShrinkAt && m.lastN < len(m.slots)/8 {
+		m.slots = nil
+	}
+}
+
+// pairHash mixes the triple into a table index seed (splitmix64 finalizer).
+func pairHash(pref uint16, w, l int32) uint64 {
+	h := uint64(uint32(w)) | uint64(uint32(l))<<30 | uint64(pref)<<58
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// lookup returns the memoized verdict for the triple, or pairUnknown.
+func (m *pairMemo) lookup(pref uint16, w, l int32) uint8 {
+	if len(m.slots) == 0 {
+		return pairUnknown
+	}
+	mask := uint64(len(m.slots) - 1)
+	for i := pairHash(pref, w, l) & mask; ; i = (i + 1) & mask {
+		s := &m.slots[i]
+		if s.epoch != m.epoch || s.pref == 0 {
+			return pairUnknown
+		}
+		if s.pref == pref && s.w == w && s.l == l {
+			return s.state
+		}
+	}
+}
+
+// insert records a verdict. Inserts are dropped (never overwriting the
+// probe chain's invariants) once the table is full at its size cap.
+func (m *pairMemo) insert(pref uint16, w, l int32, state uint8) {
+	if len(m.slots) == 0 {
+		m.slots = make([]pairSlot, pairMemoMinSlots)
+		if m.epoch == 0 {
+			m.epoch = 1
+		}
+	}
+	if m.n >= len(m.slots)*3/4 {
+		if len(m.slots) >= pairMemoMaxSlots {
+			if m.n >= len(m.slots)*7/8 {
+				return
+			}
+		} else {
+			m.grow()
+		}
+	}
+	mask := uint64(len(m.slots) - 1)
+	for i := pairHash(pref, w, l) & mask; ; i = (i + 1) & mask {
+		s := &m.slots[i]
+		if s.epoch != m.epoch || s.pref == 0 {
+			*s = pairSlot{w: w, l: l, epoch: m.epoch, pref: pref, state: state}
+			m.n++
+			return
+		}
+		if s.pref == pref && s.w == w && s.l == l {
+			return
+		}
+	}
+}
+
+// grow doubles the table, re-inserting only the current epoch's entries.
+func (m *pairMemo) grow() {
+	old := m.slots
+	m.slots = make([]pairSlot, 2*len(old))
+	mask := uint64(len(m.slots) - 1)
+	for _, s := range old {
+		if s.epoch != m.epoch || s.pref == 0 {
+			continue
+		}
+		for i := pairHash(s.pref, s.w, s.l) & mask; ; i = (i + 1) & mask {
+			if m.slots[i].pref == 0 {
+				m.slots[i] = s
+				break
+			}
+		}
+	}
+}

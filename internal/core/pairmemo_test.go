@@ -1,0 +1,99 @@
+package core
+
+import "testing"
+
+func TestPairMemoBasic(t *testing.T) {
+	var m pairMemo
+	m.begin()
+	if got := m.lookup(1, 10, 20); got != pairUnknown {
+		t.Fatalf("empty lookup = %d, want unknown", got)
+	}
+	m.insert(1, 10, 20, pairHolds)
+	m.insert(1, 20, 10, pairFails)
+	m.insert(2, 10, 20, pairFails)
+	if got := m.lookup(1, 10, 20); got != pairHolds {
+		t.Errorf("lookup(1,10,20) = %d, want holds", got)
+	}
+	if got := m.lookup(1, 20, 10); got != pairFails {
+		t.Errorf("lookup(1,20,10) = %d, want fails", got)
+	}
+	if got := m.lookup(2, 10, 20); got != pairFails {
+		t.Errorf("lookup(2,10,20) = %d, want fails", got)
+	}
+	if got := m.lookup(3, 10, 20); got != pairUnknown {
+		t.Errorf("lookup(3,10,20) = %d, want unknown", got)
+	}
+	// Duplicate insert must not double-count or flip the verdict.
+	n := m.n
+	m.insert(1, 10, 20, pairFails)
+	if m.n != n {
+		t.Errorf("duplicate insert grew n: %d -> %d", n, m.n)
+	}
+	if got := m.lookup(1, 10, 20); got != pairHolds {
+		t.Errorf("duplicate insert overwrote verdict: %d", got)
+	}
+}
+
+func TestPairMemoEpochInvalidation(t *testing.T) {
+	var m pairMemo
+	m.begin()
+	m.insert(1, 1, 2, pairHolds)
+	m.begin()
+	if got := m.lookup(1, 1, 2); got != pairUnknown {
+		t.Fatalf("entry survived begin(): %d", got)
+	}
+	// Stale slots must not break probe chains for the new epoch either.
+	m.insert(1, 1, 2, pairFails)
+	if got := m.lookup(1, 1, 2); got != pairFails {
+		t.Fatalf("reinsert after epoch bump = %d, want fails", got)
+	}
+}
+
+func TestPairMemoGrowKeepsEntries(t *testing.T) {
+	var m pairMemo
+	m.begin()
+	// Enough inserts to force at least one grow past the initial table.
+	n := pairMemoMinSlots
+	for i := 0; i < n; i++ {
+		st := pairFails
+		if i%2 == 0 {
+			st = pairHolds
+		}
+		m.insert(uint16(i%7+1), int32(i), int32(i+1), st)
+	}
+	if len(m.slots) <= pairMemoMinSlots {
+		t.Fatalf("table did not grow: %d slots", len(m.slots))
+	}
+	for i := 0; i < n; i++ {
+		want := pairFails
+		if i%2 == 0 {
+			want = pairHolds
+		}
+		if got := m.lookup(uint16(i%7+1), int32(i), int32(i+1)); got != want {
+			t.Fatalf("entry %d lost across grow: got %d want %d", i, got, want)
+		}
+	}
+}
+
+func TestPairMemoShrinkDropsOversizedTable(t *testing.T) {
+	var m pairMemo
+	m.begin()
+	for i := 0; i < pairMemoShrinkAt; i++ {
+		m.insert(1, int32(i), int32(i+1), pairHolds)
+	}
+	if len(m.slots) <= pairMemoShrinkAt {
+		t.Fatalf("setup: table not oversized (%d slots)", len(m.slots))
+	}
+	// A tiny parse between two begins triggers the shrink heuristic.
+	m.begin()
+	m.insert(1, 1, 2, pairHolds)
+	m.begin()
+	if m.slots != nil {
+		t.Fatalf("oversized, underused table kept %d slots; want dropped", len(m.slots))
+	}
+	// And the memo still works from scratch.
+	m.insert(1, 3, 4, pairFails)
+	if got := m.lookup(1, 3, 4); got != pairFails {
+		t.Fatalf("lookup after shrink = %d", got)
+	}
+}

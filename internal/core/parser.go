@@ -51,15 +51,23 @@ const DefaultMaxInstances = 400000
 // plain integer increments on paths that already do real work, so there is
 // no "stats off" mode to get wrong.
 type Stats struct {
-	Tokens          int
-	Terminals       int           // terminal instances created (one per token)
-	TotalCreated    int           // instances ever created, including pruned ones
-	Pruned          int           // killed directly by a preference
-	RolledBack      int           // killed transitively as ancestors of pruned instances
-	Alive           int           // instances alive at the end
-	MaximalTrees    int           // maximal partial parse trees
-	CompleteParses  int           // alive start-symbol instances covering every token
-	ConstraintEvals int           // production constraint evaluations
+	Tokens         int
+	Terminals      int // terminal instances created (one per token)
+	TotalCreated   int // instances ever created, including pruned ones
+	Pruned         int // killed directly by a preference
+	RolledBack     int // killed transitively as ancestors of pruned instances
+	Alive          int // instances alive at the end
+	MaximalTrees   int // maximal partial parse trees
+	CompleteParses int // alive start-symbol instances covering every token
+	// ConstraintEvals counts constraint evaluation events. Monolithic
+	// constraints (single ∧-factor or none) count one per complete
+	// component assignment, as always. Decomposed constraints evaluate
+	// tier by tier as the join binds each slot (predicate pushdown), and
+	// count one per non-empty tier reached — so one event may cover a
+	// prefix shared by many assignments, and rejected prefixes never
+	// produce deeper events. Both evaluation modes share the join code and
+	// count identically.
+	ConstraintEvals int
 	FixpointIters   int           // fix-point rounds summed over all groups
 	Groups          int           // schedule groups executed (1 when scheduling is off)
 	Truncated       bool          // hit MaxInstances
@@ -245,19 +253,7 @@ func (p *Parser) ParseContext(ctx context.Context, toks []*token.Token, sp *obs.
 	res.Maximal = e.maximize(p.pl.g.Start)
 	msp.SetInt("trees", int64(len(res.Maximal)))
 	msp.End()
-	// e.all is in creation (ID) order, so Alive needs no sort.
-	alive := 0
-	for _, in := range e.all {
-		if !in.Dead {
-			alive++
-		}
-	}
-	res.Alive = make([]*grammar.Instance, 0, alive)
-	for _, in := range e.all {
-		if !in.Dead {
-			res.Alive = append(res.Alive, in)
-		}
-	}
+	res.Maximal, res.Alive = e.compact(res.Maximal)
 	e.stats.Alive = len(res.Alive)
 	e.stats.MaximalTrees = len(res.Maximal)
 	// Complete parses are counted over all alive start-symbol instances:
@@ -322,17 +318,24 @@ func appendInt(buf []byte, v int) []byte {
 }
 
 // instSlabSize is how many instances one engine slab holds; childSlabSize
-// how many child pointers. Slabs are dropped (not reused) at release time
-// because the returned Result owns the instances carved from them.
+// how many child pointers. The parse builds instances in these engine-owned
+// slabs; at the end compact() copies the alive minority into exact-size
+// Result-owned storage, so the slabs (dead-instance majority included) are
+// cleared and recycled for the next parse instead of being retained by the
+// Result. maxFreeSlabs caps how many spare slabs of each kind a pooled
+// engine keeps — a single pathological parse cannot pin an unbounded pool.
 const (
 	instSlabSize  = 512
 	childSlabSize = 2048
+	maxFreeSlabs  = 8
 )
 
 // engine holds the mutable state of one parse. Engines are pooled per
 // Parser: scratch structures that hold no instance pointers (dedup table,
-// bitset scratch, join buffers, list headers) survive between parses, while
-// instance storage is carved from per-parse slabs the Result keeps alive.
+// bitset scratch, join buffers, list headers) survive between parses, and
+// instance storage is carved from engine-owned slabs that recycle too —
+// compact() copies the alive survivors into Result-owned storage at the end
+// of each parse, so nothing the Result retains reaches into the engine.
 type engine struct {
 	pl  *plan
 	opt Options
@@ -363,13 +366,54 @@ type engine struct {
 	marks []int
 	snap  []int
 
+	// Join candidate lists: per-symbol alive-compacted views of bySym,
+	// rebuilt at each fix point's start. Kills only happen between fix
+	// points (enforcement runs after a group's fix point, or after the
+	// global one), so the dead set is fixed while one runs: filtering the
+	// dead out once here removes the per-candidate liveness check from the
+	// join inner loop, and frontier bookkeeping (marks/snap) indexes the
+	// compacted lists. candActive marks the symbols whose lists are live so
+	// track() keeps them growing as instances are created mid-round.
+	//
+	// A symbol with no dead instances (deadBySym) aliases bySym directly —
+	// no copy, no extra write barriers; terminals never die (rollback only
+	// walks upward), so the large terminal lists alias every group. Only
+	// symbols that lost instances pay for a compacted copy, built in the
+	// engine-owned candBuf so capacity recycles across groups and parses.
+	joinCands   [][]*grammar.Instance
+	candBuf     [][]*grammar.Instance
+	candActive  []bool
+	candAliased []bool
+	deadBySym   []int32
+
 	// Join scratch, sized to the grammar's maximum production arity.
+	// joinCover[s] (s >= 2) holds the cover union of the first s chosen
+	// components, so deep slots test token-disjointness against one bitset
+	// instead of every earlier child.
 	children  []*grammar.Instance
 	joinLists [][]*grammar.Instance
 	joinOld   []int
+	joinCover []bitset.Set
 
 	// Dedup key scratch.
 	keyBuf []int32
+
+	// Per-conjunct selectivity counters (index-parallel to plan.conjStats),
+	// accumulated locally and flushed to the plan at release.
+	conjEvals   []int32
+	conjRejects []int32
+
+	// Preference verdict memo (see pairMemo).
+	prefMemo pairMemo
+
+	// Index-form parent graph, engine-owned scratch: parHead[id] is the
+	// index of instance id's first parent edge in parEdges (-1 when it has
+	// none), edges are prepend-linked via next. Rollback and maximization
+	// walk these instead of per-Instance parent slices, so frozen Results
+	// retain no parse-only back edges (the dead-instance majority they
+	// mostly pointed at) and the arrays recycle across parses.
+	parHead  []int32
+	parEdges []parEdge
 
 	// Enforcement scratch: the memoized winner-subtree spare set and the
 	// winner cover-union prefilter.
@@ -379,11 +423,31 @@ type engine struct {
 
 	// Maximization scratch.
 	maxCands []*grammar.Instance
+	maxKeys  []maxKey // ID-indexed sort keys scratch for maximize
 
-	// Per-parse storage slabs (see release).
+	// Freeze-compaction scratch: reach marks the IDs reachable from alive
+	// instances; remap[id] is the Result-owned copy of reachable instance
+	// id during compact(), nil for unreachable ones.
+	reach []bool
+	remap []*grammar.Instance
+
+	// Instance/child-pointer storage slabs (see instSlabSize). instSlab and
+	// childSlab are the chunks currently being filled; used* lists every
+	// chunk this parse touched (the current one last, header kept fresh);
+	// free* holds cleared chunks awaiting reuse.
 	arena     bitset.Arena
 	instSlab  []grammar.Instance
 	childSlab []*grammar.Instance
+	usedInst  [][]grammar.Instance
+	usedChild [][]*grammar.Instance
+	freeInst  [][]grammar.Instance
+	freeChild [][]*grammar.Instance
+}
+
+// parEdge is one child→parent link of the index-form parent graph.
+type parEdge struct {
+	parent int32 // parent instance ID
+	next   int32 // next edge of the same child, -1 at the end
 }
 
 // engine checks an engine out of the pool, constructing one on first use.
@@ -398,7 +462,9 @@ func (p *Parser) engine() *engine {
 }
 
 // release clears every reference the engine holds into the finished parse —
-// the Result owns those instances now — and returns it to the pool.
+// compact() copied the alive instances into Result-owned storage, so the
+// slabs only hold parse-scratch copies now — and recycles the slab chunks
+// (cleared, so a pooled engine pins nothing) before returning to the pool.
 func (e *engine) forgetInstances() {
 	for i := range e.bySym {
 		clear(e.bySym[i])
@@ -410,17 +476,37 @@ func (e *engine) forgetInstances() {
 	clear(e.joinLists)
 	clear(e.maxCands)
 	e.maxCands = e.maxCands[:0]
+	clear(e.remap)
 	e.pair = [2]*grammar.Instance{}
 	e.frame.Bind(nil)
 	clear(e.evalCtx.Bind)
 	e.ctx = nil
 	e.spareFor = nil
 	e.arena.Reset(0)
+	for _, c := range e.usedInst {
+		clear(c)
+		if len(e.freeInst) < maxFreeSlabs {
+			e.freeInst = append(e.freeInst, c)
+		}
+	}
+	clear(e.usedInst)
+	e.usedInst = e.usedInst[:0]
+	for _, c := range e.usedChild {
+		clear(c)
+		if len(e.freeChild) < maxFreeSlabs {
+			e.freeChild = append(e.freeChild, c)
+		}
+	}
+	clear(e.usedChild)
+	e.usedChild = e.usedChild[:0]
 	e.instSlab = nil
 	e.childSlab = nil
 }
 
 func (p *Parser) release(e *engine) {
+	if len(e.conjEvals) > 0 {
+		p.pl.noteConjStats(e.conjEvals, e.conjRejects)
+	}
 	e.forgetInstances()
 	p.pool.Put(e)
 }
@@ -455,13 +541,43 @@ func (e *engine) begin(ctx context.Context, pl *plan, opt Options, universe int)
 		e.bySym = make([][]*grammar.Instance, ns)
 	}
 	e.bySym = e.bySym[:ns]
+	if cap(e.joinCands) < ns {
+		e.joinCands = make([][]*grammar.Instance, ns)
+		e.candBuf = make([][]*grammar.Instance, ns)
+		e.candActive = make([]bool, ns)
+		e.candAliased = make([]bool, ns)
+		e.deadBySym = make([]int32, ns)
+	}
+	e.joinCands = e.joinCands[:ns]
+	e.candBuf = e.candBuf[:ns]
+	e.candActive = e.candActive[:ns]
+	e.candAliased = e.candAliased[:ns]
+	e.deadBySym = e.deadBySym[:ns]
+	clear(e.deadBySym)
 	e.marks = resizeInts(e.marks, ns)
 	e.snap = resizeInts(e.snap, ns)
 	if cap(e.children) < pl.maxArity {
 		e.children = make([]*grammar.Instance, pl.maxArity)
 		e.joinLists = make([][]*grammar.Instance, pl.maxArity)
 		e.joinOld = make([]int, pl.maxArity)
+		e.joinCover = make([]bitset.Set, pl.maxArity)
 	}
+	for i := range e.joinCover {
+		e.joinCover[i].Reset(universe)
+	}
+	if n := len(pl.conjStats); n > 0 {
+		if cap(e.conjEvals) < n {
+			e.conjEvals = make([]int32, n)
+			e.conjRejects = make([]int32, n)
+		}
+		e.conjEvals = e.conjEvals[:n]
+		e.conjRejects = e.conjRejects[:n]
+		clear(e.conjEvals)
+		clear(e.conjRejects)
+	}
+	e.prefMemo.begin()
+	e.parHead = e.parHead[:0]
+	e.parEdges = e.parEdges[:0]
 	e.dedup.reset()
 	e.nextID = 0
 	e.stats = Stats{}
@@ -475,66 +591,84 @@ func resizeInts(s []int, n int) []int {
 	return s[:n]
 }
 
-// newInstance carves a zeroed instance from the engine's slab.
+// newInstance carves a zeroed instance from the engine's slab, reusing a
+// cleared chunk from the free list when one is available. Chunks are
+// all-zero whenever they are (re)issued — fresh ones by allocation, free-
+// listed ones because forgetInstances clears exactly the prefix each parse
+// wrote — so extending the length alone yields a zeroed instance without
+// the zero-struct copy (and its write barriers) an append would do.
 func (e *engine) newInstance() *grammar.Instance {
 	if len(e.instSlab) == cap(e.instSlab) {
-		e.instSlab = make([]grammar.Instance, 0, instSlabSize)
+		if n := len(e.freeInst); n > 0 {
+			e.instSlab = e.freeInst[n-1][:0]
+			e.freeInst = e.freeInst[:n-1]
+		} else {
+			e.instSlab = make([]grammar.Instance, 0, instSlabSize)
+		}
+		e.usedInst = append(e.usedInst, nil)
 	}
-	e.instSlab = append(e.instSlab, grammar.Instance{})
-	return &e.instSlab[len(e.instSlab)-1]
+	n := len(e.instSlab)
+	e.instSlab = e.instSlab[:n+1]
+	e.usedInst[len(e.usedInst)-1] = e.instSlab
+	return &e.instSlab[n]
 }
 
 // copyChildren copies a component assignment into the child-pointer slab
 // (instances need their own children slice; the join buffer is reused).
 func (e *engine) copyChildren(cs []*grammar.Instance) []*grammar.Instance {
 	if len(e.childSlab)+len(cs) > cap(e.childSlab) {
-		n := childSlabSize
-		if len(cs) > n {
-			n = len(cs)
+		if n := len(e.freeChild); n > 0 && len(cs) <= cap(e.freeChild[n-1]) {
+			e.childSlab = e.freeChild[n-1][:0]
+			e.freeChild = e.freeChild[:n-1]
+		} else {
+			n := childSlabSize
+			if len(cs) > n {
+				n = len(cs)
+			}
+			e.childSlab = make([]*grammar.Instance, 0, n)
 		}
-		e.childSlab = make([]*grammar.Instance, 0, n)
+		e.usedChild = append(e.usedChild, nil)
 	}
 	start := len(e.childSlab)
 	e.childSlab = append(e.childSlab, cs...)
+	e.usedChild[len(e.usedChild)-1] = e.childSlab
 	return e.childSlab[start:len(e.childSlab):len(e.childSlab)]
 }
 
-// appendParent grows an instance's parent list against the child-pointer
-// slab instead of the heap: every instance gains a parent per derivation it
-// feeds, and those one-pointer appends were the parse's dominant residual
-// allocation. Growth carves a doubled region from the slab and abandons the
-// old one — slab space is traded for allocation count, and the Result owns
-// the slabs either way.
-func (e *engine) appendParent(old []*grammar.Instance, in *grammar.Instance) []*grammar.Instance {
-	if len(old) < cap(old) {
-		return append(old, in)
-	}
-	n := 2 * cap(old)
-	if n < 4 {
-		n = 4
-	}
-	if len(e.childSlab)+n > cap(e.childSlab) {
-		sz := childSlabSize
-		if n > sz {
-			sz = n
-		}
-		e.childSlab = make([]*grammar.Instance, 0, sz)
-	}
-	start := len(e.childSlab)
-	e.childSlab = e.childSlab[:start+n]
-	s := e.childSlab[start:start : start+n]
-	s = append(s, old...)
-	return append(s, in)
+// addParent links child→parent in the index-form parent graph: edges are
+// prepended to the child's list in two flat int32-indexed arrays that
+// recycle across parses. These links used to be per-Instance []*Instance
+// slices carved from the child-pointer slab; keeping them engine-owned
+// shrinks the Instance struct, stops frozen Results from retaining rollback
+// edges into the parse's dead-instance majority, and makes parent storage
+// allocation-free at steady state.
+//
+// Each (parent, child) edge is recorded exactly once per parse: the dedup
+// table admits each parent derivation once, and cover disjointness keeps one
+// child instance from filling two slots of the same parent (a non-empty
+// cover always intersects itself) — TestParentEdgesUnique pins this.
+func (e *engine) addParent(child int, parent int32) {
+	e.parEdges = append(e.parEdges, parEdge{parent: parent, next: e.parHead[child]})
+	e.parHead[child] = int32(len(e.parEdges) - 1)
 }
 
 // track registers a freshly built instance in the engine's indexes. Symbols
 // outside the grammar (token types no production mentions) skip the bySym
 // table — nothing can join over them — but still appear in e.all and hence
-// in Result.Alive.
+// in Result.Alive. Instances are tracked in ID order, so the parent-graph
+// head array grows in lockstep (parHead[in.ID] is this append).
 func (e *engine) track(in *grammar.Instance) {
 	if sid, ok := e.pl.symID[in.Sym]; ok {
 		e.bySym[sid] = append(e.bySym[sid], in)
+		if e.candActive[sid] {
+			if e.candAliased[sid] {
+				e.joinCands[sid] = e.bySym[sid] // re-alias: one append, two views
+			} else {
+				e.joinCands[sid] = append(e.joinCands[sid], in)
+			}
+		}
 	}
+	e.parHead = append(e.parHead, -1)
 	e.all = append(e.all, in)
 	e.stats.TotalCreated++
 }
@@ -547,6 +681,48 @@ func (e *engine) track(in *grammar.Instance) {
 // round), so recursive symbols pay per new instance instead of
 // re-evaluating the whole cross product every round.
 func (e *engine) fixpoint(sp *obs.Span, prods, syms []int) {
+	// Compact the candidate lists once per fix point: kills only happen
+	// between fix points, so liveness is frozen while this one runs and
+	// dead instances can be filtered out up front instead of per join
+	// visit. candActive routes instances created mid-fix-point into the
+	// compacted lists (track), and marks/snap index them, not bySym.
+	for _, sid := range syms {
+		if e.deadBySym[sid] == 0 {
+			e.joinCands[sid] = e.bySym[sid]
+			e.candAliased[sid] = true
+		} else {
+			cands := e.candBuf[sid][:0]
+			for _, in := range e.bySym[sid] {
+				if !in.Dead {
+					cands = append(cands, in)
+				}
+			}
+			e.candBuf[sid] = cands
+			e.joinCands[sid] = cands
+			e.candAliased[sid] = false
+		}
+		e.candActive[sid] = true
+	}
+	e.runFixpoint(sp, prods, syms)
+	// Deactivate and release the lists: between fix points they must hold
+	// no instance pointers of their own (the Result owns the instances once
+	// the parse returns). Aliased lists are bySym's storage — drop the
+	// header only; owned lists are zeroed in place (each only grew since
+	// the clear above, so the backing array ends fully zeroed) and kept in
+	// candBuf for reuse.
+	for _, sid := range syms {
+		e.candActive[sid] = false
+		if !e.candAliased[sid] {
+			// joinCands, not candBuf: track() may have grown (and even
+			// reallocated) the list since compaction.
+			clear(e.joinCands[sid])
+			e.candBuf[sid] = e.joinCands[sid][:0]
+		}
+		e.joinCands[sid] = nil
+	}
+}
+
+func (e *engine) runFixpoint(sp *obs.Span, prods, syms []int) {
 	// marks[sym] = how many instances of sym existed before the current
 	// round; indices at or beyond the mark are this round's frontier.
 	// Zero at round 1: everything inherited from earlier groups is new
@@ -566,7 +742,7 @@ func (e *engine) fixpoint(sp *obs.Span, prods, syms []int) {
 		}
 		e.stats.FixpointIters++
 		for _, sid := range syms {
-			e.snap[sid] = len(e.bySym[sid])
+			e.snap[sid] = len(e.joinCands[sid])
 		}
 		added := 0
 		for _, pi := range prods {
@@ -594,14 +770,22 @@ func (e *engine) fixpoint(sp *obs.Span, prods, syms []int) {
 // (per marks) were already joined in an earlier round and are skipped.
 // Returns the number of instances added.
 func (e *engine) applyProd(pp *prodPlan) int {
+	k := len(pp.compSyms)
 	for i, sid := range pp.compSyms {
-		l := e.bySym[sid]
+		l := e.joinCands[sid]
 		if len(l) == 0 {
 			return 0
 		}
 		e.joinLists[i] = l
 		e.joinOld[i] = e.marks[sid]
 	}
+	// One frame bind covers the whole enumeration: slots fill left to right
+	// and every factor is evaluated only once its slots are bound (evalTier)
+	// or the assignment is complete (emit), so no evaluation ever reads a
+	// slot the current prefix has not overwritten. Binding here instead of
+	// per evaluation keeps a pointer store (and its write barrier) out of
+	// the join's inner loops.
+	e.frame.Bind(e.children[:k])
 	return e.joinSlot(pp, 0, false)
 }
 
@@ -619,11 +803,10 @@ func (e *engine) joinSlot(pp *prodPlan, slot int, hasNew bool) int {
 	}
 	added := 0
 	for idx, cand := range e.joinLists[slot] {
-		if cand.Dead {
-			continue
-		}
 		// Prune early: if no new component has been chosen yet and no
-		// later slot can supply one, the whole branch is stale.
+		// later slot can supply one, the whole branch is stale. (Candidate
+		// lists are alive-compacted per fix point, so no liveness check
+		// runs here.)
 		candNew := idx >= e.joinOld[slot]
 		if !hasNew && !candNew {
 			stale := true
@@ -637,18 +820,38 @@ func (e *engine) joinSlot(pp *prodPlan, slot int, hasNew bool) int {
 				continue
 			}
 		}
-		// Components must not compete for tokens within one instance.
-		overlap := false
-		for i := 0; i < slot; i++ {
-			if e.children[i].Cover.Intersects(cand.Cover) {
-				overlap = true
-				break
+		// Components must not compete for tokens within one instance: slot 1
+		// tests pairwise, deeper slots against the running cover union of
+		// the chosen prefix (joinCover[s] = cover of children[0..s-1]).
+		if slot == 1 {
+			if e.children[0].Cover.Intersects(cand.Cover) {
+				continue
+			}
+		} else if slot >= 2 {
+			if e.joinCover[slot].Intersects(cand.Cover) {
+				continue
 			}
 		}
-		if overlap {
+		e.children[slot] = cand
+		// Predicate pushdown: evaluate every constraint factor that becomes
+		// fully bound at this slot, before enumerating anything deeper. A
+		// rejection here prunes the entire subtree of candidate combinations
+		// this prefix would have rooted.
+		if pp.conj != nil && !e.evalTier(pp, slot) {
+			if e.stats.Truncated || e.interrupted {
+				return added
+			}
 			continue
 		}
-		e.children[slot] = cand
+		if nxt := slot + 1; nxt >= 2 && nxt < k {
+			u := e.joinCover[nxt]
+			if nxt == 2 {
+				u.CopyFrom(e.children[0].Cover)
+			} else {
+				u.CopyFrom(e.joinCover[slot])
+			}
+			u.UnionWith(cand.Cover)
+		}
 		added += e.joinSlot(pp, slot+1, hasNew || candNew)
 		if e.stats.Truncated || e.interrupted {
 			return added
@@ -659,31 +862,34 @@ func (e *engine) joinSlot(pp *prodPlan, slot int, hasNew bool) int {
 
 // emit evaluates the production constraint over the completed assignment
 // and, if it holds and the derivation is new, builds the head instance.
+// Decomposed constraints (pp.conj non-nil) were already fully checked tier
+// by tier inside joinSlot — every factor's tier is at most the last slot —
+// so emit goes straight to dedup for them.
 func (e *engine) emit(pp *prodPlan) int {
 	k := len(pp.compSyms)
 	children := e.children[:k]
-	e.stats.ConstraintEvals++
-	e.evalsUntilCheck--
-	if e.evalsUntilCheck <= 0 {
-		e.evalsUntilCheck = ctxCheckEvery
-		if e.cancelled() {
-			return 0
+	if pp.conj == nil {
+		e.stats.ConstraintEvals++
+		e.evalsUntilCheck--
+		if e.evalsUntilCheck <= 0 {
+			e.evalsUntilCheck = ctxCheckEvery
+			if e.cancelled() {
+				return 0
+			}
 		}
-	}
-	if e.opt.Interpreted {
-		// The oracle path. Bind is cleared first so entries from other
-		// productions (or preference evaluations) cannot leak into this
-		// constraint's environment when variable names are reused.
-		clear(e.evalCtx.Bind)
-		for i, c := range pp.p.Components {
-			e.evalCtx.Bind[c.Var] = children[i]
-		}
-		if !grammar.EvalBool(pp.p.Constraint, e.evalCtx) {
-			return 0
-		}
-	} else {
-		e.frame.Bind(children)
-		if !pp.constraint.EvalBool(e.frame) {
+		if e.opt.Interpreted {
+			// The oracle path. Bind is cleared first so entries from other
+			// productions (or preference evaluations) cannot leak into this
+			// constraint's environment when variable names are reused.
+			clear(e.evalCtx.Bind)
+			for i, c := range pp.p.Components {
+				e.evalCtx.Bind[c.Var] = children[i]
+			}
+			if !grammar.EvalBool(pp.p.Constraint, e.evalCtx) {
+				return 0
+			}
+		} else if !pp.constraint.EvalBool(e.frame) {
+			// applyProd bound the frame to the children scratch already.
 			return 0
 		}
 	}
@@ -716,14 +922,68 @@ func (e *engine) emit(pp *prodPlan) int {
 		inst.Pos = inst.Pos.Union(c.Pos)
 	}
 	inst.Cover = cover
+	pid := int32(inst.ID)
 	for _, c := range inst.Children {
-		c.Parents = e.appendParent(c.Parents, inst)
+		e.addParent(c.ID, pid)
 	}
 	e.track(inst)
 	if e.stats.TotalCreated >= e.opt.MaxInstances {
 		e.stats.Truncated = true
 	}
 	return 1
+}
+
+// evalTier evaluates the constraint factors that become fully bound when
+// join slot `slot` is filled — segment slot of the production's conjunct
+// schedule — short-circuiting on the first rejecting factor. Reordering
+// within a tier is observationally pure — under EvalBool semantics the
+// ∧-factors commute (see grammar.CompiledProd) — so any order gives the
+// original constraint's verdict; the schedule only decides how little work
+// a rejection costs and how much of the enumeration it prunes.
+//
+// Both evaluation modes run the same tiers over the same prefixes: the
+// compiled path evaluates each factor's unboxed form against the frame,
+// the interpreted oracle evaluates the identical source factor through the
+// tree-walking interpreter with exactly the bound prefix in scope — so a
+// compiled-vs-interpreted divergence on any factor still splits the two
+// modes' instance sets and trips parity. Per-factor hit counters accumulate
+// engine-locally (compiled mode only) and feed the plan's measured
+// selectivity at release.
+func (e *engine) evalTier(pp *prodPlan, slot int) bool {
+	co := pp.order.Load()
+	lo, hi := co.tier[slot], co.tier[slot+1]
+	if lo == hi {
+		return true
+	}
+	e.stats.ConstraintEvals++
+	e.evalsUntilCheck--
+	if e.evalsUntilCheck <= 0 {
+		e.evalsUntilCheck = ctxCheckEvery
+		if e.cancelled() {
+			return false
+		}
+	}
+	if e.opt.Interpreted {
+		clear(e.evalCtx.Bind)
+		for i := 0; i <= slot; i++ {
+			e.evalCtx.Bind[pp.p.Components[i].Var] = e.children[i]
+		}
+		for _, ci := range co.ord[lo:hi] {
+			if !grammar.EvalBool(pp.conj[ci].Src, e.evalCtx) {
+				return false
+			}
+		}
+		return true
+	}
+	base := pp.counters
+	for _, ci := range co.ord[lo:hi] {
+		e.conjEvals[base+int(ci)]++
+		if !pp.conj[ci].Expr.EvalBool(e.frame) {
+			e.conjRejects[base+int(ci)]++
+			return false
+		}
+	}
+	return true
 }
 
 // enforce applies one preference (procedure enforce of Figure 11): for
@@ -775,7 +1035,7 @@ func (e *engine) enforce(sp *obs.Span, pi int) int {
 			if w.Dead || w == l {
 				continue
 			}
-			if !e.prefHolds(pp, w, l) {
+			if !e.prefHoldsMemo(pp, pi, w, l) {
 				continue
 			}
 			// See the kill comment for why the winner's own subtree is
@@ -797,6 +1057,32 @@ func (e *engine) enforce(sp *obs.Span, pi int) int {
 			obs.Int("rolledBack", int64(e.stats.RolledBack-rolled0)))
 	}
 	return kills
+}
+
+// prefHoldsMemo is prefHolds behind the engine's pair memo. The verdict of
+// a preference over a (winner, loser) pair depends only on state that is
+// immutable once both instances exist — never on Dead, which enforce checks
+// outside — so a memoized verdict stays valid for the whole parse. Late
+// pruning re-runs every preference over the same population until a round
+// kills nothing; the memo turns those re-runs into table hits. The
+// interpreted oracle path stays unmemoized, which keeps TestCompiledParity
+// a differential check that memoization changes no verdict.
+func (e *engine) prefHoldsMemo(pp *prefPlan, pi int, w, l *grammar.Instance) bool {
+	if e.opt.Interpreted {
+		return e.prefHolds(pp, w, l)
+	}
+	pref := uint16(pi + 1)
+	wid, lid := int32(w.ID), int32(l.ID)
+	if st := e.prefMemo.lookup(pref, wid, lid); st != pairUnknown {
+		return st == pairHolds
+	}
+	v := e.prefHolds(pp, w, l)
+	st := pairFails
+	if v {
+		st = pairHolds
+	}
+	e.prefMemo.insert(pref, wid, lid, st)
+	return v
 }
 
 // prefHolds evaluates one preference over a winner/loser pair: the
@@ -860,13 +1146,104 @@ func (e *engine) kill(in *grammar.Instance, spare bitset.Set, direct bool) {
 	} else {
 		e.stats.RolledBack++
 	}
-	for _, parent := range in.Parents {
-		if spare.Has(parent.ID) {
+	if sid, ok := e.pl.symID[in.Sym]; ok {
+		e.deadBySym[sid]++
+	}
+	for ei := e.parHead[in.ID]; ei >= 0; {
+		edge := e.parEdges[ei]
+		ei = edge.next
+		if spare.Has(int(edge.parent)) {
 			continue
 		}
-		e.kill(parent, spare, false)
+		e.kill(e.all[edge.parent], spare, false)
 	}
 }
+
+// compact copies the Result's entire reach — every alive instance plus the
+// instances their subtrees run through — into exact-size Result-owned
+// storage, in creation (ID) order, and remaps the given maximal roots onto
+// the copies. Reachability must be computed, not equated with liveness:
+// winner-subtree sparing (see kill) deliberately leaves a dead loser as a
+// child inside its winner's alive derivation, so alive trees can contain
+// dead nodes. Covers need no copying — they point into arena slabs each
+// Set keeps alive on its own. The payoff is at release: the slabs that
+// held the parse's unreachable majority go back to the engine instead of
+// being pinned by the Result, so steady-state parsing allocates instance
+// storage proportional to what survives rather than to everything the join
+// ever built.
+func (e *engine) compact(maximal []*grammar.Instance) (maxOut, alive []*grammar.Instance) {
+	if cap(e.reach) < len(e.all) {
+		e.reach = make([]bool, len(e.all))
+	}
+	e.reach = e.reach[:len(e.all)]
+	clear(e.reach)
+	nAlive := 0
+	for _, in := range e.all {
+		if !in.Dead {
+			nAlive++
+			e.markReach(in)
+		}
+	}
+	nReach, nKids := 0, 0
+	for _, in := range e.all {
+		if e.reach[in.ID] {
+			nReach++
+			nKids += len(in.Children)
+		}
+	}
+	dst := make([]grammar.Instance, nReach)
+	kids := make([]*grammar.Instance, nKids)
+	alive = make([]*grammar.Instance, 0, nAlive)
+	if cap(e.remap) < len(e.all) {
+		e.remap = make([]*grammar.Instance, len(e.all))
+	}
+	remap := e.remap[:len(e.all)]
+	idx := 0
+	for _, in := range e.all {
+		if !e.reach[in.ID] {
+			remap[in.ID] = nil
+			continue
+		}
+		dst[idx] = *in
+		remap[in.ID] = &dst[idx]
+		if !in.Dead {
+			alive = append(alive, &dst[idx])
+		}
+		idx++
+	}
+	kidx := 0
+	for i := range dst {
+		cs := dst[i].Children
+		if len(cs) == 0 {
+			continue
+		}
+		out := kids[kidx : kidx : kidx+len(cs)]
+		for _, c := range cs {
+			out = append(out, remap[c.ID])
+		}
+		kidx += len(cs)
+		dst[i].Children = out
+	}
+	for i, m := range maximal {
+		maximal[i] = remap[m.ID]
+	}
+	return maximal, alive
+}
+
+// markReach marks in's subtree reachable (compaction scratch).
+func (e *engine) markReach(in *grammar.Instance) {
+	if e.reach[in.ID] {
+		return
+	}
+	e.reach[in.ID] = true
+	for _, c := range in.Children {
+		e.markReach(c)
+	}
+}
+
+// maxKey is the precomputed per-candidate sort key of maximize: the cover
+// popcount and the subtree node count.
+type maxKey struct{ count, size int32 }
 
 // maximize implements partial-tree maximization (Section 5.3): the parse
 // trees kept are alive nonterminal instances whose covers are maximal under
@@ -886,8 +1263,8 @@ func (e *engine) maximize(startSym string) []*grammar.Instance {
 			continue
 		}
 		hasLiveParent := false
-		for _, p := range in.Parents {
-			if !p.Dead {
+		for ei := e.parHead[in.ID]; ei >= 0; ei = e.parEdges[ei].next {
+			if !e.all[e.parEdges[ei].parent].Dead {
 				hasLiveParent = true
 				break
 			}
@@ -896,11 +1273,23 @@ func (e *engine) maximize(startSym string) []*grammar.Instance {
 			cands = append(cands, in)
 		}
 	}
+	// Precompute the sort keys the comparator would otherwise recompute per
+	// comparison: cover popcount and subtree size, ID-indexed (IDs index
+	// e.all, so candidate IDs are in range). Size is only consulted for
+	// equal-cover ties, but a tree walk inside a comparator is O(n·log n)
+	// walks in the worst case — one walk per candidate is strictly better.
+	if cap(e.maxKeys) < len(e.all) {
+		e.maxKeys = make([]maxKey, len(e.all))
+	}
+	keys := e.maxKeys[:len(e.all)]
+	for _, in := range cands {
+		keys[in.ID] = maxKey{count: int32(in.Cover.Count()), size: int32(in.Size())}
+	}
 	sort.Slice(cands, func(i, j int) bool {
 		a, b := cands[i], cands[j]
-		ca, cb := a.Cover.Count(), b.Cover.Count()
-		if ca != cb {
-			return ca > cb
+		ka, kb := keys[a.ID], keys[b.ID]
+		if ka.count != kb.count {
+			return ka.count > kb.count
 		}
 		if c := a.Cover.Compare(b.Cover); c != 0 {
 			return c < 0
@@ -909,8 +1298,8 @@ func (e *engine) maximize(startSym string) []*grammar.Instance {
 		if (a.Sym == startSym) != (b.Sym == startSym) {
 			return a.Sym == startSym
 		}
-		if as, bs := a.Size(), b.Size(); as != bs {
-			return as > bs
+		if ka.size != kb.size {
+			return ka.size > kb.size
 		}
 		return a.ID < b.ID
 	})

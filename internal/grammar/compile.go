@@ -97,8 +97,41 @@ var (
 // CompiledProd is the compiled form of one production: its constraint with
 // component variables resolved to component indices (slot i is component
 // i). Nil Constraint means unconditionally applicable.
+//
+// Conjuncts additionally decomposes the constraint's top-level ∧-chain into
+// independently compiled factors (nil when there are fewer than two). Under
+// EvalBool semantics the factors commute: evaluation errors and false both
+// collapse to false, so EvalBool(A && B) == EvalBool(A) && EvalBool(B) for
+// every A, B, and the parser is free to evaluate the factors in any order —
+// in particular in measured-selectivity order, cheapest most-rejecting
+// first. Every factor is pure (builtins only read instance state; the text
+// memos they populate are idempotent), so short-circuiting a reordered
+// chain is observationally identical to evaluating the original expression.
 type CompiledProd struct {
 	Constraint *CompiledExpr
+	Conjuncts  []CompiledConjunct
+}
+
+// CompiledConjunct is one top-level ∧-factor of a production constraint,
+// compiled on the same unboxed fast path as the full expression. Cost is a
+// static estimate of the factor's evaluation cost (see staticCost) that
+// seeds the parser's selectivity ordering before hit counters exist.
+//
+// MaxSlot is the highest component slot any of the factor's variables
+// resolves to — the earliest point in a left-to-right join at which the
+// factor is fully bound. The parser evaluates the factor the moment that
+// slot is filled (predicate pushdown): a unary factor on slot 0 rejects a
+// candidate before any deeper slot is even enumerated. A factor with no
+// resolvable variables gets MaxSlot 0 — it is constant (or, if it names an
+// unknown variable, constantly false under error semantics) and belongs as
+// early as possible. Src is the factor's source expression, kept so the
+// interpreted oracle can evaluate the identical factor at the identical
+// point through the tree-walking interpreter.
+type CompiledConjunct struct {
+	Expr    *CompiledExpr
+	Src     Expr
+	Cost    int
+	MaxSlot int
 }
 
 // CompiledPref is the compiled form of one preference: slot 0 is the
@@ -134,6 +167,7 @@ func Compile(g *Grammar) *CompiledGrammar {
 			slot[c.Var] = j
 		}
 		cg.Prods[i].Constraint = CompileExpr(p.Constraint, slot)
+		cg.Prods[i].Conjuncts = compileConjuncts(p.Constraint, slot)
 	}
 	for i, r := range g.Prefs {
 		// Winner first: if the two variables collide, the loser binding
@@ -663,4 +697,107 @@ func varSlot(e Expr, slot map[string]int) (int, bool) {
 	}
 	i, ok := slot[v.Name]
 	return i, ok
+}
+
+// ---- Conjunct decomposition --------------------------------------------
+
+// compileConjuncts splits e's top-level ∧-chain and compiles each factor.
+// A constraint with fewer than two factors yields nil — the parser then
+// evaluates the whole compiled expression as before.
+func compileConjuncts(e Expr, slot map[string]int) []CompiledConjunct {
+	factors := flattenAnd(e, nil)
+	if len(factors) < 2 {
+		return nil
+	}
+	out := make([]CompiledConjunct, len(factors))
+	for i, f := range factors {
+		out[i] = CompiledConjunct{
+			Expr:    CompileExpr(f, slot),
+			Src:     f,
+			Cost:    staticCost(f),
+			MaxSlot: maxSlotOf(f, slot),
+		}
+	}
+	return out
+}
+
+// maxSlotOf returns the highest slot any of e's variables resolves to, or 0
+// when none does (a constant factor, or one over unknown variables — which
+// evaluates to false everywhere and should reject as early as possible).
+func maxSlotOf(e Expr, slot map[string]int) int {
+	max := 0
+	for _, v := range e.Vars() {
+		if s, ok := slot[v]; ok && s > max {
+			max = s
+		}
+	}
+	return max
+}
+
+// flattenAnd appends the top-level ∧-factors of e to out, in syntax order.
+func flattenAnd(e Expr, out []Expr) []Expr {
+	if a, ok := e.(*AndExpr); ok {
+		return flattenAnd(a.R, flattenAnd(a.L, out))
+	}
+	if e == nil {
+		return out
+	}
+	return append(out, e)
+}
+
+// builtinCost ranks builtins by how much work one evaluation does: pure
+// rectangle geometry is a handful of compares; cover predicates loop over
+// bitset words; subtree walks visit every node; text predicates join and
+// scan the yield (memoized per instance, but the first evaluation pays).
+// Unlisted builtins get costMid. The values only need to order conjuncts
+// sensibly before measured selectivity takes over.
+const (
+	costGeom = 1
+	costMid  = 3
+	costText = 8
+)
+
+var builtinCost = map[string]int{
+	// Rectangle geometry over Pos.
+	"left": costGeom, "right": costGeom, "above": costGeom, "below": costGeom,
+	"alignedleft": costGeom, "alignedtop": costGeom, "alignedmiddle": costGeom,
+	"samerow": costGeom, "samecol": costGeom, "hgap": costGeom, "vgap": costGeom,
+	"distance": costGeom, "width": costGeom, "height": costGeom, "near": costGeom,
+	// Cover-word loops and subtree walks.
+	"overlap": 2, "subsumes": 2,
+	"count": costMid, "size": costMid, "compdist": costMid, "rowish": costMid,
+	"optioncount": costMid, "checked": costMid, "multiple": costMid,
+	// Yield-text scans.
+	"sval": costText, "textlen": costText, "wordcount": costText,
+	"attrlike": costText, "oplike": costText, "caplike": costText,
+	"endscolon": costText, "oplist": costText, "dateish": costText,
+	"numlist": costText, "samename": costText, "labelfor": costText,
+	"textis": costText, "contains": costText,
+}
+
+// staticCost estimates the evaluation cost of one expression: one unit per
+// node plus the builtin table's cost per call.
+func staticCost(e Expr) int {
+	switch n := e.(type) {
+	case nil:
+		return 0
+	case *NotExpr:
+		return 1 + staticCost(n.X)
+	case *AndExpr:
+		return 1 + staticCost(n.L) + staticCost(n.R)
+	case *OrExpr:
+		return 1 + staticCost(n.L) + staticCost(n.R)
+	case *CmpExpr:
+		return 1 + staticCost(n.L) + staticCost(n.R)
+	case *CallExpr:
+		c := costMid
+		if bc, ok := builtinCost[n.Name]; ok {
+			c = bc
+		}
+		for _, a := range n.Args {
+			c += staticCost(a)
+		}
+		return c
+	}
+	return 1
 }

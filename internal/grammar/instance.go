@@ -18,9 +18,12 @@ import (
 // set of token IDs in its yield.
 //
 // Instances are the mutable half of the parsing state: the parser engine
-// assigns IDs, records Parents and flips Dead during preference
-// enforcement. They belong to exactly one parse and must not be shared
-// across concurrent parses (the shared, immutable half is the Grammar).
+// assigns IDs and flips Dead during preference enforcement. (Parent links —
+// the rollback edges — live in the engine's index-form parent graph, not on
+// the instance: only the parser needs them, and their far ends are mostly
+// the parse's dead-instance majority.) Instances belong to exactly one
+// parse and must not be shared across concurrent parses (the shared,
+// immutable half is the Grammar).
 type Instance struct {
 	// ID is the creation sequence number assigned by the parser; it makes
 	// preference enforcement and pruning deterministic.
@@ -41,12 +44,10 @@ type Instance struct {
 	// Dead marks instances invalidated by preference enforcement or
 	// rollback; dead instances take no further part in parsing.
 	Dead bool
-	// Parents records the instances built on top of this one, for rollback.
-	Parents []*Instance
 
 	// Lazily memoized text of the subtree (the yield never changes after
 	// Build, so the first computation is definitive). Single-parse state,
-	// like Dead and Parents: not synchronized.
+	// like Dead: not synchronized.
 	text    string
 	hasText bool
 	norm    string
@@ -252,19 +253,18 @@ func (in *Instance) NormText() string {
 
 // FreezeMemos prepares the subtree for concurrent readers: it
 // pre-materializes the lazily memoized text caches of every instance
-// reachable through Children (the only remaining lazy writes), severs
-// Parents — the rollback edges only the parser needs, whose far ends are
-// the parse's dead-instance majority — and returns the approximate byte
-// footprint of the visited subtree. After FreezeMemos any number of
-// goroutines may read the subtree concurrently (Walk, Text, NormText,
-// Dump, Explain). The seen set deduplicates shared nodes across calls;
-// pass one set per result.
+// reachable through Children (the only remaining lazy writes) and returns
+// the approximate byte footprint of the visited subtree. Parent links need
+// no severing — the engine keeps them in its own index-form graph, so a
+// frozen Result never held rollback edges to begin with. After FreezeMemos
+// any number of goroutines may read the subtree concurrently (Walk, Text,
+// NormText, Dump, Explain). The seen set deduplicates shared nodes across
+// calls; pass one set per result.
 func (in *Instance) FreezeMemos(seen map[*Instance]bool) int64 {
 	if seen[in] {
 		return 0
 	}
 	seen[in] = true
-	in.Parents = nil
 	// The struct, its slot in whatever index holds it, and the cover words.
 	cost := int64(unsafe.Sizeof(Instance{})) + int64(in.Cover.Len()/8+16)
 	cost += int64(len(in.Text()) + len(in.NormText()))
