@@ -2,7 +2,7 @@
 # full test suite under the race detector (the concurrent serving path —
 # pool, batch, formserve — is exercised by design), and keep the compiled
 # evaluation plan differentially equal to the interpreted oracle.
-.PHONY: check build vet test parity guards hostile bench bench-smoke bench-cache bench-frontend bench-parser bench-stream cluster-smoke bench-cluster
+.PHONY: check build vet test parity guards hostile bench bench-smoke bench-cache bench-frontend bench-parser bench-stream cluster-smoke bench-cluster bench-query
 
 check: build vet test parity guards
 
@@ -114,6 +114,27 @@ cluster-smoke:
 		-run 'TestCluster|TestReadyz|TestPeersRequireSelf|TestGoldenKey' \
 		./cmd/formserve/ .
 	go test -race -timeout 300s -count=1 ./internal/cluster/
+
+# Query-mediation benchmark: the source of BENCH_query.json. Builds three
+# generated domains (models extracted by the real pipeline), drives a
+# routed/translated query workload against live simulated backends, scores
+# routing precision/recall and answer completeness/soundness against the
+# ground-truth record oracle, then kills one source mid-run and proves the
+# degradation contract (zero query errors, non-empty Degraded). The target
+# itself fails when routing P/R drops below 0.9 on noise-free domains.
+# The checked-in baseline carries a schema header naming the report format
+# it was recorded with; the gate below fails the target when the header
+# does not match, so a future change to the formquery report cannot
+# silently diff against figures from a different era (same discipline as
+# bench-parser).
+bench-query:
+	@head -n 1 testdata/bench_query_baseline.txt | grep -qxF '# schema: formext-bench-query/v1' || { \
+	  echo 'bench-query: testdata/bench_query_baseline.txt does not carry the current "# schema: formext-bench-query/v1" header;'; \
+	  echo 'the baseline predates the current report format — re-record it from the pre-change tree before comparing.'; \
+	  exit 1; }
+	go run ./cmd/formquery -domains Books,Airfares,Automobiles \
+		-per-domain 4 -queries 60 -kill > BENCH_query.json
+	cat BENCH_query.json
 
 # Cluster benchmark: launch a real 3-process formserve fleet on local
 # ports, drive a Zipf-skewed corpus through it (stampede phase), then

@@ -34,6 +34,7 @@ import (
 
 	"formext"
 	"formext/internal/dataset"
+	"formext/internal/survey"
 )
 
 func main() {
@@ -58,6 +59,7 @@ type crawlConfig struct {
 	progressEv int
 	cacheBytes int64
 	cacheTTL   time.Duration
+	classify   bool
 }
 
 func parseFlags(args []string, errw io.Writer) crawlConfig {
@@ -78,6 +80,8 @@ func parseFlags(args []string, errw io.Writer) crawlConfig {
 	fs.Int64Var(&cfg.cacheBytes, "cache-bytes", 0,
 		"content-addressed extraction cache budget: byte-identical pages recurring across sources are answered without re-extraction (0 disables)")
 	fs.DurationVar(&cfg.cacheTTL, "cache-ttl", 0, "lifetime bound for cached extraction results (0 = until evicted)")
+	fs.BoolVar(&cfg.classify, "classify", true,
+		"classify each extracted interface into a domain by its attribute vocabulary")
 	fs.Parse(args)
 	return cfg
 }
@@ -98,9 +102,19 @@ type report struct {
 	// byte-identical pages recurring across (or within) sources, beyond the
 	// simultaneous in-flight duplicates Coalesced already collapses. Only
 	// nonzero with -cache-bytes > 0.
-	CacheHits       int64   `json:"cache_hits"`
-	Degraded        int64   `json:"degraded"`
-	Conditions      int64   `json:"conditions"`
+	CacheHits  int64 `json:"cache_hits"`
+	Degraded   int64 `json:"degraded"`
+	Conditions int64 `json:"conditions"`
+	// Domains counts extracted interfaces per classified domain — the
+	// crawl's yield broken down by what kind of deep-web source each page
+	// is, from the vocabulary classifier trained on the generator's ground
+	// truth. Unclassified counts interfaces below the classifier's floor.
+	Domains      map[string]int64 `json:"domains,omitempty"`
+	Unclassified int64            `json:"unclassified,omitempty"`
+	// DomainAccuracy is the classified fraction that matched the page's
+	// known true domain (synthetic pages and seeded trees carry one);
+	// omitted when no page had a known domain.
+	DomainAccuracy  float64 `json:"domain_accuracy,omitempty"`
 	ElapsedSec      float64 `json:"elapsed_sec"`
 	PagesPerSec     float64 `json:"pages_per_sec"`
 	Workers         int     `json:"workers"`
@@ -180,6 +194,25 @@ func run(ctx context.Context, cfg crawlConfig, out, errw io.Writer) error {
 	// The producer goroutine feeds pages under the per-source rate limits;
 	// ExtractStream's admission bound supplies the backpressure that keeps
 	// it from running ahead of the extractors.
+	// Classification: a vocabulary classifier trained on the generator's
+	// ground truth (a fixed-seed corpus covering every schema), plus the
+	// true domain of each admitted page — the feed knows it (the synthetic
+	// generator's schema, or a seeded tree's top-level directory) and the
+	// result loop scores against it.
+	var classifier *survey.Classifier
+	var trueDomain sync.Map // page ID → domain string
+	if cfg.classify {
+		var training []dataset.Source
+		for i, schema := range dataset.AllSchemas {
+			training = append(training, dataset.Generate(dataset.Config{
+				Seed: 7000 + int64(i), Sources: 4,
+				Schemas: []dataset.Schema{schema}, MinConds: 4, MaxConds: 10,
+			})...)
+		}
+		classifier = survey.NewClassifier(training, 0)
+		rep.Domains = map[string]int64{}
+	}
+
 	gauge := &formext.StreamGauge{}
 	pages := make(chan formext.Page)
 	var formsDetected atomic.Int64
@@ -193,6 +226,9 @@ func run(ctx context.Context, cfg crawlConfig, out, errw io.Writer) error {
 			}
 			if !hasForm(html) {
 				return nil
+			}
+			if classifier != nil && source != "" {
+				trueDomain.Store(id, source)
 			}
 			formsDetected.Add(1)
 			select {
@@ -232,6 +268,7 @@ func run(ctx context.Context, cfg crawlConfig, out, errw io.Writer) error {
 		MaxInFlight: maxInFlight,
 		Gauge:       gauge,
 	})
+	var domCorrect, domTotal int64
 	for pr := range results {
 		rep.Pages++
 		if pr.Err != nil {
@@ -248,6 +285,20 @@ func run(ctx context.Context, cfg crawlConfig, out, errw io.Writer) error {
 				rep.Degraded++
 			}
 			rep.Conditions += int64(len(pr.Result.Model.Conditions))
+			if classifier != nil {
+				domain, _ := classifier.ClassifyConditions(pr.Result.Model.Conditions)
+				if domain == "" {
+					rep.Unclassified++
+				} else {
+					rep.Domains[domain]++
+				}
+				if want, ok := trueDomain.LoadAndDelete(pr.ID); ok && domain != "" {
+					domTotal++
+					if domain == want.(string) {
+						domCorrect++
+					}
+				}
+			}
 		}
 		if cfg.progressEv > 0 && rep.Pages%int64(cfg.progressEv) == 0 {
 			fmt.Fprintf(errw, "formcrawl: %d pages, %d in flight, %.1f MiB heap\n",
@@ -275,6 +326,9 @@ func run(ctx context.Context, cfg crawlConfig, out, errw io.Writer) error {
 	rep.PeakInFlight = gauge.Peak()
 	rep.PeakHeapBytes = peakHeap.Load()
 	rep.Aborted = aborted.Load()
+	if domTotal > 0 {
+		rep.DomainAccuracy = float64(domCorrect) / float64(domTotal)
+	}
 
 	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")

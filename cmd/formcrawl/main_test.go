@@ -160,6 +160,56 @@ func TestMemCeilingAborts(t *testing.T) {
 	}
 }
 
+func TestCrawlDomainClassification(t *testing.T) {
+	// Seed a per-domain tree and crawl it with classification on: the
+	// summary breaks the yield down by domain, the counts reconcile with
+	// the extraction totals, and — since a seeded tree's directory names
+	// are the true domains — accuracy is measured and high.
+	dir := t.TempDir()
+	var seedOut bytes.Buffer
+	if err := run(context.Background(), crawlConfig{seedTree: dir, datasetN: "basic"}, &seedOut, os.Stderr); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	cfg := crawlConfig{root: dir, workers: 4, maxInFly: 8, classify: true}
+	if err := run(context.Background(), cfg, &out, os.Stderr); err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v\n%s", err, out.String())
+	}
+	if len(rep.Domains) == 0 {
+		t.Fatal("classification on but no per-domain counts")
+	}
+	var classified int64
+	for _, n := range rep.Domains {
+		classified += n
+	}
+	if classified+rep.Unclassified != rep.Extracted {
+		t.Errorf("domain counts %d + unclassified %d != extracted %d",
+			classified, rep.Unclassified, rep.Extracted)
+	}
+	if rep.DomainAccuracy < 0.8 {
+		t.Errorf("domain accuracy %.3f, want >= 0.8 on a seeded tree", rep.DomainAccuracy)
+	}
+
+	// Classification off: no domain fields in the summary.
+	out.Reset()
+	cfg.classify = false
+	if err := run(context.Background(), cfg, &out, os.Stderr); err != nil {
+		t.Fatal(err)
+	}
+	var plain report
+	if err := json.Unmarshal(out.Bytes(), &plain); err != nil {
+		t.Fatal(err)
+	}
+	if plain.Domains != nil || plain.Unclassified != 0 || plain.DomainAccuracy != 0 {
+		t.Errorf("classification off but summary carries %v/%d/%.3f",
+			plain.Domains, plain.Unclassified, plain.DomainAccuracy)
+	}
+}
+
 func TestCrawlCacheHitsReported(t *testing.T) {
 	// A crawl tree with four byte-identical pages and one distinct one:
 	// with a cache, the identical pages cost one extraction and three

@@ -13,6 +13,10 @@
 //
 //	POST /extract            body: HTML    → JSON semantic model
 //	POST /extract?trees=1    also include rendered parse trees
+//	POST /query              body: [attr=v; attr<v; ...] → unified deep-web answer
+//	GET  /sources            registered deep-web sources + unified interface size
+//	POST /sources            register sources ({id, endpoint, html|htmlFile}, upsert)
+//	DELETE /sources/<id>     deregister a source
 //	POST /cluster/fetch      peer-internal: always-local extraction
 //	GET  /grammar            the derived 2P grammar (DSL text)
 //	GET  /healthz            liveness probe (is the process alive?)
@@ -20,6 +24,16 @@
 //	GET  /metrics            expvar counters, parser totals, latency histogram
 //	GET  /traces             recent extraction traces (?id=... for one)
 //	GET  /                   paste-a-form demo page
+//
+// Query mediation (/query with sources from /sources or -sources-file)
+// turns the server into a MetaQuerier front end: each registered source's
+// interface is extracted by the shared pool, the sources unify into one
+// interface, and a constraint query fans out (bounded by -query-fanout) as
+// native form submissions whose results come back unified with per-source
+// attribution. Dead or unroutable sources degrade the answer — reported in
+// its degradation list — but never error the request; only a malformed
+// query string answers 400. Counters and a latency histogram appear on
+// /metrics under formserve_query*.
 //
 // The server reads and writes with timeouts, drains in-flight requests on
 // SIGINT/SIGTERM (flipping /readyz to 503 first, so cluster peers stop
@@ -86,6 +100,7 @@ import (
 
 	"formext"
 	"formext/internal/cluster"
+	"formext/internal/metaquery"
 )
 
 // maxBody bounds the request body of /extract.
@@ -231,6 +246,12 @@ func main() {
 		"file of peer base URLs, one per line; reloaded on SIGHUP")
 	peerTimeout := flag.Duration("peer-timeout", cluster.DefaultFetchTimeout,
 		"per-attempt deadline for peer fetches")
+	sourcesFile := flag.String("sources-file", "",
+		"JSON array of deep-web sources ({id, endpoint, html|htmlFile}) registered at startup")
+	queryFanout := flag.Int("query-fanout", 8,
+		"bound on concurrent per-source submissions of one /query")
+	queryTimeout := flag.Duration("query-timeout", 10*time.Second,
+		"end-to-end deadline for /query mediation (0 disables)")
 	hotBytes := flag.Int64("peer-hot-bytes", 32<<20,
 		"byte budget for the local cache of peer-fetched responses (0 disables)")
 	drainGrace := flag.Duration("drain-grace", 500*time.Millisecond,
@@ -252,6 +273,9 @@ func main() {
 		peers:          peers,
 		peerTimeout:    *peerTimeout,
 		peerHotBytes:   *hotBytes,
+		sourcesFile:    *sourcesFile,
+		queryFanout:    *queryFanout,
+		queryTimeout:   *queryTimeout,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -363,6 +387,15 @@ type config struct {
 	// clusterConfig, when non-nil, overrides the derived cluster.Config
 	// wholesale (tests tighten timeouts and probe intervals through it).
 	clusterConfig *cluster.Config
+	// sourcesFile, when non-empty, registers deep-web sources at startup (a
+	// JSON array of {id, endpoint, html|htmlFile}); any bad entry fails
+	// startup.
+	sourcesFile string
+	// queryFanout bounds concurrent per-source submissions of one /query
+	// (0 = engine default).
+	queryFanout int
+	// queryTimeout is the end-to-end /query mediation deadline; 0 disables.
+	queryTimeout time.Duration
 }
 
 // server is the service state: one extractor pool shared by all requests,
@@ -372,10 +405,12 @@ type server struct {
 	pool           *formext.Pool
 	sink           *formext.RingSink    // nil when tracing is disabled
 	cluster        *cluster.Cluster     // nil outside cluster mode
+	engine         *metaquery.Engine    // deep-web query mediation (/query, /sources)
 	inflight       *formext.StreamGauge // live/peak extraction concurrency
 	ready          atomic.Bool          // readiness: flipped false during drain
 	mux            *http.ServeMux
 	extractTimeout time.Duration
+	queryTimeout   time.Duration
 	retryAfter     string // preformatted seconds for the Retry-After header
 	grammarETag    string
 	indexETag      string
@@ -431,6 +466,7 @@ func newHandler(cfg config) (*server, error) {
 		inflight:       &formext.StreamGauge{},
 		mux:            http.NewServeMux(),
 		extractTimeout: cfg.extractTimeout,
+		queryTimeout:   cfg.queryTimeout,
 		retryAfter:     strconv.Itoa(retryAfter),
 		grammarETag:    etagFor(formext.DefaultGrammarSource()),
 		indexETag:      etagFor(indexPage),
@@ -460,7 +496,23 @@ func newHandler(cfg config) (*server, error) {
 	}
 	activeCluster.Store(s.cluster)
 	activeGauge.Store(s.inflight)
+	// The mediation engine shares the pool's tracer so /query spans land in
+	// the same flight recorder as extraction spans.
+	s.engine = metaquery.New(metaquery.Config{
+		MaxFanout: cfg.queryFanout,
+		Timeout:   cfg.queryTimeout,
+		Tracer:    opts.Tracer,
+	})
+	if cfg.sourcesFile != "" {
+		if err := s.loadSourcesFile(cfg.sourcesFile); err != nil {
+			s.Close()
+			return nil, err
+		}
+	}
 	s.mux.HandleFunc("/extract", s.handleExtract)
+	s.mux.HandleFunc("/query", s.handleQuery)
+	s.mux.HandleFunc("/sources", s.handleSources)
+	s.mux.HandleFunc("/sources/", s.handleSourceID)
 	s.mux.HandleFunc("/cluster/fetch", s.handleClusterFetch)
 	s.mux.HandleFunc("/grammar", s.handleGrammar)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
@@ -472,9 +524,14 @@ func newHandler(cfg config) (*server, error) {
 }
 
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	switch r.URL.Path {
-	case "/extract", "/cluster/fetch", "/grammar", "/healthz", "/readyz", "/metrics", "/traces", "/":
-		mRequests.Add(r.URL.Path, 1)
+	path := r.URL.Path
+	if strings.HasPrefix(path, "/sources/") {
+		path = "/sources" // per-id routes count under the collection
+	}
+	switch path {
+	case "/extract", "/cluster/fetch", "/grammar", "/healthz", "/readyz", "/metrics", "/traces", "/",
+		"/query", "/sources":
+		mRequests.Add(path, 1)
 	default:
 		mRequests.Add("other", 1)
 	}

@@ -528,8 +528,13 @@ func (e *Extractor) extractBytesEvent(ctx context.Context, src []byte, cacheEven
 		}
 	})
 	// The submission envelope comes from the document, which exists from
-	// here on — fill it now so even cut-short extractions report it.
-	res.Form = submit.FormInfoOf(doc)
+	// here on — fill it now so even cut-short extractions report it. On
+	// multi-form pages this first pick is provisional: once the model
+	// exists, the envelope is re-picked to the form whose controls the
+	// extraction actually described (a nav keyword box often precedes the
+	// real query form).
+	formInfos := submit.FormInfosOf(doc)
+	res.Form = submit.BestForm(formInfos, nil)
 	if trunc.DepthCapped {
 		e.degrade(tr, res, "htmlparse: nesting depth capped")
 	}
@@ -577,7 +582,11 @@ func (e *Extractor) extractBytesEvent(ctx context.Context, src []byte, cacheEven
 		e.degrade(tr, res, fmt.Sprintf("tokenize: token count capped at %d", e.maxTokens))
 	}
 
-	return e.finish(ctx, budgetCtx, tr, res)
+	res, err = e.finish(ctx, budgetCtx, tr, res)
+	if res != nil && res.Model != nil && len(formInfos) > 1 {
+		res.Form = submit.BestForm(formInfos, res.Model.Conditions)
+	}
+	return res, err
 }
 
 // ExtractTokens runs parsing and merging over an already-tokenized form.

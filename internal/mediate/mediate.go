@@ -70,8 +70,23 @@ func bestCondition(u *model.Condition, sm *model.SemanticModel, minSim float64) 
 	return best
 }
 
-// Unified returns the unified query interface.
+// Unified returns the unified query interface. The slice is the
+// mediator's own: constraints passed to Translate must point into it
+// (&Unified()[i]), which is how callers name a unified condition.
 func (m *Mediator) Unified() []model.Condition { return m.unified }
+
+// Sources returns the member sources in registration order.
+func (m *Mediator) Sources() []Source { return m.sources }
+
+// RouteOf returns the index of source si's native condition for unified
+// condition ui, or -1 when the source does not support that attribute.
+// Out-of-range indices also report -1.
+func (m *Mediator) RouteOf(si, ui int) int {
+	if si < 0 || si >= len(m.routes) || ui < 0 || ui >= len(m.routes[si]) {
+		return -1
+	}
+	return m.routes[si][ui]
+}
 
 // Coverage reports, for each unified condition, how many sources support it.
 func (m *Mediator) Coverage() []int {

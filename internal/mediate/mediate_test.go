@@ -3,6 +3,7 @@ package mediate
 import (
 	"net/url"
 	"strings"
+	"sync"
 	"testing"
 
 	"formext/internal/model"
@@ -193,4 +194,115 @@ func TestOperatorDegradesGracefully(t *testing.T) {
 			}
 		}
 	}
+}
+
+func TestMediatorZeroSources(t *testing.T) {
+	m := New(nil, 2)
+	if got := m.Unified(); len(got) != 0 {
+		t.Fatalf("zero-source unified = %+v, want empty", got)
+	}
+	if got := m.Coverage(); len(got) != 0 {
+		t.Fatalf("zero-source coverage = %v, want empty", got)
+	}
+	if m.RouteOf(0, 0) != -1 {
+		t.Fatal("out-of-range RouteOf must report -1")
+	}
+	qs, err := m.Translate(nil)
+	if err != nil || len(qs) != 0 {
+		t.Fatalf("empty translate = %v, %v", qs, err)
+	}
+}
+
+func TestMediatorSingleSource(t *testing.T) {
+	src := bookSource("solo", textCond("Author", "au"), textCond("Title", "ti"))
+	m := New([]Source{src}, 1)
+	author := findUnified(m, "author")
+	if author == nil {
+		t.Fatalf("single-source unified missing author: %+v", m.Unified())
+	}
+	qs, err := m.Translate([]model.Constraint{{Condition: author, Value: "clancy"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 1 || qs[0].SourceID != "solo" {
+		t.Fatalf("translate = %+v, want the one source", qs)
+	}
+	// Demanding two sources of one leaves nothing to mediate.
+	if got := New([]Source{src}, 2).Unified(); len(got) != 0 {
+		t.Fatalf("minSources=2 over one source = %+v, want empty", got)
+	}
+}
+
+func TestRouteBelowMinSimilarityIsUnroutable(t *testing.T) {
+	// Two book sources carry Author; the car source's vocabulary is
+	// entirely dissimilar, so the unified author must not route into it.
+	sources := []Source{
+		bookSource("b1", textCond("Author", "a1")),
+		bookSource("b2", textCond("Author:", "a2")),
+		bookSource("cars", textCond("Mileage", "mi"), textCond("Body style", "bs")),
+	}
+	m := New(sources, 2)
+	author := findUnified(m, "author")
+	if author == nil {
+		t.Fatalf("no unified author: %+v", m.Unified())
+	}
+	var ui int
+	for i := range m.Unified() {
+		if &m.Unified()[i] == author {
+			ui = i
+		}
+	}
+	if m.RouteOf(0, ui) < 0 || m.RouteOf(1, ui) < 0 {
+		t.Fatal("author must route into both book sources")
+	}
+	if m.RouteOf(2, ui) != -1 {
+		t.Fatalf("author routed into the car source (condition %d)", m.RouteOf(2, ui))
+	}
+	qs, err := m.Translate([]model.Constraint{{Condition: author, Value: "clancy"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range qs {
+		if q.SourceID == "cars" {
+			t.Fatalf("car source received a translated author query: %+v", q)
+		}
+	}
+}
+
+// TestConcurrentTranslate exercises the read-only-after-New contract under
+// the race detector: many goroutines translating (and reading routes and
+// the unified interface) simultaneously must neither race nor disagree.
+func TestConcurrentTranslate(t *testing.T) {
+	m := New(testSources(), 2)
+	author := findUnified(m, "author")
+	if author == nil {
+		t.Fatal("no unified author")
+	}
+	want, err := m.Translate([]model.Constraint{{Condition: author, Value: "clancy"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				qs, err := m.Translate([]model.Constraint{{Condition: author, Value: "clancy"}})
+				if err != nil || len(qs) != len(want) {
+					t.Errorf("concurrent translate = %d queries, %v; want %d", len(qs), err, len(want))
+					return
+				}
+				for qi := range qs {
+					if qs[qi].SourceID != want[qi].SourceID {
+						t.Errorf("concurrent translate reordered sources")
+						return
+					}
+				}
+				_ = m.Coverage()
+				_ = m.RouteOf(0, 0)
+			}
+		}()
+	}
+	wg.Wait()
 }

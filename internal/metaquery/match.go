@@ -1,0 +1,185 @@
+// Value semantics: one predicate, three users. MatchValue decides whether
+// a record value satisfies a constraint under a domain kind; the simulated
+// source backends use it to answer filled forms, the engine uses it to
+// post-filter records for constraints a source could not express natively,
+// and the formquery oracle uses it to compute the expected answer set.
+// Keeping all three on the same predicate is what makes answer
+// completeness a checkable number instead of a judgement call.
+package metaquery
+
+import (
+	"strconv"
+	"strings"
+	"time"
+
+	"formext/internal/model"
+)
+
+// MatchValue reports whether recordVal satisfies (op, queryVal) under the
+// comparison semantics of kind. Record values are canonical strings as
+// emitted by simsource (ISO dates, plain integers for ranges, "yes"/"no"
+// for booleans); query values are whatever the user typed.
+func MatchValue(kind model.DomainKind, recordVal string, op Op, queryVal string) bool {
+	switch kind {
+	case model.TextDomain:
+		// Text search is containment, like every keyword box on the web:
+		// querying author=morrison matches "toni morrison".
+		if op != OpEq {
+			return false
+		}
+		return strings.Contains(model.NormalizeLabel(recordVal), model.NormalizeLabel(queryVal))
+	case model.EnumDomain:
+		if op == OpEq {
+			return model.NormalizeLabel(recordVal) == model.NormalizeLabel(queryVal)
+		}
+		// Ordered comparison over an enum only means something when both
+		// sides are numeric (passengers>=2 against values "1".."6").
+		rv, okR := parseNumber(recordVal)
+		qv, okQ := parseNumber(queryVal)
+		if !okR || !okQ {
+			return false
+		}
+		return compareFloat(rv, op, qv)
+	case model.BoolDomain:
+		if op != OpEq {
+			return false
+		}
+		return truthy(recordVal) == truthy(queryVal)
+	case model.RangeDomain:
+		rv, okR := parseNumber(recordVal)
+		qv, okQ := parseNumber(queryVal)
+		if !okR || !okQ {
+			return false
+		}
+		return compareFloat(rv, op, qv)
+	case model.DateDomain:
+		rt, okR := ParseDate(recordVal)
+		qt, okQ := ParseDate(queryVal)
+		if !okR || !okQ {
+			return false
+		}
+		switch op {
+		case OpEq:
+			return rt.Equal(qt)
+		case OpLt:
+			return rt.Before(qt)
+		case OpLe:
+			return !rt.After(qt)
+		case OpGt:
+			return rt.After(qt)
+		case OpGe:
+			return !rt.Before(qt)
+		}
+		return false
+	default:
+		// Unknown kinds fall back to text semantics.
+		return op == OpEq && strings.Contains(model.NormalizeLabel(recordVal), model.NormalizeLabel(queryVal))
+	}
+}
+
+func compareFloat(a float64, op Op, b float64) bool {
+	switch op {
+	case OpEq:
+		return a == b
+	case OpLt:
+		return a < b
+	case OpLe:
+		return a <= b
+	case OpGt:
+		return a > b
+	case OpGe:
+		return a >= b
+	}
+	return false
+}
+
+// parseNumber extracts a float from values like "137", "$1,500" or
+// "2 passengers": currency/grouping noise is stripped, a leading numeric
+// run is accepted.
+func parseNumber(s string) (float64, bool) {
+	s = strings.TrimSpace(s)
+	var b strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= '0' && r <= '9', r == '.', r == '-' && b.Len() == 0:
+			b.WriteRune(r)
+		case r == ',', r == '$', r == ' ':
+			if b.Len() > 0 && r == ' ' {
+				goto done
+			}
+			// skip grouping/currency noise before or inside the run
+		default:
+			if b.Len() > 0 {
+				goto done
+			}
+			// non-numeric prefix (e.g. "under 100"): keep scanning
+		}
+	}
+done:
+	if b.Len() == 0 {
+		return 0, false
+	}
+	f, err := strconv.ParseFloat(b.String(), 64)
+	return f, err == nil
+}
+
+func truthy(s string) bool {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "yes", "true", "1", "on", "y":
+		return true
+	}
+	return false
+}
+
+var monthNames = []string{
+	"january", "february", "march", "april", "may", "june",
+	"july", "august", "september", "october", "november", "december",
+}
+
+// ParseDate accepts the two date spellings in the system: ISO 2026-09-01
+// (query language, record tables) and the month/day/year form that date
+// selects submit ("September/1/2026" or "9/1/2026").
+func ParseDate(s string) (time.Time, bool) {
+	s = strings.TrimSpace(s)
+	if t, err := time.Parse("2006-01-02", s); err == nil {
+		return t, true
+	}
+	parts := strings.Split(s, "/")
+	if len(parts) != 3 {
+		return time.Time{}, false
+	}
+	month := 0
+	mp := strings.ToLower(strings.TrimSpace(parts[0]))
+	for i, name := range monthNames {
+		if mp == name || (len(mp) >= 3 && strings.HasPrefix(name, mp)) {
+			month = i + 1
+			break
+		}
+	}
+	if month == 0 {
+		if n, err := strconv.Atoi(mp); err == nil && n >= 1 && n <= 12 {
+			month = n
+		} else {
+			return time.Time{}, false
+		}
+	}
+	day, err1 := strconv.Atoi(strings.TrimSpace(parts[1]))
+	year, err2 := strconv.Atoi(strings.TrimSpace(parts[2]))
+	if err1 != nil || err2 != nil || day < 1 || day > 31 {
+		return time.Time{}, false
+	}
+	return time.Date(year, time.Month(month), day, 0, 0, 0, 0, time.UTC), true
+}
+
+// FormatDateParts renders an ISO query date into the "Month/Day/Year"
+// string that submit.Query.Apply splits across a date condition's fields
+// (the generated interfaces lay date selects out month, day, year).
+func FormatDateParts(iso string) (string, bool) {
+	t, ok := ParseDate(iso)
+	if !ok {
+		return "", false
+	}
+	name := monthNames[int(t.Month())-1]
+	return string(name[0]-'a'+'A') + name[1:] + "/" +
+		strconv.Itoa(t.Day()) + "/" + strconv.Itoa(t.Year()), true
+}

@@ -1,0 +1,262 @@
+// Package simsource turns a generated interface (internal/dataset ground
+// truth) into a live HTTP source: it serves the interface page, holds a
+// deterministic table of synthetic records, and answers filled-form
+// submissions by filtering that table — so a metaquery answer has a
+// checkable right answer. Records for the same attribute label draw from
+// the same value pool across sources, which is what makes cross-source
+// record unification observable rather than vacuous.
+//
+// The submission semantics mirror a real backend over the generated
+// widgets: absent parameters leave an attribute unconstrained, text boxes
+// search by containment, selects submit display text while radio/checkbox
+// groups submit their "v<i>" wire values, range endpoint pairs bound
+// inclusively, and date selects must arrive with all three parts.
+package simsource
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"strings"
+
+	"formext/internal/dataset"
+	"formext/internal/metaquery"
+	"formext/internal/model"
+)
+
+// Record is one synthetic row: normalized attribute label → canonical
+// value (ISO dates, plain integers for ranges, "yes"/"no" for booleans),
+// plus the "_id" key carrying "<sourceID>#<n>".
+type Record map[string]string
+
+// Source is one simulated deep-web database.
+type Source struct {
+	src     dataset.Source
+	conds   []model.Condition
+	records []Record
+}
+
+// New builds a simulated backend for a generated source with n records
+// drawn deterministically from (seed, source ID).
+func New(src dataset.Source, seed int64, n int) *Source {
+	s := &Source{src: src, conds: src.Truth}
+	h := fnv.New64a()
+	h.Write([]byte(src.ID))
+	rng := rand.New(rand.NewSource(seed ^ int64(h.Sum64())))
+	for i := 0; i < n; i++ {
+		rec := Record{"_id": fmt.Sprintf("%s#%d", src.ID, i)}
+		for ci := range s.conds {
+			c := &s.conds[ci]
+			pool := ValuePool(c)
+			if len(pool) == 0 {
+				continue
+			}
+			rec[model.NormalizeLabel(c.Attribute)] = pool[rng.Intn(len(pool))]
+		}
+		s.records = append(s.records, rec)
+	}
+	return s
+}
+
+// Records exposes the table for oracles.
+func (s *Source) Records() []Record { return s.records }
+
+// ID names the simulated source.
+func (s *Source) ID() string { return s.src.ID }
+
+// Handler serves the source: GET / is the interface page, the form action
+// path answers submissions with the matching records as JSON.
+func (s *Source) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		fmt.Fprint(w, s.src.HTML)
+	})
+	mux.HandleFunc("/search", s.handleSearch)
+	return mux
+}
+
+func (s *Source) handleSearch(w http.ResponseWriter, r *http.Request) {
+	if err := r.ParseForm(); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	matched := s.Search(r.Form)
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(struct {
+		Source  string   `json:"source"`
+		Total   int      `json:"total"`
+		Records []Record `json:"records"`
+	}{Source: s.src.ID, Total: len(matched), Records: matched})
+}
+
+// Search filters the record table by submitted form parameters, applying
+// each ground-truth condition whose fields arrived non-empty.
+func (s *Source) Search(params url.Values) []Record {
+	var out []Record
+next:
+	for _, rec := range s.records {
+		for ci := range s.conds {
+			if !s.condMatches(&s.conds[ci], params, rec) {
+				continue next
+			}
+		}
+		out = append(out, rec)
+	}
+	return out
+}
+
+// condMatches applies one condition's submitted parameters to a record.
+// Absent or empty parameters leave the condition unconstrained.
+func (s *Source) condMatches(c *model.Condition, params url.Values, rec Record) bool {
+	if len(c.Fields) == 0 {
+		return true
+	}
+	val := rec[model.NormalizeLabel(c.Attribute)]
+	switch c.Domain.Kind {
+	case model.TextDomain:
+		p := strings.TrimSpace(params.Get(c.Fields[0]))
+		if p == "" {
+			return true
+		}
+		return metaquery.MatchValue(model.TextDomain, val, metaquery.OpEq, p)
+	case model.EnumDomain:
+		selected := params[c.Fields[0]]
+		if len(selected) == 0 {
+			return true
+		}
+		// Multiple selections are a disjunction, like any checkbox group.
+		for _, sel := range selected {
+			if sel == "" {
+				continue
+			}
+			if metaquery.MatchValue(model.EnumDomain, val, metaquery.OpEq, s.decodeEnum(c, sel)) {
+				return true
+			}
+		}
+		return allEmpty(selected)
+	case model.BoolDomain:
+		if strings.TrimSpace(params.Get(c.Fields[0])) == "" {
+			return true
+		}
+		return metaquery.MatchValue(model.BoolDomain, val, metaquery.OpEq, "yes")
+	case model.RangeDomain:
+		if len(c.Fields) < 2 {
+			return true
+		}
+		lo := strings.TrimSpace(params.Get(c.Fields[0]))
+		hi := strings.TrimSpace(params.Get(c.Fields[1]))
+		if lo != "" && !metaquery.MatchValue(model.RangeDomain, val, metaquery.OpGe, lo) {
+			return false
+		}
+		if hi != "" && !metaquery.MatchValue(model.RangeDomain, val, metaquery.OpLe, hi) {
+			return false
+		}
+		return true
+	case model.DateDomain:
+		if len(c.Fields) != 3 {
+			return true
+		}
+		m := strings.TrimSpace(params.Get(c.Fields[0]))
+		d := strings.TrimSpace(params.Get(c.Fields[1]))
+		y := strings.TrimSpace(params.Get(c.Fields[2]))
+		if m == "" || d == "" || y == "" {
+			return true // a partial date is no date
+		}
+		return metaquery.MatchValue(model.DateDomain, val, metaquery.OpEq, m+"/"+d+"/"+y)
+	default:
+		return true
+	}
+}
+
+// decodeEnum maps a submitted parameter back to a display value: radio and
+// checkbox widgets submit "v<i>" wire values indexing the rendered value
+// list, selects submit the display text itself.
+func (s *Source) decodeEnum(c *model.Condition, wire string) string {
+	if strings.HasPrefix(wire, "v") {
+		var i int
+		if _, err := fmt.Sscanf(wire, "v%d", &i); err == nil && i >= 0 && i < len(c.Domain.Values) {
+			return c.Domain.Values[i]
+		}
+	}
+	return wire
+}
+
+func allEmpty(vals []string) bool {
+	for _, v := range vals {
+		if v != "" {
+			return false
+		}
+	}
+	return true
+}
+
+// textWords seeds text-attribute vocabularies; combined with the attribute
+// label they give every source of a domain the same candidate values.
+var textWords = []string{"alpha", "bravo", "delta", "echo", "lima", "nova", "sierra", "zulu"}
+
+// ValuePool lists the canonical candidate record values of a condition.
+// The pool depends only on the attribute's label, kind and (for enums)
+// value list — never on the source — so records overlap across the
+// sources of a domain. Wildcard enum entries ("Any subject", "All
+// formats") describe queries, not records, and are excluded.
+func ValuePool(c *model.Condition) []string {
+	label := model.NormalizeLabel(c.Attribute)
+	switch c.Domain.Kind {
+	case model.EnumDomain:
+		var out []string
+		for _, v := range c.Domain.Values {
+			if isWildcard(v) {
+				continue
+			}
+			out = append(out, model.NormalizeLabel(v))
+		}
+		if len(out) == 0 {
+			for _, v := range c.Domain.Values {
+				out = append(out, model.NormalizeLabel(v))
+			}
+		}
+		return out
+	case model.TextDomain:
+		out := make([]string, len(textWords))
+		for i, w := range textWords {
+			out[i] = label + " " + w
+		}
+		return out
+	case model.RangeDomain:
+		// Eight numbers spread over a label-stable offset, so distinct
+		// range attributes don't share identical distributions.
+		h := fnv.New32a()
+		h.Write([]byte(label))
+		base := int(h.Sum32() % 20)
+		out := make([]string, 8)
+		for i := range out {
+			out[i] = fmt.Sprintf("%d", base+10+i*35)
+		}
+		return out
+	case model.DateDomain:
+		// Inside the 2004–2008 window the generated date selects offer.
+		return []string{
+			"2004-03-05", "2004-11-21", "2005-06-14", "2006-02-09",
+			"2006-09-30", "2007-07-04", "2008-01-17", "2008-12-25",
+		}
+	case model.BoolDomain:
+		return []string{"yes", "no"}
+	default:
+		return nil
+	}
+}
+
+// isWildcard spots "match anything" enum entries.
+func isWildcard(v string) bool {
+	n := model.NormalizeLabel(v)
+	return n == "any" || n == "all" || strings.HasPrefix(n, "any ") ||
+		strings.HasPrefix(n, "all ") || strings.HasPrefix(n, "no preference")
+}

@@ -1,0 +1,163 @@
+package simsource
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"net/url"
+	"testing"
+
+	"formext/internal/dataset"
+	"formext/internal/metaquery"
+	"formext/internal/model"
+)
+
+func testSource() dataset.Source {
+	return dataset.Source{
+		ID: "t-1",
+		Truth: []model.Condition{
+			{Attribute: "Author", Domain: model.Domain{Kind: model.TextDomain}, Fields: []string{"author_1"}},
+			{Attribute: "Format", Domain: model.Domain{Kind: model.EnumDomain,
+				Values: []string{"Hardcover", "Paperback", "Audio"}}, Fields: []string{"format_2"}},
+			{Attribute: "Price", Domain: model.Domain{Kind: model.RangeDomain}, Fields: []string{"price_3", "price_4"}},
+			{Attribute: "Departure date", Domain: model.Domain{Kind: model.DateDomain},
+				Fields: []string{"d_5", "d_6", "d_7"}},
+			{Attribute: "In stock only", Domain: model.Domain{Kind: model.BoolDomain}, Fields: []string{"st_8"}},
+		},
+	}
+}
+
+func TestRecordsDeterministic(t *testing.T) {
+	a := New(testSource(), 7, 20)
+	b := New(testSource(), 7, 20)
+	if len(a.Records()) != 20 {
+		t.Fatalf("records = %d, want 20", len(a.Records()))
+	}
+	for i := range a.Records() {
+		for k, v := range a.Records()[i] {
+			if b.Records()[i][k] != v {
+				t.Fatalf("record %d differs across identical constructions", i)
+			}
+		}
+	}
+	if a.Records()[0]["_id"] != "t-1#0" {
+		t.Fatalf("_id = %q", a.Records()[0]["_id"])
+	}
+}
+
+func TestSearchSemantics(t *testing.T) {
+	s := New(testSource(), 7, 40)
+
+	// Unconstrained: everything comes back.
+	if got := len(s.Search(url.Values{})); got != 40 {
+		t.Fatalf("unconstrained search returned %d of 40", got)
+	}
+
+	// Enum constraint: exact display match; wire values decode.
+	forDisplay := len(s.Search(url.Values{"format_2": {"Hardcover"}}))
+	forWire := len(s.Search(url.Values{"format_2": {"v0"}}))
+	if forDisplay == 0 || forDisplay != forWire {
+		t.Fatalf("display=%d wire=%d; wire v0 must decode to Hardcover", forDisplay, forWire)
+	}
+	for _, rec := range s.Search(url.Values{"format_2": {"Hardcover"}}) {
+		if rec["format"] != "hardcover" {
+			t.Fatalf("record %v escaped the format filter", rec)
+		}
+	}
+
+	// Range: inclusive endpoint semantics, open ends allowed.
+	all := s.Search(url.Values{})
+	bounded := s.Search(url.Values{"price_3": {""}, "price_4": {"120"}})
+	for _, rec := range bounded {
+		if !metaquery.MatchValue(model.RangeDomain, rec["price"], metaquery.OpLe, "120") {
+			t.Fatalf("record %v escaped the price bound", rec)
+		}
+	}
+	if len(bounded) == len(all) {
+		t.Fatal("price bound filtered nothing; pool must straddle 120")
+	}
+
+	// Date: all three parts or no constraint.
+	partial := s.Search(url.Values{"d_5": {"March"}})
+	if len(partial) != 40 {
+		t.Fatalf("partial date constrained the search: %d", len(partial))
+	}
+	full := s.Search(url.Values{"d_5": {"March"}, "d_6": {"5"}, "d_7": {"2004"}})
+	for _, rec := range full {
+		if rec["departure date"] != "2004-03-05" {
+			t.Fatalf("record %v escaped the date filter", rec)
+		}
+	}
+
+	// Bool: "on" keeps only yes-records.
+	for _, rec := range s.Search(url.Values{"st_8": {"on"}}) {
+		if rec["in stock only"] != "yes" {
+			t.Fatalf("record %v escaped the bool filter", rec)
+		}
+	}
+
+	// Text: containment over the label+word vocabulary.
+	hits := s.Search(url.Values{"author_1": {"alpha"}})
+	if len(hits) == 0 {
+		t.Fatal("containment search for a vocabulary word found nothing")
+	}
+	for _, rec := range hits {
+		if rec["author"] != "author alpha" {
+			t.Fatalf("record %v escaped the text filter", rec)
+		}
+	}
+}
+
+func TestHandler(t *testing.T) {
+	gen := dataset.Generate(dataset.Config{
+		Seed: 3, Sources: 1, Schemas: []dataset.Schema{dataset.Books},
+		MinConds: 8, MaxConds: 10,
+	})
+	s := New(gen[0], 3, 10)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := ts.Client().Get(ts.URL + "/")
+	if err != nil || resp.StatusCode != 200 {
+		t.Fatalf("interface page: %v %v", err, resp)
+	}
+	resp.Body.Close()
+
+	resp, err = ts.Client().Get(ts.URL + "/search")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Source  string              `json:"source"`
+		Total   int                 `json:"total"`
+		Records []map[string]string `json:"records"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if body.Source != gen[0].ID || body.Total != 10 || len(body.Records) != 10 {
+		t.Fatalf("search response = %s/%d/%d", body.Source, body.Total, len(body.Records))
+	}
+}
+
+func TestValuePoolSharedAndWildcardFree(t *testing.T) {
+	a := model.Condition{Attribute: "Subject", Domain: model.Domain{Kind: model.EnumDomain,
+		Values: []string{"Any subject", "Arts", "Fiction"}}}
+	pool := ValuePool(&a)
+	for _, v := range pool {
+		if isWildcard(v) {
+			t.Fatalf("wildcard %q in record pool", v)
+		}
+	}
+	if len(pool) != 2 {
+		t.Fatalf("pool = %v, want the two real subjects", pool)
+	}
+	// Pools depend on the label, not the source: two conditions with the
+	// same label share text vocabularies.
+	t1 := model.Condition{Attribute: "Author", Domain: model.Domain{Kind: model.TextDomain}}
+	t2 := model.Condition{Attribute: "author:", Domain: model.Domain{Kind: model.TextDomain}}
+	p1, p2 := ValuePool(&t1), ValuePool(&t2)
+	if len(p1) == 0 || len(p1) != len(p2) || p1[0] != p2[0] {
+		t.Fatalf("label-normalized pools differ: %v vs %v", p1, p2)
+	}
+}

@@ -24,6 +24,11 @@ type FormInfo struct {
 	Action string
 	Method string // "get" or "post"
 	Hidden url.Values
+	// Controls lists the named non-hidden controls (input/select/textarea)
+	// of the form in document order. It is populated only by FormInfosOf on
+	// multi-form pages, where it lets BestForm match envelopes against an
+	// extracted model; the single-form fast path leaves it nil.
+	Controls []string
 }
 
 // FormInfoOf reads the first form element of a parsed document. It runs on
@@ -43,6 +48,105 @@ func FormInfoOf(doc *htmlparse.Node) FormInfo {
 	}
 	collectHidden(form, info.Hidden)
 	return info
+}
+
+// FormInfosOf returns the submission envelope of every form element in
+// document order. On single-form pages (the overwhelmingly common case)
+// it costs the same as FormInfoOf: the control inventory is only gathered
+// when there are two or more forms and something must choose between them.
+func FormInfosOf(doc *htmlparse.Node) []FormInfo {
+	var forms []*htmlparse.Node
+	forms = findForms(doc, forms)
+	if len(forms) == 0 {
+		return nil
+	}
+	infos := make([]FormInfo, len(forms))
+	for i, form := range forms {
+		infos[i] = FormInfo{Method: "get", Hidden: url.Values{}}
+		infos[i].Action = form.AttrOr("action", "")
+		if strings.EqualFold(form.AttrOr("method", "get"), "post") {
+			infos[i].Method = "post"
+		}
+		collectHidden(form, infos[i].Hidden)
+		if len(forms) > 1 {
+			infos[i].Controls = collectControls(form, nil)
+		}
+	}
+	return infos
+}
+
+// findForms gathers every form element in document order. It does not
+// descend into a form: HTML forbids nested forms, and a stray inner
+// <form> tag would otherwise be double-counted.
+func findForms(n *htmlparse.Node, out []*htmlparse.Node) []*htmlparse.Node {
+	for _, c := range n.Children {
+		if c.Type == htmlparse.ElementNode && c.Tag == "form" {
+			out = append(out, c)
+			continue
+		}
+		out = findForms(c, out)
+	}
+	return out
+}
+
+// collectControls gathers the names of the form's non-hidden controls.
+func collectControls(n *htmlparse.Node, out []string) []string {
+	for _, c := range n.Children {
+		if c.Type == htmlparse.ElementNode {
+			switch c.Tag {
+			case "input":
+				if strings.EqualFold(c.AttrOr("type", ""), "hidden") {
+					break
+				}
+				fallthrough
+			case "select", "textarea", "button":
+				if name, ok := c.Attr("name"); ok && name != "" {
+					out = append(out, name)
+				}
+			}
+		}
+		out = collectControls(c, out)
+	}
+	return out
+}
+
+// BestForm picks, among a page's form envelopes, the one whose controls
+// cover the most of the model's condition fields — the form the extraction
+// actually described. Ties keep the earliest form; with no envelopes it
+// returns the same empty GET envelope FormInfoOf yields on formless pages,
+// and with a single envelope (Controls not gathered) that envelope wins by
+// default.
+func BestForm(infos []FormInfo, conds []model.Condition) FormInfo {
+	if len(infos) == 0 {
+		return FormInfo{Method: "get", Hidden: url.Values{}}
+	}
+	if len(infos) == 1 {
+		return infos[0]
+	}
+	fields := map[string]bool{}
+	for i := range conds {
+		for _, f := range conds[i].Fields {
+			fields[f] = true
+		}
+		if conds[i].OperatorField != "" {
+			fields[conds[i].OperatorField] = true
+		}
+	}
+	best, bestScore := 0, -1
+	for i, info := range infos {
+		matched := map[string]bool{}
+		for _, name := range info.Controls {
+			if fields[name] {
+				matched[name] = true
+			}
+		}
+		// Distinct names, not control count: a five-radio group is still
+		// one field.
+		if len(matched) > bestScore {
+			best, bestScore = i, len(matched)
+		}
+	}
+	return infos[best]
 }
 
 // findForm returns the first form element in document order, excluding the

@@ -221,3 +221,78 @@ func TestApplyErrors(t *testing.T) {
 		t.Error("condition without fields accepted")
 	}
 }
+
+func TestFormInfosOf(t *testing.T) {
+	doc := htmlparse.Parse(`<body>
+		<form action="/nav" method="get">
+			<input type="hidden" name="nav" value="1">
+			<input type="text" name="q">
+		</form>
+		<form action="/books" method="post">
+			<input type="hidden" name="catalog" value="main">
+			<input type="text" name="author_1">
+			<select name="format_2"><option>Hardcover</option></select>
+		</form>
+	</body>`)
+	infos := FormInfosOf(doc)
+	if len(infos) != 2 {
+		t.Fatalf("got %d envelopes, want 2", len(infos))
+	}
+	if infos[0].Action != "/nav" || infos[1].Action != "/books" {
+		t.Fatalf("actions = %q, %q", infos[0].Action, infos[1].Action)
+	}
+	if infos[1].Method != "post" || infos[1].Hidden.Get("catalog") != "main" {
+		t.Fatalf("second envelope = %+v", infos[1])
+	}
+	// Multi-form pages carry control inventories; hidden inputs excluded.
+	if got := strings.Join(infos[1].Controls, ","); got != "author_1,format_2" {
+		t.Fatalf("controls = %q", got)
+	}
+	if got := strings.Join(infos[0].Controls, ","); got != "q" {
+		t.Fatalf("nav controls = %q", got)
+	}
+}
+
+func TestFormInfosOfSingleFormSkipsControls(t *testing.T) {
+	doc := htmlparse.Parse(`<form action="/search"><input type="text" name="q"></form>`)
+	infos := FormInfosOf(doc)
+	if len(infos) != 1 {
+		t.Fatalf("got %d envelopes", len(infos))
+	}
+	if infos[0].Controls != nil {
+		t.Fatal("single-form page gathered a control inventory")
+	}
+	if FormInfosOf(htmlparse.Parse(`<div>formless</div>`)) != nil {
+		t.Fatal("formless page returned envelopes")
+	}
+}
+
+func TestBestForm(t *testing.T) {
+	doc := htmlparse.Parse(`<body>
+		<form action="/nav"><input type="text" name="q"></form>
+		<form action="/query">
+			<input type="text" name="author_1">
+			<input type="radio" name="mode_2" value="v0">
+			<input type="radio" name="mode_2" value="v1">
+		</form>
+	</body>`)
+	infos := FormInfosOf(doc)
+	conds := []model.Condition{{
+		Attribute:     "Author",
+		Domain:        model.Domain{Kind: model.TextDomain},
+		Fields:        []string{"author_1"},
+		OperatorField: "mode_2",
+	}}
+	if got := BestForm(infos, conds).Action; got != "/query" {
+		t.Fatalf("BestForm picked %q, want /query", got)
+	}
+	// No conditions: earliest form wins.
+	if got := BestForm(infos, nil).Action; got != "/nav" {
+		t.Fatalf("BestForm with no model picked %q, want first form", got)
+	}
+	// No envelopes: the formless default, same as FormInfoOf.
+	empty := BestForm(nil, conds)
+	if empty.Method != "get" || empty.Action != "" || len(empty.Hidden) != 0 {
+		t.Fatalf("empty BestForm = %+v", empty)
+	}
+}

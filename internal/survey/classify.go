@@ -1,0 +1,128 @@
+package survey
+
+import (
+	"math"
+	"sort"
+
+	"formext/internal/dataset"
+	"formext/internal/model"
+)
+
+// Classifier assigns a query interface to a domain by its attribute
+// vocabulary — the serving-side use of the Section 3.1 observation that
+// condition vocabularies are small, skewed, and domain-revealing. Training
+// follows the rank-frequency structure of Figure 4(b): a label's weight in
+// a domain is its source frequency there (how far up the domain's ranked
+// vocabulary it sits), discounted by how many domains share it, so
+// head-of-rank labels like "title" that appear everywhere count less than
+// a domain's distinctive tail ("ISBN", "cabin class", "mileage").
+type Classifier struct {
+	// weights[domain][label] is the tf-idf style score contribution.
+	weights map[string]map[string]float64
+	// domains is the sorted domain list, fixing tie-break order.
+	domains []string
+	// minScore is the classification floor: best scores below it return
+	// unclassified.
+	minScore float64
+}
+
+// DefaultMinScore rejects interfaces whose vocabulary barely grazes every
+// domain; one solidly in-domain label (tf ~0.5, idf ~1) clears it even on
+// a small form.
+const DefaultMinScore = 0.05
+
+// NewClassifier trains on labeled sources (ground truth of a generated
+// corpus, or any hand-labeled set). minScore <= 0 uses DefaultMinScore.
+func NewClassifier(training []dataset.Source, minScore float64) *Classifier {
+	if minScore <= 0 {
+		minScore = DefaultMinScore
+	}
+	// Source frequency of each label per domain.
+	sourcesIn := map[string]int{}
+	labelSources := map[string]map[string]int{}
+	for _, s := range training {
+		sourcesIn[s.Domain]++
+		seen := map[string]bool{}
+		for _, c := range s.Truth {
+			key := model.NormalizeLabel(c.Attribute)
+			if key == "" || seen[key] {
+				continue
+			}
+			seen[key] = true
+			if labelSources[s.Domain] == nil {
+				labelSources[s.Domain] = map[string]int{}
+			}
+			labelSources[s.Domain][key]++
+		}
+	}
+	// Domain frequency of each label, for the idf discount.
+	domainsWith := map[string]int{}
+	for _, labels := range labelSources {
+		for key := range labels {
+			domainsWith[key]++
+		}
+	}
+	c := &Classifier{
+		weights:  map[string]map[string]float64{},
+		minScore: minScore,
+	}
+	for domain, labels := range labelSources {
+		c.domains = append(c.domains, domain)
+		w := map[string]float64{}
+		for key, n := range labels {
+			tf := float64(n) / float64(sourcesIn[domain])
+			idf := math.Log(1 + float64(len(labelSources))/float64(domainsWith[key]))
+			w[key] = tf * idf
+		}
+		c.weights[domain] = w
+	}
+	sort.Strings(c.domains)
+	return c
+}
+
+// Classify scores the interface's attribute labels against every domain
+// vocabulary and returns the best domain with its per-label mean score.
+// Unclassifiable interfaces (no labels, or best score under the floor)
+// return ("", score). Ties break toward the lexicographically smallest
+// domain, deterministically.
+func (c *Classifier) Classify(labels []string) (string, float64) {
+	distinct := map[string]bool{}
+	for _, l := range labels {
+		if key := model.NormalizeLabel(l); key != "" {
+			distinct[key] = true
+		}
+	}
+	if len(distinct) == 0 {
+		return "", 0
+	}
+	best, bestScore := "", 0.0
+	for _, domain := range c.domains {
+		score := 0.0
+		for key := range distinct {
+			score += c.weights[domain][key]
+		}
+		score /= float64(len(distinct))
+		if score > bestScore {
+			best, bestScore = domain, score
+		}
+	}
+	if bestScore < c.minScore {
+		return "", bestScore
+	}
+	return best, bestScore
+}
+
+// ClassifyConditions classifies an extracted semantic model by its
+// condition attributes.
+func (c *Classifier) ClassifyConditions(conds []model.Condition) (string, float64) {
+	labels := make([]string, 0, len(conds))
+	for i := range conds {
+		labels = append(labels, conds[i].Attribute)
+	}
+	return c.Classify(labels)
+}
+
+// Domains lists the trained domains in tie-break (sorted) order.
+func (c *Classifier) Domains() []string {
+	return append([]string(nil), c.domains...)
+}

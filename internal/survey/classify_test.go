@@ -1,0 +1,93 @@
+package survey
+
+import (
+	"testing"
+
+	"formext/internal/dataset"
+	"formext/internal/model"
+)
+
+// trainAll builds a training corpus covering every schema.
+func trainAll(t *testing.T, perDomain int, seed int64) []dataset.Source {
+	t.Helper()
+	var out []dataset.Source
+	for i, schema := range dataset.AllSchemas {
+		out = append(out, dataset.Generate(dataset.Config{
+			Seed: seed + int64(i), Sources: perDomain,
+			Schemas: []dataset.Schema{schema}, MinConds: 4, MaxConds: 10,
+		})...)
+	}
+	return out
+}
+
+func TestClassifierHeldOutAccuracy(t *testing.T) {
+	c := NewClassifier(trainAll(t, 4, 500), 0)
+	if len(c.Domains()) != len(dataset.AllSchemas) {
+		t.Fatalf("trained %d domains, want %d", len(c.Domains()), len(dataset.AllSchemas))
+	}
+	// Held-out sources from a different seed must classify to their own
+	// domain almost always.
+	heldOut := trainAll(t, 3, 9000)
+	correct, total := 0, 0
+	for _, s := range heldOut {
+		got, _ := c.ClassifyConditions(s.Truth)
+		total++
+		if got == s.Domain {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(total); acc < 0.9 {
+		t.Fatalf("held-out accuracy %.3f (%d/%d), want >= 0.9", acc, correct, total)
+	}
+}
+
+func TestClassifierUnclassifiable(t *testing.T) {
+	c := NewClassifier(trainAll(t, 3, 500), 0)
+	if got, score := c.Classify(nil); got != "" || score != 0 {
+		t.Fatalf("no labels classified as %q (%.3f)", got, score)
+	}
+	// Labels from no trained vocabulary score zero and stay unclassified.
+	if got, score := c.Classify([]string{"zorble", "quux frob"}); got != "" || score != 0 {
+		t.Fatalf("alien labels classified as %q (%.3f)", got, score)
+	}
+}
+
+func TestClassifierTieBreakDeterministic(t *testing.T) {
+	// Two domains with identical vocabularies: a tie, broken toward the
+	// lexicographically smallest domain, every time.
+	shared := []model.Condition{
+		{Attribute: "Widget size"},
+		{Attribute: "Widget color"},
+	}
+	training := []dataset.Source{
+		{ID: "b-1", Domain: "Beta", Truth: shared},
+		{ID: "a-1", Domain: "Alpha", Truth: shared},
+	}
+	c := NewClassifier(training, 0)
+	for i := 0; i < 10; i++ {
+		got, score := c.Classify([]string{"Widget size", "Widget color"})
+		if got != "Alpha" {
+			t.Fatalf("tie broke to %q (%.3f), want Alpha", got, score)
+		}
+	}
+}
+
+func TestClassifierIDFDiscountsSharedLabels(t *testing.T) {
+	// "title" lives in both domains; "isbn" only in BookWorld. An interface
+	// showing only the shared label must score lower than one showing the
+	// distinctive label.
+	training := []dataset.Source{
+		{Domain: "BookWorld", Truth: []model.Condition{{Attribute: "Title"}, {Attribute: "ISBN"}}},
+		{Domain: "FilmWorld", Truth: []model.Condition{{Attribute: "Title"}, {Attribute: "Director"}}},
+	}
+	c := NewClassifier(training, 0.0001)
+	_, sharedScore := c.Classify([]string{"Title"})
+	got, distinctScore := c.Classify([]string{"ISBN"})
+	if got != "BookWorld" {
+		t.Fatalf("isbn classified as %q", got)
+	}
+	if distinctScore <= sharedScore {
+		t.Fatalf("distinctive label score %.4f not above shared label score %.4f",
+			distinctScore, sharedScore)
+	}
+}

@@ -166,3 +166,65 @@ func TestClusterSourcesEdgeCases(t *testing.T) {
 		t.Errorf("singleton: %v", got)
 	}
 }
+
+func TestUnifierZeroSources(t *testing.T) {
+	u := NewUnifier()
+	if u.Sources() != 0 {
+		t.Fatalf("fresh unifier reports %d sources", u.Sources())
+	}
+	if got := u.Unified(0); len(got) != 0 {
+		t.Fatalf("zero-source unified interface = %+v, want empty", got)
+	}
+	if got := u.Clusters(); len(got) != 0 {
+		t.Fatalf("zero-source clusters = %+v, want empty", got)
+	}
+}
+
+func TestUnifierSingleSource(t *testing.T) {
+	u := NewUnifier()
+	u.Add(sm(text("Author"), enum("Format", "Hardcover", "Paperback")))
+	// A lone source unifies to itself at minSources 1...
+	got := u.Unified(1)
+	if len(got) != 2 {
+		t.Fatalf("single-source unified = %+v, want both conditions", got)
+	}
+	attrs := map[string]model.DomainKind{}
+	for _, c := range got {
+		attrs[c.Attribute] = c.Domain.Kind
+	}
+	if attrs["author"] != model.TextDomain || attrs["format"] != model.EnumDomain {
+		t.Fatalf("single-source unified lost kinds: %v", attrs)
+	}
+	// ...and to nothing when two sources are demanded.
+	if got := u.Unified(2); len(got) != 0 {
+		t.Fatalf("minSources=2 over one source = %+v, want empty", got)
+	}
+}
+
+func TestCanonicalTieDeterminism(t *testing.T) {
+	// "author name" and "name author" share a word set, so they join one
+	// cluster; at equal counts the canonical label must break the tie
+	// lexicographically — independent of insertion order.
+	forward := NewUnifier()
+	forward.Add(sm(text("author name")))
+	forward.Add(sm(text("name author")))
+	backward := NewUnifier()
+	backward.Add(sm(text("name author")))
+	backward.Add(sm(text("author name")))
+	for _, u := range []*Unifier{forward, backward} {
+		cls := u.Clusters()
+		if len(cls) != 1 {
+			t.Fatalf("labels did not cluster: %+v", cls)
+		}
+		if cls[0].Canonical != "author name" {
+			t.Fatalf("tied canonical = %q, want lexicographic winner %q",
+				cls[0].Canonical, "author name")
+		}
+	}
+	// A third observation of one variant moves the mode, and the canonical
+	// follows it.
+	forward.Add(sm(text("name author")))
+	if got := forward.Clusters()[0].Canonical; got != "name author" {
+		t.Fatalf("canonical after mode shift = %q, want %q", got, "name author")
+	}
+}

@@ -1,0 +1,87 @@
+package formext
+
+import (
+	"testing"
+)
+
+// multiFormPage carries two forms: a site-wide nav search box first (the
+// form FormInfoOf would blindly pick) and the real query interface second.
+const multiFormPage = `<html><body>
+<form action="/sitesearch" method="get">
+  <input type="hidden" name="nav" value="1">
+  <input type="text" name="q" size="20">
+  <input type="submit" value="Go">
+</form>
+<h3>Advanced book search</h3>
+<form action="/books/search" method="post">
+  <input type="hidden" name="catalog" value="main">
+  <table>
+    <tr><td>Author</td><td><input type="text" name="author_1" size="24"></td></tr>
+    <tr><td>Title</td><td><input type="text" name="title_2" size="24"></td></tr>
+    <tr><td>Format</td><td><select name="format_3"><option>Hardcover</option><option>Paperback</option><option>Audio</option></select></td></tr>
+    <tr><td colspan="2"><input type="submit" value="Search"></td></tr>
+  </table>
+</form>
+</body></html>`
+
+// TestMultiFormPicksExtractedForm is the regression fixture for the
+// first-form trap: the submission envelope must belong to the form the
+// extracted conditions live in, not to whichever <form> tag comes first.
+func TestMultiFormPicksExtractedForm(t *testing.T) {
+	ex, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ex.ExtractHTML(multiFormPage)
+	if err != nil {
+		t.Fatalf("extract: %v", err)
+	}
+	if len(res.Model.Conditions) == 0 {
+		t.Fatal("no conditions extracted from the query form")
+	}
+	if res.Form.Action != "/books/search" {
+		t.Fatalf("Form.Action = %q, want the query form's /books/search", res.Form.Action)
+	}
+	if res.Form.Method != "post" {
+		t.Fatalf("Form.Method = %q, want post", res.Form.Method)
+	}
+	if got := res.Form.Hidden.Get("catalog"); got != "main" {
+		t.Fatalf("hidden catalog = %q; envelope carries the wrong form's hidden fields", got)
+	}
+	if res.Form.Hidden.Get("nav") != "" {
+		t.Fatal("nav form's hidden field leaked into the query form's envelope")
+	}
+	// The query built over the result submits to the right place.
+	q := res.NewQuery()
+	if q.Action() != "/books/search" || q.Method() != "post" {
+		t.Fatalf("query targets %s %s", q.Method(), q.Action())
+	}
+	if q.Values().Get("catalog") != "main" {
+		t.Fatal("query lost the form's hidden defaults")
+	}
+}
+
+// TestSingleFormEnvelopeUnchanged pins the fast path: one-form pages keep
+// the first (only) envelope, without a control inventory.
+func TestSingleFormEnvelopeUnchanged(t *testing.T) {
+	ex, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ex.ExtractHTML(`<html><body><form action="/search" method="get">
+<input type="hidden" name="sid" value="7">
+<table><tr><td>Author</td><td><input type="text" name="author_1"></td></tr></table>
+</form></body></html>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Form.Action != "/search" || res.Form.Method != "get" {
+		t.Fatalf("envelope = %s %s", res.Form.Method, res.Form.Action)
+	}
+	if res.Form.Hidden.Get("sid") != "7" {
+		t.Fatal("hidden field lost")
+	}
+	if res.Form.Controls != nil {
+		t.Fatal("single-form page paid for a control inventory")
+	}
+}
